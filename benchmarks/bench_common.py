@@ -1,0 +1,62 @@
+"""Shared experiment configuration for the benchmark harness.
+
+One place for the scale knobs so every figure runs on the same substrate:
+the `osm`-shaped dataset (the hard, lumpy one — mirroring SOSD), offered
+rates chosen so the learned store's *specialized* capacity exceeds the
+offered load while its *mis-specialized* capacity does not, which is the
+regime where the paper's dynamic metrics have signal.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.benchmark import Benchmark
+from repro.data.datasets import Dataset, build_dataset
+from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
+from repro.suts.kv_traditional import TraditionalKVStore
+
+#: Dataset size for all KV experiments.
+N_KEYS = 50_000
+#: Leaf-model budget matched to N_KEYS (see tests/integration notes).
+FANOUT = 160
+#: Offered load for the shift experiments (queries/second).
+RATE = 3200.0
+#: Segment length (virtual seconds).
+SEG_DURATION = 30.0
+
+
+@lru_cache(maxsize=1)
+def dataset() -> Dataset:
+    """The shared experiment dataset."""
+    return build_dataset("osm", n=N_KEYS, seed=7)
+
+
+def make_learned(sample=None, **kwargs) -> LearnedKVStore:
+    """Adaptive learned store at experiment scale."""
+    return LearnedKVStore(
+        max_fanout=FANOUT,
+        retrain_cooldown=2.0,
+        expected_access_sample=sample,
+        **kwargs,
+    )
+
+
+def make_static(sample=None) -> StaticLearnedKVStore:
+    """Non-adaptive learned store at experiment scale."""
+    return StaticLearnedKVStore(max_fanout=FANOUT, expected_access_sample=sample)
+
+
+def make_traditional(level: int = 0) -> TraditionalKVStore:
+    """B+ tree store at the given DBA tuning level."""
+    return TraditionalKVStore(tuning_level=level)
+
+
+def bench_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic virtual-clock simulations, so one
+    round measures the harness cost without re-running minutes of
+    simulation per statistical round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

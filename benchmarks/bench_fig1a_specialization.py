@@ -1,0 +1,61 @@
+"""F1a — Fig 1a: throughput per workload/data distribution, ordered by Φ.
+
+Runs the specialization ladder (hotspots at increasing distance from the
+trained baseline, plus a hold-out) against the static learned store, the
+adaptive learned store, and the B+ tree, and prints the box-plot rows of
+Fig 1a. Expected shape: the static learned store's throughput median
+drops (and dispersion grows) as Φ increases; the hold-out sits below the
+in-sample segments; the traditional store is flat across Φ.
+"""
+
+from __future__ import annotations
+
+from bench_common import (
+    SEG_DURATION,
+    RATE,
+    bench_once,
+    dataset,
+    make_learned,
+    make_static,
+    make_traditional,
+)
+from repro.core.benchmark import Benchmark
+from repro.metrics.specialization import specialization_report
+from repro.reporting.figures import render_fig1a
+from repro.scenarios import expected_access_sample, specialization_ladder
+
+
+def test_fig1a_specialization(benchmark, figure_sink):
+    ds = dataset()
+    scenario, holdout = specialization_ladder(
+        ds, rate=RATE, segment_duration=20.0, train_budget=1e9
+    )
+    sample = expected_access_sample(scenario)
+    bench = Benchmark()
+
+    runs = {}
+
+    def run_all():
+        runs["static-learned-kv"] = bench.run(make_static(sample), scenario)
+        runs["learned-kv"] = bench.run(make_learned(sample), scenario)
+        runs["btree-kv"] = bench.run(make_traditional(), scenario)
+
+    bench_once(benchmark, run_all)
+
+    reports = [
+        specialization_report(result, scenario, holdout_labels=(holdout,))
+        for result in runs.values()
+    ]
+    text = render_fig1a(reports)
+
+    # Shape checks (the paper's expected qualitative result).
+    static = next(r for r in reports if r.sut_name == "static-learned-kv")
+    near, far = static.segments[0], static.segments[-1]
+    assert near.phi < far.phi
+    assert far.mean_latency > near.mean_latency  # specialization decays with Φ
+    traditional = next(r for r in reports if r.sut_name == "btree-kv")
+    trad_medians = [s.throughput.median for s in traditional.segments]
+    spread = (max(trad_medians) - min(trad_medians)) / max(trad_medians)
+    assert spread < 0.25  # traditional is (near-)flat across Φ
+
+    figure_sink("fig1a_specialization", text)

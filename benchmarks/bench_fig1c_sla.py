@@ -1,0 +1,94 @@
+"""F1c — Fig 1c: SLA violation bands per interval.
+
+Same abrupt-shift scenario as F1b. The SLA threshold is calibrated from
+the traditional baseline's latency statistics on the same scenario
+(§V-D2's prescription). Expected shape: violation-heavy bands right
+after the distribution change, decaying as the system adapts; the
+static learned store's bands stay red; the adjustment-speed single-value
+metric ranks adaptive < static.
+"""
+
+from __future__ import annotations
+
+from bench_common import (
+    RATE,
+    SEG_DURATION,
+    bench_once,
+    dataset,
+    make_learned,
+    make_static,
+    make_traditional,
+)
+from repro.core.benchmark import Benchmark
+from repro.metrics.sla import adjustment_speed, calibrate_sla, latency_bands
+from repro.reporting.figures import render_fig1c
+from repro.scenarios import abrupt_shift, expected_access_sample
+
+
+#: Load for the SLA-calibration baseline run: below the B+ tree's
+#: capacity, so its latency statistics reflect service times rather than
+#: queueing collapse (the paper's baseline is implicitly unsaturated).
+CALIBRATION_RATE = 1800.0
+
+
+def test_fig1c_sla_bands(benchmark, figure_sink):
+    ds = dataset()
+    scenario = abrupt_shift(
+        ds, rate=RATE, segment_duration=SEG_DURATION, train_budget=1e9
+    )
+    calibration_scenario = abrupt_shift(
+        ds, rate=CALIBRATION_RATE, segment_duration=SEG_DURATION, train_budget=1e9
+    )
+    sample = expected_access_sample(scenario)
+    bench = Benchmark()
+    runs = {}
+
+    def run_all():
+        runs["baseline@sustainable"] = bench.run(
+            make_traditional(), calibration_scenario
+        )
+        runs["btree-kv"] = bench.run(make_traditional(), scenario)
+        runs["learned-kv"] = bench.run(make_learned(sample), scenario)
+        runs["static-learned-kv"] = bench.run(make_static(sample), scenario)
+
+    bench_once(benchmark, run_all)
+
+    sla = calibrate_sla(runs.pop("baseline@sustainable"), percentile=99.0,
+                        headroom=1.5)
+    bands = {
+        name: latency_bands(result, sla=sla, interval=1.0)
+        for name, result in runs.items()
+    }
+    change = scenario.segments[0].duration
+    n_after = int(RATE * 10)
+    adjustment = {
+        name: adjustment_speed(result, change, n_after, sla)
+        for name, result in runs.items()
+    }
+    text = render_fig1c(bands, sla, adjustment=adjustment)
+
+    # The paper's multi-band (green-yellow-orange-red) variant.
+    from repro.metrics.sla import multi_latency_bands
+    from repro.reporting.figures import render_fig1c_multiband
+
+    thresholds = [sla, 4 * sla, 16 * sla]
+    multiband = {
+        name: multi_latency_bands(result, thresholds=thresholds, interval=1.0)
+        for name, result in runs.items()
+    }
+    text += "\n\n" + render_fig1c_multiband(multiband, thresholds)
+
+    # Shape checks.
+    learned_bands = bands["learned-kv"]
+    before = sum(b.violated for b in learned_bands if b.start < change)
+    just_after = sum(
+        b.violated for b in learned_bands if change <= b.start < change + 10
+    )
+    tail = sum(
+        b.violated for b in learned_bands if b.start >= change + 2 * SEG_DURATION * 0.7
+    )
+    assert just_after > before  # violations cluster after the change
+    assert tail < just_after  # ... and decay as the system adapts
+    assert adjustment["learned-kv"] < adjustment["static-learned-kv"]
+
+    figure_sink("fig1c_sla_bands", text)

@@ -1,0 +1,104 @@
+"""F1d — Fig 1d: throughput per cost.
+
+Sweeps the learned store's training budget (on CPU and GPU hardware
+profiles) and the traditional store's DBA tuning level, then prints the
+two cost→throughput curves and the paper's new single-value metric:
+the *training cost to outperform* the manually tuned system.
+
+Throughput saturates at the offered rate when a system keeps up, so the
+curve is reported at an offered load high enough that only well-trained
+configurations sustain it; mean latency is reported alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import FANOUT, bench_once, dataset, make_traditional
+from repro.core.benchmark import Benchmark, BenchmarkConfig
+from repro.core.hardware import CPU, GPU
+from repro.core.phases import TrainingPhase
+from repro.core.scenario import Scenario, Segment
+from repro.metrics.cost import DBAModel, training_cost_to_outperform
+from repro.reporting.figures import render_fig1d
+from repro.scenarios import hotspot, training_budget_scenario
+from repro.suts.kv_learned import LearnedKVStore
+
+RATE = 3200.0
+DURATION = 20.0
+
+
+def _scenario(budget: float, hardware) -> Scenario:
+    ds = dataset()
+    scenario = training_budget_scenario(
+        ds, budget_seconds=budget, rate=RATE, duration=DURATION
+    )
+    scenario.initial_training = TrainingPhase(budget_seconds=budget, hardware=hardware)
+    return scenario
+
+
+def _effective_throughput(result) -> float:
+    """Completions within the horizon / horizon (saturation-aware)."""
+    horizon = result.duration
+    return float((result.completions() <= horizon).sum()) / horizon
+
+
+def test_fig1d_cost(benchmark, figure_sink):
+    ds = dataset()
+    bench = Benchmark()
+    full = LearnedKVStore(max_fanout=FANOUT).cost_model.full_retrain_seconds(len(ds))
+    learned_curve = []
+    rows = []
+
+    def run_sweep():
+        for hardware in (CPU, GPU):
+            for fraction in (0.02, 0.1, 0.3, 0.6, 1.0):
+                scenario = _scenario(full * fraction, hardware)
+                sut = LearnedKVStore(max_fanout=FANOUT)
+                result = bench.run(sut, scenario)
+                cost = result.total_training_cost()
+                throughput = _effective_throughput(result)
+                learned_curve.append((cost, throughput))
+                rows.append(
+                    (hardware.name, fraction, cost, throughput,
+                     float(np.mean(result.latencies())))
+                )
+
+    bench_once(benchmark, run_sweep)
+
+    dba = DBAModel()
+    traditional_levels = []
+    for level in range(dba.levels):
+        scenario = _scenario(0.0, CPU)
+        result = bench.run(make_traditional(level), scenario)
+        traditional_levels.append(
+            (dba.cost_of_level(level), _effective_throughput(result))
+        )
+
+    crossover = training_cost_to_outperform(learned_curve, traditional_levels)
+    text = render_fig1d(
+        learned_curve,
+        traditional_levels,
+        crossover,
+        learned_name="learned-kv",
+        traditional_name="btree-kv(DBA)",
+    )
+    detail = ["", "training-budget sweep detail:",
+              f"{'hw':<5s} {'budget':>7s} {'cost $':>10s} {'eff q/s':>9s} {'mean lat':>10s}"]
+    for hw, fraction, cost, tp, latency in rows:
+        detail.append(
+            f"{hw:<5s} {fraction:7.0%} {cost:10.4f} {tp:9.1f} {latency*1000:8.2f}ms"
+        )
+    text += "\n" + "\n".join(detail)
+
+    # Shape checks: throughput non-decreasing in budget (per hardware),
+    # GPU strictly cheaper for the same budget fraction, finite crossover.
+    cpu_rows = [r for r in rows if r[0] == "cpu"]
+    assert cpu_rows[-1][3] >= cpu_rows[0][3]  # full budget >= starved
+    assert cpu_rows[-1][4] < cpu_rows[0][4]  # latency improves with budget
+    gpu_full = next(r for r in rows if r[0] == "gpu" and r[1] == 1.0)
+    cpu_full = next(r for r in rows if r[0] == "cpu" and r[1] == 1.0)
+    assert gpu_full[2] < cpu_full[2]  # same training, cheaper on GPU
+    assert crossover is not None and crossover < dba.cost_of_level(1)
+
+    figure_sink("fig1d_cost", text)

@@ -1,0 +1,108 @@
+"""A6 — the other §II learned components: sorting and caching.
+
+* Learned CDF sort (Kristo et al., cited in §II): work units vs a
+  comparison sort, in-distribution and after the training distribution
+  shifts — the same specialize/adapt trade-off at component scale.
+* Learned cache eviction vs LRU/LFU: hit rates on a stationary Zipf
+  trace and on a scan-polluted trace (where reuse prediction pays off).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import bench_once
+from repro.learned.cache import LearnedCache, LFUCache, LRUCache
+from repro.learned.sorter import LearnedSorter, comparison_sort_work
+
+N_SORT = 50_000
+CACHE_CAPACITY = 200
+
+
+def _cache_traces(rng):
+    """(stationary Zipf trace, scan-polluted trace)."""
+    zipf = rng.zipf(1.4, 40_000) % 4000
+    hot = rng.zipf(1.4, 20_000) % 400
+    scans = np.concatenate(
+        [np.arange(10_000 + 2_000 * i, 10_000 + 2_000 * i + 1000) for i in range(10)]
+    )
+    polluted = np.concatenate([hot[:10_000], scans, hot[10_000:]])
+    return zipf, polluted
+
+
+def _run_cache(cache, trace):
+    for key in trace:
+        if cache.get(int(key)) is None:
+            cache.put(int(key), key)
+    return cache.stats.hit_rate
+
+
+def test_learned_components(benchmark, figure_sink):
+    rng = np.random.default_rng(13)
+    results = {}
+
+    def run_all():
+        # -- learned sort ---------------------------------------------------
+        data = rng.normal(1e6, 1e4, N_SORT)
+        in_dist_sorter = LearnedSorter()
+        out, report_in = in_dist_sorter.sort(data)
+        assert np.array_equal(out, np.sort(data))
+        shifted_sorter = LearnedSorter().fit(rng.normal(1e6, 1e4, 2048))
+        shifted_data = rng.lognormal(13, 1.5, N_SORT)
+        out2, report_out = shifted_sorter.sort(shifted_data)
+        assert np.array_equal(out2, np.sort(shifted_data))
+        results["sort"] = (report_in, report_out)
+
+        # -- caches -----------------------------------------------------------
+        zipf, polluted = _cache_traces(rng)
+        cache_rows = {}
+        for trace_name, trace in (("zipf", zipf), ("scan-polluted", polluted)):
+            for cls in (LRUCache, LFUCache, LearnedCache):
+                cache_rows[(trace_name, cls.__name__)] = _run_cache(
+                    cls(CACHE_CAPACITY), trace
+                )
+        results["cache"] = cache_rows
+
+    bench_once(benchmark, run_all)
+
+    report_in, report_out = results["sort"]
+    nlogn = comparison_sort_work(N_SORT)
+    rows = [
+        "A6 — learned sorting and caching",
+        "learned CDF sort (work units; comparison sort = "
+        f"{nlogn:,.0f}):",
+        f"  in-distribution:   {report_in.work_units:12,.0f} "
+        f"({report_in.work_units / nlogn:5.2f}x nlogn, "
+        f"overflow buckets {report_in.overflow_buckets})",
+        f"  shifted data:      {report_out.work_units:12,.0f} "
+        f"({report_out.work_units / nlogn:5.2f}x nlogn, "
+        f"overflow buckets {report_out.overflow_buckets})",
+        "",
+        "cache hit rates (capacity "
+        f"{CACHE_CAPACITY}):",
+        f"{'trace':<15s} {'LRU':>7s} {'LFU':>7s} {'Learned':>8s}",
+    ]
+    cache_rows = results["cache"]
+    for trace_name in ("zipf", "scan-polluted"):
+        rows.append(
+            f"{trace_name:<15s} "
+            f"{cache_rows[(trace_name, 'LRUCache')]:7.3f} "
+            f"{cache_rows[(trace_name, 'LFUCache')]:7.3f} "
+            f"{cache_rows[(trace_name, 'LearnedCache')]:8.3f}"
+        )
+
+    # Shape checks: learned sort beats nlogn in-distribution and loses
+    # its edge off-distribution; learned eviction's relative position
+    # improves on the scan-polluted trace vs the stationary one.
+    assert report_in.work_units < nlogn
+    assert report_out.work_units > report_in.work_units
+    lru_gap_zipf = (
+        cache_rows[("zipf", "LearnedCache")] - cache_rows[("zipf", "LRUCache")]
+    )
+    lru_gap_scan = (
+        cache_rows[("scan-polluted", "LearnedCache")]
+        - cache_rows[("scan-polluted", "LRUCache")]
+    )
+    assert lru_gap_scan > lru_gap_zipf
+
+    figure_sink("learned_components", "\n".join(rows))

@@ -1,0 +1,83 @@
+"""L2 — Lesson 2: "Average metrics do not capture adaptability."
+
+Demonstration: two systems with (near-)identical *average* throughput
+over the run whose behaviour is completely different — one is steady,
+one stalls through the transition and catches up. The averages table
+says "tie"; the descriptive statistics, throughput CV, and adjustment
+speed say otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import (
+    SEG_DURATION,
+    bench_once,
+    dataset,
+    make_learned,
+    make_traditional,
+)
+from repro.core.benchmark import Benchmark
+from repro.metrics.adaptability import adaptability_report
+from repro.metrics.descriptive import box_stats
+from repro.metrics.sla import adjustment_speed, calibrate_sla
+from repro.scenarios import abrupt_shift, expected_access_sample
+
+# Offered rate below BOTH systems' sustained capacity, so both complete
+# every query and post the same average throughput.
+RATE = 2000.0
+
+
+def test_lesson2_averages_hide_adaptability(benchmark, figure_sink):
+    ds = dataset()
+    scenario = abrupt_shift(ds, rate=RATE, segment_duration=SEG_DURATION,
+                            train_budget=1e9)
+    sample = expected_access_sample(scenario)
+    bench = Benchmark()
+    runs = {}
+
+    def run_all():
+        runs["learned-kv"] = bench.run(make_learned(sample), scenario)
+        runs["btree-kv"] = bench.run(make_traditional(), scenario)
+
+    bench_once(benchmark, run_all)
+
+    learned, traditional = runs["learned-kv"], runs["btree-kv"]
+    sla = calibrate_sla(traditional, percentile=99.0, headroom=1.5)
+    change = scenario.segments[0].duration
+
+    rows = ["Lesson 2 — identical averages, different systems",
+            f"{'metric':<28s} {'learned-kv':>14s} {'btree-kv':>14s}"]
+
+    def add(metric, a, b, fmt="{:14.2f}"):
+        rows.append(f"{metric:<28s} {fmt.format(a):>14s} {fmt.format(b):>14s}"
+                    if isinstance(fmt, str) else f"{metric:<28s} {a:>14} {b:>14}")
+
+    avg_l = learned.mean_throughput()
+    avg_t = traditional.mean_throughput()
+    add("mean throughput (q/s)", avg_l, avg_t)
+    _, counts_l = learned.throughput_series()
+    _, counts_t = traditional.throughput_series()
+    stats_l, stats_t = box_stats(counts_l[:-1]), box_stats(counts_t[:-1])
+    add("throughput q1", stats_l.q1, stats_t.q1)
+    add("throughput min", stats_l.minimum, stats_t.minimum)
+    report_l = adaptability_report(learned)
+    report_t = adaptability_report(traditional)
+    add("throughput CV", report_l.throughput_cv, report_t.throughput_cv,
+        "{:14.3f}")
+    n_after = int(RATE * 10)
+    adj_l = adjustment_speed(learned, change, n_after, sla)
+    adj_t = adjustment_speed(traditional, change, n_after, sla)
+    add("adjustment speed (s)", adj_l, adj_t)
+    p999_l = float(np.percentile(learned.latencies(), 99.9))
+    p999_t = float(np.percentile(traditional.latencies(), 99.9))
+    add("p99.9 latency (ms)", p999_l * 1000, p999_t * 1000)
+
+    # Shape checks: averages tie; dynamics do not.
+    assert abs(avg_l - avg_t) / avg_t < 0.02  # "the same system" by averages
+    assert stats_l.minimum < stats_t.minimum * 0.7  # the stall is visible
+    assert report_l.throughput_cv > report_t.throughput_cv * 1.5
+    assert adj_l > adj_t  # the learned system pays a transition cost
+
+    figure_sink("lesson2_averages", "\n".join(rows))

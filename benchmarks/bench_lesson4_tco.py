@@ -1,0 +1,72 @@
+"""L4 — Lesson 4: "We cannot ignore the human cost anymore."
+
+Three-year TCO comparison across workload-change frequencies: the
+traditional system needs a DBA re-tune per change, the learned system an
+(accounted, cheap) automatic retrain. The crossover in change frequency
+is the lesson: the more dynamic the environment, the more the human
+cost dominates.
+"""
+
+from __future__ import annotations
+
+from bench_common import FANOUT, bench_once, dataset
+from repro.core.benchmark import Benchmark
+from repro.core.hardware import GPU
+from repro.metrics.cost import DBAModel, TCOModel
+from repro.scenarios import training_budget_scenario
+from repro.suts.kv_learned import LearnedKVStore
+
+
+def test_lesson4_tco(benchmark, figure_sink):
+    ds = dataset()
+    bench = Benchmark()
+    full = LearnedKVStore(max_fanout=FANOUT).cost_model.full_retrain_seconds(len(ds))
+    holder = {}
+
+    def run_once():
+        # One real run to measure the actual per-session training cost.
+        scenario = training_budget_scenario(
+            ds, budget_seconds=full, rate=2000.0, duration=15.0
+        )
+        holder["result"] = bench.run(LearnedKVStore(max_fanout=FANOUT), scenario)
+
+    bench_once(benchmark, run_once)
+    result = holder["result"]
+    session_cost_cpu = result.total_training_cost()
+    session_cost_gpu = GPU.cost_of_nominal(result.total_training_nominal_seconds())
+
+    tco = TCOModel(hardware_monthly=300.0, horizon_months=36.0, dba=DBAModel())
+    tuning_level = 2  # the DBA effort needed to match learned performance
+    rows = [
+        "Lesson 4 — 3-year TCO vs workload-change frequency",
+        f"(hardware ${tco.hardware_monthly}/mo x {tco.horizon_months:.0f} months; "
+        f"DBA level {tuning_level} = "
+        f"${tco.dba.cost_of_level(tuning_level):,.0f} per (re)tune; "
+        f"learned retrain = ${session_cost_cpu:.6f} CPU / "
+        f"${session_cost_gpu:.6f} GPU)",
+        f"{'changes over horizon':>21s} {'traditional $':>14s} "
+        f"{'learned(CPU) $':>15s} {'learned(GPU) $':>15s}",
+    ]
+    crossover_seen = False
+    for changes in (0, 1, 4, 12, 36, 120):
+        traditional = tco.traditional_tco(tuning_level, retunes=changes)
+        learned_cpu = tco.learned_tco(session_cost_cpu, sessions=changes + 1)
+        learned_gpu = tco.learned_tco(session_cost_gpu, sessions=changes + 1)
+        rows.append(
+            f"{changes:>21d} {traditional:14,.0f} {learned_cpu:15,.2f} "
+            f"{learned_gpu:15,.2f}"
+        )
+        if learned_cpu < traditional:
+            crossover_seen = True
+
+    # Shape checks: learned TCO is flat in change frequency; traditional
+    # TCO grows linearly with it; learned wins from the first re-tune.
+    base = tco.traditional_tco(tuning_level, retunes=0)
+    busy = tco.traditional_tco(tuning_level, retunes=36)
+    assert busy > base
+    assert crossover_seen
+    assert tco.learned_tco(session_cost_cpu, 121) - tco.learned_tco(
+        session_cost_cpu, 1
+    ) < tco.dba.cost_of_level(tuning_level)
+
+    figure_sink("lesson4_tco", "\n".join(rows))

@@ -1,0 +1,90 @@
+"""A9 — size vs lookup-latency Pareto (SOSD's headline comparison).
+
+For each structure, sweep its capacity knob (B+ order, RMI fanout, PGM
+ε) and record (index overhead bytes, model lookup cost). Learned
+structures should dominate the B+ tree on learnable data — orders of
+magnitude less auxiliary memory at equal-or-better lookup cost — which
+is the size argument of "The Case for Learned Index Structures".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import bench_once
+from repro.data.datasets import build_dataset
+from repro.indexes import BPlusTree, PGMIndex, RecursiveModelIndex
+from repro.suts.cost_models import KVCostModel
+
+N = 50_000
+PROBES = 1_000
+
+
+def _variants():
+    return [
+        ("btree", "order", [8, 32, 128], lambda v: BPlusTree(order=v)),
+        (
+            "rmi",
+            "fanout",
+            [64, 512, 4096],
+            lambda v: RecursiveModelIndex(fanout=v, max_delta=None),
+        ),
+        ("pgm", "eps", [8, 64, 512], lambda v: PGMIndex(epsilon=v, max_delta=None)),
+    ]
+
+
+def test_pareto_size_vs_latency(benchmark, figure_sink):
+    ds = build_dataset("books", n=N, seed=7)
+    pairs = ds.pairs()
+    model = KVCostModel()
+    rng = np.random.default_rng(23)
+    probes = rng.choice(ds.keys, PROBES)
+    points = {}
+
+    def run_all():
+        for family, knob, values, factory in _variants():
+            for value in values:
+                index = factory(value)
+                index.bulk_load(pairs)
+                before = index.stats.snapshot()
+                for key in probes:
+                    index.get(float(key))
+                delta = index.stats.snapshot().diff(before)
+                per_op_us = model.service_time(delta) / PROBES * 1e6
+                points[(family, value)] = (
+                    index.index_overhead_bytes(),
+                    per_op_us,
+                )
+
+    bench_once(benchmark, run_all)
+
+    rows = [
+        "A9 — index overhead vs lookup cost (books, 50k keys)",
+        f"{'structure':<16s} {'overhead KiB':>13s} {'model µs/op':>12s}",
+    ]
+    for (family, value), (overhead, per_op) in points.items():
+        rows.append(
+            f"{family + '@' + str(value):<16s} {overhead/1024:13.1f} {per_op:12.1f}"
+        )
+
+    # Shape checks (SOSD): at comparable-or-better lookup cost, learned
+    # structures need a fraction of the B+ tree's auxiliary memory; and
+    # within each family, more capacity = more memory.
+    best_btree = min(v for (f, _), (_, v) in points.items() if f == "btree")
+    smallest_winning_learned = min(
+        overhead
+        for (family, _), (overhead, per_op) in points.items()
+        if family in ("rmi", "pgm") and per_op <= best_btree
+    )
+    cheapest_btree_overhead = min(
+        overhead for (family, _), (overhead, _) in points.items() if family == "btree"
+    )
+    assert smallest_winning_learned < cheapest_btree_overhead / 10
+    for family, _, values, _ in _variants():
+        sizes = [points[(family, v)][0] for v in values]
+        if family == "rmi":  # more leaf models = more memory
+            assert sizes == sorted(sizes)
+        else:  # btree: bigger nodes = fewer nodes; pgm: bigger eps = fewer segments
+            assert sizes == sorted(sizes, reverse=True)
+
+    figure_sink("pareto_size", "\n".join(rows))

@@ -1,0 +1,107 @@
+"""A10 — continuous drift: the rotating hotspot.
+
+The shift experiments (F1b/F1c) have a *final* distribution the learned
+store can converge to. Real diurnal locality never converges: the hot
+region sweeps the key space continuously. This bench runs one full
+rotation against four policies — aggressive adaptation (2 s retrain
+cooldown), conservative adaptation (10 s), no adaptation (generic
+data-linear model), and the B+ tree.
+
+Measured result (and the reason a benchmark must include continuous
+drift, not just step changes): under continuous rotation,
+**workload-specialization is a liability**. Every retrain specializes to
+a hotspot position that is already moving away, so the adaptive
+policies churn — paying stop-the-world retrains for models that are
+stale on arrival — while the *generic* (never-specialized) learned model
+and the B+ tree sail through. Adaptation policies tuned on step-change
+benchmarks can be pathological in production-shaped drift; Lesson 1
+cuts both ways.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import FANOUT, bench_once, dataset, make_traditional
+from repro.core.benchmark import Benchmark
+from repro.core.phases import TrainingPhase
+from repro.core.scenario import Scenario, Segment
+from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
+from repro.workloads.drift import RotatingHotspotDrift
+from repro.workloads.generators import OperationMix, WorkloadSpec
+from repro.workloads.patterns import ConstantArrivals
+
+RATE = 2500.0
+DURATION = 60.0
+PERIOD = 60.0
+
+
+def _scenario(ds) -> Scenario:
+    span = ds.high - ds.low
+    drift = RotatingHotspotDrift(
+        ds.low, ds.high, hot_width=span * 0.05, period=PERIOD, hot_fraction=0.9
+    )
+    spec = WorkloadSpec(
+        name="rotating",
+        mix=OperationMix.read_only(),
+        key_drift=drift,
+        arrivals=ConstantArrivals(RATE),
+    )
+    return Scenario(
+        name="rotating-hotspot",
+        segments=[Segment(spec=spec, duration=DURATION)],
+        initial_training=TrainingPhase(budget_seconds=1e9),
+        initial_keys=ds.keys,
+        seed=71,
+    )
+
+
+def test_rotating_hotspot(benchmark, figure_sink):
+    ds = dataset()
+    scenario = _scenario(ds)
+    bench = Benchmark()
+    outcomes = {}
+
+    def run_all():
+        policies = {
+            "adapt-2s": lambda: LearnedKVStore(
+                max_fanout=FANOUT, retrain_cooldown=2.0
+            ),
+            "adapt-10s": lambda: LearnedKVStore(
+                max_fanout=FANOUT, retrain_cooldown=10.0
+            ),
+            "generic-model": lambda: StaticLearnedKVStore(max_fanout=FANOUT),
+            "btree-kv": make_traditional,
+        }
+        for name, factory in policies.items():
+            outcomes[name] = bench.run(factory(), scenario)
+
+    bench_once(benchmark, run_all)
+
+    rows = [
+        "A10 — rotating hotspot (one full sweep in 60 s): adaptation churn",
+        f"{'policy':<14s} {'eff q/s':>8s} {'p99 ms':>10s} {'retrains':>9s} "
+        f"{'train s':>8s}",
+    ]
+    stats = {}
+    for name, result in outcomes.items():
+        eff = float((result.completions() <= DURATION).sum()) / DURATION
+        p99 = float(np.percentile(result.latencies(), 99)) * 1000
+        retrains = sum(1 for e in result.training_events if e.online)
+        stats[name] = (eff, retrains)
+        rows.append(
+            f"{name:<14s} {eff:8.1f} {p99:10.1f} {retrains:9d} "
+            f"{result.total_training_nominal_seconds():8.1f}"
+        )
+
+    # Shape checks: the aggressive adapter churns (many retrains, big
+    # throughput loss); the generic model keeps up with the offered rate;
+    # non-adaptive policies do no online training at all.
+    assert stats["adapt-2s"][1] >= 10
+    assert stats["adapt-2s"][0] < 0.6 * stats["generic-model"][0]
+    assert stats["generic-model"][0] >= 0.95 * RATE
+    assert stats["generic-model"][1] == 0 and stats["btree-kv"][1] == 0
+    # Fewer retrains under the longer cooldown.
+    assert stats["adapt-10s"][1] < stats["adapt-2s"][1]
+
+    figure_sink("rotating_hotspot", "\n".join(rows))

@@ -1,0 +1,98 @@
+"""A5 — learned-index design points under a write-heavy workload.
+
+YCSB-A-shaped stream (50% reads / 30% updates / 20% inserts) with keys
+drawn from the live distribution, so the dataset grows throughout the
+run. Compares the three learned design points the literature offers —
+RMI + delta buffer (rebuild on threshold), ALEX-style in-place gapped
+arrays, ε-bounded PGM + delta — against the B+ tree.
+
+Expected: the B+ tree and ALEX absorb writes smoothly; the delta-based
+learned stores pay periodic merge/rebuild costs; everyone stays correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import FANOUT, bench_once, dataset, make_traditional
+from repro.core.benchmark import Benchmark
+from repro.core.phases import TrainingPhase
+from repro.core.scenario import Scenario, Segment
+from repro.metrics.descriptive import box_stats
+from repro.suts.kv_learned import LearnedKVStore
+from repro.suts.kv_variants import AlexKVStore, PGMKVStore
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.drift import NoDrift
+from repro.workloads.generators import KVOperation, OperationMix, WorkloadSpec
+from repro.workloads.patterns import ConstantArrivals
+
+RATE = 1500.0
+DURATION = 40.0
+
+
+def _write_heavy_scenario(ds) -> Scenario:
+    spec = WorkloadSpec(
+        name="write-heavy",
+        mix=OperationMix(
+            {
+                KVOperation.READ: 0.5,
+                KVOperation.UPDATE: 0.3,
+                KVOperation.INSERT: 0.2,
+            }
+        ),
+        key_drift=NoDrift(UniformDistribution(ds.low, ds.high)),
+        arrivals=ConstantArrivals(RATE),
+    )
+    return Scenario(
+        name="write-heavy",
+        segments=[Segment(spec=spec, duration=DURATION)],
+        initial_training=TrainingPhase(budget_seconds=1e9),
+        initial_keys=ds.keys,
+        seed=53,
+    )
+
+
+def test_write_heavy_design_points(benchmark, figure_sink):
+    ds = dataset()
+    scenario = _write_heavy_scenario(ds)
+    bench = Benchmark()
+    runs = {}
+
+    def run_all():
+        runs["btree-kv"] = bench.run(make_traditional(), scenario)
+        runs["rmi-delta-kv"] = bench.run(
+            LearnedKVStore(name="rmi-delta-kv", max_fanout=FANOUT,
+                           retrain_cooldown=2.0),
+            scenario,
+        )
+        runs["alex-kv"] = bench.run(AlexKVStore(), scenario)
+        runs["pgm-kv"] = bench.run(PGMKVStore(epsilon=32, max_delta=8192), scenario)
+
+    bench_once(benchmark, run_all)
+
+    rows = [
+        "A5 — write-heavy workload (50r/30u/20i, growing dataset)",
+        f"{'store':<14s} {'median lat ms':>14s} {'p99 lat ms':>11s} "
+        f"{'max lat ms':>11s} {'final keys':>11s}",
+    ]
+    stats = {}
+    for name, result in runs.items():
+        latencies = result.latencies() * 1000
+        summary = box_stats(latencies)
+        p99 = float(np.percentile(latencies, 99))
+        stats[name] = (summary.median, p99, summary.maximum)
+        final_keys = len(ds) + sum(1 for q in result.queries if q.op == "insert")
+        rows.append(
+            f"{name:<14s} {summary.median:14.3f} {p99:11.1f} "
+            f"{summary.maximum:11.1f} {final_keys:11d}"
+        )
+
+    # Shape checks: all four sustain the load (median latency in the
+    # service-time regime, not the queueing-collapse regime); ALEX's tail
+    # is tighter than the delta-rebuild stores' (no bulk retrain stalls).
+    for name, (median, _, _) in stats.items():
+        assert median < 50.0, name
+    assert stats["alex-kv"][2] < stats["rmi-delta-kv"][2]
+    assert stats["alex-kv"][2] < stats["pgm-kv"][2]
+
+    figure_sink("write_heavy", "\n".join(rows))

@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each bench regenerates one paper artifact (a Fig 1 panel or a Lesson
+demonstration), renders its rows/series as text, and registers the text
+with the ``figure_sink`` fixture. A terminal-summary hook replays all
+registered figures at the end of the run, so
+``pytest benchmarks/ --benchmark-only`` produces both the timing table
+and every regenerated figure in one transcript. Each figure is also
+written to ``benchmarks/results/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Tuple
+
+import pytest
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_FIGURES: List[Tuple[str, str]] = []
+
+
+@pytest.fixture
+def figure_sink() -> Callable[[str, str], None]:
+    """Register a rendered figure: ``figure_sink(figure_id, text)``."""
+
+    def _sink(figure_id: str, text: str) -> None:
+        _FIGURES.append((figure_id, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{figure_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _sink
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _FIGURES:
+        return
+    terminalreporter.write_sep("=", "regenerated paper artifacts")
+    for figure_id, text in _FIGURES:
+        terminalreporter.write_sep("-", figure_id)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Training-budget vs DBA-effort study (Fig 1d end to end).
+
+Sweeps the learned store's training budget on CPU and GPU hardware
+profiles, runs the traditional store at every DBA tuning level, and
+prints the Fig 1d curve with the paper's new metric — the training cost
+to outperform a manually tuned system — plus a 3-year TCO projection.
+
+Run:
+    python examples/training_budget_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Benchmark
+from repro.core.hardware import CPU, GPU, TPU
+from repro.core.phases import TrainingPhase
+from repro.metrics.cost import DBAModel, TCOModel, training_cost_to_outperform
+from repro.reporting import render_fig1d
+from repro.scenarios import default_dataset, training_budget_scenario
+from repro.suts import LearnedKVStore, TraditionalKVStore
+
+RATE = 3200.0
+DURATION = 20.0
+FANOUT = 160
+
+
+def effective_throughput(result) -> float:
+    horizon = result.duration
+    return float((result.completions() <= horizon).sum()) / horizon
+
+
+def main() -> None:
+    dataset = default_dataset(n=50_000)
+    bench = Benchmark()
+    full = LearnedKVStore(max_fanout=FANOUT).cost_model.full_retrain_seconds(
+        len(dataset)
+    )
+
+    print("sweeping training budgets (learned store)…")
+    learned_curve = []
+    for hardware in (CPU, GPU, TPU):
+        for fraction in (0.02, 0.1, 0.3, 1.0):
+            scenario = training_budget_scenario(
+                dataset, budget_seconds=full * fraction, rate=RATE,
+                duration=DURATION,
+            )
+            scenario.initial_training = TrainingPhase(
+                budget_seconds=full * fraction, hardware=hardware
+            )
+            result = bench.run(LearnedKVStore(max_fanout=FANOUT), scenario)
+            cost = result.total_training_cost()
+            throughput = effective_throughput(result)
+            learned_curve.append((cost, throughput))
+            print(f"  {hardware.name:>4s} budget {fraction:4.0%}: "
+                  f"${cost:.6f} -> {throughput:7.1f} q/s "
+                  f"(mean latency {np.mean(result.latencies())*1000:9.2f} ms)")
+
+    print("\nsweeping DBA tuning levels (traditional store)…")
+    dba = DBAModel()
+    traditional_levels = []
+    for level in range(dba.levels):
+        scenario = training_budget_scenario(
+            dataset, budget_seconds=0.0, rate=RATE, duration=DURATION
+        )
+        result = bench.run(TraditionalKVStore(tuning_level=level), scenario)
+        throughput = effective_throughput(result)
+        traditional_levels.append((dba.cost_of_level(level), throughput))
+        print(f"  level {level}: ${dba.cost_of_level(level):8,.0f} -> "
+              f"{throughput:7.1f} q/s")
+
+    crossover = training_cost_to_outperform(learned_curve, traditional_levels)
+    print()
+    print(render_fig1d(learned_curve, traditional_levels, crossover,
+                       learned_name="learned-kv",
+                       traditional_name="btree-kv(DBA)"))
+
+    # 3-year TCO projection under a monthly workload change.
+    tco = TCOModel(dba=dba)
+    session = max(c for c, _ in learned_curve if c > 0)
+    print("\n3-year TCO with monthly workload changes (36 re-tunes/retrains):")
+    print(f"  traditional (DBA level 2): "
+          f"${tco.traditional_tco(tuning_level=2, retunes=36):>12,.0f}")
+    print(f"  learned (auto-retrain):    "
+          f"${tco.learned_tco(session, sessions=37):>12,.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim; configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

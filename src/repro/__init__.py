@@ -1,0 +1,31 @@
+"""repro — a benchmark for learned data management systems.
+
+A full implementation of the benchmark proposed in Bindschaedler, Kipf,
+Kraska, Marcus & Minhas, *Towards a Benchmark for Learned Systems*
+(ICDE 2021), together with the learned and traditional systems under
+test needed to exercise it end to end.
+
+Package map
+-----------
+* :mod:`repro.core` — the benchmark framework: scenarios with dynamic
+  workload/data distributions, a virtual-clock driver, training as a
+  first-class phase, sealed hold-outs, benchmark-as-a-service.
+* :mod:`repro.metrics` — the paper's new metrics (Fig 1a-1d) and the Φ
+  similarity machinery (Jaccard / KS / MMD).
+* :mod:`repro.workloads` — dynamic workload and data-distribution
+  generation, YCSB presets, quality scoring, trace synthesis.
+* :mod:`repro.data` — synthetic datasets and column generators.
+* :mod:`repro.indexes` — B+ tree, sorted array, hash, RMI, PGM, ALEX.
+* :mod:`repro.engine` — minimal relational engine (plans feed the
+  Jaccard workload similarity).
+* :mod:`repro.learned` — learned components with baselines: cardinality
+  estimation, optimizer steering, sorting, caching, drift detection.
+* :mod:`repro.suts` — concrete systems under test.
+* :mod:`repro.reporting` — figure renderers and full reports.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,230 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``list`` — available datasets, scenarios, and systems under test.
+* ``run`` — run a scenario against one or more SUTs and print the full
+  report (optionally exporting the query log / throughput as CSV).
+* ``quality`` — score a built-in dataset (or a file of keys) with the
+  §V-C quality tool.
+* ``synthesize`` — fit a shareable synthetic workload to a trace file of
+  keys and report its fidelity.
+
+The CLI wraps the same public API the examples use; anything it does can
+be reproduced programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.benchmark import Benchmark, BenchmarkConfig
+from repro.core.scenario import Scenario
+from repro.core.sut import SystemUnderTest
+from repro.data.datasets import build_dataset, dataset_names
+from repro.metrics.sla import calibrate_sla
+from repro.reporting.export import queries_csv, throughput_csv
+from repro.reporting.report import build_report
+from repro.scenarios import (
+    abrupt_shift,
+    bursty_diurnal,
+    expected_access_sample,
+    gradual_shift,
+    specialization_ladder,
+)
+from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
+from repro.suts.kv_traditional import HashKVStore, TraditionalKVStore
+from repro.suts.kv_variants import AlexKVStore, PGMKVStore
+from repro.workloads.quality import score_dataset
+
+#: name -> scenario builder(dataset, rate, duration) -> Scenario
+SCENARIOS: Dict[str, Callable] = {
+    "abrupt-shift": lambda ds, rate, duration: abrupt_shift(
+        ds, rate=rate, segment_duration=duration / 2
+    ),
+    "gradual-shift": lambda ds, rate, duration: gradual_shift(
+        ds, rate=rate, total_duration=duration
+    ),
+    "specialization-ladder": lambda ds, rate, duration: specialization_ladder(
+        ds, rate=rate, segment_duration=duration / 6
+    )[0],
+    "bursty-diurnal": lambda ds, rate, duration: bursty_diurnal(
+        ds, base_rate=rate, duration=duration
+    ),
+}
+
+
+def _sut_factories(sample) -> Dict[str, Callable[[], SystemUnderTest]]:
+    return {
+        "learned-kv": lambda: LearnedKVStore(
+            max_fanout=160, retrain_cooldown=2.0, expected_access_sample=sample
+        ),
+        "static-learned-kv": lambda: StaticLearnedKVStore(
+            max_fanout=160, expected_access_sample=sample
+        ),
+        "btree-kv": lambda: TraditionalKVStore(),
+        "hash-kv": lambda: HashKVStore(),
+        "alex-kv": lambda: AlexKVStore(),
+        "pgm-kv": lambda: PGMKVStore(),
+    }
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list``: show datasets, scenarios, and SUTs."""
+    print("datasets:   " + ", ".join(dataset_names()))
+    print("scenarios:  " + ", ".join(sorted(SCENARIOS)))
+    print("suts:       " + ", ".join(sorted(_sut_factories(None))))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: run a scenario against SUTs, print full reports."""
+    import json
+
+    from repro.serialization import scenario_from_dict, scenario_to_dict
+
+    dataset = build_dataset(args.dataset, n=args.keys, seed=args.seed)
+    builder = SCENARIOS[args.scenario]
+    if args.scenario_file:
+        with open(args.scenario_file) as handle:
+            scenario = scenario_from_dict(json.load(handle),
+                                          initial_keys=dataset.keys)
+        print(f"loaded scenario {scenario.name!r} from {args.scenario_file} "
+              f"(fingerprint {scenario.fingerprint()[:16]}…)\n")
+    else:
+        scenario = builder(dataset, args.rate, args.duration)
+    if args.save_scenario:
+        with open(args.save_scenario, "w") as handle:
+            json.dump(scenario_to_dict(scenario), handle, indent=2)
+        print(f"wrote scenario definition to {args.save_scenario}\n")
+    sample = expected_access_sample(scenario)
+    factories = _sut_factories(sample)
+    bench = Benchmark(BenchmarkConfig(servers=args.servers))
+
+    sla: Optional[float] = None
+    if args.sla_baseline:
+        baseline_scenario = builder(dataset, args.rate * 0.6, args.duration)
+        baseline = bench.run(factories["btree-kv"](), baseline_scenario)
+        sla = calibrate_sla(baseline, percentile=99.0, headroom=1.5)
+        print(f"SLA calibrated from btree baseline: {sla*1000:.3f} ms\n")
+
+    for name in args.sut:
+        if name not in factories:
+            print(f"unknown SUT {name!r}; try: {', '.join(sorted(factories))}",
+                  file=sys.stderr)
+            return 2
+        result = bench.run(factories[name](), scenario)
+        report = build_report(result, scenario, sla=sla)
+        print(report.render())
+        print()
+        if args.export_prefix:
+            qpath = f"{args.export_prefix}-{name}-queries.csv"
+            tpath = f"{args.export_prefix}-{name}-throughput.csv"
+            with open(qpath, "w") as handle:
+                handle.write(queries_csv(result))
+            with open(tpath, "w") as handle:
+                handle.write(throughput_csv(result))
+            print(f"exported {qpath}, {tpath}\n")
+    return 0
+
+
+def cmd_quality(args: argparse.Namespace) -> int:
+    """``repro quality``: score a dataset with the §V-C tool."""
+    if args.dataset in dataset_names():
+        keys = build_dataset(args.dataset, n=args.keys, seed=args.seed).keys
+        source = f"builtin dataset {args.dataset!r}"
+    else:
+        keys = np.loadtxt(args.dataset, dtype=np.float64).ravel()
+        source = f"file {args.dataset!r}"
+    report = score_dataset(keys)
+    print(f"quality of {source} ({len(keys)} keys):")
+    print(f"  non-uniformity: {report.non_uniformity:.3f}")
+    print(f"  multimodality:  {report.multimodality:.3f}")
+    print(f"  tail weight:    {report.tail_weight:.3f}")
+    print(f"  overall:        {report.overall:.3f}  (grade {report.grade()})")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    """``repro synthesize``: fit a shareable workload to a key trace."""
+    from repro.workloads.synthesizer import fit_workload
+
+    keys = np.loadtxt(args.trace, dtype=np.float64).ravel()
+    spec, fidelity = fit_workload("synthesized", keys)
+    print(f"fitted workload from {len(keys)} keys "
+          f"(KS={fidelity.ks_distance:.4f}, "
+          f"high fidelity: {fidelity.high_fidelity})")
+    if args.out:
+        rng = np.random.default_rng(args.seed)
+        synthetic = spec.key_drift.at(0.0).sample(rng, args.emit)
+        np.savetxt(args.out, synthetic)
+        print(f"wrote {args.emit} synthetic keys to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Benchmark for learned data management systems "
+        "(ICDE 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list datasets, scenarios, and SUTs").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run a scenario against SUTs")
+    run.add_argument("--scenario", choices=sorted(SCENARIOS),
+                     default="abrupt-shift")
+    run.add_argument("--sut", nargs="+", default=["learned-kv", "btree-kv"])
+    run.add_argument("--dataset", choices=dataset_names(), default="osm")
+    run.add_argument("--keys", type=int, default=50_000)
+    run.add_argument("--rate", type=float, default=3200.0)
+    run.add_argument("--duration", type=float, default=60.0)
+    run.add_argument("--servers", type=int, default=1)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--sla-baseline", action="store_true",
+                     help="calibrate an SLA from a btree baseline run")
+    run.add_argument("--export-prefix", default=None,
+                     help="write <prefix>-<sut>-{queries,throughput}.csv")
+    run.add_argument("--scenario-file", default=None,
+                     help="load the scenario definition from this JSON file "
+                          "(overrides --scenario)")
+    run.add_argument("--save-scenario", default=None,
+                     help="write the scenario definition to this JSON file")
+    run.set_defaults(func=cmd_run)
+
+    quality = sub.add_parser("quality", help="score a dataset (§V-C tool)")
+    quality.add_argument("dataset",
+                         help="builtin dataset name or a text file of keys")
+    quality.add_argument("--keys", type=int, default=50_000)
+    quality.add_argument("--seed", type=int, default=7)
+    quality.set_defaults(func=cmd_quality)
+
+    synth = sub.add_parser(
+        "synthesize", help="fit a synthetic workload to a key-trace file"
+    )
+    synth.add_argument("trace", help="text file with one key per line")
+    synth.add_argument("--out", default=None,
+                       help="write synthetic keys to this file")
+    synth.add_argument("--emit", type=int, default=10_000)
+    synth.add_argument("--seed", type=int, default=7)
+    synth.set_defaults(func=cmd_synthesize)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

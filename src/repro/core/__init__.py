@@ -1,0 +1,39 @@
+"""The benchmark framework — the paper's primary contribution.
+
+Implements the benchmark sketched in §V: scenarios whose workload and
+data distributions vary within a single run, a discrete-event driver with
+a virtual clock, training as a first-class phase (offline and online),
+hardware profiles for training-cost accounting, and sealed hold-out
+scenarios for out-of-sample evaluation.
+"""
+
+from repro.core.hardware import HardwareProfile, CPU, GPU, TPU
+from repro.core.sut import SystemUnderTest, TrainingSummary
+from repro.core.phases import TrainingEvent, TrainingPhase
+from repro.core.scenario import Scenario, Segment
+from repro.core.results import QueryRecord, RunResult
+from repro.core.driver import VirtualClockDriver
+from repro.core.benchmark import Benchmark, BenchmarkConfig
+from repro.core.holdout import HoldoutRegistry
+from repro.core.service import BenchmarkService, HoldoutReport
+
+__all__ = [
+    "HardwareProfile",
+    "CPU",
+    "GPU",
+    "TPU",
+    "SystemUnderTest",
+    "TrainingSummary",
+    "TrainingPhase",
+    "TrainingEvent",
+    "Scenario",
+    "Segment",
+    "QueryRecord",
+    "RunResult",
+    "VirtualClockDriver",
+    "Benchmark",
+    "BenchmarkConfig",
+    "HoldoutRegistry",
+    "BenchmarkService",
+    "HoldoutReport",
+]

@@ -1,0 +1,73 @@
+"""The benchmark facade.
+
+:class:`Benchmark` bundles a driver configuration and provides the two
+entry points users need: run one SUT through a scenario, or run several
+SUTs through the same scenario for comparison. All heavy lifting lives
+in :class:`~repro.core.driver.VirtualClockDriver`; this layer exists so
+examples and benchmark harnesses read like the paper's workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.driver import DriverConfig, VirtualClockDriver
+from repro.core.hardware import CPU, HardwareProfile
+from repro.core.results import RunResult
+from repro.core.scenario import Scenario
+from repro.core.sut import SystemUnderTest
+
+
+@dataclass
+class BenchmarkConfig:
+    """User-facing benchmark configuration.
+
+    Attributes:
+        online_hardware: Hardware profile charged for online retraining.
+        jitter_arrivals: Randomize sub-second arrival offsets.
+        max_queries: Per-run query-count safety valve.
+        servers: Parallel service slots (concurrency level).
+    """
+
+    online_hardware: HardwareProfile = CPU
+    jitter_arrivals: bool = True
+    max_queries: int = 2_000_000
+    servers: int = 1
+
+    def driver_config(self) -> DriverConfig:
+        """Translate to the driver's configuration object."""
+        return DriverConfig(
+            online_hardware=self.online_hardware,
+            jitter_arrivals=self.jitter_arrivals,
+            max_queries=self.max_queries,
+            servers=self.servers,
+        )
+
+
+class Benchmark:
+    """Runs scenarios against systems under test."""
+
+    def __init__(self, config: Optional[BenchmarkConfig] = None) -> None:
+        self.config = config or BenchmarkConfig()
+        self._driver = VirtualClockDriver(self.config.driver_config())
+
+    def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
+        """Run one SUT through ``scenario``."""
+        return self._driver.run(sut, scenario)
+
+    def compare(
+        self,
+        sut_factories: Sequence[Callable[[], SystemUnderTest]],
+        scenario: Scenario,
+    ) -> Dict[str, RunResult]:
+        """Run several SUTs through the same scenario.
+
+        Takes factories rather than instances so every SUT starts from a
+        clean state; returns results keyed by SUT name.
+        """
+        out: Dict[str, RunResult] = {}
+        for factory in sut_factories:
+            sut = factory()
+            out[sut.name] = self.run(sut, scenario)
+        return out

@@ -1,0 +1,228 @@
+"""The discrete-event benchmark driver.
+
+Replaces the paper's separate-machine load generator with a virtual-clock
+simulation (substitution documented in DESIGN.md §2): queries arrive
+open-loop from the workload's arrival process and are served by a
+FIFO queue over ``servers`` parallel slots, with per-query service times
+taken from the SUT's (genuinely executed) operations. This yields the
+timestamp sequences the Fig 1 metrics need — queueing delay builds when
+the SUT is slower than the offered load and drains as it specializes,
+which is what produces the characteristic "slow start, catches up"
+cumulative curve of Fig 1b.
+
+Training placement:
+
+* The scenario's ``initial_training`` runs *before* query time 0; its
+  event is recorded with a negative start so the execution timeline
+  stays aligned across SUTs with different training budgets.
+* A segment's ``training_before`` phase blocks the server at the
+  segment boundary (the paper's "two separate execution phases with
+  possible retraining of the models in-between").
+* ``on_tick`` retrains requested by the SUT block the server inline —
+  the "CPU overheads of retraining a model" that §V-D2 says should
+  visibly dent throughput.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hardware import CPU, HardwareProfile
+from repro.core.phases import TrainingEvent, TrainingPhase, make_event
+from repro.core.results import QueryRecord, RunResult
+from repro.core.scenario import Scenario, Segment
+from repro.core.sut import SystemUnderTest
+from repro.errors import DriverError
+from repro.workloads.generators import KVWorkload
+
+
+@dataclass
+class DriverConfig:
+    """Driver knobs.
+
+    Attributes:
+        online_hardware: Profile charged for SUT-initiated online
+            retraining (§V-B: "the fraction of system resources to
+            dedicate for online training" — here, which resources).
+        max_queries: Safety valve on total queries per run.
+        jitter_arrivals: Randomize arrival offsets within each second.
+        min_service_time: Lower clamp on reported service times.
+        servers: Number of parallel service slots. 1 models a single
+            worker; higher values model a concurrency level, letting
+            scenarios exercise the "fluctuations in query load and
+            concurrency" the paper lists. Online retraining blocks
+            *every* server (a stop-the-world rebuild).
+    """
+
+    online_hardware: HardwareProfile = CPU
+    max_queries: int = 2_000_000
+    jitter_arrivals: bool = True
+    min_service_time: float = 1e-9
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise DriverError(f"servers must be >= 1, got {self.servers}")
+
+
+class VirtualClockDriver:
+    """Runs a scenario against a SUT on a virtual clock."""
+
+    def __init__(self, config: Optional[DriverConfig] = None) -> None:
+        self.config = config or DriverConfig()
+
+    def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
+        """Execute ``scenario`` against ``sut`` and return the record."""
+        training_events: List[TrainingEvent] = []
+        records: List[QueryRecord] = []
+
+        # Initial load + offline training happen before query time zero.
+        if scenario.initial_keys is not None and scenario.initial_keys.size:
+            pairs = [(float(k), i) for i, k in enumerate(scenario.initial_keys)]
+            sut.setup(pairs)
+        else:
+            sut.setup([])
+        if scenario.initial_training is not None:
+            event = self._run_training_phase(
+                sut, scenario.initial_training, start_at=None
+            )
+            if event is not None:
+                training_events.append(event)
+
+        # Min-heap of per-server next-free times (k parallel workers).
+        server_free: List[float] = [0.0] * self.config.servers
+        heapq.heapify(server_free)
+        seg_start = 0.0
+        total_queries = 0
+        for seg_index, segment in enumerate(scenario.segments):
+            seg_end = seg_start + segment.duration
+            # Between-segment retraining blocks every server.
+            if segment.training_before is not None:
+                event = self._run_training_phase(
+                    sut,
+                    segment.training_before,
+                    start_at=max(seg_start, max(server_free)),
+                )
+                if event is not None:
+                    training_events.append(event)
+                    server_free = [max(f, event.end) for f in server_free]
+                    heapq.heapify(server_free)
+            if segment.data_injection is not None and segment.data_injection.size:
+                sut.inject([(float(k), None) for k in segment.data_injection])
+
+            workload = KVWorkload(
+                segment.spec, seed=scenario.seed * 1_000_003 + seg_index
+            )
+            local = workload.spec.arrivals.arrivals(
+                np.random.default_rng(scenario.seed * 7 + seg_index),
+                0.0,
+                segment.duration,
+                jitter=self.config.jitter_arrivals,
+            )
+            arrivals = local + seg_start
+            total_queries += arrivals.size
+            if total_queries > self.config.max_queries:
+                raise DriverError(
+                    f"scenario generates > {self.config.max_queries} queries; "
+                    "reduce rates or durations"
+                )
+
+            next_tick = seg_start
+            for arrival in arrivals:
+                arrival = float(arrival)
+                # Fire any due ticks before this arrival.
+                while next_tick <= arrival:
+                    server_free, event = self._tick(
+                        sut, next_tick, server_free
+                    )
+                    if event is not None:
+                        training_events.append(event)
+                    next_tick += scenario.tick_interval
+                query = workload.next_query(arrival)
+                free = heapq.heappop(server_free)
+                start = max(arrival, free)
+                service = max(
+                    self.config.min_service_time, float(sut.execute(query, start))
+                )
+                completion = start + service
+                heapq.heappush(server_free, completion)
+                records.append(
+                    QueryRecord(
+                        arrival=arrival,
+                        start=start,
+                        completion=completion,
+                        op=query.op.value,
+                        segment=segment.label,
+                    )
+                )
+            # Remaining ticks to the end of the segment.
+            while next_tick < seg_end:
+                server_free, event = self._tick(sut, next_tick, server_free)
+                if event is not None:
+                    training_events.append(event)
+                next_tick += scenario.tick_interval
+            seg_start = seg_end
+
+        sut.teardown()
+        return RunResult(
+            sut_name=sut.name,
+            scenario_name=scenario.name,
+            queries=records,
+            segments=scenario.segment_boundaries(),
+            training_events=training_events,
+            scenario_description=scenario.describe(),
+            sut_description=sut.describe(),
+        )
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _run_training_phase(
+        self,
+        sut: SystemUnderTest,
+        phase: TrainingPhase,
+        start_at: Optional[float],
+    ) -> Optional[TrainingEvent]:
+        """Run a blocking offline phase; returns its event (or None)."""
+        used = float(sut.offline_train(phase.budget_seconds))
+        if used <= 0:
+            return None
+        if used > phase.budget_seconds + 1e-9:
+            raise DriverError(
+                f"SUT {sut.name!r} used {used}s of a {phase.budget_seconds}s budget"
+            )
+        wall = phase.hardware.wall_time(used)
+        start = -wall if start_at is None else start_at
+        return make_event(
+            start=start,
+            nominal_seconds=used,
+            hardware=phase.hardware,
+            online=False,
+            label="offline",
+        )
+
+    def _tick(
+        self, sut: SystemUnderTest, now: float, server_free: List[float]
+    ) -> Tuple[List[float], Optional[TrainingEvent]]:
+        """Fire one tick; apply any requested online retraining.
+
+        An online retrain is stop-the-world: it starts once the busiest
+        server drains and blocks every server until it finishes.
+        """
+        nominal = sut.on_tick(now)
+        if not nominal or nominal <= 0:
+            return server_free, None
+        start = max(now, max(server_free))
+        event = make_event(
+            start=start,
+            nominal_seconds=float(nominal),
+            hardware=self.config.online_hardware,
+            online=True,
+            label="online-retrain",
+        )
+        blocked = [max(f, event.end) for f in server_free]
+        heapq.heapify(blocked)
+        return blocked, event

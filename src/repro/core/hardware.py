@@ -1,0 +1,65 @@
+"""Hardware profiles for training-cost accounting.
+
+§V-D: "In learned systems with separate training and execution phases,
+we should evaluate the cost of training on different hardware (CPU, GPU,
+or TPU)." A :class:`HardwareProfile` has a relative training speed and a
+dollar rate; the driver divides a model's nominal (CPU) training time by
+the speed and multiplies wall time by the rate to get training cost.
+
+The default rates approximate mid-2020s public-cloud on-demand pricing;
+they are ordinary dataclass fields, so studies with different cost
+assumptions simply construct their own profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """A training-hardware option.
+
+    Attributes:
+        name: Human-readable name.
+        relative_speed: Training-speed multiplier over the CPU baseline
+            (2.0 = trains twice as fast as CPU).
+        dollars_per_hour: On-demand price.
+    """
+
+    name: str
+    relative_speed: float
+    dollars_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.relative_speed <= 0:
+            raise ConfigurationError("relative_speed must be > 0")
+        if self.dollars_per_hour < 0:
+            raise ConfigurationError("dollars_per_hour must be >= 0")
+
+    def wall_time(self, nominal_cpu_seconds: float) -> float:
+        """Wall-clock seconds to do ``nominal_cpu_seconds`` of training."""
+        return max(0.0, nominal_cpu_seconds) / self.relative_speed
+
+    def cost(self, wall_seconds: float) -> float:
+        """Dollar cost of occupying this hardware for ``wall_seconds``."""
+        return max(0.0, wall_seconds) / 3600.0 * self.dollars_per_hour
+
+    def cost_of_nominal(self, nominal_cpu_seconds: float) -> float:
+        """Dollar cost of ``nominal_cpu_seconds`` of training work."""
+        return self.cost(self.wall_time(nominal_cpu_seconds))
+
+
+#: Baseline profile: a general-purpose cloud VM.
+CPU = HardwareProfile(name="cpu", relative_speed=1.0, dollars_per_hour=0.40)
+
+#: Accelerated profile: one data-center GPU.
+GPU = HardwareProfile(name="gpu", relative_speed=12.0, dollars_per_hour=2.50)
+
+#: Heavily accelerated profile: one TPU slice.
+TPU = HardwareProfile(name="tpu", relative_speed=30.0, dollars_per_hour=8.00)
+
+#: All built-in profiles, cheapest-rate first.
+PROFILES = (CPU, GPU, TPU)

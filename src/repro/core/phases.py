@@ -1,0 +1,89 @@
+"""Training phases and events.
+
+Lesson 3 of the paper: "Training must be a first-class result." The
+driver represents every unit of training work — the upfront offline
+phase, between-segment retrains, and online retraining triggered by the
+SUT itself — as a :class:`TrainingEvent` carried in the run result, so
+the cost metrics (Fig 1d) can price it and the adaptability metrics
+(Fig 1b/1c) can see its interference with query processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.hardware import CPU, HardwareProfile
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrainingPhase:
+    """A budgeted offline training opportunity.
+
+    Attributes:
+        budget_seconds: Nominal CPU-seconds of training the SUT may use.
+            The SUT may use less; it may not use more.
+        hardware: Hardware profile executing the phase (affects wall time
+            and cost, not the nominal budget).
+        blocking: Whether queries wait for the phase (True for an upfront
+            phase; False would model training on a replica).
+    """
+
+    budget_seconds: float
+    hardware: HardwareProfile = CPU
+    blocking: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget_seconds < 0:
+            raise ConfigurationError("budget_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class TrainingEvent:
+    """One completed unit of training work during a run.
+
+    Attributes:
+        start: Virtual start time.
+        duration: Virtual wall-clock duration (already scaled by the
+            hardware profile's speed).
+        nominal_seconds: Nominal CPU-seconds of work performed.
+        hardware_name: Profile that executed it.
+        cost: Dollar cost.
+        online: True when triggered during execution (online retrain),
+            False for scheduled offline phases.
+        label: Free-form description (e.g. "offline", "drift-retrain").
+    """
+
+    start: float
+    duration: float
+    nominal_seconds: float
+    hardware_name: str
+    cost: float
+    online: bool
+    label: str = ""
+
+    @property
+    def end(self) -> float:
+        """Virtual end time."""
+        return self.start + self.duration
+
+
+def make_event(
+    start: float,
+    nominal_seconds: float,
+    hardware: HardwareProfile,
+    online: bool,
+    label: str = "",
+) -> TrainingEvent:
+    """Build a :class:`TrainingEvent` from nominal work on a profile."""
+    wall = hardware.wall_time(nominal_seconds)
+    return TrainingEvent(
+        start=start,
+        duration=wall,
+        nominal_seconds=nominal_seconds,
+        hardware_name=hardware.name,
+        cost=hardware.cost(wall),
+        online=online,
+        label=label,
+    )

@@ -1,0 +1,183 @@
+"""Run results: the raw material every metric is computed from.
+
+A :class:`RunResult` is the complete record of one benchmark run: every
+query's arrival/start/completion timestamps, segment boundaries, and all
+training events. The Fig 1 metrics are pure functions of this record, so
+results can be persisted as JSON and re-analyzed without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.phases import TrainingEvent
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One completed query.
+
+    Attributes:
+        arrival: Virtual arrival time.
+        start: Virtual time service began (>= arrival; queueing delay is
+            ``start - arrival``).
+        completion: Virtual completion time.
+        op: Operation name (e.g. "read").
+        segment: Label of the scenario segment the query belongs to.
+    """
+
+    arrival: float
+    start: float
+    completion: float
+    op: str
+    segment: str
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (completion - arrival)."""
+        return self.completion - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        """Pure service time (completion - start)."""
+        return self.completion - self.start
+
+
+@dataclass
+class RunResult:
+    """Everything recorded during one benchmark run.
+
+    Attributes:
+        sut_name: Name of the system under test.
+        scenario_name: Name of the scenario executed.
+        queries: All completed queries, in completion order.
+        segments: ``(label, start, end)`` boundaries in query time.
+        training_events: All training work performed.
+        scenario_description: The scenario's ``describe()`` payload.
+        sut_description: The SUT's ``describe()`` payload.
+    """
+
+    sut_name: str
+    scenario_name: str
+    queries: List[QueryRecord]
+    segments: List[Tuple[str, float, float]]
+    training_events: List[TrainingEvent] = field(default_factory=list)
+    scenario_description: dict = field(default_factory=dict)
+    sut_description: dict = field(default_factory=dict)
+
+    # -- basic views --------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Query-time horizon of the run (end of the last segment)."""
+        return self.segments[-1][2] if self.segments else 0.0
+
+    def completions(self) -> np.ndarray:
+        """Completion timestamps, ascending."""
+        return np.asarray(sorted(q.completion for q in self.queries))
+
+    def latencies(self) -> np.ndarray:
+        """Latencies in completion order."""
+        ordered = sorted(self.queries, key=lambda q: q.completion)
+        return np.asarray([q.latency for q in ordered])
+
+    def queries_in_segment(self, label: str) -> List[QueryRecord]:
+        """Queries whose *arrival* fell inside the named segment."""
+        bounds = [(s, e) for name, s, e in self.segments if name == label]
+        if not bounds:
+            raise ReproError(f"unknown segment {label!r}")
+        out = []
+        for lo, hi in bounds:
+            out.extend(q for q in self.queries if lo <= q.arrival < hi)
+        return out
+
+    def throughput_series(self, interval: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """(bucket start times, completed queries per interval)."""
+        if interval <= 0:
+            raise ReproError("interval must be > 0")
+        horizon = max(self.duration, max((q.completion for q in self.queries), default=0.0))
+        edges = np.arange(0.0, horizon + interval, interval)
+        counts, _ = np.histogram(self.completions(), bins=edges)
+        return edges[:-1], counts.astype(np.float64)
+
+    def mean_throughput(self) -> float:
+        """Completed queries per second over the run horizon."""
+        horizon = max(
+            self.duration, max((q.completion for q in self.queries), default=0.0)
+        )
+        if horizon <= 0:
+            return 0.0
+        return len(self.queries) / horizon
+
+    def total_training_cost(self) -> float:
+        """Dollar cost of all training events."""
+        return sum(e.cost for e in self.training_events)
+
+    def total_training_nominal_seconds(self) -> float:
+        """Nominal CPU-seconds of training across all events."""
+        return sum(e.nominal_seconds for e in self.training_events)
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the full result to a JSON string."""
+        return json.dumps(
+            {
+                "sut_name": self.sut_name,
+                "scenario_name": self.scenario_name,
+                "segments": [list(s) for s in self.segments],
+                "scenario_description": self.scenario_description,
+                "sut_description": self.sut_description,
+                "training_events": [
+                    {
+                        "start": e.start,
+                        "duration": e.duration,
+                        "nominal_seconds": e.nominal_seconds,
+                        "hardware_name": e.hardware_name,
+                        "cost": e.cost,
+                        "online": e.online,
+                        "label": e.label,
+                    }
+                    for e in self.training_events
+                ],
+                "queries": [
+                    [q.arrival, q.start, q.completion, q.op, q.segment]
+                    for q in self.queries
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunResult":
+        """Reconstruct a result from :meth:`to_json` output."""
+        data = json.loads(payload)
+        return cls(
+            sut_name=data["sut_name"],
+            scenario_name=data["scenario_name"],
+            queries=[
+                QueryRecord(
+                    arrival=q[0], start=q[1], completion=q[2], op=q[3], segment=q[4]
+                )
+                for q in data["queries"]
+            ],
+            segments=[tuple(s) for s in data["segments"]],
+            training_events=[
+                TrainingEvent(
+                    start=e["start"],
+                    duration=e["duration"],
+                    nominal_seconds=e["nominal_seconds"],
+                    hardware_name=e["hardware_name"],
+                    cost=e["cost"],
+                    online=e["online"],
+                    label=e.get("label", ""),
+                )
+                for e in data["training_events"]
+            ],
+            scenario_description=data.get("scenario_description", {}),
+            sut_description=data.get("sut_description", {}),
+        )

@@ -1,0 +1,136 @@
+"""Benchmark scenarios.
+
+A :class:`Scenario` is an ordered sequence of :class:`Segment` s, each
+pairing a workload spec with a duration, plus optional training phases
+before segments. Transitions between segments may be *abrupt* (the next
+segment's spec simply takes over) or *gradual* (encode the ramp inside a
+single segment's spec using :class:`~repro.workloads.drift.GradualDrift`)
+— both §V-B transition styles are expressible.
+
+A segment may also inject new data at its start (``data_injection``),
+modeling bulk loads / dataset-distribution changes that are not part of
+the query stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.phases import TrainingPhase
+from repro.errors import ScenarioError
+from repro.workloads.generators import WorkloadSpec
+
+
+@dataclass
+class Segment:
+    """One stretch of a scenario.
+
+    Attributes:
+        spec: The workload active during the segment.
+        duration: Virtual seconds the segment lasts.
+        training_before: Optional blocking training phase run before the
+            segment's queries start (the paper's "two separate execution
+            phases with possible retraining of the models in-between").
+        data_injection: Optional keys bulk-inserted at segment start.
+        label: Display label (defaults to the spec name).
+    """
+
+    spec: WorkloadSpec
+    duration: float
+    training_before: Optional[TrainingPhase] = None
+    data_injection: Optional[np.ndarray] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ScenarioError(f"segment duration must be > 0, got {self.duration}")
+        if not self.label:
+            self.label = self.spec.name
+
+
+@dataclass
+class Scenario:
+    """A full benchmark scenario.
+
+    Attributes:
+        name: Scenario identifier.
+        segments: Ordered segments.
+        initial_training: Optional blocking offline phase before any
+            queries (the classic train-then-execute shape).
+        initial_keys: Keys loaded into the SUT before the run starts
+            (``None`` = start empty).
+        tick_interval: Virtual seconds between SUT ``on_tick`` hooks.
+        seed: Seed for the scenario's query streams.
+    """
+
+    name: str
+    segments: List[Segment]
+    initial_training: Optional[TrainingPhase] = None
+    initial_keys: Optional[np.ndarray] = None
+    tick_interval: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ScenarioError("scenario needs at least one segment")
+        if self.tick_interval <= 0:
+            raise ScenarioError("tick_interval must be > 0")
+
+    @property
+    def total_duration(self) -> float:
+        """Sum of segment durations (training time excluded)."""
+        return sum(s.duration for s in self.segments)
+
+    def segment_boundaries(self) -> List[Tuple[str, float, float]]:
+        """``(label, start, end)`` per segment in query-time coordinates.
+
+        Query time starts at 0 when the first segment's queries begin;
+        training phases do not consume query time (the driver reports
+        their virtual-time placement separately).
+        """
+        out = []
+        t = 0.0
+        for segment in self.segments:
+            out.append((segment.label, t, t + segment.duration))
+            t += segment.duration
+        return out
+
+    def describe(self) -> dict:
+        """JSON-friendly description of the scenario."""
+        return {
+            "name": self.name,
+            "tick_interval": self.tick_interval,
+            "seed": self.seed,
+            "initial_keys": (
+                int(self.initial_keys.size) if self.initial_keys is not None else 0
+            ),
+            "initial_training": (
+                {
+                    "budget_seconds": self.initial_training.budget_seconds,
+                    "hardware": self.initial_training.hardware.name,
+                }
+                if self.initial_training
+                else None
+            ),
+            "segments": [
+                {
+                    "label": s.label,
+                    "duration": s.duration,
+                    "spec": s.spec.describe(),
+                    "data_injection": (
+                        int(s.data_injection.size) if s.data_injection is not None else 0
+                    ),
+                }
+                for s in self.segments
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash (used to seal hold-out scenarios)."""
+        payload = json.dumps(self.describe(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()

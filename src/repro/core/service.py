@@ -1,0 +1,105 @@
+"""Benchmark-as-a-service (in-process).
+
+§V-A: "A possible approach is to deploy the benchmark as a cloud
+service and evaluate systems on behalf of users. The use of this
+benchmark-as-a-service could be a requirement for inclusion in official
+benchmark results."
+
+:class:`BenchmarkService` is that service minus the network: users submit
+a SUT factory; the service runs all sealed hold-outs it owns on the
+user's behalf and returns only aggregate results (never the scenarios
+themselves). Combined with :class:`~repro.core.holdout.HoldoutRegistry`'s
+single-shot rule, a SUT cannot iterate against the hold-out — the
+anti-overfitting mechanism the paper asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.benchmark import Benchmark, BenchmarkConfig
+from repro.core.holdout import HoldoutRegistry
+from repro.core.results import RunResult
+from repro.core.scenario import Scenario
+from repro.core.sut import SystemUnderTest
+
+
+@dataclass(frozen=True)
+class HoldoutReport:
+    """What the service reveals about one hold-out evaluation.
+
+    Attributes:
+        holdout_name: Name of the sealed scenario.
+        fingerprint: The scenario's content hash (verifiable, not
+            invertible).
+        mean_throughput: Queries/second over the run.
+        p99_latency: 99th-percentile query latency.
+        total_training_cost: Dollars of training the SUT performed.
+        query_count: Completed queries.
+    """
+
+    holdout_name: str
+    fingerprint: str
+    mean_throughput: float
+    p99_latency: float
+    total_training_cost: float
+    query_count: int
+
+
+class BenchmarkService:
+    """Evaluates SUTs on sealed hold-outs, one shot per system."""
+
+    def __init__(
+        self,
+        registry: Optional[HoldoutRegistry] = None,
+        config: Optional[BenchmarkConfig] = None,
+    ) -> None:
+        self.registry = registry or HoldoutRegistry()
+        self._benchmark = Benchmark(config)
+        self._raw_results: Dict[tuple, RunResult] = {}
+
+    def publish_holdout(self, scenario: Scenario) -> str:
+        """Operator API: seal a scenario into the service."""
+        return self.registry.register(scenario)
+
+    def submit(
+        self, sut_factory: Callable[[], SystemUnderTest]
+    ) -> List[HoldoutReport]:
+        """User API: evaluate a system on every sealed hold-out.
+
+        A fresh SUT instance is built per hold-out. Each hold-out runs at
+        most once per SUT name — a second submission with the same name
+        raises on the already-consumed hold-outs.
+        """
+        reports: List[HoldoutReport] = []
+        for name in self.registry.names():
+            sut = sut_factory()
+            scenario = self.registry.checkout(name, sut.name)
+            result = self._benchmark.run(sut, scenario)
+            self._raw_results[(name, sut.name)] = result
+            reports.append(self._summarize(name, result))
+        return reports
+
+    def _summarize(self, holdout_name: str, result: RunResult) -> HoldoutReport:
+        import numpy as np
+
+        latencies = result.latencies()
+        p99 = float(np.percentile(latencies, 99)) if latencies.size else 0.0
+        return HoldoutReport(
+            holdout_name=holdout_name,
+            fingerprint=self.registry.fingerprint(holdout_name),
+            mean_throughput=result.mean_throughput(),
+            p99_latency=p99,
+            total_training_cost=result.total_training_cost(),
+            query_count=len(result.queries),
+        )
+
+    def raw_result(self, holdout_name: str, sut_name: str) -> RunResult:
+        """Operator API: full run record (not exposed to submitters)."""
+        key = (holdout_name, sut_name)
+        if key not in self._raw_results:
+            from repro.errors import ReproError
+
+            raise ReproError(f"no stored result for {key}")
+        return self._raw_results[key]

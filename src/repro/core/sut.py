@@ -1,0 +1,98 @@
+"""The system-under-test interface.
+
+§IV of the paper requires the benchmark to work "without imposing
+architectural, configuration, or runtime constraints" and to remain
+"agnostic to the differences across systems". :class:`SystemUnderTest`
+is therefore a thin lifecycle contract:
+
+* ``setup(pairs)`` — load the initial database.
+* ``offline_train(budget)`` — optional upfront/between-segment training;
+  the SUT reports how much of the nominal budget it actually used.
+* ``execute(query, now)`` — perform one query and return its service
+  time in virtual seconds.
+* ``on_tick(now)`` — periodic hook (≈1 virtual second); the SUT may
+  request an *online* retrain by returning nominal training seconds,
+  which the driver charges as blocking server time.
+
+Concrete SUTs live in :mod:`repro.suts`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.workloads.generators import KVQuery
+
+
+@dataclass
+class TrainingSummary:
+    """Cumulative training accounting a SUT maintains about itself.
+
+    Attributes:
+        nominal_seconds: Total nominal CPU-seconds of training consumed.
+        sessions: Number of distinct training sessions (offline + online).
+    """
+
+    nominal_seconds: float = 0.0
+    sessions: int = 0
+
+    def add(self, nominal_seconds: float) -> None:
+        """Record one training session."""
+        self.nominal_seconds += max(0.0, nominal_seconds)
+        self.sessions += 1
+
+
+class SystemUnderTest(ABC):
+    """Lifecycle contract between the benchmark driver and a system."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self.training = TrainingSummary()
+
+    @property
+    def name(self) -> str:
+        """Identifier used in results and hold-out bookkeeping."""
+        return self._name
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @abstractmethod
+    def setup(self, pairs: List[Tuple[float, object]]) -> None:
+        """Load the initial database contents."""
+
+    @abstractmethod
+    def execute(self, query: KVQuery, now: float) -> float:
+        """Execute ``query`` at virtual time ``now``; return service time
+        in virtual seconds (> 0)."""
+
+    def offline_train(self, budget_seconds: float) -> float:
+        """Use up to ``budget_seconds`` nominal training; return usage.
+
+        Default: no training (traditional systems). Implementations that
+        train must also call ``self.training.add(used)``.
+        """
+        return 0.0
+
+    def inject(self, pairs: List[Tuple[float, object]]) -> None:
+        """Bulk-insert data outside the query stream (segment injection).
+
+        The data appears instantaneously — no virtual time is charged —
+        but the SUT's learned models are *not* retrained, which is what
+        makes injections an adaptability stressor. Default: ignored.
+        """
+
+    def on_tick(self, now: float) -> Optional[float]:
+        """Periodic hook; return nominal seconds of online training to
+        charge now, or ``None``/0 for no training. Default: none."""
+        return None
+
+    def teardown(self) -> None:
+        """Release resources (default: nothing)."""
+
+    # -- introspection -----------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-friendly description for reports."""
+        return {"name": self.name, "class": type(self).__name__}

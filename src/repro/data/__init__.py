@@ -1,0 +1,21 @@
+"""Dataset builders and synthetic column generators.
+
+* :mod:`~repro.data.datasets` — named synthetic key datasets spanning the
+  difficulty ladder used by the Fig 1a experiment (uniform → books-like →
+  osm-like → adversarial).
+* :mod:`~repro.data.email_gen` — the paper's §V-C example: a synthetic
+  email-address generator fitted to a sample, preserving the sample's
+  ordering distribution.
+"""
+
+from repro.data.datasets import DATASET_BUILDERS, Dataset, build_dataset, dataset_names
+from repro.data.email_gen import EmailGenerator, email_to_key
+
+__all__ = [
+    "Dataset",
+    "DATASET_BUILDERS",
+    "build_dataset",
+    "dataset_names",
+    "EmailGenerator",
+    "email_to_key",
+]

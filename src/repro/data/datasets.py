@@ -1,0 +1,163 @@
+"""Named synthetic key datasets.
+
+SOSD (Kipf et al., cited in the paper) evaluates learned indexes on a
+ladder of real datasets — amazon book ids, OSM cell ids, facebook user
+ids — whose difficulty for learned structures ranges from "almost
+linear" to "adversarially lumpy". Real traces are not redistributable, so
+this module provides synthetic analogues with the same qualitative CDF
+shapes, each exposed as a named builder:
+
+* ``uniform`` — dense uniform keys; trivially learnable.
+* ``sequential`` — near-contiguous integers with gaps (auto-increment ids
+  with deletions); very learnable.
+* ``books`` — lognormal-ish heavy-tail (popularity-ranked identifiers).
+* ``osm`` — multi-modal mixture with dense clusters at several scales
+  (spatial cell ids).
+* ``fb`` — piecewise shape with abrupt density shifts.
+* ``adversarial`` — exponentially spaced clusters engineered to maximize
+  linear-model error.
+
+Builders are deterministic for a given (name, n, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named, sorted, unique key set.
+
+    Attributes:
+        name: Builder name.
+        keys: Sorted unique key array.
+        seed: Seed the builder used.
+    """
+
+    name: str
+    keys: np.ndarray
+    seed: int
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    def pairs(self) -> List[Tuple[float, int]]:
+        """``(key, rank)`` pairs ready for ``OrderedIndex.bulk_load``."""
+        return [(float(k), i) for i, k in enumerate(self.keys)]
+
+    @property
+    def low(self) -> float:
+        """Smallest key."""
+        return float(self.keys[0])
+
+    @property
+    def high(self) -> float:
+        """Largest key."""
+        return float(self.keys[-1])
+
+
+def _finalize(name: str, raw: np.ndarray, seed: int) -> Dataset:
+    keys = np.unique(raw.astype(np.float64))
+    return Dataset(name=name, keys=keys, seed=seed)
+
+
+def _uniform(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(0.0, 1e9, int(n * 1.05))
+
+
+def _sequential(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Auto-increment ids with ~10% deleted: mostly linear CDF with gaps.
+    ids = np.arange(int(n * 1.15), dtype=np.float64)
+    keep = rng.uniform(size=ids.size) > 0.1
+    return ids[keep] * 10.0
+
+
+def _books(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Heavy-tailed identifier popularity: lognormal body + uniform dust.
+    body = rng.lognormal(mean=12.0, sigma=1.2, size=int(n * 0.95))
+    dust = rng.uniform(0.0, body.max() * 1.2, size=int(n * 0.1))
+    return np.concatenate([body, dust])
+
+
+def _osm(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Spatial cell ids: dense clusters (cities) over a sparse background.
+    n_clusters = 24
+    centers = rng.uniform(0.0, 1e9, n_clusters)
+    widths = rng.uniform(1e3, 1e6, n_clusters)
+    weights = rng.dirichlet(np.ones(n_clusters) * 0.5)
+    counts = rng.multinomial(int(n * 0.9), weights)
+    parts = [
+        rng.normal(c, w, int(cnt))
+        for c, w, cnt in zip(centers, widths, counts)
+        if cnt > 0
+    ]
+    background = rng.uniform(0.0, 1e9, int(n * 0.15))
+    return np.abs(np.concatenate(parts + [background]))
+
+
+def _fb(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Piecewise density: user-id ranges allocated in regimes of very
+    # different densities (growth eras of the service).
+    regimes = [
+        (0.00, 0.05, 0.30),  # early ids: tiny range, lots of users
+        (0.05, 0.30, 0.40),
+        (0.30, 0.95, 0.25),
+        (0.95, 1.00, 0.05),  # latest sparse range
+    ]
+    parts = []
+    for lo_frac, hi_frac, mass in regimes:
+        count = int(n * mass * 1.1)
+        parts.append(rng.uniform(lo_frac * 1e9, hi_frac * 1e9, count))
+    return np.concatenate(parts)
+
+
+def _adversarial(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Exponentially spaced tight clusters: a linear model over any large
+    # span has enormous error, stressing learned indexes.
+    n_clusters = max(4, int(np.log2(max(n, 8))))
+    sizes = np.full(n_clusters, int(n * 1.1) // n_clusters)
+    starts = np.cumsum(np.logspace(3.0, 8.5, n_clusters))
+    parts = [
+        start + rng.uniform(0.0, 100.0, int(size))
+        for start, size in zip(starts, sizes)
+    ]
+    return np.concatenate(parts)
+
+
+#: Registered dataset builders: name -> function(n, rng) -> raw keys.
+DATASET_BUILDERS: Dict[str, Callable[[int, np.random.Generator], np.ndarray]] = {
+    "uniform": _uniform,
+    "sequential": _sequential,
+    "books": _books,
+    "osm": _osm,
+    "fb": _fb,
+    "adversarial": _adversarial,
+}
+
+
+def dataset_names() -> List[str]:
+    """Names of the available datasets, easy-to-hard order."""
+    return list(DATASET_BUILDERS.keys())
+
+
+def build_dataset(name: str, n: int = 100_000, seed: int = 42) -> Dataset:
+    """Build the named dataset with ~``n`` unique keys.
+
+    Builders oversample slightly and deduplicate, so the exact count can
+    be marginally below or above ``n``; it is deterministic per seed.
+    """
+    if name not in DATASET_BUILDERS:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        )
+    if n < 10:
+        raise ConfigurationError(f"n must be >= 10, got {n}")
+    rng = np.random.default_rng(seed)
+    raw = DATASET_BUILDERS[name](n, rng)
+    return _finalize(name, raw, seed)

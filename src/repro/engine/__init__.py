@@ -1,0 +1,60 @@
+"""Minimal in-memory relational engine.
+
+The substrate hosting the learned-query-optimization experiments: typed
+columnar tables, an expression/predicate language, logical and physical
+query plans (whose subtree sets feed the paper's Jaccard workload
+similarity), a pull-based executor, and a cost-based optimizer with a
+pluggable cardinality estimator.
+"""
+
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.table import Table
+from repro.engine.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Or,
+    Predicate,
+)
+from repro.engine.plans import (
+    Aggregate,
+    Filter,
+    Join,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    plan_subtrees,
+)
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.catalog import Catalog
+from repro.engine.optimizer_base import CostBasedOptimizer, PlanCost
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "Predicate",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "Between",
+    "And",
+    "Or",
+    "LogicalPlan",
+    "Scan",
+    "Filter",
+    "Project",
+    "Join",
+    "Sort",
+    "Aggregate",
+    "plan_subtrees",
+    "Executor",
+    "ExecutionResult",
+    "Catalog",
+    "CostBasedOptimizer",
+    "PlanCost",
+]

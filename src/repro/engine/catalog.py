@@ -1,0 +1,43 @@
+"""Catalog: the set of tables known to an engine instance."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+class Catalog:
+    """Name → table registry with simple statistics access."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def register(self, table: Table) -> None:
+        """Add (or replace) a table under its own name."""
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> Table:
+        """Fetch a table.
+
+        Raises:
+            SchemaError: If no table has that name.
+        """
+        if name not in self._tables:
+            raise SchemaError(f"unknown table {name!r}; have {self.names()}")
+        return self._tables[name]
+
+    def names(self) -> List[str]:
+        """Registered table names, sorted."""
+        return sorted(self._tables.keys())
+
+    def row_count(self, name: str) -> int:
+        """Row count of a table (the optimizer's base statistic)."""
+        return self.get(name).row_count
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,238 @@
+"""Pull-based plan executor.
+
+Executes a :class:`~repro.engine.plans.LogicalPlan` against a
+:class:`~repro.engine.catalog.Catalog`. Physical decisions that the plan
+leaves open (join method) default to hash join. The executor counts the
+work it does — rows scanned, rows joined, hash probes — in
+:class:`ExecutionResult.work`, and that count is what the benchmark's
+analytic cost model converts into virtual service time: a bad plan does
+more work, so it is charged more time, exactly the feedback loop a
+learned optimizer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.catalog import Catalog
+from repro.engine.plans import (
+    Aggregate,
+    Filter,
+    Join,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.table import Table
+from repro.errors import PlanError
+
+
+@dataclass
+class ExecutionResult:
+    """The output of executing a plan.
+
+    Attributes:
+        table: Result rows (a transient :class:`Table`).
+        scalar: Aggregate result when the plan root is an
+            :class:`Aggregate`, else ``None``.
+        work: Abstract work units performed (rows touched + hash ops).
+        cardinalities: Observed output cardinality per plan node
+            (canonical string → rows), the ground-truth labels that
+            supervised cardinality estimators train on — collected during
+            execution as §IV of the paper describes.
+    """
+
+    table: Table
+    scalar: Optional[float]
+    work: float
+    cardinalities: Dict[str, int] = field(default_factory=dict)
+
+
+class Executor:
+    """Executes logical plans against a catalog.
+
+    Args:
+        catalog: Tables to execute against.
+        learned_sorter: When set, :class:`~repro.engine.plans.Sort` nodes
+            run through the learned CDF sort (its reported work units are
+            charged) instead of a comparison sort (charged n·log2 n).
+    """
+
+    def __init__(self, catalog: Catalog, learned_sorter=None) -> None:
+        self.catalog = catalog
+        self.learned_sorter = learned_sorter
+
+    def execute(self, plan: LogicalPlan) -> ExecutionResult:
+        """Run ``plan`` and return rows, work, and per-node cardinalities."""
+        cards: Dict[str, int] = {}
+        table, work, scalar = self._run(plan, cards)
+        return ExecutionResult(table=table, scalar=scalar, work=work, cardinalities=cards)
+
+    # -- node dispatch ---------------------------------------------------------
+
+    def _run(
+        self, plan: LogicalPlan, cards: Dict[str, int]
+    ) -> Tuple[Table, float, Optional[float]]:
+        if isinstance(plan, Scan):
+            result = self._scan(plan)
+            work = float(result.row_count)
+            scalar = None
+        elif isinstance(plan, Filter):
+            child, child_work, _ = self._run(plan.child, cards)
+            result = self._filter(plan, child)
+            work = child_work + child.row_count
+            scalar = None
+        elif isinstance(plan, Project):
+            child, child_work, _ = self._run(plan.child, cards)
+            result = self._project(plan, child)
+            work = child_work + 0.1 * child.row_count
+            scalar = None
+        elif isinstance(plan, Join):
+            left, lwork, _ = self._run(plan.left, cards)
+            right, rwork, _ = self._run(plan.right, cards)
+            result, join_work = self._join(plan, left, right)
+            work = lwork + rwork + join_work
+            scalar = None
+        elif isinstance(plan, Sort):
+            child, child_work, _ = self._run(plan.child, cards)
+            result, sort_work = self._sort(plan, child)
+            work = child_work + sort_work
+            scalar = None
+        elif isinstance(plan, Aggregate):
+            child, child_work, _ = self._run(plan.child, cards)
+            scalar = self._aggregate(plan, child)
+            result = Table.from_columns(
+                "agg",
+                Schema([Column("value", ColumnType.FLOAT)]),
+                {"value": [scalar]},
+            )
+            work = child_work + child.row_count
+        else:
+            raise PlanError(f"unknown plan node {type(plan).__name__}")
+        cards[plan.canonical()] = result.row_count
+        return result, work, scalar
+
+    # -- operators -----------------------------------------------------------------
+
+    def _scan(self, plan: Scan) -> Table:
+        return self.catalog.get(plan.table_name)
+
+    @staticmethod
+    def _filter(plan: Filter, child: Table) -> Table:
+        mask = plan.predicate.evaluate(child)
+        return child.select_rows(np.asarray(mask, dtype=bool))
+
+    @staticmethod
+    def _project(plan: Project, child: Table) -> Table:
+        cols = {name: child.column(name) for name in plan.columns}
+        schema = Schema([child.schema.column(name) for name in plan.columns])
+        return Table.from_columns(child.name, schema, cols)
+
+    def _sort(self, plan: Sort, child: Table) -> Tuple[Table, float]:
+        """Sort rows by a numeric column; returns (table, work units)."""
+        data = child.column(plan.column)
+        if isinstance(data, list):
+            raise PlanError(f"cannot Sort by string column {plan.column!r}")
+        if child.row_count == 0:
+            return child, 0.0
+        if self.learned_sorter is not None:
+            _, report = self.learned_sorter.sort(np.asarray(data))
+            order = np.argsort(data, kind="stable")
+            work = report.work_units
+        else:
+            order = np.argsort(data, kind="stable")
+            n = child.row_count
+            work = float(n * max(1.0, np.log2(max(2, n))))
+        return child.select_rows(order), work
+
+    def _join(self, plan: Join, left: Table, right: Table) -> Tuple[Table, float]:
+        method = plan.method or "hash"
+        if method == "hash":
+            return self._hash_join(plan, left, right)
+        return self._nl_join(plan, left, right)
+
+    def _hash_join(self, plan: Join, left: Table, right: Table) -> Tuple[Table, float]:
+        # Build on the smaller side.
+        build, probe = (right, left) if right.row_count <= left.row_count else (left, right)
+        build_col = plan.right_col if build is right else plan.left_col
+        probe_col = plan.left_col if build is right else plan.right_col
+        ht: Dict[Any, List[int]] = {}
+        build_keys = build.column(build_col)
+        for i in range(build.row_count):
+            ht.setdefault(self._key(build_keys, i), []).append(i)
+        probe_keys = probe.column(probe_col)
+        probe_idx: List[int] = []
+        build_idx: List[int] = []
+        for i in range(probe.row_count):
+            for j in ht.get(self._key(probe_keys, i), ()):
+                probe_idx.append(i)
+                build_idx.append(j)
+        work = float(build.row_count + probe.row_count + len(probe_idx))
+        left_idx = probe_idx if probe is left else build_idx
+        right_idx = build_idx if build is right else probe_idx
+        return self._materialize_join(left, right, left_idx, right_idx), work
+
+    def _nl_join(self, plan: Join, left: Table, right: Table) -> Tuple[Table, float]:
+        left_keys = left.column(plan.left_col)
+        right_keys = right.column(plan.right_col)
+        left_idx: List[int] = []
+        right_idx: List[int] = []
+        for i in range(left.row_count):
+            ki = self._key(left_keys, i)
+            for j in range(right.row_count):
+                if ki == self._key(right_keys, j):
+                    left_idx.append(i)
+                    right_idx.append(j)
+        work = float(left.row_count * max(1, right.row_count))
+        return self._materialize_join(left, right, left_idx, right_idx), work
+
+    @staticmethod
+    def _key(column: Any, i: int) -> Any:
+        value = column[i]
+        return float(value) if isinstance(value, (int, float, np.integer, np.floating)) else value
+
+    @staticmethod
+    def _materialize_join(
+        left: Table, right: Table, left_idx: List[int], right_idx: List[int]
+    ) -> Table:
+        schema = left.schema.concat(right.schema, left.name, right.name)
+        out_cols: Dict[str, Any] = {}
+        names = schema.names
+        pos = 0
+        for col in left.schema.columns:
+            data = left.column(col.name)
+            if isinstance(data, list):
+                out_cols[names[pos]] = [data[i] for i in left_idx]
+            else:
+                out_cols[names[pos]] = data[np.asarray(left_idx, dtype=np.int64)] if left_idx else data[:0]
+            pos += 1
+        for col in right.schema.columns:
+            data = right.column(col.name)
+            if isinstance(data, list):
+                out_cols[names[pos]] = [data[j] for j in right_idx]
+            else:
+                out_cols[names[pos]] = data[np.asarray(right_idx, dtype=np.int64)] if right_idx else data[:0]
+            pos += 1
+        return Table.from_columns("join", schema, out_cols)
+
+    @staticmethod
+    def _aggregate(plan: Aggregate, child: Table) -> float:
+        if plan.agg == "count":
+            return float(child.row_count)
+        data = child.column(plan.column)  # type: ignore[arg-type]
+        if isinstance(data, list):
+            raise PlanError(f"cannot {plan.agg} a string column {plan.column!r}")
+        if len(data) == 0:
+            return 0.0
+        if plan.agg == "sum":
+            return float(np.sum(data))
+        if plan.agg == "avg":
+            return float(np.mean(data))
+        if plan.agg == "min":
+            return float(np.min(data))
+        return float(np.max(data))

@@ -1,0 +1,228 @@
+"""Predicate expression trees.
+
+Predicates evaluate vectorized over a :class:`~repro.engine.table.Table`,
+returning a boolean row mask. Each node also contributes structural
+features to ``signature()`` — the tokens used by the Jaccard workload
+similarity (the paper suggests "the Jaccard similarity between the sets
+of all subtrees of the query tree").
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+class Predicate(ABC):
+    """A boolean expression over table rows."""
+
+    @abstractmethod
+    def evaluate(self, table: Table) -> np.ndarray:
+        """Boolean mask: which rows satisfy the predicate."""
+
+    @abstractmethod
+    def signature(self) -> FrozenSet[Tuple]:
+        """Structural feature tokens for similarity estimation."""
+
+    @abstractmethod
+    def columns(self) -> List[str]:
+        """Column names the predicate references."""
+
+    def selectivity_features(self) -> List[Tuple[str, str, float]]:
+        """Flat list of ``(column, op, value)`` leaves (numeric only).
+
+        Used to featurize queries for learned cardinality estimation;
+        non-numeric comparisons are skipped.
+        """
+        out: List[Tuple[str, str, float]] = []
+        self._collect_leaves(out)
+        return out
+
+    def _collect_leaves(self, out: List[Tuple[str, str, float]]) -> None:
+        """Default: no leaves; overridden by leaf and branch nodes."""
+
+
+class ColumnRef:
+    """Reference to a column by name (helper for building comparisons)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __eq__(self, other: Any):  # type: ignore[override]
+        return Comparison(self.name, CompareOp.EQ, other)
+
+    def __ne__(self, other: Any):  # type: ignore[override]
+        return Comparison(self.name, CompareOp.NE, other)
+
+    def __lt__(self, other: Any):
+        return Comparison(self.name, CompareOp.LT, other)
+
+    def __le__(self, other: Any):
+        return Comparison(self.name, CompareOp.LE, other)
+
+    def __gt__(self, other: Any):
+        return Comparison(self.name, CompareOp.GT, other)
+
+    def __ge__(self, other: Any):
+        return Comparison(self.name, CompareOp.GE, other)
+
+    def between(self, low: Any, high: Any) -> "Between":
+        """Inclusive range predicate ``low <= column <= high``."""
+        return Between(self.name, low, high)
+
+    def __hash__(self) -> int:
+        return hash(("ColumnRef", self.name))
+
+
+class Literal:
+    """A literal value (wrapper kept for API symmetry/readability)."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+def _unwrap(value: Any) -> Any:
+    return value.value if isinstance(value, Literal) else value
+
+
+class Comparison(Predicate):
+    """``column <op> literal``."""
+
+    def __init__(self, column: str, op: CompareOp, value: Any) -> None:
+        self.column = column
+        self.op = op
+        self.value = _unwrap(value)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        data = table.column(self.column)
+        if isinstance(data, list):
+            arr = np.asarray(data, dtype=object)
+            value = str(self.value)
+        else:
+            arr = data
+            value = self.value
+        if self.op == CompareOp.EQ:
+            return arr == value
+        if self.op == CompareOp.NE:
+            return arr != value
+        if self.op == CompareOp.LT:
+            return arr < value
+        if self.op == CompareOp.LE:
+            return arr <= value
+        if self.op == CompareOp.GT:
+            return arr > value
+        return arr >= value
+
+    def signature(self) -> FrozenSet[Tuple]:
+        return frozenset({("cmp", self.column, self.op.value)})
+
+    def columns(self) -> List[str]:
+        return [self.column]
+
+    def _collect_leaves(self, out: List[Tuple[str, str, float]]) -> None:
+        if isinstance(self.value, (int, float)) and not isinstance(self.value, bool):
+            out.append((self.column, self.op.value, float(self.value)))
+
+    def __repr__(self) -> str:
+        return f"{self.column} {self.op.value} {self.value!r}"
+
+
+class Between(Predicate):
+    """Inclusive range predicate ``low <= column <= high``."""
+
+    def __init__(self, column: str, low: Any, high: Any) -> None:
+        self.column = column
+        self.low = _unwrap(low)
+        self.high = _unwrap(high)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        data = table.column(self.column)
+        if isinstance(data, list):
+            arr = np.asarray(data, dtype=object)
+            lo, hi = str(self.low), str(self.high)
+        else:
+            arr = data
+            lo, hi = self.low, self.high
+        return (arr >= lo) & (arr <= hi)
+
+    def signature(self) -> FrozenSet[Tuple]:
+        return frozenset({("between", self.column)})
+
+    def columns(self) -> List[str]:
+        return [self.column]
+
+    def _collect_leaves(self, out: List[Tuple[str, str, float]]) -> None:
+        if isinstance(self.low, (int, float)):
+            out.append((self.column, ">=", float(self.low)))
+        if isinstance(self.high, (int, float)):
+            out.append((self.column, "<=", float(self.high)))
+
+    def __repr__(self) -> str:
+        return f"{self.column} BETWEEN {self.low!r} AND {self.high!r}"
+
+
+class _BooleanPair(Predicate):
+    """Common machinery for binary boolean connectives."""
+
+    _token = ""
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def columns(self) -> List[str]:
+        return sorted(set(self.left.columns()) | set(self.right.columns()))
+
+    def signature(self) -> FrozenSet[Tuple]:
+        child = self.left.signature() | self.right.signature()
+        return child | {(self._token, tuple(sorted(map(str, child))))}
+
+    def _collect_leaves(self, out: List[Tuple[str, str, float]]) -> None:
+        self.left._collect_leaves(out)
+        self.right._collect_leaves(out)
+
+
+class And(_BooleanPair):
+    """Logical conjunction."""
+
+    _token = "and"
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return self.left.evaluate(table) & self.right.evaluate(table)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}) AND ({self.right!r})"
+
+
+class Or(_BooleanPair):
+    """Logical disjunction."""
+
+    _token = "or"
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return self.left.evaluate(table) | self.right.evaluate(table)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}) OR ({self.right!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)

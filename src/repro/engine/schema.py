@@ -1,0 +1,100 @@
+"""Schemas and column types for the relational substrate."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    ctype: ColumnType
+
+    def qualified(self, table: str) -> str:
+        """Return the ``table.column`` qualified name."""
+        return f"{table}.{self.name}"
+
+
+class Schema:
+    """An ordered collection of uniquely named columns."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._columns: List[Column] = list(columns)
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(self._columns)}
+
+    @classmethod
+    def of(cls, *specs: Tuple[str, ColumnType]) -> "Schema":
+        """Build a schema from ``(name, type)`` tuples."""
+        return cls([Column(name, ctype) for name, ctype in specs])
+
+    @property
+    def columns(self) -> List[Column]:
+        """The columns, in declaration order."""
+        return list(self._columns)
+
+    @property
+    def names(self) -> List[str]:
+        """Column names, in declaration order."""
+        return [c.name for c in self._columns]
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in the schema.
+
+        Raises:
+            SchemaError: If the column does not exist.
+        """
+        if name not in self._index:
+            raise SchemaError(f"unknown column {name!r}; have {self.names}")
+        return self._index[name]
+
+    def column(self, name: str) -> Column:
+        """The column named ``name``."""
+        return self._columns[self.index_of(name)]
+
+    def has(self, name: str) -> bool:
+        """Whether the schema contains ``name``."""
+        return name in self._index
+
+    def concat(self, other: "Schema", prefix_self: str, prefix_other: str) -> "Schema":
+        """Concatenate for a join output, prefixing clashing names."""
+        taken = set()
+        out: List[Column] = []
+        for prefix, schema in ((prefix_self, self), (prefix_other, other)):
+            for col in schema.columns:
+                name = col.name
+                if name in taken:
+                    name = f"{prefix}_{name}"
+                if name in taken:
+                    raise SchemaError(f"cannot disambiguate column {col.name!r}")
+                taken.add(name)
+                out.append(Column(name, col.ctype))
+        return Schema(out)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.ctype.value}" for c in self._columns)
+        return f"Schema({cols})"

@@ -1,0 +1,123 @@
+"""Columnar in-memory tables."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.errors import SchemaError
+
+
+class Table:
+    """A named, columnar table.
+
+    Numeric columns are stored as numpy arrays; string columns as Python
+    lists. Rows are addressed by position.
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self._columns: Dict[str, Any] = {}
+        for col in schema.columns:
+            if col.ctype == ColumnType.STRING:
+                self._columns[col.name] = []
+            else:
+                dtype = np.int64 if col.ctype == ColumnType.INT else np.float64
+                self._columns[col.name] = np.empty(0, dtype=dtype)
+        self._row_count = 0
+
+    @classmethod
+    def from_columns(
+        cls, name: str, schema: Schema, columns: Dict[str, Sequence[Any]]
+    ) -> "Table":
+        """Build a table directly from column data."""
+        table = cls(name, schema)
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        missing = set(schema.names) - set(columns.keys())
+        if missing:
+            raise SchemaError(f"missing columns: {sorted(missing)}")
+        for col in schema.columns:
+            data = columns[col.name]
+            if col.ctype == ColumnType.STRING:
+                table._columns[col.name] = [str(v) for v in data]
+            else:
+                dtype = np.int64 if col.ctype == ColumnType.INT else np.float64
+                table._columns[col.name] = np.asarray(data, dtype=dtype)
+        table._row_count = lengths.pop() if lengths else 0
+        return table
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows."""
+        return self._row_count
+
+    def column(self, name: str) -> Any:
+        """The raw column data (numpy array or list of str)."""
+        self.schema.index_of(name)  # validates
+        return self._columns[name]
+
+    def append_rows(self, rows: Sequence[Dict[str, Any]]) -> None:
+        """Append dict-shaped rows (all schema columns required)."""
+        if not rows:
+            return
+        for col in self.schema.columns:
+            new_vals = []
+            for row in rows:
+                if col.name not in row:
+                    raise SchemaError(f"row missing column {col.name!r}")
+                new_vals.append(row[col.name])
+            if col.ctype == ColumnType.STRING:
+                self._columns[col.name].extend(str(v) for v in new_vals)
+            else:
+                dtype = np.int64 if col.ctype == ColumnType.INT else np.float64
+                self._columns[col.name] = np.concatenate(
+                    [self._columns[col.name], np.asarray(new_vals, dtype=dtype)]
+                )
+        self._row_count += len(rows)
+
+    def row(self, i: int) -> Tuple[Any, ...]:
+        """Row ``i`` as a tuple in schema order."""
+        if not 0 <= i < self._row_count:
+            raise IndexError(f"row {i} out of range [0, {self._row_count})")
+        return tuple(self._columns[c.name][i] for c in self.schema.columns)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate all rows as tuples."""
+        for i in range(self._row_count):
+            yield self.row(i)
+
+    def select_rows(self, mask_or_indices: Any) -> "Table":
+        """New table containing the masked/indexed rows."""
+        out = Table(self.name, self.schema)
+        indices = np.asarray(mask_or_indices)
+        if indices.dtype == bool:
+            indices = np.flatnonzero(indices)
+        for col in self.schema.columns:
+            data = self._columns[col.name]
+            if col.ctype == ColumnType.STRING:
+                out._columns[col.name] = [data[i] for i in indices]
+            else:
+                out._columns[col.name] = data[indices]
+        out._row_count = int(indices.size)
+        return out
+
+    def numeric_stats(self, name: str) -> Tuple[float, float]:
+        """(min, max) of a numeric column (0, 0 when empty)."""
+        col = self.schema.column(name)
+        if col.ctype == ColumnType.STRING:
+            raise SchemaError(f"column {name!r} is not numeric")
+        data = self._columns[name]
+        if len(data) == 0:
+            return 0.0, 0.0
+        return float(np.min(data)), float(np.max(data))
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self._row_count}, {self.schema!r})"

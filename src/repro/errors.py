@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the specific failure mode when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """A point lookup targeted a key that is not present in the index."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class DuplicateKeyError(ReproError, KeyError):
+    """An insert targeted a key that is already present in a unique index."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"duplicate key: {key!r}")
+        self.key = key
+
+
+class NotTrainedError(ReproError):
+    """A learned component was used before its model was trained."""
+
+
+class SchemaError(ReproError):
+    """A relational operation referenced a column or type incorrectly."""
+
+
+class PlanError(ReproError):
+    """A query plan was malformed or could not be executed."""
+
+
+class ScenarioError(ReproError):
+    """A benchmark scenario definition was invalid."""
+
+
+class HoldoutViolationError(ReproError):
+    """A sealed hold-out scenario was accessed in a way the rules forbid.
+
+    The paper proposes hold-out workloads "that the system is only allowed
+    to execute once" to measure out-of-sample performance; this error
+    enforces that contract.
+    """
+
+
+class DriverError(ReproError):
+    """The benchmark driver encountered an unrecoverable condition."""

@@ -1,0 +1,263 @@
+"""A classic B+ tree.
+
+This is the traditional baseline structure the learned indexes are
+compared against throughout the benchmark. It is a textbook in-memory
+B+ tree: all values live in leaves, leaves are chained for range scans,
+inner nodes hold separator keys, and nodes split at ``order`` entries.
+
+Deletes use lazy underflow handling (merge with a sibling when a node
+drops below half capacity) which keeps the structure valid without the
+full rebalancing zoo; the benchmark exercises read/insert-heavy paths.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.indexes.base import OrderedIndex
+
+
+class _Node:
+    """A B+ tree node; ``leaf`` nodes carry values, inner nodes children."""
+
+    __slots__ = ("keys", "children", "values", "next", "leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.keys: List[float] = []
+        self.children: List["_Node"] = []
+        self.values: List[Any] = []
+        self.next: Optional["_Node"] = None
+
+
+class BPlusTree(OrderedIndex):
+    """In-memory B+ tree with configurable fanout.
+
+    Args:
+        order: Maximum number of keys per node (>= 3). Smaller orders make
+            deeper trees, useful for testing; 64 approximates a cache-line
+            conscious in-memory tree.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        super().__init__()
+        if order < 3:
+            raise ConfigurationError(f"B+ tree order must be >= 3, got {order}")
+        self._order = order
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self._height = 1
+
+    @property
+    def order(self) -> int:
+        """Maximum number of keys per node."""
+        return self._order
+
+    @property
+    def height(self) -> int:
+        """Current tree height (1 = root is a leaf)."""
+        return self._height
+
+    # -- search ---------------------------------------------------------------
+
+    def _find_leaf(self, key: float) -> _Node:
+        """Descend from the root to the leaf responsible for ``key``."""
+        node = self._root
+        while not node.leaf:
+            self.stats.node_accesses += 1
+            idx = bisect.bisect_right(node.keys, key)
+            self.stats.comparisons += max(1, len(node.keys).bit_length())
+            node = node.children[idx]
+        self.stats.node_accesses += 1
+        return node
+
+    def get(self, key: float) -> Any:
+        self.stats.lookups += 1
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        self.stats.comparisons += max(1, len(leaf.keys).bit_length())
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        raise KeyNotFoundError(key)
+
+    # -- insert ---------------------------------------------------------------
+
+    def insert(self, key: float, value: Any) -> None:
+        self.stats.inserts += 1
+        root = self._root
+        result = self._insert_into(root, key, value)
+        if result is not None:
+            sep, right = result
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [root, right]
+            self._root = new_root
+            self._height += 1
+
+    def _insert_into(
+        self, node: _Node, key: float, value: Any
+    ) -> Optional[Tuple[float, _Node]]:
+        """Insert under ``node``; return (separator, new right node) on split."""
+        self.stats.node_accesses += 1
+        if node.leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            self.stats.comparisons += max(1, len(node.keys).bit_length())
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+
+        idx = bisect.bisect_right(node.keys, key)
+        self.stats.comparisons += max(1, len(node.keys).bit_length())
+        result = self._insert_into(node.children[idx], key, value)
+        if result is None:
+            return None
+        sep, right = result
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self._order:
+            return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[float, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_inner(self, node: _Node) -> Tuple[float, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # -- delete ---------------------------------------------------------------
+
+    def delete(self, key: float) -> None:
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            raise KeyNotFoundError(key)
+        del leaf.keys[idx]
+        del leaf.values[idx]
+        self._size -= 1
+        self.stats.deletes += 1
+        # Lazy underflow: tolerate sparse leaves; collapse an empty root chain.
+        if not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._height -= 1
+
+    # -- range / iteration ------------------------------------------------------
+
+    def range(self, low: float, high: float) -> List[Tuple[float, Any]]:
+        self.stats.range_scans += 1
+        leaf: Optional[_Node] = self._find_leaf(low)
+        out: List[Tuple[float, Any]] = []
+        while leaf is not None:
+            self.stats.node_accesses += 1
+            for k, v in zip(leaf.keys, leaf.values):
+                if k < low:
+                    continue
+                if k > high:
+                    return out
+                out.append((k, v))
+            leaf = leaf.next
+        return out
+
+    def items(self) -> Iterator[Tuple[float, Any]]:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        leaf: Optional[_Node] = node
+        while leaf is not None:
+            for k, v in zip(list(leaf.keys), list(leaf.values)):
+                yield k, v
+            leaf = leaf.next
+
+    def bulk_load(self, pairs: List[Tuple[float, Any]]) -> None:
+        """Build bottom-up from sorted pairs (deduplicated by last wins)."""
+        ordered = sorted(pairs, key=lambda kv: kv[0])
+        dedup: List[Tuple[float, Any]] = []
+        for k, v in ordered:
+            if dedup and dedup[-1][0] == k:
+                dedup[-1] = (k, v)
+            else:
+                dedup.append((k, v))
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self._height = 1
+        if not dedup:
+            return
+        per_leaf = max(1, (self._order + 1) // 2)
+        leaves: List[_Node] = []
+        for start in range(0, len(dedup), per_leaf):
+            chunk = dedup[start : start + per_leaf]
+            leaf = _Node(leaf=True)
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        self._size = len(dedup)
+        self.stats.inserts += len(dedup)
+        level: List[_Node] = leaves
+        height = 1
+        while len(level) > 1:
+            parents: List[_Node] = []
+            per_inner = max(2, (self._order + 1) // 2 + 1)
+            for start in range(0, len(level), per_inner):
+                group = level[start : start + per_inner]
+                if len(group) == 1 and parents:
+                    # Fold a lone trailing child into the previous parent.
+                    parents[-1].keys.append(self._min_key(group[0]))
+                    parents[-1].children.append(group[0])
+                    continue
+                parent = _Node(leaf=False)
+                parent.children = group
+                parent.keys = [self._min_key(child) for child in group[1:]]
+                parents.append(parent)
+            level = parents
+            height += 1
+        self._root = level[0]
+        self._height = height
+
+    @staticmethod
+    def _min_key(node: _Node) -> float:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def size_bytes(self) -> int:
+        """Keys + child/value pointers + per-node header (64 B)."""
+        nodes = 0
+        entries = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            entries += len(node.keys)
+            if not node.leaf:
+                entries += len(node.children)
+                stack.extend(node.children)
+            else:
+                entries += len(node.values)
+        return entries * 8 + nodes * 64
+
+    def __len__(self) -> int:
+        return self._size

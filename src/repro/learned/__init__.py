@@ -1,0 +1,44 @@
+"""Learned database components.
+
+The component families §II of the paper surveys, each paired with a
+traditional baseline so the benchmark can compare them:
+
+* :mod:`~repro.learned.cardinality` — learned cardinality estimation
+  (vs per-column histograms).
+* :mod:`~repro.learned.optimizer` — learned optimizer steering à la Bao
+  (vs the plain cost-based optimizer).
+* :mod:`~repro.learned.sorter` — learned CDF sort (vs comparison sort).
+* :mod:`~repro.learned.cache` — learned eviction (vs LRU/LFU).
+* :mod:`~repro.learned.drift_detector` — distribution-change detection
+  used by adaptive systems to trigger retraining.
+* :mod:`~repro.learned.tuner` — automatic knob tuning (vs DBA effort).
+"""
+
+from repro.learned.cardinality import (
+    HistogramEstimator,
+    LearnedCardinalityEstimator,
+    TrueCardinalityOracle,
+)
+from repro.learned.optimizer import BanditPlanSteering, SteeringChoice
+from repro.learned.sorter import LearnedSorter, SortReport
+from repro.learned.cache import LearnedCache, LFUCache, LRUCache
+from repro.learned.drift_detector import DriftDetector, DriftVerdict
+from repro.learned.tuner import KnobSpace, KnobTuner, TuningResult
+
+__all__ = [
+    "HistogramEstimator",
+    "LearnedCardinalityEstimator",
+    "TrueCardinalityOracle",
+    "BanditPlanSteering",
+    "SteeringChoice",
+    "LearnedSorter",
+    "SortReport",
+    "LRUCache",
+    "LFUCache",
+    "LearnedCache",
+    "DriftDetector",
+    "DriftVerdict",
+    "KnobSpace",
+    "KnobTuner",
+    "TuningResult",
+]

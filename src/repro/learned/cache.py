@@ -1,0 +1,184 @@
+"""Caches: LRU and LFU baselines vs a learned eviction policy.
+
+§II of the paper lists "learning-based caches" among the actively
+explored learned components. The learned policy here predicts each key's
+reuse likelihood from its observed inter-access intervals (an online
+exponential-average reuse-distance estimate) and evicts the key whose
+next access is predicted farthest away — an implementable approximation
+of Belady's MIN driven by learned per-key statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / total accesses (0 when never accessed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _BaseCache:
+    """Shared plumbing for the fixed-capacity caches."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:  # pragma: no cover - overridden semantics
+        raise NotImplementedError
+
+
+class LRUCache(_BaseCache):
+    """Least-recently-used eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Value for ``key`` or None; updates recency on hit."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return self._data[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert/refresh ``key``; evicts the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class LFUCache(_BaseCache):
+    """Least-frequently-used eviction (ties broken by recency)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._data: Dict[Any, Any] = {}
+        self._freq: Dict[Any, int] = {}
+        self._clock = 0
+        self._last_used: Dict[Any, int] = {}
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Value for ``key`` or None; bumps frequency on hit."""
+        self._clock += 1
+        if key in self._data:
+            self._freq[key] += 1
+            self._last_used[key] = self._clock
+            self.stats.hits += 1
+            return self._data[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert/refresh ``key``; evicts the LFU entry when full."""
+        self._clock += 1
+        if key not in self._data and len(self._data) >= self.capacity:
+            victim = min(self._data, key=lambda k: (self._freq[k], self._last_used[k]))
+            del self._data[victim]
+            del self._freq[victim]
+            del self._last_used[victim]
+            self.stats.evictions += 1
+        self._data[key] = value
+        self._freq[key] = self._freq.get(key, 0) + 1
+        self._last_used[key] = self._clock
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class LearnedCache(_BaseCache):
+    """Evicts the key with the largest predicted next-access distance.
+
+    Maintains, per key, an exponential moving average of the inter-access
+    interval (in accesses). The predicted next access of a key is
+    ``last_access + ema_interval``; eviction removes the key whose
+    prediction lies farthest in the future. Keys never re-seen inherit a
+    pessimistic default, so one-hit wonders get evicted early — the main
+    advantage over LRU on scan-polluted workloads.
+
+    Args:
+        capacity: Maximum resident entries.
+        ema_alpha: Smoothing for the interval estimate (0..1, higher =
+            faster adaptation).
+    """
+
+    def __init__(self, capacity: int, ema_alpha: float = 0.3) -> None:
+        super().__init__(capacity)
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ConfigurationError(f"ema_alpha must be in (0,1], got {ema_alpha}")
+        self._data: Dict[Any, Any] = {}
+        self._last_access: Dict[Any, int] = {}
+        self._ema_interval: Dict[Any, float] = {}
+        self._alpha = ema_alpha
+        self._clock = 0
+
+    def _observe(self, key: Any) -> None:
+        if key in self._last_access:
+            interval = float(self._clock - self._last_access[key])
+            prev = self._ema_interval.get(key)
+            if prev is None:
+                self._ema_interval[key] = interval
+            else:
+                self._ema_interval[key] = (1 - self._alpha) * prev + self._alpha * interval
+        self._last_access[key] = self._clock
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Value for ``key`` or None; updates the reuse model either way."""
+        self._clock += 1
+        self._observe(key)
+        if key in self._data:
+            self.stats.hits += 1
+            return self._data[key]
+        self.stats.misses += 1
+        return None
+
+    def _predicted_next(self, key: Any) -> float:
+        last = self._last_access.get(key, self._clock)
+        # Unseen-again keys: assume a long interval (2x capacity).
+        interval = self._ema_interval.get(key, 2.0 * self.capacity)
+        return last + interval
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert/refresh ``key``; evicts the farthest-future key when full."""
+        self._clock += 1
+        # The miss-get immediately before a put already observed this key;
+        # observing again would inject a bogus interval of ~1 access and
+        # make chronically-missing keys look hot.
+        if self._last_access.get(key) == self._clock - 1:
+            self._last_access[key] = self._clock
+        else:
+            self._observe(key)
+        if key not in self._data and len(self._data) >= self.capacity:
+            victim = max(self._data, key=self._predicted_next)
+            del self._data[victim]
+            self.stats.evictions += 1
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)

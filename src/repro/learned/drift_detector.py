@@ -1,0 +1,111 @@
+"""Distribution-drift detection.
+
+Adaptive SUTs need a trigger for retraining. :class:`DriftDetector` keeps
+a sliding reference window of observed access keys and compares the most
+recent window against it with a two-sample Kolmogorov–Smirnov statistic
+— the same test §V-D suggests for measuring data-distribution similarity.
+A KS value above the threshold is reported as drift; the caller decides
+whether to retrain and then calls :meth:`reset_reference`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class DriftVerdict(enum.Enum):
+    """Outcome of a drift check."""
+
+    INSUFFICIENT_DATA = "insufficient-data"
+    STABLE = "stable"
+    DRIFTED = "drifted"
+
+
+class DriftDetector:
+    """Two-window KS drift detector over a stream of keys.
+
+    Args:
+        window: Observations per window (reference and current).
+        threshold: KS statistic above which drift is declared. With
+            ``window`` samples per side, the ~99% critical value is
+            about ``1.63 * sqrt(2 / window)``; the default threshold of
+            0.15 is deliberately above that for typical windows so small
+            fluctuations don't trigger retraining storms.
+    """
+
+    def __init__(self, window: int = 512, threshold: float = 0.15) -> None:
+        if window < 16:
+            raise ConfigurationError(f"window must be >= 16, got {window}")
+        if not 0.0 < threshold < 1.0:
+            raise ConfigurationError(f"threshold must be in (0,1), got {threshold}")
+        self.window = window
+        self.threshold = threshold
+        self._reference: Optional[np.ndarray] = None
+        self._current: Deque[float] = deque(maxlen=window)
+        self._checks = 0
+        self._drifts = 0
+
+    @property
+    def checks(self) -> int:
+        """Number of completed drift checks."""
+        return self._checks
+
+    @property
+    def drifts_detected(self) -> int:
+        """Number of checks that reported drift."""
+        return self._drifts
+
+    def observe(self, key: float) -> DriftVerdict:
+        """Feed one observed key; returns the verdict for this step.
+
+        The first full window becomes the reference; afterwards, every
+        time the current window fills, it is tested against the
+        reference. Between check points the verdict is ``STABLE`` (or
+        ``INSUFFICIENT_DATA`` before the reference exists).
+        """
+        self._current.append(float(key))
+        if self._reference is None:
+            if len(self._current) >= self.window:
+                self._reference = np.sort(np.asarray(self._current))
+                self._current.clear()
+            return DriftVerdict.INSUFFICIENT_DATA
+        if len(self._current) < self.window:
+            return DriftVerdict.STABLE
+        ks = self._ks(self._reference, np.sort(np.asarray(self._current)))
+        self._current.clear()
+        self._checks += 1
+        if ks > self.threshold:
+            self._drifts += 1
+            return DriftVerdict.DRIFTED
+        return DriftVerdict.STABLE
+
+    def last_window(self) -> np.ndarray:
+        """A copy of the in-progress current window."""
+        return np.asarray(self._current)
+
+    def reset_reference(self, reference: Optional[np.ndarray] = None) -> None:
+        """Adopt a new reference distribution (e.g., after retraining).
+
+        Args:
+            reference: Keys representing the new normal; when ``None``,
+                the next full window observed becomes the reference.
+        """
+        if reference is not None and len(reference) > 0:
+            self._reference = np.sort(np.asarray(reference, dtype=np.float64))
+        else:
+            self._reference = None
+        self._current.clear()
+
+    @staticmethod
+    def _ks(a: np.ndarray, b: np.ndarray) -> float:
+        grid = np.concatenate([a, b])
+        grid.sort()
+        cdf_a = np.searchsorted(a, grid, side="right") / a.size
+        cdf_b = np.searchsorted(b, grid, side="right") / b.size
+        return float(np.abs(cdf_a - cdf_b).max())

@@ -1,0 +1,168 @@
+"""Learned sorting (Kristo et al., "The Case for a Learned Sorting
+Algorithm", SIGMOD 2020 — cited in §II of the paper).
+
+A CDF model trained on a sample routes each record to a bucket in one
+pass; because the CDF is monotone, buckets are totally ordered, so
+sorting each bucket independently and concatenating yields the final
+order. When the model fits the data well, buckets are balanced and the
+per-bucket sorts are nearly free; when the data distribution shifts away
+from the training sample, buckets become unbalanced and the learned sort
+loses its edge — the same specialize-vs-adapt trade-off the benchmark
+measures for whole systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.indexes.models import CDFModel
+
+
+@dataclass(frozen=True)
+class SortReport:
+    """Work accounting for one learned-sort invocation.
+
+    Attributes:
+        n: Input size.
+        model_placements: Records routed via the CDF model (= n).
+        touchup_moves: Within-bucket sorting work, in element-move units
+            (insertion-sort moves for small buckets; ``b*log2(b)`` units
+            for overflowing buckets handled by comparison-sort fallback).
+        overflow_buckets: Buckets too large for insertion sort (a symptom
+            of model/data mismatch).
+        max_bucket_fill: Largest bucket size relative to the balanced
+            target (1.0 = perfectly balanced).
+    """
+
+    n: int
+    model_placements: int
+    touchup_moves: int
+    overflow_buckets: int
+    max_bucket_fill: float
+
+    @property
+    def work_units(self) -> float:
+        """Abstract work: placements + within-bucket sorting moves."""
+        return float(self.model_placements + self.touchup_moves)
+
+
+class LearnedSorter:
+    """CDF-model bucket sort with per-bucket touch-up.
+
+    Args:
+        sample_size: Training-sample size drawn from the input when
+            :meth:`fit` has not been called with external data (e.g.,
+            yesterday's keys — how the drift experiments use it).
+        bucket_size: Target records per bucket; buckets beyond
+            ``overflow_factor`` times this fall back to comparison sort.
+        overflow_factor: Insertion-sort cutoff multiplier.
+    """
+
+    def __init__(
+        self,
+        sample_size: int = 2048,
+        bucket_size: int = 16,
+        overflow_factor: float = 4.0,
+    ) -> None:
+        if sample_size < 2:
+            raise ConfigurationError("sample_size must be >= 2")
+        if bucket_size < 2:
+            raise ConfigurationError("bucket_size must be >= 2")
+        if overflow_factor < 1.0:
+            raise ConfigurationError("overflow_factor must be >= 1.0")
+        self.sample_size = sample_size
+        self.bucket_size = bucket_size
+        self.overflow_factor = overflow_factor
+        self._model: Optional[CDFModel] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether a CDF model is available."""
+        return self._model is not None
+
+    def fit(self, sample: Sequence[float]) -> "LearnedSorter":
+        """Train the CDF model on ``sample``."""
+        self._model = CDFModel(sample)
+        return self
+
+    def sort(
+        self, data: Sequence[float], rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, SortReport]:
+        """Sort ``data``; returns ``(sorted array, SortReport)``.
+
+        Trains on a random sample of the input when :meth:`fit` has not
+        been called.
+        """
+        arr = np.asarray(list(data), dtype=np.float64)
+        n = int(arr.size)
+        if n == 0:
+            return arr, SortReport(0, 0, 0, 0, 0.0)
+        model = self._model
+        if model is None:
+            rng = rng or np.random.default_rng(0)
+            take = min(self.sample_size, n)
+            model = CDFModel(rng.choice(arr, size=take, replace=False))
+        n_buckets = max(1, n // self.bucket_size)
+        bucket_ids = np.minimum(
+            (model.predict_array(arr) * n_buckets).astype(np.int64), n_buckets - 1
+        )
+        # Group values by bucket (monotone CDF => buckets are ordered).
+        order = np.argsort(bucket_ids, kind="stable")
+        sorted_ids = bucket_ids[order]
+        grouped = arr[order]
+        boundaries = np.searchsorted(sorted_ids, np.arange(n_buckets + 1))
+        cutoff = int(self.bucket_size * self.overflow_factor)
+        moves = 0
+        overflow = 0
+        max_fill = 0.0
+        pieces: List[np.ndarray] = []
+        for b in range(n_buckets):
+            lo, hi = int(boundaries[b]), int(boundaries[b + 1])
+            size = hi - lo
+            if size == 0:
+                continue
+            max_fill = max(max_fill, size / self.bucket_size)
+            chunk = grouped[lo:hi]
+            if size <= cutoff:
+                sorted_chunk, chunk_moves = _insertion_sort(chunk)
+                moves += chunk_moves
+            else:
+                overflow += 1
+                sorted_chunk = np.sort(chunk)
+                moves += int(np.ceil(size * np.log2(max(2, size))))
+            pieces.append(sorted_chunk)
+        result = np.concatenate(pieces) if pieces else arr[:0]
+        report = SortReport(
+            n=n,
+            model_placements=n,
+            touchup_moves=int(moves),
+            overflow_buckets=overflow,
+            max_bucket_fill=float(max_fill),
+        )
+        return result, report
+
+
+def _insertion_sort(arr: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Insertion sort, counting element moves. O(size + inversions)."""
+    out = arr.copy()
+    moves = 0
+    for i in range(1, out.size):
+        value = out[i]
+        j = i - 1
+        while j >= 0 and out[j] > value:
+            out[j + 1] = out[j]
+            j -= 1
+            moves += 1
+        out[j + 1] = value
+    return out, moves
+
+
+def comparison_sort_work(n: int) -> float:
+    """Abstract work units for a classical comparison sort of size n."""
+    if n <= 1:
+        return float(n)
+    return float(n * np.log2(n))

@@ -1,0 +1,169 @@
+"""Automatic knob tuning (the §II "tuning existing components" family).
+
+A deliberately small stand-in for OtterTune-class systems (cited as
+[11]-[13] in the paper): given a configuration space of discrete knobs
+and a black-box objective (mean service time over a probe workload), the
+tuner runs iterative best-neighbor search with an evaluation budget and
+returns the best configuration found plus the full evaluation log.
+
+The point for the benchmark is not tuning sophistication — it is that
+*automatic* tuning has a measurable cost (evaluations × probe time) that
+belongs in the same Fig 1d cost accounting as model training and DBA
+hours, which :func:`tuning_cost_seconds` exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: A configuration: knob name → chosen value.
+Configuration = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class KnobSpace:
+    """Discrete knob space: each knob has an ordered list of settings."""
+
+    knobs: Tuple[Tuple[str, Tuple[object, ...]], ...]
+
+    @classmethod
+    def of(cls, **knobs: Sequence[object]) -> "KnobSpace":
+        """Build from keyword arguments: ``KnobSpace.of(order=(16, 64))``."""
+        if not knobs:
+            raise ConfigurationError("knob space cannot be empty")
+        items = []
+        for name, values in knobs.items():
+            values = tuple(values)
+            if len(values) < 1:
+                raise ConfigurationError(f"knob {name!r} has no values")
+            items.append((name, values))
+        return cls(tuple(items))
+
+    def default(self) -> Configuration:
+        """First value of every knob."""
+        return {name: values[0] for name, values in self.knobs}
+
+    def neighbors(self, config: Configuration) -> List[Configuration]:
+        """All configurations differing from ``config`` in one knob step."""
+        out: List[Configuration] = []
+        for name, values in self.knobs:
+            index = values.index(config[name])
+            for step in (-1, 1):
+                j = index + step
+                if 0 <= j < len(values):
+                    neighbor = dict(config)
+                    neighbor[name] = values[j]
+                    out.append(neighbor)
+        return out
+
+    def size(self) -> int:
+        """Total number of configurations."""
+        total = 1
+        for _, values in self.knobs:
+            total *= len(values)
+        return total
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning session.
+
+    Attributes:
+        best: The best configuration found.
+        best_score: Its objective value (lower is better).
+        evaluations: Every (configuration, score) pair evaluated, in
+            order — the tuner's cost trail.
+        converged: Whether search stopped at a local optimum (vs budget
+            exhaustion).
+    """
+
+    best: Configuration
+    best_score: float
+    evaluations: List[Tuple[Configuration, float]] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def evaluation_count(self) -> int:
+        """Number of objective evaluations performed."""
+        return len(self.evaluations)
+
+
+class KnobTuner:
+    """Iterative best-neighbor search over a discrete knob space.
+
+    Args:
+        space: The knob space.
+        objective: Configuration → score (lower is better). Typically
+            mean service time of a probe workload on a store built with
+            that configuration.
+        budget: Maximum objective evaluations.
+    """
+
+    def __init__(
+        self,
+        space: KnobSpace,
+        objective: Callable[[Configuration], float],
+        budget: int = 32,
+    ) -> None:
+        if budget < 1:
+            raise ConfigurationError("budget must be >= 1")
+        self.space = space
+        self.objective = objective
+        self.budget = budget
+
+    def tune(self, start: Configuration = None) -> TuningResult:
+        """Run the search from ``start`` (default: the knob defaults)."""
+        current = dict(start) if start is not None else self.space.default()
+        evaluations: List[Tuple[Configuration, float]] = []
+        seen: Dict[Tuple, float] = {}
+
+        def score(config: Configuration) -> float:
+            key = tuple(sorted(config.items()))
+            if key not in seen:
+                seen[key] = float(self.objective(config))
+                evaluations.append((dict(config), seen[key]))
+            return seen[key]
+
+        best = current
+        best_score = score(best)
+        converged = False
+        while len(evaluations) < self.budget:
+            candidates = [
+                c for c in self.space.neighbors(best)
+                if tuple(sorted(c.items())) not in seen
+            ]
+            if not candidates:
+                converged = True
+                break
+            improved = False
+            for candidate in candidates:
+                if len(evaluations) >= self.budget:
+                    break
+                value = score(candidate)
+                if value < best_score:
+                    best, best_score = candidate, value
+                    improved = True
+            if not improved:
+                converged = True
+                break
+        return TuningResult(
+            best=best,
+            best_score=best_score,
+            evaluations=evaluations,
+            converged=converged,
+        )
+
+
+def tuning_cost_seconds(result: TuningResult, probe_seconds: float) -> float:
+    """Total tuning cost: evaluations × probe duration.
+
+    This is the automated analogue of DBA hours for Fig 1d: plug it into
+    :func:`repro.metrics.cost.training_cost_to_outperform` alongside the
+    manual step function.
+    """
+    if probe_seconds < 0:
+        raise ConfigurationError("probe_seconds must be >= 0")
+    return result.evaluation_count * probe_seconds

@@ -1,0 +1,83 @@
+"""The paper's new metrics (§V-D) plus the similarity machinery.
+
+* :mod:`~repro.metrics.descriptive` — box-plot statistics (Fig 1a's
+  per-distribution summaries).
+* :mod:`~repro.metrics.similarity` — Φ estimators: Jaccard over plan
+  subtrees, Kolmogorov–Smirnov, Maximum Mean Discrepancy.
+* :mod:`~repro.metrics.specialization` — Fig 1a: throughput per
+  workload/data distribution ordered by Φ.
+* :mod:`~repro.metrics.adaptability` — Fig 1b: cumulative queries over
+  time and area-difference single-value metrics.
+* :mod:`~repro.metrics.sla` — Fig 1c: SLA violation bands and the
+  adjustment-speed metric.
+* :mod:`~repro.metrics.cost` — Fig 1d: training/execution cost breakdown,
+  the DBA step function, and training-cost-to-outperform.
+"""
+
+from repro.metrics.descriptive import BoxStats, box_stats, percentile
+from repro.metrics.similarity import (
+    jaccard_similarity,
+    ks_statistic,
+    mmd_rbf,
+    workload_phi,
+    data_phi,
+)
+from repro.metrics.specialization import (
+    SegmentPerformance,
+    SpecializationReport,
+    specialization_report,
+)
+from repro.metrics.adaptability import (
+    AdaptabilityReport,
+    adaptability_report,
+    area_between_systems,
+    area_vs_ideal,
+    cumulative_curve,
+    latency_timeline,
+    recovery_time,
+)
+from repro.metrics.sla import (
+    LatencyBand,
+    adjustment_speed,
+    calibrate_sla,
+    latency_bands,
+    multi_latency_bands,
+)
+from repro.metrics.cost import (
+    CostBreakdown,
+    DBAModel,
+    TCOModel,
+    cost_breakdown,
+    training_cost_to_outperform,
+)
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "percentile",
+    "jaccard_similarity",
+    "ks_statistic",
+    "mmd_rbf",
+    "workload_phi",
+    "data_phi",
+    "SegmentPerformance",
+    "SpecializationReport",
+    "specialization_report",
+    "AdaptabilityReport",
+    "adaptability_report",
+    "cumulative_curve",
+    "area_vs_ideal",
+    "area_between_systems",
+    "latency_timeline",
+    "recovery_time",
+    "LatencyBand",
+    "calibrate_sla",
+    "latency_bands",
+    "multi_latency_bands",
+    "adjustment_speed",
+    "CostBreakdown",
+    "DBAModel",
+    "TCOModel",
+    "cost_breakdown",
+    "training_cost_to_outperform",
+]

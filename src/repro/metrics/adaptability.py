@@ -1,0 +1,197 @@
+"""Adaptability metrics — Fig 1b.
+
+§V-D2: "We suggest reporting throughput variations by plotting the
+cumulative queries completed over time. ... We can derive a single-value
+result from this plot by computing the area difference between an ideal
+system with a constant throughput. Similarly, ... the area difference
+between the two systems provides a single-value result."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+
+
+def cumulative_curve(
+    result: RunResult, resolution: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The Fig 1b curve: (times, cumulative completed queries).
+
+    Sampled on a regular grid of ``resolution`` seconds from 0 to the
+    run horizon; the value at t is the number of queries completed by t.
+    """
+    if resolution <= 0:
+        raise ConfigurationError("resolution must be > 0")
+    completions = result.completions()
+    horizon = max(result.duration, completions[-1] if completions.size else 0.0)
+    times = np.arange(0.0, horizon + resolution, resolution)
+    cum = np.searchsorted(completions, times, side="right").astype(np.float64)
+    return times, cum
+
+
+def area_vs_ideal(
+    result: RunResult,
+    ideal_rate: Optional[float] = None,
+    resolution: float = 1.0,
+) -> float:
+    """Signed area between the ideal line and the actual curve.
+
+    The ideal system completes queries at a constant rate and ends with
+    the same total. Positive area = the actual system lagged the ideal
+    (query-seconds of deficit); 0 = perfectly steady throughput. Units:
+    query·seconds.
+
+    Args:
+        ideal_rate: Ideal constant throughput; default = total queries /
+            horizon (so ideal and actual meet at the end — the paper's
+            construction).
+        resolution: Integration step.
+    """
+    times, cum = cumulative_curve(result, resolution)
+    if times.size == 0 or cum[-1] == 0:
+        return 0.0
+    horizon = times[-1]
+    if ideal_rate is None:
+        ideal_rate = cum[-1] / horizon if horizon > 0 else 0.0
+    ideal = np.minimum(ideal_rate * times, cum[-1])
+    return float(np.trapezoid(ideal - cum, times))
+
+
+def area_between_systems(
+    result_a: RunResult, result_b: RunResult, resolution: float = 1.0
+) -> float:
+    """Signed area between two systems' cumulative curves (A minus B).
+
+    Positive = A stayed ahead (completed queries earlier) on balance.
+    Both curves are evaluated on the union horizon. Units: query·seconds.
+    """
+    times_a, cum_a = cumulative_curve(result_a, resolution)
+    times_b, cum_b = cumulative_curve(result_b, resolution)
+    horizon = max(times_a[-1] if times_a.size else 0, times_b[-1] if times_b.size else 0)
+    times = np.arange(0.0, horizon + resolution, resolution)
+    a = np.interp(times, times_a, cum_a, left=0.0, right=cum_a[-1] if cum_a.size else 0.0)
+    b = np.interp(times, times_b, cum_b, left=0.0, right=cum_b[-1] if cum_b.size else 0.0)
+    return float(np.trapezoid(a - b, times))
+
+
+def recovery_time(
+    result: RunResult,
+    change_time: float,
+    window: float = 5.0,
+    recovery_fraction: float = 0.9,
+) -> Optional[float]:
+    """Seconds after ``change_time`` until throughput recovers.
+
+    Pre-change throughput is measured over the ``window`` seconds before
+    the change; recovery is the first post-change window whose
+    throughput reaches ``recovery_fraction`` of it. Returns ``None`` if
+    the run ends first.
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be > 0")
+    completions = result.completions()
+    if completions.size == 0:
+        return None
+    before = np.count_nonzero(
+        (completions >= change_time - window) & (completions < change_time)
+    )
+    target = recovery_fraction * before
+    horizon = max(result.duration, completions[-1])
+    t = change_time
+    while t + window <= horizon + window:
+        count = np.count_nonzero((completions >= t) & (completions < t + window))
+        if count >= target:
+            return float(t - change_time)
+        t += window
+    return None
+
+
+def latency_timeline(
+    result: RunResult,
+    interval: float = 1.0,
+    percentiles: Tuple[float, ...] = (50.0, 99.0),
+) -> Tuple[np.ndarray, dict]:
+    """Per-interval latency percentiles over the run.
+
+    §IV asks for "throughput and latency during transitions between
+    distributions"; this is the latency half: for each ``interval``-second
+    bucket (by completion time), the requested percentiles of the
+    latencies completed in it (NaN for idle buckets).
+
+    Returns:
+        (bucket start times, {percentile: values array}).
+    """
+    if interval <= 0:
+        raise ConfigurationError("interval must be > 0")
+    completions = np.asarray([q.completion for q in result.queries])
+    latencies = np.asarray([q.latency for q in result.queries])
+    horizon = max(result.duration, completions.max() if completions.size else 0.0)
+    edges = np.arange(0.0, horizon + interval, interval)
+    times = edges[:-1]
+    out = {p: np.full(times.size, np.nan) for p in percentiles}
+    if completions.size:
+        buckets = np.clip(
+            (completions / interval).astype(np.int64), 0, times.size - 1
+        )
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        sorted_latencies = latencies[order]
+        boundaries = np.searchsorted(sorted_buckets, np.arange(times.size + 1))
+        for i in range(times.size):
+            chunk = sorted_latencies[boundaries[i] : boundaries[i + 1]]
+            if chunk.size:
+                for p in percentiles:
+                    out[p][i] = float(np.percentile(chunk, p))
+    return times, out
+
+
+@dataclass(frozen=True)
+class AdaptabilityReport:
+    """Single-value adaptability summary for one run.
+
+    Attributes:
+        area_vs_ideal: Query·seconds of lag behind the ideal line.
+        recovery_seconds: Throughput recovery time after the (first)
+            distribution change, or None if never/not applicable.
+        throughput_cv: Coefficient of variation of per-second throughput
+            (the stability number averages hide — Lesson 2).
+    """
+
+    sut_name: str
+    area_vs_ideal: float
+    recovery_seconds: Optional[float]
+    throughput_cv: float
+
+
+def adaptability_report(
+    result: RunResult,
+    change_time: Optional[float] = None,
+    resolution: float = 1.0,
+) -> AdaptabilityReport:
+    """Compute the Fig 1b summary for one run.
+
+    Args:
+        change_time: Time of the distribution change for recovery-time
+            measurement; default = the first internal segment boundary
+            (None if the scenario had a single segment).
+    """
+    if change_time is None and len(result.segments) > 1:
+        change_time = result.segments[0][2]
+    recovery = (
+        recovery_time(result, change_time) if change_time is not None else None
+    )
+    _, counts = result.throughput_series(interval=resolution)
+    mean = counts.mean() if counts.size else 0.0
+    cv = float(counts.std() / mean) if mean > 0 else 0.0
+    return AdaptabilityReport(
+        sut_name=result.sut_name,
+        area_vs_ideal=area_vs_ideal(result, resolution=resolution),
+        recovery_seconds=recovery,
+        throughput_cv=cv,
+    )

@@ -1,0 +1,187 @@
+"""Cost metrics — Fig 1d and Lesson 4.
+
+§V-D3 proposes breaking the cost-per-performance metric "into training
+and execution time", comparing the learned system's training-cost →
+throughput curve against a traditional system whose cost "is a step
+function representing different optimization efforts" by a database
+administrator, and deriving "a new metric: the training cost to
+outperform a traditional system."
+
+:class:`DBAModel` is that step function; :class:`TCOModel` prices a
+whole deployment (hardware + training + DBA) over a horizon; and
+:func:`training_cost_to_outperform` computes the new metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DBAModel:
+    """Manual-tuning cost as a step function of optimization effort.
+
+    Attributes:
+        hourly_rate: Loaded DBA cost per hour (salary + overhead).
+        hours_per_level: Cumulative DBA hours to reach each tuning level
+            (level 0 = shipped defaults = 0 hours). Must be ascending.
+    """
+
+    hourly_rate: float = 75.0
+    hours_per_level: Tuple[float, ...] = (0.0, 8.0, 40.0, 120.0)
+
+    def __post_init__(self) -> None:
+        if self.hourly_rate < 0:
+            raise ConfigurationError("hourly_rate must be >= 0")
+        if list(self.hours_per_level) != sorted(self.hours_per_level):
+            raise ConfigurationError("hours_per_level must be ascending")
+        if self.hours_per_level and self.hours_per_level[0] != 0.0:
+            raise ConfigurationError("level 0 must cost 0 hours")
+
+    @property
+    def levels(self) -> int:
+        """Number of tuning levels (including level 0)."""
+        return len(self.hours_per_level)
+
+    def cost_of_level(self, level: int) -> float:
+        """Cumulative dollars to reach ``level``."""
+        if not 0 <= level < self.levels:
+            raise ConfigurationError(f"invalid level {level}")
+        return self.hours_per_level[level] * self.hourly_rate
+
+    def level_at_cost(self, budget: float) -> int:
+        """Highest tuning level affordable within ``budget`` dollars."""
+        level = 0
+        for i in range(self.levels):
+            if self.cost_of_level(i) <= budget:
+                level = i
+        return level
+
+
+@dataclass(frozen=True)
+class TCOModel:
+    """Total-cost-of-ownership over an ownership horizon.
+
+    Attributes:
+        hardware_monthly: Base serving-hardware cost per month.
+        horizon_months: Ownership horizon (the paper notes TCO is
+            "typically three years").
+        dba: The manual-tuning cost model.
+    """
+
+    hardware_monthly: float = 300.0
+    horizon_months: float = 36.0
+    dba: DBAModel = field(default_factory=DBAModel)
+
+    def traditional_tco(self, tuning_level: int, retunes: int = 0) -> float:
+        """TCO of a traditional system.
+
+        Args:
+            tuning_level: DBA effort level maintained.
+            retunes: Number of times the DBA must redo the tuning over
+                the horizon (workload changes → re-tuning; Lesson 4's
+                hidden recurring cost).
+        """
+        tuning = self.dba.cost_of_level(tuning_level) * (1 + max(0, retunes))
+        return self.hardware_monthly * self.horizon_months + tuning
+
+    def learned_tco(
+        self, training_cost_per_session: float, sessions: int
+    ) -> float:
+        """TCO of a learned system: hardware + all training sessions."""
+        return (
+            self.hardware_monthly * self.horizon_months
+            + max(0, sessions) * max(0.0, training_cost_per_session)
+        )
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-run cost/performance decomposition (the Fig 1d rows).
+
+    Attributes:
+        sut_name: System name.
+        training_cost: Dollars of training during the run.
+        execution_cost: Dollars of serving hardware over the run's
+            virtual duration.
+        throughput: Mean completed queries/second.
+        cost_per_kquery: Total dollars per thousand completed queries.
+    """
+
+    sut_name: str
+    training_cost: float
+    execution_cost: float
+    throughput: float
+    cost_per_kquery: float
+
+    @property
+    def total_cost(self) -> float:
+        """Training + execution."""
+        return self.training_cost + self.execution_cost
+
+
+def cost_breakdown(
+    result: RunResult, serving_dollars_per_hour: float = 0.40
+) -> CostBreakdown:
+    """Split a run's cost into training and execution (§V-D3).
+
+    Execution cost prices the run's virtual duration on the serving
+    hardware; training cost sums the run's training events.
+    """
+    duration = max(
+        result.duration,
+        max((q.completion for q in result.queries), default=0.0),
+    )
+    execution_cost = duration / 3600.0 * serving_dollars_per_hour
+    training_cost = result.total_training_cost()
+    n = len(result.queries)
+    per_kquery = (execution_cost + training_cost) / (n / 1000.0) if n else 0.0
+    return CostBreakdown(
+        sut_name=result.sut_name,
+        training_cost=training_cost,
+        execution_cost=execution_cost,
+        throughput=result.mean_throughput(),
+        cost_per_kquery=per_kquery,
+    )
+
+
+def training_cost_to_outperform(
+    learned_curve: Sequence[Tuple[float, float]],
+    traditional_levels: Sequence[Tuple[float, float]],
+) -> Optional[float]:
+    """The paper's new metric: min training cost where learned wins.
+
+    Args:
+        learned_curve: ``(training_cost, throughput)`` points for the
+            learned system, any order.
+        traditional_levels: ``(dba_cost, throughput)`` per tuning level.
+            At a given budget the traditional system runs at the best
+            level it can afford.
+
+    Returns:
+        The smallest training cost ``c`` at which the learned system's
+        throughput meets or beats the traditional system's throughput at
+        the same budget ``c`` — or ``None`` if it never does on the
+        sampled curve.
+    """
+    if not learned_curve or not traditional_levels:
+        raise ConfigurationError("both curves need at least one point")
+    levels = sorted(traditional_levels)
+
+    def traditional_at(budget: float) -> float:
+        best = 0.0
+        for cost, tp in levels:
+            if cost <= budget:
+                best = tp
+        return best
+
+    for cost, throughput in sorted(learned_curve):
+        if throughput >= traditional_at(cost):
+            return float(cost)
+    return None

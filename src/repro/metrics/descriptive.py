@@ -1,0 +1,106 @@
+"""Descriptive statistics: the box plots of Fig 1a.
+
+§V-D1: "instead of only reporting the average throughput, the benchmark
+should report descriptive statistics (e.g., using a box plot) to
+adequately capture the specialization and adaptation capabilities."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot take a percentile of no data")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary with Tukey whiskers and outliers.
+
+    Attributes:
+        minimum / maximum: Extremes of the data.
+        q1 / median / q3: Quartiles.
+        whisker_low / whisker_high: Last data points within 1.5 IQR of
+            the box (classic Tukey whiskers).
+        outliers: Values beyond the whiskers.
+        mean: Arithmetic mean (the number traditional benchmarks report
+            — kept for contrast).
+        count: Sample size.
+    """
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: List[float]
+    mean: float
+    count: int
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    @property
+    def dispersion(self) -> float:
+        """IQR relative to the median (0 when the median is 0)."""
+        return self.iqr / self.median if self.median else 0.0
+
+    def row(self) -> dict:
+        """Flat dict for CSV export."""
+        return {
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "whisker_low": self.whisker_low,
+            "whisker_high": self.whisker_high,
+            "outliers": len(self.outliers),
+            "mean": self.mean,
+            "count": self.count,
+        }
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Compute :class:`BoxStats` for ``values``.
+
+    Raises:
+        ConfigurationError: On empty input.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot summarize no data")
+    q1, median, q3 = (float(np.percentile(arr, q)) for q in (25, 50, 75))
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= low_fence) & (arr <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else float(arr.min())
+    whisker_high = float(inside.max()) if inside.size else float(arr.max())
+    outliers = sorted(float(v) for v in arr[(arr < low_fence) | (arr > high_fence)])
+    return BoxStats(
+        minimum=float(arr.min()),
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=float(arr.max()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+        mean=float(arr.mean()),
+        count=int(arr.size),
+    )

@@ -1,0 +1,131 @@
+"""Similarity estimators for the Φ axis of Fig 1a.
+
+§V-D1: "Similarity across workloads can be estimated, for example,
+using the Jaccard similarity between the sets of all subtrees of the
+query tree for all queries in the workload. Likewise, similarity across
+data distributions can be evaluated using, e.g., the Kolmogorov-Smirnov
+test or the Maximum Mean Discrepancy."
+
+Conventions: similarities are in [0, 1] with 1 = identical; Φ values are
+*distances* in [0, 1] with 0 = identical, so Fig 1a's x-axis sorts
+ascending Φ. The paper notes Φ "need not be precise; it should be
+sufficient to sort the results by Φ value".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import WorkloadSpec
+
+
+def jaccard_similarity(a: Union[Set, FrozenSet], b: Union[Set, FrozenSet]) -> float:
+    """|a ∩ b| / |a ∪ b| (1.0 for two empty sets)."""
+    a, b = set(a), set(b)
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def ks_statistic(sample_a: Iterable[float], sample_b: Iterable[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (sup CDF distance)."""
+    a = np.sort(np.asarray(list(sample_a), dtype=np.float64))
+    b = np.sort(np.asarray(list(sample_b), dtype=np.float64))
+    if a.size == 0 or b.size == 0:
+        raise ConfigurationError("KS statistic requires non-empty samples")
+    grid = np.concatenate([a, b])
+    grid.sort()
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def mmd_rbf(
+    sample_a: Iterable[float],
+    sample_b: Iterable[float],
+    gamma: Optional[float] = None,
+    max_points: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Unbiased squared Maximum Mean Discrepancy with an RBF kernel.
+
+    Args:
+        sample_a, sample_b: One-dimensional samples.
+        gamma: RBF bandwidth parameter; ``None`` uses the median
+            heuristic over the pooled sample.
+        max_points: Subsample cap per side (MMD is quadratic).
+        seed: Subsampling seed.
+
+    Returns:
+        The unbiased MMD² estimate, clipped at 0 (the estimator can go
+        slightly negative under the null).
+    """
+    rng = np.random.default_rng(seed)
+    a = np.asarray(list(sample_a), dtype=np.float64)
+    b = np.asarray(list(sample_b), dtype=np.float64)
+    if a.size < 2 or b.size < 2:
+        raise ConfigurationError("MMD requires >= 2 points per sample")
+    if a.size > max_points:
+        a = rng.choice(a, max_points, replace=False)
+    if b.size > max_points:
+        b = rng.choice(b, max_points, replace=False)
+    if gamma is None:
+        pooled = np.concatenate([a, b])
+        diffs = np.abs(pooled[:, None] - pooled[None, :])
+        median = float(np.median(diffs[diffs > 0])) if (diffs > 0).any() else 1.0
+        gamma = 1.0 / (2.0 * median**2) if median > 0 else 1.0
+
+    def kernel_sum(x: np.ndarray, y: np.ndarray, exclude_diag: bool) -> float:
+        sq = (x[:, None] - y[None, :]) ** 2
+        k = np.exp(-gamma * sq)
+        if exclude_diag:
+            np.fill_diagonal(k, 0.0)
+            denom = x.size * (x.size - 1)
+        else:
+            denom = x.size * y.size
+        return float(k.sum() / denom)
+
+    mmd2 = (
+        kernel_sum(a, a, exclude_diag=True)
+        + kernel_sum(b, b, exclude_diag=True)
+        - 2.0 * kernel_sum(a, b, exclude_diag=False)
+    )
+    return max(0.0, mmd2)
+
+
+def workload_phi(
+    spec_a: WorkloadSpec, spec_b: WorkloadSpec, at_time: float = 0.0
+) -> float:
+    """Workload distance: 1 - Jaccard over the specs' structural features.
+
+    For plan-shaped workloads, use
+    :func:`repro.engine.plans.workload_subtrees` with
+    :func:`jaccard_similarity` directly; this helper covers key-value
+    workload specs.
+    """
+    return 1.0 - jaccard_similarity(
+        spec_a.signature(at_time), spec_b.signature(at_time)
+    )
+
+
+def data_phi(
+    sample_a: Iterable[float],
+    sample_b: Iterable[float],
+    method: str = "ks",
+) -> float:
+    """Data-distribution distance in [0, 1].
+
+    Args:
+        method: ``"ks"`` (KS statistic, already in [0, 1]) or ``"mmd"``
+            (MMD² squashed by ``x / (1 + x)`` to [0, 1)).
+    """
+    if method == "ks":
+        return ks_statistic(sample_a, sample_b)
+    if method == "mmd":
+        value = mmd_rbf(sample_a, sample_b)
+        return value / (1.0 + value)
+    raise ConfigurationError(f"unknown method {method!r}; expected 'ks' or 'mmd'")

@@ -1,0 +1,138 @@
+"""SLA-violation metrics — Fig 1c.
+
+§V-D2: "We also propose to report query latency bands at, e.g., 1-second
+or 10-second intervals throughout execution. Each query latency band
+represents the number of completed queries within the interval
+(throughput), split into two categories depending on whether the query
+finished within the allotted Service-Level Agreement (SLA) time."
+
+The SLA threshold "should ideally be determined based on a baseline
+system's query latency statistics on the same hardware and workload
+distribution" — :func:`calibrate_sla` implements exactly that. The
+"single-value metric for the adjustment speed ... as the sum of query
+times above the SLA threshold over the first N queries after a
+distribution change" is :func:`adjustment_speed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LatencyBand:
+    """One interval of Fig 1c.
+
+    Attributes:
+        start: Interval start time.
+        within_sla: Queries completed in the interval within the SLA.
+        violated: Queries completed in the interval over the SLA.
+    """
+
+    start: float
+    within_sla: int
+    violated: int
+
+    @property
+    def total(self) -> int:
+        """Total completions in the interval."""
+        return self.within_sla + self.violated
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of completions over the SLA (0 when idle)."""
+        return self.violated / self.total if self.total else 0.0
+
+
+def calibrate_sla(
+    baseline: RunResult, percentile: float = 99.0, headroom: float = 1.5
+) -> float:
+    """SLA threshold from a baseline run's latency statistics.
+
+    Args:
+        baseline: A run of the baseline system on the same scenario.
+        percentile: Latency percentile anchoring the threshold.
+        headroom: Multiplier on the anchor (SLAs allow slack).
+    """
+    latencies = baseline.latencies()
+    if latencies.size == 0:
+        raise ConfigurationError("baseline run has no queries")
+    return float(np.percentile(latencies, percentile) * headroom)
+
+
+def latency_bands(
+    result: RunResult, sla: float, interval: float = 1.0
+) -> List[LatencyBand]:
+    """Fig 1c's bands: per-interval within/violated counts."""
+    if interval <= 0:
+        raise ConfigurationError("interval must be > 0")
+    if sla <= 0:
+        raise ConfigurationError("sla must be > 0")
+    completions = np.asarray([q.completion for q in result.queries])
+    latencies = np.asarray([q.latency for q in result.queries])
+    horizon = max(result.duration, completions.max() if completions.size else 0.0)
+    bands: List[LatencyBand] = []
+    t = 0.0
+    while t < horizon:
+        mask = (completions >= t) & (completions < t + interval)
+        over = int((latencies[mask] > sla).sum())
+        total = int(mask.sum())
+        bands.append(LatencyBand(start=t, within_sla=total - over, violated=over))
+        t += interval
+    return bands
+
+
+def multi_latency_bands(
+    result: RunResult,
+    thresholds: Sequence[float],
+    interval: float = 1.0,
+) -> List[Tuple[float, List[int]]]:
+    """Multi-band variant (the paper's green-yellow-orange-red idea).
+
+    ``thresholds`` must be ascending; each interval yields
+    ``len(thresholds) + 1`` counts: completions with latency in
+    [0, t0), [t0, t1), ..., [t_last, inf).
+    """
+    ts = list(thresholds)
+    if ts != sorted(ts) or any(t <= 0 for t in ts):
+        raise ConfigurationError("thresholds must be positive and ascending")
+    if interval <= 0:
+        raise ConfigurationError("interval must be > 0")
+    completions = np.asarray([q.completion for q in result.queries])
+    latencies = np.asarray([q.latency for q in result.queries])
+    horizon = max(result.duration, completions.max() if completions.size else 0.0)
+    edges = np.asarray([0.0] + ts + [np.inf])
+    out: List[Tuple[float, List[int]]] = []
+    t = 0.0
+    while t < horizon:
+        mask = (completions >= t) & (completions < t + interval)
+        counts, _ = np.histogram(latencies[mask], bins=edges)
+        out.append((t, counts.astype(int).tolist()))
+        t += interval
+    return out
+
+
+def adjustment_speed(
+    result: RunResult,
+    change_time: float,
+    n_queries: int,
+    sla: float,
+) -> float:
+    """Sum of over-SLA latency across the first N queries after a change.
+
+    Lower is better: 0 means the system absorbed the change without any
+    SLA impact on the next ``n_queries`` arrivals. Units: seconds.
+    """
+    if n_queries < 1:
+        raise ConfigurationError("n_queries must be >= 1")
+    after = sorted(
+        (q for q in result.queries if q.arrival >= change_time),
+        key=lambda q: q.arrival,
+    )[:n_queries]
+    return float(sum(max(0.0, q.latency - sla) for q in after))

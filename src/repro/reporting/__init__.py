@@ -1,0 +1,29 @@
+"""Report rendering: the rows/series behind each Fig 1 panel.
+
+* :mod:`~repro.reporting.figures` — per-panel renderers: each produces
+  the exact data series a plotting script would consume plus a terminal
+  ASCII sketch.
+* :mod:`~repro.reporting.report` — full benchmark report combining all
+  four panels and the lesson summaries.
+"""
+
+from repro.reporting.figures import (
+    render_fig1a,
+    render_fig1b,
+    render_fig1c,
+    render_fig1c_multiband,
+    render_fig1d,
+    sparkline,
+)
+from repro.reporting.report import BenchmarkReport, build_report
+
+__all__ = [
+    "render_fig1a",
+    "render_fig1b",
+    "render_fig1c",
+    "render_fig1c_multiband",
+    "render_fig1d",
+    "sparkline",
+    "BenchmarkReport",
+    "build_report",
+]

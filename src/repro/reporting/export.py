@@ -1,0 +1,90 @@
+"""Tabular export of benchmark results.
+
+Plotting scripts and spreadsheets want flat tables, not Python objects.
+This module renders the core result artifacts as CSV text:
+
+* :func:`queries_csv` — the raw query log (one row per query).
+* :func:`throughput_csv` — per-interval completion counts.
+* :func:`bands_csv` — Fig 1c bands.
+* :func:`specialization_csv` — Fig 1a rows.
+* :func:`curves_csv` — any list of named (x, y) series (Fig 1b/1d).
+
+All functions return strings; callers decide where to write them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.results import RunResult
+from repro.metrics.sla import LatencyBand
+from repro.metrics.specialization import SpecializationReport
+
+
+def _render(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def queries_csv(result: RunResult) -> str:
+    """One row per query: arrival, start, completion, latency, op, segment."""
+    rows = [
+        (q.arrival, q.start, q.completion, q.latency, q.op, q.segment)
+        for q in result.queries
+    ]
+    return _render(
+        ["arrival", "start", "completion", "latency", "op", "segment"], rows
+    )
+
+
+def throughput_csv(result: RunResult, interval: float = 1.0) -> str:
+    """Per-interval completed-query counts."""
+    times, counts = result.throughput_series(interval=interval)
+    return _render(
+        ["t", "completed"], [(float(t), float(c)) for t, c in zip(times, counts)]
+    )
+
+
+def bands_csv(bands: Sequence[LatencyBand]) -> str:
+    """Fig 1c bands: interval start, within-SLA count, violated count."""
+    return _render(
+        ["t", "within_sla", "violated"],
+        [(b.start, b.within_sla, b.violated) for b in bands],
+    )
+
+
+def specialization_csv(report: SpecializationReport) -> str:
+    """Fig 1a rows, one per segment, sorted by Φ."""
+    rows = report.rows()
+    if not rows:
+        return _render(["segment"], [])
+    header = list(rows[0].keys())
+    return _render(header, [[row[key] for key in header] for row in rows])
+
+
+def curves_csv(curves: Dict[str, Sequence[Tuple[float, float]]]) -> str:
+    """Named (x, y) series in long format: series, x, y."""
+    rows: List[Tuple[str, float, float]] = []
+    for name, points in curves.items():
+        for x, y in points:
+            rows.append((name, float(x), float(y)))
+    return _render(["series", "x", "y"], rows)
+
+
+def training_events_csv(result: RunResult) -> str:
+    """One row per training event."""
+    rows = [
+        (e.start, e.duration, e.nominal_seconds, e.hardware_name, e.cost,
+         e.online, e.label)
+        for e in result.training_events
+    ]
+    return _render(
+        ["start", "duration", "nominal_seconds", "hardware", "cost",
+         "online", "label"],
+        rows,
+    )

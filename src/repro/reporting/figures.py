@@ -1,0 +1,151 @@
+"""Text renderers for the Fig 1 panels.
+
+Each ``render_fig1x`` function takes the metric objects computed by
+:mod:`repro.metrics` and returns a plain-text block: a header, the data
+rows a plotting script would consume (stable, parseable), and a small
+ASCII sketch for terminal use. Benchmarks print these blocks so the
+regenerated figures are directly comparable with the paper's panels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.metrics.adaptability import cumulative_curve
+from repro.metrics.sla import LatencyBand
+from repro.metrics.specialization import SpecializationReport
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Downsample ``values`` to ``width`` and render as block characters."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.asarray([arr[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])])
+    top = arr.max()
+    if top <= 0:
+        return _BLOCKS[0] * len(arr)
+    scaled = (arr / top * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in scaled)
+
+
+def render_fig1a(reports: Sequence[SpecializationReport]) -> str:
+    """Fig 1a: throughput box plots per distribution, ordered by Φ."""
+    lines = [
+        "Fig 1a — Throughput per workload/data distribution (sorted by Φ)",
+        f"{'sut':<22s} {'segment':<16s} {'phi':>6s} {'q1':>9s} {'median':>9s} "
+        f"{'q3':>9s} {'whisk_lo':>9s} {'whisk_hi':>9s} {'outl':>5s} {'hold':>5s}",
+    ]
+    for report in reports:
+        for seg in report.segments:
+            tp = seg.throughput
+            lines.append(
+                f"{report.sut_name:<22s} {seg.label:<16s} {seg.phi:6.3f} "
+                f"{tp.q1:9.1f} {tp.median:9.1f} {tp.q3:9.1f} "
+                f"{tp.whisker_low:9.1f} {tp.whisker_high:9.1f} "
+                f"{len(tp.outliers):5d} {'*' if seg.holdout else '':>5s}"
+            )
+    return "\n".join(lines)
+
+
+def render_fig1b(
+    results: Sequence[RunResult],
+    areas_vs_ideal: Optional[Dict[str, float]] = None,
+    resolution: float = 1.0,
+) -> str:
+    """Fig 1b: cumulative queries over time, one curve per system."""
+    lines = ["Fig 1b — Cumulative queries completed over time"]
+    for result in results:
+        times, cum = cumulative_curve(result, resolution)
+        area = (areas_vs_ideal or {}).get(result.sut_name)
+        suffix = f"  area-vs-ideal={area:,.0f} q·s" if area is not None else ""
+        lines.append(f"{result.sut_name:<22s} total={int(cum[-1]):7d}{suffix}")
+        lines.append(f"  {sparkline(np.diff(cum))}  (per-interval throughput)")
+    return "\n".join(lines)
+
+
+def render_fig1c(
+    bands_by_sut: Dict[str, List[LatencyBand]],
+    sla: float,
+    adjustment: Optional[Dict[str, float]] = None,
+) -> str:
+    """Fig 1c: SLA violation bands per interval."""
+    lines = [f"Fig 1c — SLA violation bands (SLA = {sla*1000:.2f} ms)"]
+    for sut_name, bands in bands_by_sut.items():
+        total_violations = sum(b.violated for b in bands)
+        total = sum(b.total for b in bands)
+        adj = (adjustment or {}).get(sut_name)
+        suffix = f"  adjustment-speed={adj:.2f} s" if adj is not None else ""
+        rate = total_violations / total if total else 0.0
+        lines.append(
+            f"{sut_name:<22s} violations={total_violations:6d}/{total:d} "
+            f"({rate:6.2%}){suffix}"
+        )
+        lines.append(f"  ok   {sparkline([b.within_sla for b in bands])}")
+        lines.append(f"  viol {sparkline([b.violated for b in bands])}")
+    return "\n".join(lines)
+
+
+def render_fig1c_multiband(
+    rows_by_sut: Dict[str, List[Tuple[float, List[int]]]],
+    thresholds: Sequence[float],
+) -> str:
+    """Fig 1c's multi-band variant (the paper's green-yellow-orange-red).
+
+    ``rows_by_sut`` maps SUT name to :func:`repro.metrics.sla.
+    multi_latency_bands` output; each interval's completions split into
+    ``len(thresholds) + 1`` latency classes.
+    """
+    labels = (
+        [f"<{thresholds[0]*1000:g}ms"]
+        + [
+            f"{lo*1000:g}-{hi*1000:g}ms"
+            for lo, hi in zip(thresholds, thresholds[1:])
+        ]
+        + [f">{thresholds[-1]*1000:g}ms"]
+    )
+    lines = [
+        "Fig 1c (multi-band) — latency classes per interval: "
+        + " / ".join(labels)
+    ]
+    for sut_name, rows in rows_by_sut.items():
+        totals = [sum(counts[band] for _, counts in rows)
+                  for band in range(len(labels))]
+        lines.append(
+            f"{sut_name:<22s} totals: "
+            + "  ".join(f"{label}={count}" for label, count in zip(labels, totals))
+        )
+        for band, label in enumerate(labels):
+            series = [counts[band] for _, counts in rows]
+            lines.append(f"  {label:>12s} {sparkline(series)}")
+    return "\n".join(lines)
+
+
+def render_fig1d(
+    learned_curve: Sequence[Tuple[float, float]],
+    traditional_levels: Sequence[Tuple[float, float]],
+    crossover: Optional[float],
+    learned_name: str = "learned",
+    traditional_name: str = "traditional",
+) -> str:
+    """Fig 1d: throughput per (training or DBA) cost."""
+    lines = [
+        "Fig 1d — Throughput per cost",
+        f"{'system':<22s} {'cost $':>10s} {'throughput (q/s)':>18s}",
+    ]
+    for cost, tp in sorted(learned_curve):
+        lines.append(f"{learned_name:<22s} {cost:10.6f} {tp:18.1f}")
+    for cost, tp in sorted(traditional_levels):
+        lines.append(f"{traditional_name:<22s} {cost:10.2f} {tp:18.1f}")
+    if crossover is not None:
+        lines.append(f"training cost to outperform: ${crossover:.6f}")
+    else:
+        lines.append("training cost to outperform: not reached on sampled curve")
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Full benchmark reports.
+
+:func:`build_report` assembles everything the paper says a learned-system
+benchmark should output for a scenario run — specialization breakdown,
+adaptability summary, SLA bands, and the cost decomposition — into one
+:class:`BenchmarkReport` that renders as text or exports as a dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.core.scenario import Scenario
+from repro.metrics.adaptability import AdaptabilityReport, adaptability_report
+from repro.metrics.cost import CostBreakdown, cost_breakdown
+from repro.metrics.descriptive import box_stats
+from repro.metrics.sla import LatencyBand, adjustment_speed, latency_bands
+from repro.metrics.specialization import SpecializationReport, specialization_report
+from repro.reporting.figures import render_fig1a, sparkline
+
+
+@dataclass
+class BenchmarkReport:
+    """Everything the benchmark reports about one run.
+
+    Attributes:
+        result: The underlying run record.
+        specialization: Fig 1a data.
+        adaptability: Fig 1b summary.
+        bands: Fig 1c bands (present when an SLA was supplied).
+        sla: The SLA threshold used for the bands.
+        adjustment: Fig 1c's single-value adjustment-speed metric.
+        cost: Fig 1d's per-run cost decomposition.
+    """
+
+    result: RunResult
+    specialization: SpecializationReport
+    adaptability: AdaptabilityReport
+    bands: Optional[List[LatencyBand]]
+    sla: Optional[float]
+    adjustment: Optional[float]
+    cost: CostBreakdown
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (excludes raw query log)."""
+        return {
+            "sut": self.result.sut_name,
+            "scenario": self.result.scenario_name,
+            "queries": len(self.result.queries),
+            "mean_throughput": self.result.mean_throughput(),
+            "specialization": self.specialization.rows(),
+            "adaptability": {
+                "area_vs_ideal": self.adaptability.area_vs_ideal,
+                "recovery_seconds": self.adaptability.recovery_seconds,
+                "throughput_cv": self.adaptability.throughput_cv,
+            },
+            "sla": self.sla,
+            "adjustment_speed": self.adjustment,
+            "cost": {
+                "training": self.cost.training_cost,
+                "execution": self.cost.execution_cost,
+                "per_kquery": self.cost.cost_per_kquery,
+            },
+            "training_events": len(self.result.training_events),
+        }
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        latencies = self.result.latencies()
+        lat_stats = box_stats(latencies) if latencies.size else None
+        lines = [
+            f"=== {self.result.sut_name} on {self.result.scenario_name} ===",
+            f"queries={len(self.result.queries)}  "
+            f"mean throughput={self.result.mean_throughput():.1f} q/s  "
+            f"training events={len(self.result.training_events)}",
+        ]
+        if lat_stats:
+            lines.append(
+                f"latency p50={lat_stats.median*1000:.2f}ms "
+                f"q3={lat_stats.q3*1000:.2f}ms max={lat_stats.maximum*1000:.2f}ms"
+            )
+        lines.append(render_fig1a([self.specialization]))
+        lines.append(
+            f"adaptability: area-vs-ideal={self.adaptability.area_vs_ideal:,.0f} q·s  "
+            f"recovery={self.adaptability.recovery_seconds}  "
+            f"throughput CV={self.adaptability.throughput_cv:.3f}"
+        )
+        if self.bands is not None and self.sla is not None:
+            violations = sum(b.violated for b in self.bands)
+            lines.append(
+                f"SLA({self.sla*1000:.2f}ms): {violations} violations; "
+                f"adjustment-speed={self.adjustment}"
+            )
+            lines.append(f"  viol {sparkline([b.violated for b in self.bands])}")
+        lines.append(
+            f"cost: training=${self.cost.training_cost:.4f} "
+            f"execution=${self.cost.execution_cost:.4f} "
+            f"(${self.cost.cost_per_kquery:.5f}/kquery)"
+        )
+        _, counts = self.result.throughput_series()
+        lines.append(f"  tp   {sparkline(counts)}")
+        return "\n".join(lines)
+
+
+def build_report(
+    result: RunResult,
+    scenario: Scenario,
+    sla: Optional[float] = None,
+    band_interval: float = 1.0,
+    adjustment_n: int = 1000,
+) -> BenchmarkReport:
+    """Assemble the full report for one run.
+
+    Args:
+        result: The run record.
+        scenario: The scenario that produced it.
+        sla: SLA threshold for the Fig 1c bands (None skips them).
+        band_interval: Band width in virtual seconds.
+        adjustment_n: N for the adjustment-speed metric.
+    """
+    spec = specialization_report(result, scenario)
+    adapt = adaptability_report(result)
+    bands = None
+    adjustment = None
+    if sla is not None:
+        bands = latency_bands(result, sla, interval=band_interval)
+        if len(result.segments) > 1:
+            change = result.segments[0][2]
+            adjustment = adjustment_speed(result, change, adjustment_n, sla)
+    return BenchmarkReport(
+        result=result,
+        specialization=spec,
+        adaptability=adapt,
+        bands=bands,
+        sla=sla,
+        adjustment=adjustment,
+        cost=cost_breakdown(result),
+    )

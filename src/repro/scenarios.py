@@ -1,0 +1,235 @@
+"""Canonical scenario builders for the paper's experiments.
+
+Each experiment in DESIGN.md §4 (F1a-F1d, L1-L4) uses one of these
+builders, and the examples reuse them, so the exact scenario definitions
+live in one place.
+
+All builders are deterministic for a given seed and scale with ``rate``
+and ``duration`` so tests can run them small and benchmarks large.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.phases import TrainingPhase
+from repro.core.scenario import Scenario, Segment
+from repro.data.datasets import Dataset, build_dataset
+from repro.workloads.distributions import (
+    HotspotDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+)
+from repro.workloads.drift import GradualDrift, NoDrift
+from repro.workloads.generators import OperationMix, WorkloadSpec, simple_spec
+from repro.workloads.patterns import BurstyArrivals, ConstantArrivals, DiurnalArrivals
+
+
+def hotspot(dataset: Dataset, position: float, width: float = 0.05,
+            fraction: float = 0.9) -> HotspotDistribution:
+    """A hotspot at ``position`` (0-1 of the key span) of the dataset."""
+    span = dataset.high - dataset.low
+    return HotspotDistribution(
+        dataset.low,
+        dataset.high,
+        hot_start=dataset.low + position * span,
+        hot_width=width * span,
+        hot_fraction=fraction,
+    )
+
+
+def specialization_ladder(
+    dataset: Dataset,
+    rate: float = 2000.0,
+    segment_duration: float = 20.0,
+    positions: Tuple[float, ...] = (0.1, 0.15, 0.3, 0.5, 0.8),
+    holdout_position: float = 0.95,
+    train_budget: float = 10.0,
+    seed: int = 11,
+) -> Tuple[Scenario, str]:
+    """The Fig 1a scenario: a ladder of increasingly distant hotspots.
+
+    Segment 0 is the baseline distribution (the one the SUT trains on);
+    later segments move the hotspot further away, increasing Φ. The last
+    segment is the hold-out distribution.
+
+    Returns:
+        (scenario, hold-out segment label).
+    """
+    segments: List[Segment] = []
+    for i, pos in enumerate(positions):
+        dist = hotspot(dataset, pos)
+        segments.append(
+            Segment(
+                spec=simple_spec(f"dist-{i}", dist, rate=rate, read_fraction=1.0),
+                duration=segment_duration,
+            )
+        )
+    holdout_label = "holdout"
+    segments.append(
+        Segment(
+            spec=simple_spec(
+                holdout_label, hotspot(dataset, holdout_position, width=0.02),
+                rate=rate, read_fraction=1.0,
+            ),
+            duration=segment_duration,
+        )
+    )
+    scenario = Scenario(
+        name="specialization-ladder",
+        segments=segments,
+        initial_training=TrainingPhase(budget_seconds=train_budget),
+        initial_keys=dataset.keys,
+        seed=seed,
+    )
+    return scenario, holdout_label
+
+
+def abrupt_shift(
+    dataset: Dataset,
+    rate: float = 3500.0,
+    segment_duration: float = 40.0,
+    position_a: float = 0.1,
+    position_b: float = 0.7,
+    train_budget: float = 10.0,
+    seed: int = 11,
+) -> Scenario:
+    """The Fig 1b/1c scenario: an abrupt hotspot shift mid-run."""
+    return Scenario(
+        name="abrupt-shift",
+        segments=[
+            Segment(
+                spec=simple_spec(
+                    "dist-A", hotspot(dataset, position_a), rate=rate,
+                    read_fraction=1.0,
+                ),
+                duration=segment_duration,
+            ),
+            Segment(
+                spec=simple_spec(
+                    "dist-B", hotspot(dataset, position_b), rate=rate,
+                    read_fraction=1.0,
+                ),
+                duration=segment_duration,
+            ),
+        ],
+        initial_training=TrainingPhase(budget_seconds=train_budget),
+        initial_keys=dataset.keys,
+        seed=seed,
+    )
+
+
+def gradual_shift(
+    dataset: Dataset,
+    rate: float = 3000.0,
+    total_duration: float = 80.0,
+    transition_fraction: float = 0.4,
+    seed: int = 13,
+    train_budget: float = 10.0,
+) -> Scenario:
+    """§V-B's gradual-transition variant: a linear mixing ramp.
+
+    A single segment whose key distribution ramps from hotspot A to
+    hotspot B over the middle ``transition_fraction`` of the run.
+    """
+    ramp_start = total_duration * (0.5 - transition_fraction / 2.0)
+    ramp = GradualDrift(
+        before=hotspot(dataset, 0.1),
+        after=hotspot(dataset, 0.7),
+        start=ramp_start,
+        duration=total_duration * transition_fraction,
+    )
+    spec = WorkloadSpec(
+        name="gradual",
+        mix=OperationMix.read_only(),
+        key_drift=ramp,
+        arrivals=ConstantArrivals(rate),
+    )
+    return Scenario(
+        name="gradual-shift",
+        segments=[Segment(spec=spec, duration=total_duration)],
+        initial_training=TrainingPhase(budget_seconds=train_budget),
+        initial_keys=dataset.keys,
+        seed=seed,
+    )
+
+
+def training_budget_scenario(
+    dataset: Dataset,
+    budget_seconds: float,
+    rate: float = 3000.0,
+    duration: float = 30.0,
+    seed: int = 17,
+) -> Scenario:
+    """The Fig 1d scenario: fixed workload, variable training budget."""
+    return Scenario(
+        name=f"budget-{budget_seconds:g}s",
+        segments=[
+            Segment(
+                spec=simple_spec(
+                    "steady", hotspot(dataset, 0.1), rate=rate, read_fraction=1.0
+                ),
+                duration=duration,
+            )
+        ],
+        initial_training=TrainingPhase(budget_seconds=budget_seconds),
+        initial_keys=dataset.keys,
+        seed=seed,
+    )
+
+
+def bursty_diurnal(
+    dataset: Dataset,
+    base_rate: float = 1500.0,
+    duration: float = 120.0,
+    seed: int = 23,
+    train_budget: float = 10.0,
+) -> Scenario:
+    """Load-pattern stressor: diurnal wave with bursts + Zipf keys."""
+    arrivals = BurstyArrivals(
+        base=base_rate,
+        bursts=[(duration * 0.3, duration * 0.05, 3.0),
+                (duration * 0.7, duration * 0.05, 3.0)],
+    )
+    spec = WorkloadSpec(
+        name="bursty",
+        mix=OperationMix.read_write(0.95),
+        key_drift=NoDrift(
+            ZipfDistribution(dataset.low, dataset.high, theta=0.99, n_items=10_000)
+        ),
+        arrivals=arrivals,
+    )
+    return Scenario(
+        name="bursty-diurnal",
+        segments=[Segment(spec=spec, duration=duration)],
+        initial_training=TrainingPhase(budget_seconds=train_budget),
+        initial_keys=dataset.keys,
+        seed=seed,
+    )
+
+
+def expected_access_sample(
+    scenario: Scenario, size: int = 4096, seed: int = 99
+) -> np.ndarray:
+    """A sample of the first segment's access distribution.
+
+    This is what a vendor 'teaching to the test' would train on (the
+    benchmark's published baseline distribution), and what an honest
+    operator would use as the best-available workload forecast for the
+    offline training phase.
+    """
+    rng = np.random.default_rng(seed)
+    first = scenario.segments[0]
+    return first.spec.key_drift.at(0.0).sample(rng, size)
+
+
+def default_dataset(n: int = 100_000, seed: int = 7) -> Dataset:
+    """The flagship dataset for the dynamic experiments.
+
+    ``osm`` is the lumpy, hard-for-learned-structures dataset (mirroring
+    SOSD's findings); it maximizes the contrast between specialized and
+    mis-specialized models, which is what the paper's metrics measure.
+    """
+    return build_dataset("osm", n=n, seed=seed)

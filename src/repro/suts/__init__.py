@@ -1,0 +1,47 @@
+"""Concrete systems under test.
+
+Key-value SUTs (driven by :class:`repro.core.driver.VirtualClockDriver`):
+
+* :class:`~repro.suts.kv_learned.LearnedKVStore` — workload-specialized
+  RMI with drift detection and online/offline retraining.
+* :class:`~repro.suts.kv_learned.StaticLearnedKVStore` — the same store
+  with adaptation disabled (the Lesson-1 overfitting strawman).
+* :class:`~repro.suts.kv_traditional.TraditionalKVStore` — B+ tree store
+  with step-wise DBA tuning levels.
+* :class:`~repro.suts.kv_traditional.HashKVStore` — hash-index store.
+
+Analytic SUTs (driven by :class:`repro.suts.analytic.AnalyticDriver`):
+
+* :class:`~repro.suts.analytic.LearnedOptimizerSUT` — bandit-steered
+  optimizer over the relational engine.
+* :class:`~repro.suts.analytic.TraditionalOptimizerSUT` — cost-based
+  optimizer with histogram cardinalities.
+"""
+
+from repro.suts.cost_models import KVCostModel, WORK_UNIT_SECONDS
+from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
+from repro.suts.kv_traditional import HashKVStore, TraditionalKVStore
+from repro.suts.kv_variants import AlexKVStore, PGMKVStore
+from repro.suts.analytic import (
+    AnalyticDriver,
+    AnalyticQuery,
+    AnalyticSUT,
+    LearnedOptimizerSUT,
+    TraditionalOptimizerSUT,
+)
+
+__all__ = [
+    "KVCostModel",
+    "WORK_UNIT_SECONDS",
+    "LearnedKVStore",
+    "StaticLearnedKVStore",
+    "TraditionalKVStore",
+    "HashKVStore",
+    "AlexKVStore",
+    "PGMKVStore",
+    "AnalyticDriver",
+    "AnalyticQuery",
+    "AnalyticSUT",
+    "LearnedOptimizerSUT",
+    "TraditionalOptimizerSUT",
+]

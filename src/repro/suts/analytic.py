@@ -1,0 +1,334 @@
+"""Analytic (query-optimization) systems under test.
+
+These SUTs host the learned-query-optimization experiments from §II of
+the paper: the same relational engine executes every plan, but *which*
+physical plan runs is chosen either by a traditional cost-based
+optimizer with (potentially stale) histogram statistics, or by a learned
+component — Bao-style bandit steering, optionally fed by a learned
+cardinality model that trains online from executed queries' observed
+cardinalities.
+
+The analytic path has its own small driver (:class:`AnalyticDriver`)
+because its queries are plans, not KV operations; it produces the same
+:class:`~repro.core.results.RunResult` records, so every Fig 1 metric
+applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.results import QueryRecord, RunResult
+from repro.core.sut import TrainingSummary
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.expressions import col
+from repro.engine.optimizer_base import CostBasedOptimizer
+from repro.engine.plans import Aggregate, Filter, Join, LogicalPlan, Scan
+from repro.errors import ConfigurationError
+from repro.learned.cardinality import HistogramEstimator, LearnedCardinalityEstimator
+from repro.learned.optimizer import BanditPlanSteering
+from repro.suts.cost_models import WORK_UNIT_SECONDS
+from repro.workloads.drift import DriftModel
+
+
+@dataclass(frozen=True)
+class AnalyticQuery:
+    """One analytic query instance.
+
+    Attributes:
+        plan: The logical plan to optimize and execute.
+        arrival_time: Virtual arrival timestamp.
+        kind: Template label ("filter" or "join").
+    """
+
+    plan: LogicalPlan
+    arrival_time: float
+    kind: str
+
+
+class AnalyticWorkload:
+    """Generates filter/join queries with drifting predicate ranges.
+
+    Queries follow two templates over an orders/customers schema:
+
+    * ``filter``: ``SELECT avg(amount) FROM orders WHERE amount BETWEEN
+      θ AND θ+w`` with θ drawn from a (driftable) distribution.
+    * ``join``: the same filter joined to ``customers`` on ``cid``.
+
+    Args:
+        threshold_drift: Distribution (over the ``amount`` domain) the
+            filter's lower bound is drawn from; drifting it changes
+            which selectivity regime queries hit.
+        window: Width of the BETWEEN range.
+        join_fraction: Share of queries using the join template.
+        seed: Generator seed.
+    """
+
+    def __init__(
+        self,
+        threshold_drift: DriftModel,
+        window: float = 50.0,
+        join_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= join_fraction <= 1.0:
+            raise ConfigurationError("join_fraction must be in [0,1]")
+        self.threshold_drift = threshold_drift
+        self.window = window
+        self.join_fraction = join_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def next_query(self, t: float) -> AnalyticQuery:
+        """Generate the query arriving at virtual time ``t``."""
+        theta = float(self.threshold_drift.at(t).sample(self._rng, 1)[0])
+        predicate = col("amount").between(theta, theta + self.window)
+        filtered = Filter(Scan("orders"), predicate)
+        if self._rng.uniform() < self.join_fraction:
+            joined = Join(filtered, Scan("customers"), "cid", "cid")
+            plan: LogicalPlan = Aggregate(joined, "count")
+            kind = "join"
+        else:
+            plan = Aggregate(filtered, "avg", "amount")
+            kind = "filter"
+        return AnalyticQuery(plan=plan, arrival_time=t, kind=kind)
+
+
+class AnalyticSUT:
+    """Base analytic system: owns a catalog, executes chosen plans."""
+
+    def __init__(self, name: str, catalog: Catalog) -> None:
+        self.name = name
+        self.catalog = catalog
+        self.executor = Executor(catalog)
+        self.training = TrainingSummary()
+
+    def setup(self) -> None:
+        """Called once before a run (statistics collection etc.)."""
+
+    def execute(self, query: AnalyticQuery, now: float) -> float:
+        """Optimize + execute; return virtual service time."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-friendly description."""
+        return {"name": self.name, "class": type(self).__name__}
+
+
+class TraditionalOptimizerSUT(AnalyticSUT):
+    """Cost-based optimizer over histogram statistics.
+
+    Statistics are collected once at :meth:`setup` (``ANALYZE``); if the
+    data changes afterwards, the estimates go stale — the classical
+    failure mode that motivates learned cardinalities.
+
+    Args:
+        name: SUT name.
+        catalog: Tables to query.
+        plan_overhead_s: Virtual seconds charged per optimization call.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        name: str = "traditional-optimizer",
+        plan_overhead_s: float = 100e-6,
+    ) -> None:
+        super().__init__(name, catalog)
+        self.estimator = HistogramEstimator()
+        self.optimizer = CostBasedOptimizer(self.estimator)
+        self.plan_overhead_s = plan_overhead_s
+
+    def setup(self) -> None:
+        for table_name in self.catalog.names():
+            self.estimator.analyze(self.catalog, table_name)
+
+    def execute(self, query: AnalyticQuery, now: float) -> float:
+        chosen = self.optimizer.optimize(query.plan, self.catalog)
+        result = self.executor.execute(chosen.plan)
+        return self.plan_overhead_s + result.work * WORK_UNIT_SECONDS
+
+
+class LearnedOptimizerSUT(AnalyticSUT):
+    """Bandit plan steering, optionally with learned cardinalities.
+
+    Every executed query feeds back its observed work to the bandit and
+    (when enabled) its observed per-node cardinalities to the learned
+    cardinality model — online learning whose early exploration cost is
+    visible to the adaptability metrics.
+
+    Args:
+        catalog: Tables to query.
+        name: SUT name.
+        use_learned_cardinality: Train/use a learned estimator for the
+            steering arms' cost model (after a warm-up of observed
+            queries); otherwise arms use histograms.
+        seed: Bandit RNG seed.
+        plan_overhead_s: Virtual seconds charged per optimization call.
+        warmup_queries: Observed queries before the learned estimator
+            replaces the histogram inside the arms.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        name: str = "learned-optimizer",
+        use_learned_cardinality: bool = True,
+        seed: int = 0,
+        plan_overhead_s: float = 150e-6,
+        warmup_queries: int = 50,
+    ) -> None:
+        super().__init__(name, catalog)
+        self.histograms = HistogramEstimator()
+        self.use_learned_cardinality = use_learned_cardinality
+        self.warmup_queries = warmup_queries
+        self.learned_cards = LearnedCardinalityEstimator(
+            tracked_columns=[("orders", "amount")]
+        )
+        self.steering = BanditPlanSteering(self.histograms, seed=seed)
+        self.plan_overhead_s = plan_overhead_s
+        self._observed = 0
+
+    def setup(self) -> None:
+        for table_name in self.catalog.names():
+            self.histograms.analyze(self.catalog, table_name)
+        self.learned_cards.bind_statistics(self.catalog)
+
+    def execute(self, query: AnalyticQuery, now: float) -> float:
+        if (
+            self.use_learned_cardinality
+            and self._observed >= self.warmup_queries
+        ):
+            self.steering._estimator = self.learned_cards  # switched-in model
+        choice = self.steering.choose(query.plan, self.catalog)
+        executed = choice.plan_cost.plan
+        result = self.executor.execute(executed)
+        self.steering.learn(choice, result.work, query.plan, self.catalog)
+        if self.use_learned_cardinality:
+            # Ground truth collected during execution, per §IV: every
+            # Filter/Join node of the executed plan yields one label.
+            stack = [executed]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (Filter, Join)):
+                    card = result.cardinalities.get(node.canonical())
+                    if card is not None:
+                        self.learned_cards.observe(node, float(card), self.catalog)
+                stack.extend(node.children())
+        self._observed += 1
+        return self.plan_overhead_s + result.work * WORK_UNIT_SECONDS
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(
+            arm_counts=self.steering.arm_counts,
+            learned_examples=self.learned_cards.trained_examples,
+        )
+        return out
+
+
+class AnalyticDriver:
+    """Virtual-clock driver for analytic SUTs.
+
+    Mirrors :class:`~repro.core.driver.VirtualClockDriver` (open-loop
+    arrivals into a single-server FIFO queue) for plan-shaped queries.
+
+    Segments are ``(label, workload, duration, rate)`` tuples executed
+    back to back.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(
+        self,
+        sut: AnalyticSUT,
+        segments: List[Tuple[str, AnalyticWorkload, float, float]],
+        scenario_name: str = "analytic",
+        segment_hooks: Optional[dict] = None,
+    ) -> RunResult:
+        """Run the segment schedule against ``sut``.
+
+        Args:
+            segment_hooks: Optional ``{label: callable}`` map; a hook runs
+                once when its segment starts (e.g., to inject data into
+                the catalog mid-run — the stale-statistics scenario).
+        """
+        sut.setup()
+        rng = np.random.default_rng(self.seed)
+        records: List[QueryRecord] = []
+        boundaries: List[Tuple[str, float, float]] = []
+        server_free = 0.0
+        seg_start = 0.0
+        hooks = segment_hooks or {}
+        for label, workload, duration, rate in segments:
+            if label in hooks:
+                hooks[label]()
+            if duration <= 0 or rate < 0:
+                raise ConfigurationError("duration must be > 0 and rate >= 0")
+            count = int(rate * duration)
+            arrivals = np.sort(rng.uniform(seg_start, seg_start + duration, count))
+            for arrival in arrivals:
+                arrival = float(arrival)
+                query = workload.next_query(arrival)
+                start = max(arrival, server_free)
+                service = max(1e-9, sut.execute(query, start))
+                completion = start + service
+                server_free = completion
+                records.append(
+                    QueryRecord(
+                        arrival=arrival,
+                        start=start,
+                        completion=completion,
+                        op=query.kind,
+                        segment=label,
+                    )
+                )
+            boundaries.append((label, seg_start, seg_start + duration))
+            seg_start += duration
+        return RunResult(
+            sut_name=sut.name,
+            scenario_name=scenario_name,
+            queries=records,
+            segments=boundaries,
+            training_events=[],
+            sut_description=sut.describe(),
+        )
+
+
+def build_analytic_catalog(
+    n_orders: int = 4000, n_customers: int = 400, seed: int = 0
+) -> Catalog:
+    """Standard orders/customers catalog for the analytic experiments."""
+    from repro.engine.schema import ColumnType, Schema
+    from repro.engine.table import Table
+
+    rng = np.random.default_rng(seed)
+    orders = Table.from_columns(
+        "orders",
+        Schema.of(
+            ("oid", ColumnType.INT),
+            ("cid", ColumnType.INT),
+            ("amount", ColumnType.FLOAT),
+        ),
+        {
+            "oid": np.arange(n_orders),
+            "cid": rng.integers(0, n_customers, n_orders),
+            "amount": rng.exponential(100.0, n_orders),
+        },
+    )
+    customers = Table.from_columns(
+        "customers",
+        Schema.of(("cid", ColumnType.INT), ("region", ColumnType.INT)),
+        {
+            "cid": np.arange(n_customers),
+            "region": rng.integers(0, 10, n_customers),
+        },
+    )
+    catalog = Catalog()
+    catalog.register(orders)
+    catalog.register(customers)
+    return catalog

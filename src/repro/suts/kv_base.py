@@ -1,0 +1,135 @@
+"""Shared machinery for key-value systems under test.
+
+Workload generators sample keys from continuous distributions, so a
+requested key almost never exactly equals a stored key. Following YCSB's
+convention that operations target existing records, the base SUT *snaps*
+each requested key to the nearest stored key (driver-side bookkeeping, no
+virtual time charged) and then executes the real operation on the real
+index; the index's stats delta is what gets priced into service time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Optional, Tuple
+
+from repro.core.sut import SystemUnderTest
+from repro.errors import KeyNotFoundError
+from repro.indexes.base import OrderedIndex
+from repro.suts.cost_models import KVCostModel
+from repro.workloads.generators import KVOperation, KVQuery
+
+
+class KVStoreBase(SystemUnderTest):
+    """A key-value SUT wrapping one :class:`OrderedIndex`.
+
+    Args:
+        name: SUT name.
+        index: The underlying index structure.
+        cost_model: Operation-to-seconds conversion.
+        tuning_level: DBA tuning level applied to service times
+            (traditional systems; learned systems leave it at 0).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        index: OrderedIndex,
+        cost_model: Optional[KVCostModel] = None,
+        tuning_level: int = 0,
+    ) -> None:
+        super().__init__(name)
+        self.index = index
+        self.cost_model = cost_model or KVCostModel()
+        self.tuning_level = tuning_level
+        self._mirror: List[float] = []
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def setup(self, pairs: List[Tuple[float, object]]) -> None:
+        self.index.bulk_load(pairs)
+        self._mirror = sorted(k for k, _ in pairs)
+
+    def inject(self, pairs: List[Tuple[float, object]]) -> None:
+        """Bulk data injection: loads the index, skips the clock."""
+        for key, value in pairs:
+            self.index.insert(key, value)
+            bisect.insort(self._mirror, key)
+
+    def teardown(self) -> None:
+        self._mirror = []
+
+    # -- key snapping --------------------------------------------------------------
+
+    def _snap(self, key: float) -> Optional[float]:
+        """Nearest stored key to ``key`` (None when the store is empty)."""
+        if not self._mirror:
+            return None
+        pos = bisect.bisect_left(self._mirror, key)
+        if pos >= len(self._mirror):
+            return self._mirror[-1]
+        if pos == 0:
+            return self._mirror[0]
+        before, after = self._mirror[pos - 1], self._mirror[pos]
+        return before if key - before <= after - key else after
+
+    def _scan_bounds(self, key: float, length: int) -> Tuple[float, float]:
+        """Start/end stored keys covering ``length`` items from ``key``."""
+        pos = bisect.bisect_left(self._mirror, key)
+        pos = min(pos, len(self._mirror) - 1)
+        end = min(pos + max(1, length) - 1, len(self._mirror) - 1)
+        return self._mirror[pos], self._mirror[end]
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, query: KVQuery, now: float) -> float:
+        """Run the real operation; return its virtual service time."""
+        before = self.index.stats.snapshot()
+        writes = 0
+        scanned = 0
+        if query.op == KVOperation.READ:
+            target = self._snap(query.key)
+            if target is not None:
+                self.index.get(target)
+        elif query.op == KVOperation.UPDATE:
+            target = self._snap(query.key)
+            if target is not None:
+                self.index.insert(target, now)
+                writes = 1
+        elif query.op == KVOperation.INSERT:
+            self.index.insert(query.key, now)
+            bisect.insort(self._mirror, query.key)
+            writes = 1
+        elif query.op == KVOperation.SCAN:
+            if self._mirror:
+                low, high = self._scan_bounds(query.key, query.scan_length)
+                scanned = len(self.index.range(low, high))
+        elif query.op == KVOperation.READ_MODIFY_WRITE:
+            target = self._snap(query.key)
+            if target is not None:
+                value = self.index.get(target)
+                self.index.insert(target, value)
+                writes = 1
+        delta = self.index.stats.snapshot().diff(before)
+        self._after_execute(query, now)
+        return self.cost_model.service_time(
+            delta,
+            writes=writes,
+            scanned_items=scanned,
+            tuning_level=self.tuning_level,
+        )
+
+    def _after_execute(self, query: KVQuery, now: float) -> None:
+        """Hook for subclasses (drift observation etc.). Default: none."""
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def stored_keys(self) -> int:
+        """Number of keys currently stored."""
+        return len(self._mirror)
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(index=self.index.name, tuning_level=self.tuning_level)
+        return out

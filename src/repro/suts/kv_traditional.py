@@ -1,0 +1,66 @@
+"""Traditional key-value systems under test.
+
+:class:`TraditionalKVStore` is the B+ tree system the learned stores are
+compared against. It never trains; instead, a database administrator can
+raise its *tuning level* (§V-D3's step function of manual optimization
+effort), each step buying a fixed service-time speedup — page-size,
+fill-factor, and cache tuning rolled into one knob. The Fig 1d experiment
+prices those steps with :class:`repro.metrics.cost.DBAModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.indexes.btree import BPlusTree
+from repro.indexes.hashindex import HashIndex
+from repro.suts.cost_models import KVCostModel
+from repro.suts.kv_base import KVStoreBase
+
+
+class TraditionalKVStore(KVStoreBase):
+    """B+ tree key-value store with DBA tuning levels.
+
+    Args:
+        name: SUT name (defaults to ``btree-kv``).
+        order: B+ tree fanout.
+        tuning_level: Initial DBA tuning level (0 = shipped defaults).
+        cost_model: Cost constants (shared across compared SUTs).
+    """
+
+    def __init__(
+        self,
+        name: str = "btree-kv",
+        order: int = 64,
+        tuning_level: int = 0,
+        cost_model: Optional[KVCostModel] = None,
+    ) -> None:
+        model = cost_model or KVCostModel()
+        if not 0 <= tuning_level < len(model.tuning_speedups):
+            raise ConfigurationError(
+                f"tuning_level must be in [0, {len(model.tuning_speedups)}), "
+                f"got {tuning_level}"
+            )
+        super().__init__(
+            name, BPlusTree(order=order), cost_model=model, tuning_level=tuning_level
+        )
+
+    def tune(self, level: int) -> None:
+        """Apply DBA tuning up to ``level`` (monotone; cannot untune)."""
+        if not 0 <= level < len(self.cost_model.tuning_speedups):
+            raise ConfigurationError(f"invalid tuning level {level}")
+        self.tuning_level = max(self.tuning_level, level)
+
+
+class HashKVStore(KVStoreBase):
+    """Hash-index store: O(1) points, catastrophic scans.
+
+    Included so scan-heavy scenarios (YCSB-E) have the classical
+    structure-mismatch baseline.
+    """
+
+    def __init__(
+        self, name: str = "hash-kv", cost_model: Optional[KVCostModel] = None
+    ) -> None:
+        super().__init__(name, HashIndex(), cost_model=cost_model)

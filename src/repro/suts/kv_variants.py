@@ -1,0 +1,80 @@
+"""Additional learned KV store variants.
+
+* :class:`AlexKVStore` — backed by the updatable ALEX-like index: inserts
+  land in gapped arrays via model predictions (no delta buffer, no bulk
+  retrains), which is the write-optimized learned design point.
+* :class:`PGMKVStore` — backed by the ε-bounded PGM index: worst-case
+  lookup cost is bounded by ε regardless of data shape, the robust
+  design point.
+
+Both make the benchmark's design-space comparisons (bench A4/A5) honest:
+the same driver, cost model, and metrics, different learned structures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.indexes.alex import AdaptiveLearnedIndex
+from repro.indexes.pgm import PGMIndex
+from repro.suts.cost_models import KVCostModel
+from repro.suts.kv_base import KVStoreBase
+
+
+class AlexKVStore(KVStoreBase):
+    """KV store over the ALEX-like gapped-array learned index.
+
+    Adapts *structurally* (node splits and local model rebuilds happen
+    inline as data arrives) rather than via scheduled retraining, so it
+    needs no drift detector; its training cost is implicit in the
+    per-operation work the cost model already charges.
+    """
+
+    def __init__(
+        self,
+        name: str = "alex-kv",
+        node_capacity: int = 256,
+        density: float = 0.7,
+        cost_model: Optional[KVCostModel] = None,
+    ) -> None:
+        super().__init__(
+            name,
+            AdaptiveLearnedIndex(node_capacity=node_capacity, density=density),
+            cost_model=cost_model,
+        )
+
+
+class PGMKVStore(KVStoreBase):
+    """KV store over the ε-bounded PGM index.
+
+    Lookup cost is capped by ε by construction, so this store trades the
+    RMI's best-case speed for worst-case robustness. Inserts buffer into
+    a delta merged on ``offline_train`` or when the delta exceeds
+    ``max_delta`` (charged inline by the index's counted work).
+    """
+
+    def __init__(
+        self,
+        name: str = "pgm-kv",
+        epsilon: int = 32,
+        max_delta: int = 4096,
+        cost_model: Optional[KVCostModel] = None,
+    ) -> None:
+        super().__init__(
+            name,
+            PGMIndex(epsilon=epsilon, max_delta=max_delta),
+            cost_model=cost_model,
+        )
+
+    def offline_train(self, budget_seconds: float) -> float:
+        """Rebuild the PLA within the budget (linear in stored keys)."""
+        if budget_seconds <= 0:
+            return 0.0
+        need = self.cost_model.full_retrain_seconds(max(1, self.stored_keys))
+        if budget_seconds < need:
+            return 0.0  # partial PLA builds are not meaningful
+        index = self.index
+        assert isinstance(index, PGMIndex)
+        index.retrain()
+        self.training.add(need)
+        return need

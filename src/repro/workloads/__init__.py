@@ -1,0 +1,92 @@
+"""Workload and data-distribution generation.
+
+The paper's Lesson 1 is that benchmarks must "abstain from fixed workloads
+and databases". This subpackage provides the dynamic machinery:
+
+* :mod:`~repro.workloads.distributions` — parametric key distributions.
+* :mod:`~repro.workloads.drift` — distribution evolution over virtual time.
+* :mod:`~repro.workloads.patterns` — arrival-rate processes (diurnal,
+  bursts, ramps).
+* :mod:`~repro.workloads.generators` — seedable query-stream generators.
+* :mod:`~repro.workloads.ycsb` — YCSB core workload presets A-F.
+* :mod:`~repro.workloads.quality` — the dataset/workload quality scorer
+  proposed in §V-C of the paper.
+* :mod:`~repro.workloads.synthesizer` — fit a synthetic generator to a
+  data sample (the paper's email-address substitution idea).
+"""
+
+from repro.workloads.distributions import (
+    Distribution,
+    HotspotDistribution,
+    LognormalDistribution,
+    MixtureDistribution,
+    NormalDistribution,
+    PiecewiseDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+)
+from repro.workloads.drift import (
+    AbruptDrift,
+    DriftModel,
+    GradualDrift,
+    GrowingSkewDrift,
+    NoDrift,
+    RotatingHotspotDrift,
+)
+from repro.workloads.patterns import (
+    ArrivalProcess,
+    BurstyArrivals,
+    CompositeArrivals,
+    ConstantArrivals,
+    DiurnalArrivals,
+    RampArrivals,
+)
+from repro.workloads.generators import (
+    KVOperation,
+    KVQuery,
+    KVWorkload,
+    MixSchedule,
+    OperationMix,
+    WorkloadSpec,
+)
+from repro.workloads.ycsb import ycsb_workload
+from repro.workloads.quality import (
+    DatasetQualityReport,
+    WorkloadQualityReport,
+    score_dataset,
+    score_workload,
+)
+
+__all__ = [
+    "Distribution",
+    "UniformDistribution",
+    "ZipfDistribution",
+    "NormalDistribution",
+    "LognormalDistribution",
+    "MixtureDistribution",
+    "PiecewiseDistribution",
+    "HotspotDistribution",
+    "DriftModel",
+    "NoDrift",
+    "AbruptDrift",
+    "GradualDrift",
+    "RotatingHotspotDrift",
+    "GrowingSkewDrift",
+    "ArrivalProcess",
+    "ConstantArrivals",
+    "DiurnalArrivals",
+    "BurstyArrivals",
+    "RampArrivals",
+    "CompositeArrivals",
+    "KVOperation",
+    "KVQuery",
+    "OperationMix",
+    "MixSchedule",
+    "KVWorkload",
+    "WorkloadSpec",
+    "ycsb_workload",
+    "score_dataset",
+    "score_workload",
+    "DatasetQualityReport",
+    "WorkloadQualityReport",
+]

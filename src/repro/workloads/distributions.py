@@ -1,0 +1,327 @@
+"""Parametric key distributions.
+
+Each :class:`Distribution` can sample keys, report its CDF, and describe
+itself for similarity estimation (KS / MMD in
+:mod:`repro.metrics.similarity`). All sampling goes through an explicit
+``numpy.random.Generator`` so every benchmark run is reproducible.
+
+The catalog covers the phenomena the paper says real deployments exhibit
+and uniform benchmarks miss: skew (Zipf, lognormal), locality (hotspot),
+multi-modality (mixture), and arbitrary shapes (piecewise).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Distribution(ABC):
+    """A distribution over keys in a fixed domain ``[low, high)``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not high > low:
+            raise ConfigurationError(f"empty domain: [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` keys."""
+
+    @abstractmethod
+    def cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Evaluate the CDF at ``xs``."""
+
+    @property
+    def name(self) -> str:
+        """Short descriptive name."""
+        return type(self).__name__.replace("Distribution", "").lower()
+
+    def describe(self) -> dict:
+        """JSON-friendly description of the distribution's parameters."""
+        return {"kind": self.name, "low": self.low, "high": self.high}
+
+    def _clip(self, xs: np.ndarray) -> np.ndarray:
+        return np.clip(xs, self.low, np.nextafter(self.high, self.low))
+
+
+class UniformDistribution(Distribution):
+    """Uniform keys over ``[low, high)`` — the classic benchmark default
+    the paper criticizes as unrealistically easy."""
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, n)
+
+    def cdf(self, xs: np.ndarray) -> np.ndarray:
+        return np.clip((np.asarray(xs) - self.low) / (self.high - self.low), 0.0, 1.0)
+
+
+class ZipfDistribution(Distribution):
+    """Zipf-distributed ranks mapped onto the key domain.
+
+    Rank ``r`` (1-based, out of ``n_items``) has probability proportional
+    to ``r ** -theta``. Ranks are scattered over the domain with a fixed
+    permutation derived from ``permute_seed`` so that popular keys are not
+    trivially clustered at the domain edge (matching YCSB's scrambled
+    Zipfian). ``theta = 0`` degenerates to uniform ranks.
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        theta: float = 0.99,
+        n_items: int = 100_000,
+        permute_seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__(low, high)
+        if theta < 0:
+            raise ConfigurationError(f"theta must be >= 0, got {theta}")
+        if n_items < 1:
+            raise ConfigurationError(f"n_items must be >= 1, got {n_items}")
+        self.theta = float(theta)
+        self.n_items = int(n_items)
+        self.permute_seed = permute_seed
+        ranks = np.arange(1, self.n_items + 1, dtype=np.float64)
+        weights = ranks ** (-self.theta)
+        self._probs = weights / weights.sum()
+        self._cum = np.cumsum(self._probs)
+        if permute_seed is None:
+            self._perm = np.arange(self.n_items)
+        else:
+            self._perm = np.random.default_rng(permute_seed).permutation(self.n_items)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.uniform(0.0, 1.0, n)
+        ranks = np.searchsorted(self._cum, u)
+        slots = self._perm[np.minimum(ranks, self.n_items - 1)]
+        width = (self.high - self.low) / self.n_items
+        jitter = rng.uniform(0.0, width, n)
+        return self._clip(self.low + slots * width + jitter)
+
+    def cdf(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.float64)
+        width = (self.high - self.low) / self.n_items
+        slots = np.clip(((xs - self.low) / width).astype(np.int64), 0, self.n_items - 1)
+        slot_probs = np.zeros(self.n_items)
+        slot_probs[self._perm] = self._probs
+        cum_slots = np.concatenate([[0.0], np.cumsum(slot_probs)])
+        frac = np.clip((xs - self.low) / width - slots, 0.0, 1.0)
+        out = cum_slots[slots] + frac * slot_probs[slots]
+        out = np.where(xs <= self.low, 0.0, out)
+        out = np.where(xs >= self.high, 1.0, out)
+        return out
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(theta=self.theta, n_items=self.n_items)
+        return out
+
+
+class NormalDistribution(Distribution):
+    """Truncated normal over the key domain."""
+
+    def __init__(self, low: float, high: float, mean: float, std: float) -> None:
+        super().__init__(low, high)
+        if std <= 0:
+            raise ConfigurationError(f"std must be > 0, got {std}")
+        self.mean = float(mean)
+        self.std = float(std)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self._clip(rng.normal(self.mean, self.std, n))
+
+    def cdf(self, xs: np.ndarray) -> np.ndarray:
+        from scipy.stats import norm
+
+        xs = np.asarray(xs, dtype=np.float64)
+        raw = norm.cdf(xs, loc=self.mean, scale=self.std)
+        lo = norm.cdf(self.low, loc=self.mean, scale=self.std)
+        hi = norm.cdf(self.high, loc=self.mean, scale=self.std)
+        span = max(hi - lo, 1e-12)
+        return np.clip((raw - lo) / span, 0.0, 1.0)
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(mean=self.mean, std=self.std)
+        return out
+
+
+class LognormalDistribution(Distribution):
+    """Lognormal keys shifted to start at ``low`` (heavy right tail)."""
+
+    def __init__(self, low: float, high: float, mu: float = 0.0, sigma: float = 1.0) -> None:
+        super().__init__(low, high)
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be > 0, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        # Scale so that the 99.9th percentile maps near the top of the domain.
+        from scipy.stats import lognorm
+
+        p999 = lognorm.ppf(0.999, s=self.sigma, scale=np.exp(self.mu))
+        self._scale = (self.high - self.low) / max(p999, 1e-12)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        raw = rng.lognormal(self.mu, self.sigma, n) * self._scale
+        return self._clip(self.low + raw)
+
+    def cdf(self, xs: np.ndarray) -> np.ndarray:
+        from scipy.stats import lognorm
+
+        xs = np.asarray(xs, dtype=np.float64)
+        raw = (xs - self.low) / self._scale
+        out = lognorm.cdf(raw, s=self.sigma, scale=np.exp(self.mu))
+        out = np.where(xs >= self.high, 1.0, out)
+        return np.clip(out, 0.0, 1.0)
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(mu=self.mu, sigma=self.sigma)
+        return out
+
+
+class MixtureDistribution(Distribution):
+    """Weighted mixture of component distributions (multi-modal data)."""
+
+    def __init__(
+        self, components: Sequence[Distribution], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        if not components:
+            raise ConfigurationError("mixture needs at least one component")
+        low = min(c.low for c in components)
+        high = max(c.high for c in components)
+        super().__init__(low, high)
+        self.components: List[Distribution] = list(components)
+        if weights is None:
+            weights = [1.0] * len(self.components)
+        if len(weights) != len(self.components):
+            raise ConfigurationError("weights/components length mismatch")
+        w = np.asarray(weights, dtype=np.float64)
+        if (w < 0).any() or w.sum() <= 0:
+            raise ConfigurationError("weights must be non-negative, not all zero")
+        self.weights = w / w.sum()
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        choices = rng.choice(len(self.components), size=n, p=self.weights)
+        out = np.empty(n, dtype=np.float64)
+        for i, comp in enumerate(self.components):
+            mask = choices == i
+            count = int(mask.sum())
+            if count:
+                out[mask] = comp.sample(rng, count)
+        return out
+
+    def cdf(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.float64)
+        out = np.zeros_like(xs, dtype=np.float64)
+        for w, comp in zip(self.weights, self.components):
+            out += w * comp.cdf(xs)
+        return out
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(
+            weights=self.weights.tolist(),
+            components=[c.describe() for c in self.components],
+        )
+        return out
+
+
+class HotspotDistribution(Distribution):
+    """A fraction of accesses hits a narrow hot range, the rest is uniform.
+
+    ``hot_fraction`` of samples land uniformly inside the hot range
+    ``[hot_start, hot_start + hot_width)``; the remainder covers the whole
+    domain. Rotating the hot range over time is the paper's "diurnal /
+    shifting access pattern" scenario (see
+    :class:`repro.workloads.drift.RotatingHotspotDrift`).
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        hot_start: float,
+        hot_width: float,
+        hot_fraction: float = 0.9,
+    ) -> None:
+        super().__init__(low, high)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ConfigurationError(f"hot_fraction must be in [0,1], got {hot_fraction}")
+        if hot_width <= 0:
+            raise ConfigurationError(f"hot_width must be > 0, got {hot_width}")
+        self.hot_start = float(hot_start)
+        self.hot_width = float(min(hot_width, high - low))
+        self.hot_fraction = float(hot_fraction)
+
+    def _hot_bounds(self) -> tuple:
+        start = self.low + (self.hot_start - self.low) % (self.high - self.low)
+        end = min(start + self.hot_width, self.high)
+        return start, end
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        start, end = self._hot_bounds()
+        hot = rng.uniform(0.0, 1.0, n) < self.hot_fraction
+        out = rng.uniform(self.low, self.high, n)
+        n_hot = int(hot.sum())
+        if n_hot:
+            out[hot] = rng.uniform(start, end, n_hot)
+        return out
+
+    def cdf(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.float64)
+        start, end = self._hot_bounds()
+        base = np.clip((xs - self.low) / (self.high - self.low), 0.0, 1.0)
+        hot = np.clip((xs - start) / max(end - start, 1e-12), 0.0, 1.0)
+        return (1.0 - self.hot_fraction) * base + self.hot_fraction * hot
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(
+            hot_start=self.hot_start,
+            hot_width=self.hot_width,
+            hot_fraction=self.hot_fraction,
+        )
+        return out
+
+
+class PiecewiseDistribution(Distribution):
+    """Histogram-shaped distribution from per-bucket weights.
+
+    The domain splits into ``len(weights)`` equal buckets; a sample picks a
+    bucket proportionally to its weight and is uniform within it. This is
+    the workhorse for synthesizing arbitrary data shapes (and is what
+    :mod:`repro.workloads.synthesizer` fits to samples).
+    """
+
+    def __init__(self, low: float, high: float, weights: Sequence[float]) -> None:
+        super().__init__(low, high)
+        w = np.asarray(list(weights), dtype=np.float64)
+        if w.size == 0 or (w < 0).any() or w.sum() <= 0:
+            raise ConfigurationError("weights must be non-empty, non-negative, not all zero")
+        self.weights = w / w.sum()
+        self._cum = np.concatenate([[0.0], np.cumsum(self.weights)])
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        buckets = rng.choice(len(self.weights), size=n, p=self.weights)
+        width = (self.high - self.low) / len(self.weights)
+        return self.low + (buckets + rng.uniform(0.0, 1.0, n)) * width
+
+    def cdf(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.float64)
+        width = (self.high - self.low) / len(self.weights)
+        pos = np.clip((xs - self.low) / width, 0.0, len(self.weights))
+        buckets = np.minimum(pos.astype(np.int64), len(self.weights) - 1)
+        frac = pos - buckets
+        return np.clip(self._cum[buckets] + frac * self.weights[buckets], 0.0, 1.0)
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(weights=self.weights.tolist())
+        return out

@@ -1,0 +1,233 @@
+"""Distribution drift models.
+
+A :class:`DriftModel` turns virtual time into a :class:`Distribution`, so
+the benchmark driver can ask "what does the key distribution look like at
+t = 137.2s?". The catalog implements the transition types the paper calls
+out in §V-B — abrupt switches and slow (gradual) transitions — plus two
+continuous real-world patterns it motivates in §I/§III: rotating hotspots
+(diurnal access locality) and skew that grows over time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import (
+    Distribution,
+    HotspotDistribution,
+    MixtureDistribution,
+    ZipfDistribution,
+)
+
+
+class DriftModel(ABC):
+    """Maps virtual time (seconds) to the active key distribution."""
+
+    @abstractmethod
+    def at(self, t: float) -> Distribution:
+        """Return the distribution in effect at virtual time ``t``."""
+
+    def describe(self) -> dict:
+        """JSON-friendly description of the drift model."""
+        return {"kind": type(self).__name__}
+
+
+class NoDrift(DriftModel):
+    """A fixed distribution — the traditional-benchmark baseline."""
+
+    def __init__(self, distribution: Distribution) -> None:
+        self.distribution = distribution
+
+    def at(self, t: float) -> Distribution:
+        return self.distribution
+
+    def describe(self) -> dict:
+        return {"kind": "NoDrift", "distribution": self.distribution.describe()}
+
+
+class AbruptDrift(DriftModel):
+    """Switches instantly between distributions at given times.
+
+    ``change_times[i]`` is the virtual time at which ``distributions[i+1]``
+    takes over from ``distributions[i]``.
+    """
+
+    def __init__(
+        self, distributions: Sequence[Distribution], change_times: Sequence[float]
+    ) -> None:
+        if len(distributions) != len(change_times) + 1:
+            raise ConfigurationError(
+                "need exactly one more distribution than change times"
+            )
+        if list(change_times) != sorted(change_times):
+            raise ConfigurationError("change_times must be sorted ascending")
+        self.distributions = list(distributions)
+        self.change_times = [float(t) for t in change_times]
+
+    def at(self, t: float) -> Distribution:
+        idx = 0
+        for change in self.change_times:
+            if t >= change:
+                idx += 1
+            else:
+                break
+        return self.distributions[idx]
+
+    def describe(self) -> dict:
+        return {
+            "kind": "AbruptDrift",
+            "change_times": self.change_times,
+            "distributions": [d.describe() for d in self.distributions],
+        }
+
+
+class GradualDrift(DriftModel):
+    """Linear mixing ramp from one distribution to another.
+
+    Before ``start`` only ``before`` is active; after ``start + duration``
+    only ``after``; in between, samples come from a mixture whose weight
+    shifts linearly. This is the paper's "workload can slowly transition"
+    case.
+    """
+
+    def __init__(
+        self,
+        before: Distribution,
+        after: Distribution,
+        start: float,
+        duration: float,
+    ) -> None:
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.before = before
+        self.after = after
+        self.start = float(start)
+        self.duration = float(duration)
+
+    def mix_fraction(self, t: float) -> float:
+        """Fraction of the 'after' distribution active at time ``t``."""
+        if t <= self.start:
+            return 0.0
+        if t >= self.start + self.duration:
+            return 1.0
+        return (t - self.start) / self.duration
+
+    def at(self, t: float) -> Distribution:
+        frac = self.mix_fraction(t)
+        if frac <= 0.0:
+            return self.before
+        if frac >= 1.0:
+            return self.after
+        return MixtureDistribution([self.before, self.after], [1.0 - frac, frac])
+
+    def describe(self) -> dict:
+        return {
+            "kind": "GradualDrift",
+            "start": self.start,
+            "duration": self.duration,
+            "before": self.before.describe(),
+            "after": self.after.describe(),
+        }
+
+
+class RotatingHotspotDrift(DriftModel):
+    """A hotspot whose location sweeps the domain with a fixed period.
+
+    Models diurnal locality: "the hot keys at night are not the hot keys
+    during the day". The hotspot's start position completes one full loop
+    of the domain every ``period`` seconds.
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        hot_width: float,
+        period: float,
+        hot_fraction: float = 0.9,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be > 0, got {period}")
+        self.low = float(low)
+        self.high = float(high)
+        self.hot_width = float(hot_width)
+        self.period = float(period)
+        self.hot_fraction = float(hot_fraction)
+
+    def at(self, t: float) -> Distribution:
+        phase = (t % self.period) / self.period
+        hot_start = self.low + phase * (self.high - self.low)
+        return HotspotDistribution(
+            self.low,
+            self.high,
+            hot_start=hot_start,
+            hot_width=self.hot_width,
+            hot_fraction=self.hot_fraction,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "kind": "RotatingHotspotDrift",
+            "low": self.low,
+            "high": self.high,
+            "hot_width": self.hot_width,
+            "period": self.period,
+            "hot_fraction": self.hot_fraction,
+        }
+
+
+class GrowingSkewDrift(DriftModel):
+    """Zipf skew parameter that grows linearly over time.
+
+    Models the paper's "growing data skew over time": theta ramps from
+    ``theta_start`` to ``theta_end`` across ``duration`` seconds.
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        theta_start: float = 0.0,
+        theta_end: float = 1.2,
+        duration: float = 600.0,
+        n_items: int = 10_000,
+        permute_seed: int = 0,
+    ) -> None:
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.low = float(low)
+        self.high = float(high)
+        self.theta_start = float(theta_start)
+        self.theta_end = float(theta_end)
+        self.duration = float(duration)
+        self.n_items = int(n_items)
+        self.permute_seed = permute_seed
+        self._cache: dict = {}
+
+    def theta_at(self, t: float) -> float:
+        """Skew parameter in effect at time ``t``."""
+        frac = min(1.0, max(0.0, t / self.duration))
+        return self.theta_start + frac * (self.theta_end - self.theta_start)
+
+    def at(self, t: float) -> Distribution:
+        # Quantize theta so repeated queries reuse Zipf tables.
+        theta = round(self.theta_at(t), 2)
+        if theta not in self._cache:
+            self._cache[theta] = ZipfDistribution(
+                self.low,
+                self.high,
+                theta=theta,
+                n_items=self.n_items,
+                permute_seed=self.permute_seed,
+            )
+        return self._cache[theta]
+
+    def describe(self) -> dict:
+        return {
+            "kind": "GrowingSkewDrift",
+            "theta_start": self.theta_start,
+            "theta_end": self.theta_end,
+            "duration": self.duration,
+        }

@@ -1,0 +1,283 @@
+"""Query-stream generators for key-value workloads.
+
+A :class:`KVWorkload` combines three time-varying ingredients:
+
+* an access-key :class:`~repro.workloads.drift.DriftModel` (which keys
+  queries touch, and how that changes over time),
+* an :class:`~repro.workloads.generators.OperationMix` (read / insert /
+  update / scan / read-modify-write proportions), itself allowed to drift,
+* an :class:`~repro.workloads.patterns.ArrivalProcess` (offered load).
+
+The benchmark driver asks the workload for each query at its arrival
+time, so every aspect of the stream can evolve during a single run —
+the paper's central requirement (Lesson 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.drift import DriftModel, NoDrift
+from repro.workloads.distributions import Distribution
+from repro.workloads.patterns import ArrivalProcess, ConstantArrivals
+
+
+class KVOperation(enum.Enum):
+    """Key-value operation types (YCSB vocabulary)."""
+
+    READ = "read"
+    INSERT = "insert"
+    UPDATE = "update"
+    SCAN = "scan"
+    READ_MODIFY_WRITE = "rmw"
+
+
+@dataclass(frozen=True)
+class KVQuery:
+    """One key-value query instance.
+
+    Attributes:
+        op: Operation type.
+        key: Target key (scan start key for scans).
+        scan_length: Number of keys a scan covers (0 for non-scans).
+        arrival_time: Virtual arrival timestamp assigned by the driver.
+    """
+
+    op: KVOperation
+    key: float
+    scan_length: int = 0
+    arrival_time: float = 0.0
+
+
+class OperationMix:
+    """Proportions of each operation type, normalized to sum to 1."""
+
+    def __init__(self, proportions: Dict[KVOperation, float]) -> None:
+        if not proportions:
+            raise ConfigurationError("operation mix cannot be empty")
+        total = sum(proportions.values())
+        if total <= 0 or any(p < 0 for p in proportions.values()):
+            raise ConfigurationError("proportions must be non-negative, not all zero")
+        self._ops = list(proportions.keys())
+        self._probs = np.asarray(
+            [proportions[op] / total for op in self._ops], dtype=np.float64
+        )
+
+    @classmethod
+    def read_only(cls) -> "OperationMix":
+        """100% point reads."""
+        return cls({KVOperation.READ: 1.0})
+
+    @classmethod
+    def read_write(cls, read_fraction: float) -> "OperationMix":
+        """Reads + updates with the given read fraction."""
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ConfigurationError(
+                f"read_fraction must be in [0,1], got {read_fraction}"
+            )
+        return cls(
+            {KVOperation.READ: read_fraction, KVOperation.UPDATE: 1.0 - read_fraction}
+        )
+
+    def sample(self, rng: np.random.Generator) -> KVOperation:
+        """Draw one operation type."""
+        return self._ops[int(rng.choice(len(self._ops), p=self._probs))]
+
+    def proportions(self) -> Dict[KVOperation, float]:
+        """Return a copy of the normalized proportions."""
+        return {op: float(p) for op, p in zip(self._ops, self._probs)}
+
+    def describe(self) -> dict:
+        """JSON-friendly description."""
+        return {op.value: float(p) for op, p in zip(self._ops, self._probs)}
+
+
+class MixSchedule:
+    """A piecewise-constant schedule of operation mixes over time.
+
+    Models the paper's "evolving workload mixing" (it cites OLTP-Bench's
+    support for exactly this): ``segments`` is a list of
+    ``(start_time, mix)`` with ascending start times; the mix whose start
+    most recently passed is active.
+    """
+
+    def __init__(self, segments: Sequence[Tuple[float, OperationMix]]) -> None:
+        if not segments:
+            raise ConfigurationError("mix schedule needs at least one entry")
+        starts = [s for s, _ in segments]
+        if starts != sorted(starts):
+            raise ConfigurationError("mix schedule start times must ascend")
+        self._segments = [(float(s), m) for s, m in segments]
+
+    def at(self, t: float) -> OperationMix:
+        """The operation mix in effect at time ``t``."""
+        active = self._segments[0][1]
+        for start, mix in self._segments:
+            if t >= start:
+                active = mix
+            else:
+                break
+        return active
+
+    def describe(self) -> dict:
+        """JSON-friendly description."""
+        return {
+            "kind": "MixSchedule",
+            "segments": [
+                {"start": start, "mix": mix.describe()}
+                for start, mix in self._segments
+            ],
+        }
+
+
+@dataclass
+class WorkloadSpec:
+    """Declarative description of a workload, used for Φ similarity.
+
+    ``signature()`` returns the set of structural features (operation
+    types, scan characteristics, key-distribution kind/parameters) over
+    which :func:`repro.metrics.similarity.jaccard_similarity` is computed
+    — the paper's "Jaccard similarity between the sets of all subtrees of
+    the query tree" adapted to key-value query templates.
+
+    ``mix_schedule``, when set, overrides ``mix`` over time — the
+    operation proportions themselves can evolve within one segment.
+    """
+
+    name: str
+    mix: OperationMix
+    key_drift: DriftModel
+    arrivals: ArrivalProcess
+    scan_length_mean: int = 0
+    mix_schedule: Optional[MixSchedule] = None
+
+    def mix_at(self, t: float) -> OperationMix:
+        """The operation mix in effect at time ``t``."""
+        if self.mix_schedule is not None:
+            return self.mix_schedule.at(t)
+        return self.mix
+
+    def signature(self, at_time: float = 0.0) -> frozenset:
+        """Structural feature set for workload similarity at ``at_time``."""
+        feats = set()
+        for op, p in self.mix_at(at_time).proportions().items():
+            if p > 0:
+                feats.add(("op", op.value))
+                # Bucketized proportion: two workloads with 95% vs 50% reads
+                # should not look identical.
+                feats.add(("op-share", op.value, round(p * 10) / 10))
+        dist = self.key_drift.at(at_time).describe()
+        feats.add(("dist-kind", dist.get("kind")))
+        for param in ("theta", "hot_fraction", "mean", "sigma"):
+            if param in dist:
+                feats.add(("dist-param", param, round(float(dist[param]), 1)))
+        if self.scan_length_mean > 0:
+            feats.add(("scan-length", min(1000, 10 ** len(str(self.scan_length_mean)))))
+        return frozenset(feats)
+
+    def describe(self) -> dict:
+        """JSON-friendly description of the full spec."""
+        out = {
+            "name": self.name,
+            "mix": self.mix.describe(),
+            "key_drift": self.key_drift.describe(),
+            "arrivals": self.arrivals.describe(),
+            "scan_length_mean": self.scan_length_mean,
+        }
+        if self.mix_schedule is not None:
+            out["mix_schedule"] = self.mix_schedule.describe()
+        return out
+
+
+class KVWorkload:
+    """Executable key-value workload: samples concrete queries over time.
+
+    Args:
+        spec: The declarative workload description.
+        seed: Seed for the workload's private random generator.
+        insert_key_counter: Starting value for sequentially generated
+            insert keys; inserts append past the current key domain the
+            way YCSB does, so the dataset grows over the run.
+    """
+
+    def __init__(
+        self, spec: WorkloadSpec, seed: int = 0, insert_key_counter: float = 0.0
+    ) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+        self._insert_counter = float(insert_key_counter)
+
+    @property
+    def name(self) -> str:
+        """Workload name from the spec."""
+        return self.spec.name
+
+    def next_query(self, t: float) -> KVQuery:
+        """Generate the query arriving at virtual time ``t``.
+
+        Inserts draw a fresh key from the *current* key distribution (so
+        the dataset's shape follows the workload's drift), nudged by a
+        tiny counter-derived offset to keep keys unique.
+        """
+        op = self.spec.mix_at(t).sample(self._rng)
+        dist = self.spec.key_drift.at(t)
+        key = float(dist.sample(self._rng, 1)[0])
+        if op == KVOperation.INSERT:
+            self._insert_counter += 1.0
+            key += self._insert_counter * 1e-9
+        scan_length = 0
+        if op == KVOperation.SCAN:
+            mean = max(1, self.spec.scan_length_mean)
+            scan_length = int(self._rng.integers(1, 2 * mean + 1))
+        return KVQuery(op=op, key=key, scan_length=scan_length, arrival_time=t)
+
+    def generate(
+        self, start: float, end: float, jitter: bool = True
+    ) -> Sequence[KVQuery]:
+        """Generate the full query stream for ``[start, end)``."""
+        times = self.spec.arrivals.arrivals(self._rng, start, end, jitter=jitter)
+        return [self.next_query(float(t)) for t in times]
+
+    def sample_keys(self, t: float, n: int) -> np.ndarray:
+        """Sample ``n`` access keys from the distribution active at ``t``.
+
+        Used by similarity estimation and drift detection without
+        disturbing the query stream's own generator state.
+        """
+        dist = self.spec.key_drift.at(t)
+        probe_rng = np.random.default_rng(int(t * 1000) % (2**31))
+        return dist.sample(probe_rng, n)
+
+
+def simple_spec(
+    name: str,
+    distribution: Distribution,
+    rate: float = 1000.0,
+    read_fraction: float = 1.0,
+    scan_length_mean: int = 0,
+    scan_fraction: float = 0.0,
+) -> WorkloadSpec:
+    """Convenience constructor for a static workload spec.
+
+    Builds a :class:`WorkloadSpec` with no drift and constant arrivals —
+    the "traditional benchmark" shape used as the baseline everywhere.
+    """
+    proportions: Dict[KVOperation, float] = {}
+    body = 1.0 - scan_fraction
+    proportions[KVOperation.READ] = body * read_fraction
+    if read_fraction < 1.0:
+        proportions[KVOperation.UPDATE] = body * (1.0 - read_fraction)
+    if scan_fraction > 0:
+        proportions[KVOperation.SCAN] = scan_fraction
+    return WorkloadSpec(
+        name=name,
+        mix=OperationMix(proportions),
+        key_drift=NoDrift(distribution),
+        arrivals=ConstantArrivals(rate),
+        scan_length_mean=scan_length_mean,
+    )

@@ -1,0 +1,75 @@
+"""YCSB core workload presets.
+
+The Yahoo! Cloud Serving Benchmark defines six canonical operation mixes
+(A-F) over a Zipf-skewed key space. The paper uses YCSB as the archetype
+of a *fixed*-workload benchmark; these presets serve as the static
+building blocks the dynamic scenarios transition between.
+
+Reference: Cooper et al., "Benchmarking Cloud Serving Systems with YCSB"
+(SoCC 2010).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.workloads.drift import NoDrift
+from repro.workloads.distributions import UniformDistribution, ZipfDistribution
+from repro.workloads.generators import KVOperation, OperationMix, WorkloadSpec
+from repro.workloads.patterns import ConstantArrivals
+
+#: Operation mixes for the six core workloads.
+_MIXES: Dict[str, Dict[KVOperation, float]] = {
+    # A: update heavy (session store)
+    "A": {KVOperation.READ: 0.5, KVOperation.UPDATE: 0.5},
+    # B: read mostly (photo tagging)
+    "B": {KVOperation.READ: 0.95, KVOperation.UPDATE: 0.05},
+    # C: read only (user profile cache)
+    "C": {KVOperation.READ: 1.0},
+    # D: read latest (user status updates); modeled as read+insert
+    "D": {KVOperation.READ: 0.95, KVOperation.INSERT: 0.05},
+    # E: short ranges (threaded conversations)
+    "E": {KVOperation.SCAN: 0.95, KVOperation.INSERT: 0.05},
+    # F: read-modify-write (user database)
+    "F": {KVOperation.READ: 0.5, KVOperation.READ_MODIFY_WRITE: 0.5},
+}
+
+#: Default scan length for workload E.
+_SCAN_LENGTH: Dict[str, int] = {"E": 50}
+
+
+def ycsb_workload(
+    letter: str,
+    low: float = 0.0,
+    high: float = 1_000_000.0,
+    rate: float = 1000.0,
+    theta: float = 0.99,
+    uniform_keys: bool = False,
+) -> WorkloadSpec:
+    """Build the YCSB core workload ``letter`` as a :class:`WorkloadSpec`.
+
+    Args:
+        letter: One of ``"A"`` … ``"F"`` (case-insensitive).
+        low, high: Key domain.
+        rate: Constant offered load in queries/second.
+        theta: Zipf skew of the request distribution (YCSB default 0.99).
+        uniform_keys: Use a uniform request distribution instead of Zipf.
+
+    Returns:
+        A static (no-drift, constant-rate) workload spec.
+    """
+    key = letter.upper()
+    if key not in _MIXES:
+        raise ConfigurationError(f"unknown YCSB workload {letter!r}; expected A-F")
+    if uniform_keys:
+        dist = UniformDistribution(low, high)
+    else:
+        dist = ZipfDistribution(low, high, theta=theta)
+    return WorkloadSpec(
+        name=f"ycsb-{key.lower()}",
+        mix=OperationMix(dict(_MIXES[key])),
+        key_drift=NoDrift(dist),
+        arrivals=ConstantArrivals(rate),
+        scan_length_mean=_SCAN_LENGTH.get(key, 0),
+    )

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import build_dataset
+from repro.engine.catalog import Catalog
+from repro.engine.schema import ColumnType, Schema
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_pairs(rng):
+    """~1000 unique (key, value) pairs over a lumpy distribution."""
+    keys = np.unique(
+        np.concatenate(
+            [
+                rng.uniform(0, 1000, 400),
+                rng.normal(5000, 50, 400),
+                rng.uniform(9000, 10000, 400),
+            ]
+        )
+    )
+    return [(float(k), i) for i, k in enumerate(keys)]
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small 'osm'-shaped dataset for driver tests."""
+    return build_dataset("osm", n=5000, seed=3)
+
+
+@pytest.fixture
+def orders_catalog(rng) -> Catalog:
+    """orders/customers catalog with 2000/200 rows."""
+    n_orders, n_customers = 2000, 200
+    orders = Table.from_columns(
+        "orders",
+        Schema.of(
+            ("oid", ColumnType.INT),
+            ("cid", ColumnType.INT),
+            ("amount", ColumnType.FLOAT),
+        ),
+        {
+            "oid": np.arange(n_orders),
+            "cid": rng.integers(0, n_customers, n_orders),
+            "amount": rng.exponential(100.0, n_orders),
+        },
+    )
+    customers = Table.from_columns(
+        "customers",
+        Schema.of(("cid", ColumnType.INT), ("region", ColumnType.INT)),
+        {
+            "cid": np.arange(n_customers),
+            "region": rng.integers(0, 10, n_customers),
+        },
+    )
+    catalog = Catalog()
+    catalog.register(orders)
+    catalog.register(customers)
+    return catalog

@@ -1,0 +1,264 @@
+"""The virtual-clock driver: queueing, ticks, training placement."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.driver import DriverConfig, VirtualClockDriver
+from repro.core.phases import TrainingPhase
+from repro.core.scenario import Scenario, Segment
+from repro.core.sut import SystemUnderTest
+from repro.errors import DriverError
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import KVQuery, simple_spec
+
+
+class FakeSUT(SystemUnderTest):
+    """Scriptable SUT: constant service time, optional tick retrains."""
+
+    def __init__(
+        self,
+        service_time: float = 0.001,
+        train_uses: float = 0.0,
+        tick_retrain_at: Optional[float] = None,
+        tick_nominal: float = 2.0,
+    ) -> None:
+        super().__init__("fake")
+        self.service_time = service_time
+        self.train_uses = train_uses
+        self.tick_retrain_at = tick_retrain_at
+        self.tick_nominal = tick_nominal
+        self.executed: List[KVQuery] = []
+        self.ticks: List[float] = []
+        self.injected: List[Tuple[float, object]] = []
+        self._retrained = False
+
+    def setup(self, pairs):
+        self.loaded = list(pairs)
+
+    def inject(self, pairs):
+        self.injected.extend(pairs)
+
+    def execute(self, query, now):
+        self.executed.append(query)
+        return self.service_time
+
+    def offline_train(self, budget_seconds):
+        used = min(budget_seconds, self.train_uses)
+        if used > 0:
+            self.training.add(used)
+        return used
+
+    def on_tick(self, now):
+        self.ticks.append(now)
+        if (
+            self.tick_retrain_at is not None
+            and now >= self.tick_retrain_at
+            and not self._retrained
+        ):
+            self._retrained = True
+            return self.tick_nominal
+        return None
+
+
+def _scenario(rate=20.0, duration=5.0, segments=1, **kwargs):
+    segs = [
+        Segment(
+            spec=simple_spec(f"s{i}", UniformDistribution(0, 100), rate=rate),
+            duration=duration,
+        )
+        for i in range(segments)
+    ]
+    return Scenario(name="test", segments=segs, seed=5, **kwargs)
+
+
+class TestBasicRun:
+    def test_all_arrivals_executed(self):
+        sut = FakeSUT()
+        result = VirtualClockDriver().run(sut, _scenario())
+        assert len(result.queries) == len(sut.executed)
+        assert len(result.queries) == pytest.approx(100, abs=2)
+
+    def test_records_have_ordered_timestamps(self):
+        result = VirtualClockDriver().run(FakeSUT(), _scenario())
+        for q in result.queries:
+            assert q.arrival <= q.start < q.completion
+
+    def test_completion_order_fifo(self):
+        result = VirtualClockDriver().run(FakeSUT(), _scenario())
+        completions = [q.completion for q in result.queries]
+        assert completions == sorted(completions)
+
+    def test_segment_labels_attached(self):
+        result = VirtualClockDriver().run(FakeSUT(), _scenario(segments=2))
+        labels = {q.segment for q in result.queries}
+        assert labels == {"s0", "s1"}
+
+    def test_deterministic(self):
+        a = VirtualClockDriver().run(FakeSUT(), _scenario())
+        b = VirtualClockDriver().run(FakeSUT(), _scenario())
+        assert [q.completion for q in a.queries] == [q.completion for q in b.queries]
+
+    def test_max_queries_guard(self):
+        config = DriverConfig(max_queries=10)
+        with pytest.raises(DriverError):
+            VirtualClockDriver(config).run(FakeSUT(), _scenario(rate=100.0))
+
+
+class TestQueueing:
+    def test_overload_builds_queue(self):
+        """Service slower than arrivals -> latencies grow over the run."""
+        sut = FakeSUT(service_time=0.1)  # capacity 10/s < offered 20/s
+        result = VirtualClockDriver().run(sut, _scenario(rate=20.0))
+        latencies = [q.latency for q in sorted(result.queries, key=lambda q: q.arrival)]
+        assert latencies[-1] > latencies[0]
+        assert latencies[-1] > 1.0
+
+    def test_underload_latency_equals_service(self):
+        sut = FakeSUT(service_time=0.001)
+        result = VirtualClockDriver().run(sut, _scenario(rate=20.0))
+        assert max(q.latency for q in result.queries) < 0.01
+
+
+class TestTraining:
+    def test_initial_training_before_time_zero(self):
+        sut = FakeSUT(train_uses=4.0)
+        scn = _scenario(initial_training=TrainingPhase(budget_seconds=10.0))
+        result = VirtualClockDriver().run(sut, scn)
+        assert len(result.training_events) == 1
+        event = result.training_events[0]
+        assert event.start == pytest.approx(-4.0)
+        assert not event.online
+        assert event.nominal_seconds == pytest.approx(4.0)
+
+    def test_budget_overuse_rejected(self):
+        class Greedy(FakeSUT):
+            def offline_train(self, budget_seconds):
+                return budget_seconds + 1.0
+
+        scn = _scenario(initial_training=TrainingPhase(budget_seconds=1.0))
+        with pytest.raises(DriverError):
+            VirtualClockDriver().run(Greedy(), scn)
+
+    def test_zero_use_no_event(self):
+        scn = _scenario(initial_training=TrainingPhase(budget_seconds=10.0))
+        result = VirtualClockDriver().run(FakeSUT(train_uses=0.0), scn)
+        assert result.training_events == []
+
+    def test_between_segment_training_blocks(self):
+        sut = FakeSUT(train_uses=2.0)
+        scn = _scenario(segments=1)
+        scn.segments.append(
+            Segment(
+                spec=simple_spec("s1", UniformDistribution(0, 100), rate=20.0),
+                duration=5.0,
+                training_before=TrainingPhase(budget_seconds=2.0),
+            )
+        )
+        result = VirtualClockDriver().run(sut, scn)
+        events = [e for e in result.training_events if e.start >= 0]
+        assert len(events) == 1
+        assert events[0].start >= 5.0  # at the segment boundary
+        # Queries arriving right after the boundary wait out the retrain.
+        late = [q for q in result.queries if 5.0 <= q.arrival < 5.5]
+        assert late and min(q.start for q in late) >= events[0].end - 1e-9
+
+    def test_online_tick_retrain_charged(self):
+        sut = FakeSUT(tick_retrain_at=2.0, tick_nominal=1.5)
+        result = VirtualClockDriver().run(sut, _scenario(duration=6.0))
+        online = [e for e in result.training_events if e.online]
+        assert len(online) == 1
+        assert online[0].nominal_seconds == pytest.approx(1.5)
+        # Server stalls: some query completes after the retrain window.
+        assert any(q.start >= online[0].end for q in result.queries)
+
+
+class TestTicks:
+    def test_tick_cadence(self):
+        sut = FakeSUT()
+        VirtualClockDriver().run(sut, _scenario(duration=5.0))
+        assert len(sut.ticks) == pytest.approx(5, abs=1)
+
+    def test_tick_interval_configurable(self):
+        sut = FakeSUT()
+        scn = _scenario(duration=5.0)
+        scn.tick_interval = 0.5
+        VirtualClockDriver().run(sut, scn)
+        assert len(sut.ticks) == pytest.approx(10, abs=1)
+
+
+class TestDataInjection:
+    def test_injection_delivered(self):
+        sut = FakeSUT()
+        scn = _scenario(segments=1)
+        scn.segments.append(
+            Segment(
+                spec=simple_spec("s1", UniformDistribution(0, 100), rate=10.0),
+                duration=3.0,
+                data_injection=np.asarray([1.0, 2.0, 3.0]),
+            )
+        )
+        VirtualClockDriver().run(sut, scn)
+        assert [k for k, _ in sut.injected] == [1.0, 2.0, 3.0]
+
+    def test_initial_keys_loaded(self):
+        sut = FakeSUT()
+        scn = _scenario()
+        scn.initial_keys = np.asarray([5.0, 6.0])
+        VirtualClockDriver().run(sut, scn)
+        assert sut.loaded == [(5.0, 0), (6.0, 1)]
+
+
+class TestMultiServer:
+    def test_invalid_server_count(self):
+        with pytest.raises(Exception):
+            DriverConfig(servers=0)
+
+    def test_more_servers_higher_capacity(self):
+        """An overloaded single server recovers with parallel slots."""
+        slow = FakeSUT(service_time=0.1)  # 10 q/s per slot vs 20 offered
+        single = VirtualClockDriver(DriverConfig(servers=1)).run(
+            slow, _scenario(rate=20.0)
+        )
+        fast = FakeSUT(service_time=0.1)
+        quad = VirtualClockDriver(DriverConfig(servers=4)).run(
+            fast, _scenario(rate=20.0)
+        )
+        assert max(q.latency for q in quad.queries) < 1.0
+        assert max(q.latency for q in single.queries) > 1.0
+
+    def test_parallel_starts_overlap(self):
+        sut = FakeSUT(service_time=0.5)
+        result = VirtualClockDriver(DriverConfig(servers=2)).run(
+            sut, _scenario(rate=4.0, duration=5.0)
+        )
+        # With 2 servers, two queries can be in service simultaneously.
+        ordered = sorted(result.queries, key=lambda q: q.start)
+        overlaps = sum(
+            1
+            for a, b in zip(ordered, ordered[1:])
+            if b.start < a.completion
+        )
+        assert overlaps > 0
+
+    def test_online_retrain_blocks_all_servers(self):
+        sut = FakeSUT(service_time=0.01, tick_retrain_at=2.0, tick_nominal=1.0)
+        result = VirtualClockDriver(DriverConfig(servers=3)).run(
+            sut, _scenario(rate=20.0, duration=6.0)
+        )
+        online = [e for e in result.training_events if e.online]
+        assert len(online) == 1
+        stall_end = online[0].end
+        during = [
+            q for q in result.queries
+            if online[0].start < q.arrival < stall_end
+        ]
+        assert during and all(q.start >= stall_end - 1e-9 for q in during)
+
+    def test_single_server_unchanged_by_refactor(self):
+        a = VirtualClockDriver(DriverConfig(servers=1)).run(FakeSUT(), _scenario())
+        b = VirtualClockDriver().run(FakeSUT(), _scenario())
+        assert [q.completion for q in a.queries] == [q.completion for q in b.queries]

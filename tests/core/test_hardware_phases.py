@@ -1,0 +1,59 @@
+"""Hardware profiles and training phases/events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hardware import CPU, GPU, TPU, HardwareProfile
+from repro.core.phases import TrainingPhase, make_event
+from repro.errors import ConfigurationError
+
+
+class TestHardwareProfile:
+    def test_wall_time_scales_by_speed(self):
+        assert GPU.wall_time(120.0) == pytest.approx(10.0)
+        assert CPU.wall_time(120.0) == pytest.approx(120.0)
+
+    def test_cost_proportional_to_rate(self):
+        assert CPU.cost(3600.0) == pytest.approx(CPU.dollars_per_hour)
+        assert GPU.cost(1800.0) == pytest.approx(GPU.dollars_per_hour / 2)
+
+    def test_cost_of_nominal_combines(self):
+        # GPU: 12x speed at $2.50/h vs CPU $0.40/h.
+        nominal = 3600.0
+        assert GPU.cost_of_nominal(nominal) == pytest.approx(2.50 / 12)
+        assert CPU.cost_of_nominal(nominal) == pytest.approx(0.40)
+
+    def test_gpu_cheaper_per_nominal_than_cpu_here(self):
+        """With these defaults, accelerators win on cost per unit work."""
+        assert GPU.cost_of_nominal(1000) < CPU.cost_of_nominal(1000)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareProfile("bad", relative_speed=0.0, dollars_per_hour=1.0)
+        with pytest.raises(ConfigurationError):
+            HardwareProfile("bad", relative_speed=1.0, dollars_per_hour=-1.0)
+
+    def test_builtin_ordering(self):
+        assert CPU.relative_speed < GPU.relative_speed < TPU.relative_speed
+
+
+class TestTrainingPhase:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConfigurationError):
+            TrainingPhase(budget_seconds=-1.0)
+
+    def test_defaults(self):
+        phase = TrainingPhase(budget_seconds=10.0)
+        assert phase.hardware is CPU
+        assert phase.blocking
+
+
+class TestTrainingEvent:
+    def test_make_event_scales(self):
+        event = make_event(start=5.0, nominal_seconds=120.0, hardware=GPU,
+                           online=True, label="x")
+        assert event.duration == pytest.approx(10.0)
+        assert event.end == pytest.approx(15.0)
+        assert event.cost == pytest.approx(GPU.cost(10.0))
+        assert event.online and event.label == "x"

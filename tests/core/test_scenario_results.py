@@ -1,0 +1,122 @@
+"""Scenario definitions and run-result records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.phases import TrainingEvent, TrainingPhase
+from repro.core.results import QueryRecord, RunResult
+from repro.core.scenario import Scenario, Segment
+from repro.errors import ReproError, ScenarioError
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import simple_spec
+
+
+def _segment(name="seg", duration=10.0, rate=5.0):
+    return Segment(
+        spec=simple_spec(name, UniformDistribution(0, 100), rate=rate),
+        duration=duration,
+    )
+
+
+class TestScenario:
+    def test_requires_segments(self):
+        with pytest.raises(ScenarioError):
+            Scenario(name="x", segments=[])
+
+    def test_rejects_zero_duration_segment(self):
+        with pytest.raises(ScenarioError):
+            _segment(duration=0.0)
+
+    def test_total_duration(self):
+        scn = Scenario(name="x", segments=[_segment(duration=10), _segment(duration=5)])
+        assert scn.total_duration == 15.0
+
+    def test_segment_boundaries(self):
+        scn = Scenario(
+            name="x",
+            segments=[_segment("a", 10), _segment("b", 5)],
+        )
+        assert scn.segment_boundaries() == [("a", 0.0, 10.0), ("b", 10.0, 15.0)]
+
+    def test_label_defaults_to_spec_name(self):
+        assert _segment("wl").label == "wl"
+
+    def test_fingerprint_stable(self):
+        a = Scenario(name="x", segments=[_segment()], seed=1)
+        b = Scenario(name="x", segments=[_segment()], seed=1)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_changes_with_content(self):
+        a = Scenario(name="x", segments=[_segment(rate=5)], seed=1)
+        b = Scenario(name="x", segments=[_segment(rate=6)], seed=1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_describe_includes_training(self):
+        scn = Scenario(
+            name="x",
+            segments=[_segment()],
+            initial_training=TrainingPhase(budget_seconds=3.0),
+        )
+        assert scn.describe()["initial_training"]["budget_seconds"] == 3.0
+
+
+def _result():
+    queries = [
+        QueryRecord(arrival=float(i), start=float(i), completion=float(i) + 0.5,
+                    op="read", segment="a" if i < 5 else "b")
+        for i in range(10)
+    ]
+    return RunResult(
+        sut_name="sut",
+        scenario_name="scn",
+        queries=queries,
+        segments=[("a", 0.0, 5.0), ("b", 5.0, 10.0)],
+        training_events=[
+            TrainingEvent(start=-1.0, duration=1.0, nominal_seconds=1.0,
+                          hardware_name="cpu", cost=0.01, online=False)
+        ],
+    )
+
+
+class TestRunResult:
+    def test_latency(self):
+        record = QueryRecord(1.0, 2.0, 3.0, "read", "a")
+        assert record.latency == 2.0
+        assert record.service_time == 1.0
+
+    def test_completions_sorted(self):
+        result = _result()
+        completions = result.completions()
+        assert (np.diff(completions) >= 0).all()
+
+    def test_queries_in_segment(self):
+        result = _result()
+        assert len(result.queries_in_segment("a")) == 5
+        with pytest.raises(ReproError):
+            result.queries_in_segment("nope")
+
+    def test_throughput_series_sums_to_total(self):
+        result = _result()
+        _, counts = result.throughput_series(interval=1.0)
+        assert counts.sum() == 10
+
+    def test_mean_throughput(self):
+        result = _result()
+        # Horizon = segment end (10.0) since the last completion is 9.5.
+        assert result.mean_throughput() == pytest.approx(1.0)
+
+    def test_training_totals(self):
+        result = _result()
+        assert result.total_training_cost() == pytest.approx(0.01)
+        assert result.total_training_nominal_seconds() == pytest.approx(1.0)
+
+    def test_json_round_trip(self):
+        result = _result()
+        restored = RunResult.from_json(result.to_json())
+        assert restored.sut_name == result.sut_name
+        assert len(restored.queries) == len(result.queries)
+        assert restored.queries[3].completion == result.queries[3].completion
+        assert restored.segments == result.segments
+        assert restored.training_events[0].cost == pytest.approx(0.01)

@@ -1,0 +1,73 @@
+"""Synthetic dataset builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import build_dataset, dataset_names
+from repro.errors import ConfigurationError
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_keys_sorted_unique(self, name):
+        ds = build_dataset(name, n=5000, seed=1)
+        assert (np.diff(ds.keys) > 0).all()
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_size_near_requested(self, name):
+        ds = build_dataset(name, n=5000, seed=1)
+        assert 0.7 * 5000 <= len(ds) <= 1.3 * 5000
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_deterministic(self, name):
+        a = build_dataset(name, n=2000, seed=9)
+        b = build_dataset(name, n=2000, seed=9)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_seeds_differ(self):
+        a = build_dataset("books", n=2000, seed=1)
+        b = build_dataset("books", n=2000, seed=2)
+        assert not np.array_equal(a.keys[:100], b.keys[:100])
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_dataset("nope")
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_dataset("uniform", n=5)
+
+    def test_pairs_are_ranked(self):
+        ds = build_dataset("uniform", n=1000, seed=1)
+        pairs = ds.pairs()
+        assert pairs[0][1] == 0
+        assert pairs[-1][1] == len(ds) - 1
+
+    def test_low_high(self):
+        ds = build_dataset("sequential", n=1000, seed=1)
+        assert ds.low == float(ds.keys[0])
+        assert ds.high == float(ds.keys[-1])
+
+
+class TestShapes:
+    """The datasets must keep their qualitative difficulty ordering."""
+
+    @staticmethod
+    def _rmi_error(name: str) -> float:
+        from repro.indexes.rmi import RecursiveModelIndex
+
+        ds = build_dataset(name, n=20_000, seed=3)
+        rmi = RecursiveModelIndex(fanout=64, max_delta=None)
+        rmi.bulk_load(ds.pairs())
+        return rmi.mean_error_bound()
+
+    def test_uniform_easier_than_osm(self):
+        assert self._rmi_error("uniform") < self._rmi_error("osm")
+
+    def test_sequential_is_easy(self):
+        assert self._rmi_error("sequential") < 50
+
+    def test_adversarial_is_hard(self):
+        assert self._rmi_error("adversarial") > self._rmi_error("uniform")

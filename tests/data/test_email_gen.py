@@ -1,0 +1,73 @@
+"""Synthetic email generator (the paper's §V-C example)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.email_gen import EmailGenerator, email_to_key
+from repro.errors import ConfigurationError, NotTrainedError
+
+
+class TestEmailToKey:
+    def test_order_preserving(self):
+        addresses = sorted(["alice@x.com", "bob@x.com", "carol@x.com", "zed@x.com"])
+        keys = [email_to_key(a) for a in addresses]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_case_insensitive(self):
+        assert email_to_key("Alice@X.com") == email_to_key("alice@x.com")
+
+    def test_prefix_ties_collapse(self):
+        long_a = "a" * 20 + "1@x.com"
+        long_b = "a" * 20 + "2@x.com"
+        assert email_to_key(long_a) == email_to_key(long_b)
+
+
+class TestGenerator:
+    def test_generate_before_fit_raises(self, rng):
+        with pytest.raises(NotTrainedError):
+            EmailGenerator().generate(rng, 5)
+
+    def test_fit_requires_valid_addresses(self):
+        with pytest.raises(ConfigurationError):
+            EmailGenerator().fit(["not-an-email"])
+
+    def test_generated_addresses_valid(self, rng):
+        gen = EmailGenerator().fit(EmailGenerator.demo_sample(rng, 300))
+        for address in gen.generate(rng, 50):
+            local, _, domain = address.partition("@")
+            assert local and domain
+
+    def test_domains_come_from_sample(self, rng):
+        sample = ["a@only.com", "bb@only.com", "ccc@only.com"]
+        gen = EmailGenerator().fit(sample)
+        assert all(a.endswith("@only.com") for a in gen.generate(rng, 20))
+
+    def test_length_distribution_tracked(self, rng):
+        short = [f"{'a'*3}@x.com"] * 50
+        gen = EmailGenerator().fit(short)
+        lengths = [len(a.split("@")[0]) for a in gen.generate(rng, 50)]
+        assert max(lengths) <= 4  # 3 chars, minus possible stripping
+
+    def test_keys_numeric_and_ordered_like_strings(self, rng):
+        gen = EmailGenerator().fit(EmailGenerator.demo_sample(rng, 300))
+        addresses = gen.generate(rng, 100)
+        keys = [email_to_key(a) for a in addresses]
+        order_by_key = np.argsort(keys)
+        order_by_str = np.argsort([a[:12].lower() for a in addresses])
+        # Same ordering up to 12-char encoding precision.
+        assert list(order_by_key) == list(order_by_str)
+
+    def test_distribution_similarity(self, rng):
+        """Generated key distribution resembles the sample's (coarse KS)."""
+        sample = EmailGenerator.demo_sample(rng, 1000)
+        gen = EmailGenerator().fit(sample)
+        sample_keys = np.sort([email_to_key(a) for a in sample])
+        synth_keys = np.sort(gen.generate_keys(rng, 1000))
+        grid = np.concatenate([sample_keys, synth_keys])
+        grid.sort()
+        cdf_a = np.searchsorted(sample_keys, grid, side="right") / sample_keys.size
+        cdf_b = np.searchsorted(synth_keys, grid, side="right") / synth_keys.size
+        assert np.abs(cdf_a - cdf_b).max() < 0.35

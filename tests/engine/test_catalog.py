@@ -1,0 +1,48 @@
+"""Catalog registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.schema import ColumnType, Schema
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+def _table(name, rows=3):
+    return Table.from_columns(
+        name, Schema.of(("x", ColumnType.INT)), {"x": list(range(rows))}
+    )
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        catalog = Catalog()
+        table = _table("t")
+        catalog.register(table)
+        assert catalog.get("t") is table
+        assert "t" in catalog
+        assert len(catalog) == 1
+
+    def test_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Catalog().get("missing")
+
+    def test_replace_under_same_name(self):
+        catalog = Catalog()
+        catalog.register(_table("t", rows=3))
+        catalog.register(_table("t", rows=7))
+        assert catalog.row_count("t") == 7
+        assert len(catalog) == 1
+
+    def test_names_sorted(self):
+        catalog = Catalog()
+        for name in ("zeta", "alpha", "mid"):
+            catalog.register(_table(name))
+        assert catalog.names() == ["alpha", "mid", "zeta"]
+
+    def test_row_count(self):
+        catalog = Catalog()
+        catalog.register(_table("t", rows=5))
+        assert catalog.row_count("t") == 5

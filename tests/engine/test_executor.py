@@ -1,0 +1,175 @@
+"""Plan execution: operators, joins, aggregation, cardinality labels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import Executor
+from repro.engine.expressions import col
+from repro.engine.plans import Aggregate, Filter, Join, Project, Scan
+from repro.errors import PlanError, SchemaError
+
+
+@pytest.fixture
+def executor(orders_catalog):
+    return Executor(orders_catalog)
+
+
+class TestScanFilterProject:
+    def test_scan_returns_all(self, executor, orders_catalog):
+        result = executor.execute(Scan("orders"))
+        assert result.table.row_count == orders_catalog.row_count("orders")
+
+    def test_unknown_table(self, executor):
+        with pytest.raises(SchemaError):
+            executor.execute(Scan("nope"))
+
+    def test_filter_matches_numpy(self, executor, orders_catalog):
+        amounts = np.asarray(orders_catalog.get("orders").column("amount"))
+        result = executor.execute(Filter(Scan("orders"), col("amount") > 150.0))
+        assert result.table.row_count == int((amounts > 150.0).sum())
+
+    def test_project_selects_columns(self, executor):
+        result = executor.execute(Project(Scan("orders"), ["amount"]))
+        assert result.table.schema.names == ["amount"]
+
+    def test_project_requires_columns(self):
+        with pytest.raises(PlanError):
+            Project(Scan("orders"), [])
+
+
+class TestJoins:
+    def test_hash_and_nl_agree(self, executor, orders_catalog):
+        small = orders_catalog.get("orders").select_rows(np.arange(80))
+        small.name = "orders_small"
+        orders_catalog.register(small)
+        hash_result = executor.execute(
+            Join(Scan("orders_small"), Scan("customers"), "cid", "cid", "hash")
+        )
+        nl_result = executor.execute(
+            Join(Scan("orders_small"), Scan("customers"), "cid", "cid", "nl")
+        )
+        assert hash_result.table.row_count == nl_result.table.row_count
+
+    def test_nl_costs_more_work(self, executor, orders_catalog):
+        small = orders_catalog.get("orders").select_rows(np.arange(80))
+        small.name = "orders_small2"
+        orders_catalog.register(small)
+        hash_result = executor.execute(
+            Join(Scan("orders_small2"), Scan("customers"), "cid", "cid", "hash")
+        )
+        nl_result = executor.execute(
+            Join(Scan("orders_small2"), Scan("customers"), "cid", "cid", "nl")
+        )
+        assert nl_result.work > hash_result.work
+
+    def test_every_order_matches_one_customer(self, executor, orders_catalog):
+        result = executor.execute(
+            Join(Scan("orders"), Scan("customers"), "cid", "cid")
+        )
+        assert result.table.row_count == orders_catalog.row_count("orders")
+
+    def test_join_output_schema_disambiguated(self, executor):
+        result = executor.execute(
+            Join(Scan("orders"), Scan("customers"), "cid", "cid")
+        )
+        names = result.table.schema.names
+        assert "cid" in names and any(n.endswith("_cid") for n in names)
+
+
+class TestAggregates:
+    def test_count(self, executor, orders_catalog):
+        result = executor.execute(Aggregate(Scan("orders"), "count"))
+        assert result.scalar == orders_catalog.row_count("orders")
+
+    def test_avg_matches_numpy(self, executor, orders_catalog):
+        amounts = np.asarray(orders_catalog.get("orders").column("amount"))
+        result = executor.execute(Aggregate(Scan("orders"), "avg", "amount"))
+        assert result.scalar == pytest.approx(float(amounts.mean()))
+
+    def test_min_max_sum(self, executor, orders_catalog):
+        amounts = np.asarray(orders_catalog.get("orders").column("amount"))
+        for agg, expected in (
+            ("min", amounts.min()),
+            ("max", amounts.max()),
+            ("sum", amounts.sum()),
+        ):
+            result = executor.execute(Aggregate(Scan("orders"), agg, "amount"))
+            assert result.scalar == pytest.approx(float(expected))
+
+    def test_empty_input_aggregates_zero(self, executor):
+        plan = Aggregate(Filter(Scan("orders"), col("amount") > 1e12), "sum", "amount")
+        assert executor.execute(plan).scalar == 0.0
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(PlanError):
+            Aggregate(Scan("orders"), "median", "amount")
+
+
+class TestCardinalityLabels:
+    def test_every_node_labeled(self, executor):
+        plan = Aggregate(
+            Join(
+                Filter(Scan("orders"), col("amount") > 100.0),
+                Scan("customers"),
+                "cid",
+                "cid",
+            ),
+            "count",
+        )
+        result = executor.execute(plan)
+        # Root + join + filter + 2 scans = 5 nodes labeled.
+        assert len(result.cardinalities) == 5
+        assert result.cardinalities[plan.canonical()] == 1
+
+    def test_filter_label_matches_output(self, executor):
+        plan = Filter(Scan("orders"), col("amount") > 100.0)
+        result = executor.execute(plan)
+        assert result.cardinalities[plan.canonical()] == result.table.row_count
+
+
+class TestSort:
+    def test_sort_orders_rows(self, executor, orders_catalog):
+        from repro.engine.plans import Sort
+
+        result = executor.execute(Sort(Scan("orders"), "amount"))
+        amounts = np.asarray(result.table.column("amount"))
+        assert (np.diff(amounts) >= 0).all()
+        assert result.table.row_count == orders_catalog.row_count("orders")
+
+    def test_sort_string_column_rejected(self, executor, orders_catalog):
+        from repro.engine.plans import Sort
+        from repro.engine.schema import ColumnType, Schema
+        from repro.engine.table import Table
+
+        names = Table.from_columns(
+            "names",
+            Schema.of(("tag", ColumnType.STRING)),
+            {"tag": ["b", "a"]},
+        )
+        orders_catalog.register(names)
+        with pytest.raises(PlanError):
+            executor.execute(Sort(Scan("names"), "tag"))
+
+    def test_sort_empty_input(self, executor):
+        from repro.engine.expressions import col
+        from repro.engine.plans import Sort
+
+        plan = Sort(Filter(Scan("orders"), col("amount") > 1e12), "amount")
+        result = executor.execute(plan)
+        assert result.table.row_count == 0
+
+    def test_learned_sorter_charges_its_work(self, orders_catalog):
+        from repro.engine.executor import Executor
+        from repro.engine.plans import Sort
+        from repro.learned.sorter import LearnedSorter
+
+        plan = Sort(Scan("orders"), "amount")
+        classic = Executor(orders_catalog).execute(plan)
+        learned = Executor(
+            orders_catalog, learned_sorter=LearnedSorter()
+        ).execute(plan)
+        # Same rows either way; in-distribution learned sort does less work.
+        assert learned.table.row_count == classic.table.row_count
+        assert learned.work < classic.work

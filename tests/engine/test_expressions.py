@@ -1,0 +1,88 @@
+"""Predicate evaluation and signatures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import And, Between, Comparison, CompareOp, Or, col
+from repro.engine.schema import ColumnType, Schema
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(
+        "t",
+        Schema.of(("x", ColumnType.FLOAT), ("tag", ColumnType.STRING)),
+        {"x": [1.0, 2.0, 3.0, 4.0, 5.0], "tag": ["a", "b", "a", "c", "a"]},
+    )
+
+
+class TestComparisons:
+    def test_gt(self, table):
+        mask = (col("x") > 3.0).evaluate(table)
+        assert mask.tolist() == [False, False, False, True, True]
+
+    def test_le(self, table):
+        mask = (col("x") <= 2.0).evaluate(table)
+        assert mask.sum() == 2
+
+    def test_eq_string(self, table):
+        mask = (col("tag") == "a").evaluate(table)
+        assert mask.sum() == 3
+
+    def test_ne(self, table):
+        mask = (col("tag") != "a").evaluate(table)
+        assert mask.sum() == 2
+
+    def test_between_inclusive(self, table):
+        mask = col("x").between(2.0, 4.0).evaluate(table)
+        assert mask.tolist() == [False, True, True, True, False]
+
+
+class TestBoolean:
+    def test_and(self, table):
+        pred = And(col("x") > 1.0, col("tag") == "a")
+        assert pred.evaluate(table).sum() == 2
+
+    def test_or(self, table):
+        pred = Or(col("x") <= 1.0, col("x") >= 5.0)
+        assert pred.evaluate(table).sum() == 2
+
+    def test_columns_collected(self):
+        pred = And(col("x") > 1.0, col("tag") == "a")
+        assert pred.columns() == ["tag", "x"]
+
+
+class TestSignatures:
+    def test_same_structure_same_signature(self):
+        a = And(col("x") > 1.0, col("y") < 2.0)
+        b = And(col("x") > 9.0, col("y") < 0.0)
+        assert a.signature() == b.signature()
+
+    def test_different_op_differs(self):
+        assert (col("x") > 1.0).signature() != (col("x") < 1.0).signature()
+
+    def test_different_column_differs(self):
+        assert (col("x") > 1.0).signature() != (col("y") > 1.0).signature()
+
+    def test_and_or_differ(self):
+        a = And(col("x") > 1.0, col("y") < 2.0)
+        o = Or(col("x") > 1.0, col("y") < 2.0)
+        assert a.signature() != o.signature()
+
+
+class TestSelectivityFeatures:
+    def test_numeric_leaves_collected(self):
+        pred = And(col("x") > 1.0, col("x") <= 10.0)
+        leaves = pred.selectivity_features()
+        assert ("x", ">", 1.0) in leaves
+        assert ("x", "<=", 10.0) in leaves
+
+    def test_between_expands(self):
+        leaves = col("x").between(2.0, 5.0).selectivity_features()
+        assert ("x", ">=", 2.0) in leaves and ("x", "<=", 5.0) in leaves
+
+    def test_string_leaves_skipped(self):
+        assert (col("tag") == "a").selectivity_features() == []

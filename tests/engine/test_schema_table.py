@@ -1,0 +1,105 @@
+"""Schema and Table behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+class TestSchema:
+    def test_of_builder(self):
+        schema = Schema.of(("a", ColumnType.INT), ("b", ColumnType.STRING))
+        assert schema.names == ["a", "b"]
+        assert schema.column("b").ctype == ColumnType.STRING
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", ColumnType.INT), ("a", ColumnType.FLOAT))
+
+    def test_index_of_unknown_raises(self):
+        schema = Schema.of(("a", ColumnType.INT))
+        with pytest.raises(SchemaError):
+            schema.index_of("z")
+
+    def test_has(self):
+        schema = Schema.of(("a", ColumnType.INT))
+        assert schema.has("a") and not schema.has("b")
+
+    def test_concat_disambiguates(self):
+        left = Schema.of(("id", ColumnType.INT), ("x", ColumnType.FLOAT))
+        right = Schema.of(("id", ColumnType.INT), ("y", ColumnType.FLOAT))
+        joined = left.concat(right, "l", "r")
+        assert joined.names == ["id", "x", "r_id", "y"]
+
+    def test_equality(self):
+        a = Schema.of(("a", ColumnType.INT))
+        b = Schema.of(("a", ColumnType.INT))
+        assert a == b
+
+
+class TestTable:
+    def _table(self):
+        return Table.from_columns(
+            "t",
+            Schema.of(("k", ColumnType.INT), ("name", ColumnType.STRING)),
+            {"k": [3, 1, 2], "name": ["c", "a", "b"]},
+        )
+
+    def test_row_count(self):
+        assert self._table().row_count == 3
+
+    def test_row_access(self):
+        table = self._table()
+        assert table.row(0) == (3, "c")
+        with pytest.raises(IndexError):
+            table.row(3)
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns(
+                "t",
+                Schema.of(("a", ColumnType.INT), ("b", ColumnType.INT)),
+                {"a": [1], "b": [1, 2]},
+            )
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns(
+                "t", Schema.of(("a", ColumnType.INT)), {}
+            )
+
+    def test_append_rows(self):
+        table = self._table()
+        table.append_rows([{"k": 9, "name": "z"}])
+        assert table.row_count == 4
+        assert table.row(3) == (9, "z")
+
+    def test_append_missing_column_rejected(self):
+        table = self._table()
+        with pytest.raises(SchemaError):
+            table.append_rows([{"k": 9}])
+
+    def test_select_rows_mask(self):
+        table = self._table()
+        subset = table.select_rows(np.asarray([True, False, True]))
+        assert subset.row_count == 2
+        assert subset.row(0) == (3, "c")
+
+    def test_select_rows_indices(self):
+        table = self._table()
+        subset = table.select_rows(np.asarray([2, 0]))
+        assert [r[0] for r in subset.rows()] == [2, 3]
+
+    def test_numeric_stats(self):
+        table = self._table()
+        assert table.numeric_stats("k") == (1.0, 3.0)
+        with pytest.raises(SchemaError):
+            table.numeric_stats("name")
+
+    def test_int_column_dtype(self):
+        table = self._table()
+        assert table.column("k").dtype == np.int64

@@ -1,0 +1,74 @@
+"""ALEX specifics: gapped arrays, node splits, model-based placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.indexes.alex import AdaptiveLearnedIndex
+
+
+class TestConstruction:
+    def test_rejects_small_capacity(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveLearnedIndex(node_capacity=4)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveLearnedIndex(density=0.99)
+
+    def test_starts_with_one_node(self):
+        assert AdaptiveLearnedIndex().node_count == 1
+
+
+class TestSplitting:
+    def test_splits_under_insert_pressure(self):
+        alex = AdaptiveLearnedIndex(node_capacity=32)
+        for i in range(500):
+            alex.insert(float(i), i)
+        assert alex.node_count > 1
+        assert len(alex) == 500
+        for i in range(0, 500, 37):
+            assert alex.get(float(i)) == i
+
+    def test_random_order_inserts(self, rng):
+        alex = AdaptiveLearnedIndex(node_capacity=32)
+        keys = rng.permutation(800).astype(float)
+        for k in keys:
+            alex.insert(float(k), int(k))
+        assert len(alex) == 800
+        assert [k for k, _ in alex.items()] == sorted(float(k) for k in keys)
+
+    def test_bulk_load_builds_multiple_nodes(self, small_pairs):
+        alex = AdaptiveLearnedIndex(node_capacity=64)
+        alex.bulk_load(small_pairs)
+        assert alex.node_count > 1
+        for key, value in small_pairs[::13]:
+            assert alex.get(key) == value
+
+
+class TestGappedPlacement:
+    def test_inserts_into_gaps_keep_order(self, rng):
+        alex = AdaptiveLearnedIndex(node_capacity=128, density=0.5)
+        base = [(float(i) * 10.0, i) for i in range(100)]
+        alex.bulk_load(base)
+        # Insert between existing keys.
+        for i in range(99):
+            alex.insert(float(i) * 10.0 + 5.0, -i)
+        keys = [k for k, _ in alex.items()]
+        assert keys == sorted(keys)
+        assert len(alex) == 199
+
+    def test_skewed_inserts(self, rng):
+        alex = AdaptiveLearnedIndex(node_capacity=64)
+        for k in rng.lognormal(5, 2, 1000):
+            alex.insert(float(k), 1)
+        keys = [k for k, _ in alex.items()]
+        assert keys == sorted(keys)
+
+    def test_retrain_counted_on_rebuild(self):
+        alex = AdaptiveLearnedIndex(node_capacity=32)
+        for i in range(200):
+            alex.insert(float(i), i)
+        assert alex.stats.retrains > 0

@@ -1,0 +1,140 @@
+"""Model-fitting utilities: linear fits, CDF model, error bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotTrainedError
+from repro.indexes.models import CDFModel, LinearModel, fit_linear, max_abs_error
+
+
+class TestLinearModel:
+    def test_exact_fit_on_line(self):
+        keys = np.arange(100, dtype=np.float64)
+        model = fit_linear(keys, 3.0 * keys + 7.0)
+        assert model.slope == pytest.approx(3.0)
+        assert model.intercept == pytest.approx(7.0)
+
+    def test_predict_array_matches_scalar(self):
+        model = LinearModel(2.0, 1.0)
+        keys = np.asarray([0.0, 1.5, -2.0])
+        assert np.allclose(model.predict_array(keys), [model.predict(k) for k in keys])
+
+    def test_empty_input(self):
+        model = fit_linear(np.empty(0), np.empty(0))
+        assert model.predict(123.0) == 0.0
+
+    def test_single_point(self):
+        model = fit_linear(np.asarray([5.0]), np.asarray([42.0]))
+        assert model.predict(5.0) == 42.0
+        assert model.slope == 0.0
+
+    def test_constant_keys(self):
+        keys = np.full(10, 7.0)
+        positions = np.arange(10, dtype=np.float64)
+        model = fit_linear(keys, positions)
+        assert model.slope == 0.0
+        assert model.predict(7.0) == pytest.approx(positions.mean())
+
+
+class TestMaxAbsError:
+    def test_zero_on_perfect_fit(self):
+        keys = np.arange(50, dtype=np.float64)
+        model = fit_linear(keys, keys)
+        assert max_abs_error(model, keys, keys) == (0, 0)
+
+    def test_bounds_cover_residuals(self, rng):
+        keys = np.sort(rng.uniform(0, 100, 200))
+        positions = np.arange(200, dtype=np.float64)
+        model = fit_linear(keys, positions)
+        under, over = max_abs_error(model, keys, positions)
+        preds = model.predict_array(keys)
+        assert (positions - preds <= under + 1e-9).all()
+        assert (preds - positions <= over + 1e-9).all()
+
+    def test_empty(self):
+        assert max_abs_error(LinearModel(1, 0), np.empty(0), np.empty(0)) == (0, 0)
+
+
+class TestCDFModel:
+    def test_requires_data(self):
+        with pytest.raises(NotTrainedError):
+            CDFModel([])
+
+    def test_monotone(self, rng):
+        model = CDFModel(rng.normal(0, 1, 1000))
+        grid = np.linspace(-4, 4, 100)
+        values = model.predict_array(grid)
+        assert (np.diff(values) >= 0).all()
+        assert values[0] >= 0.0 and values[-1] <= 1.0
+
+    def test_median_near_half(self, rng):
+        model = CDFModel(rng.normal(10, 2, 5000))
+        assert model.predict(10.0) == pytest.approx(0.5, abs=0.05)
+
+    def test_quantile_inverts_predict(self, rng):
+        sample = rng.uniform(0, 100, 2000)
+        model = CDFModel(sample)
+        for q in (0.1, 0.5, 0.9):
+            key = model.quantile(q)
+            assert model.predict(key) == pytest.approx(q, abs=0.05)
+
+    def test_quantile_clamps(self, rng):
+        model = CDFModel(rng.uniform(0, 1, 100))
+        assert model.quantile(-0.5) == model.quantile(0.0)
+        assert model.quantile(1.5) == model.quantile(1.0)
+
+    def test_len(self):
+        assert len(CDFModel([1.0, 2.0, 3.0])) == 3
+
+
+class TestSizeAccounting:
+    """size_bytes / index_overhead_bytes across structures."""
+
+    def _loaded(self, cls, pairs, **kwargs):
+        index = cls(**kwargs)
+        index.bulk_load(pairs)
+        return index
+
+    def test_all_structures_report_positive_size(self, small_pairs):
+        from repro.indexes import (
+            AdaptiveLearnedIndex,
+            BPlusTree,
+            HashIndex,
+            PGMIndex,
+            RecursiveModelIndex,
+            SortedArrayIndex,
+        )
+
+        for cls in (BPlusTree, SortedArrayIndex, HashIndex,
+                    RecursiveModelIndex, PGMIndex, AdaptiveLearnedIndex):
+            index = self._loaded(cls, small_pairs)
+            assert index.size_bytes() > 0
+            assert index.index_overhead_bytes() >= 0
+
+    def test_learned_overhead_much_smaller_than_btree(self, small_pairs):
+        from repro.indexes import BPlusTree, PGMIndex, RecursiveModelIndex
+
+        btree = self._loaded(BPlusTree, small_pairs)
+        rmi = self._loaded(RecursiveModelIndex, small_pairs, fanout=16,
+                           max_delta=None)
+        pgm = self._loaded(PGMIndex, small_pairs, epsilon=64, max_delta=None)
+        assert rmi.index_overhead_bytes() < btree.index_overhead_bytes() / 3
+        assert pgm.index_overhead_bytes() < btree.index_overhead_bytes() / 5
+
+    def test_rmi_size_grows_with_fanout(self, small_pairs):
+        from repro.indexes import RecursiveModelIndex
+
+        small = self._loaded(RecursiveModelIndex, small_pairs, fanout=4,
+                             max_delta=None)
+        large = self._loaded(RecursiveModelIndex, small_pairs, fanout=256,
+                             max_delta=None)
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_pgm_size_shrinks_with_epsilon(self, small_pairs):
+        from repro.indexes import PGMIndex
+
+        tight = self._loaded(PGMIndex, small_pairs, epsilon=2, max_delta=None)
+        loose = self._loaded(PGMIndex, small_pairs, epsilon=256, max_delta=None)
+        assert loose.size_bytes() <= tight.size_bytes()

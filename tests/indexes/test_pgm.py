@@ -1,0 +1,86 @@
+"""PGM specifics: ε-bound guarantees, PLA construction, levels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.indexes.pgm import PGMIndex, build_pla
+
+
+class TestPLA:
+    def test_linear_data_one_segment(self):
+        keys = np.arange(0, 1000, dtype=np.float64)
+        segments = build_pla(keys, epsilon=4)
+        assert len(segments) == 1
+
+    def test_epsilon_guarantee(self, rng):
+        """Every key's rank must be within ±ε of its segment prediction."""
+        keys = np.unique(rng.lognormal(8, 2, 3000))
+        epsilon = 16
+        segments = build_pla(keys, epsilon=epsilon)
+        boundaries = [s.key0 for s in segments]
+        for rank, key in enumerate(keys):
+            seg_idx = int(np.searchsorted(boundaries, key, side="right")) - 1
+            seg_idx = max(0, seg_idx)
+            predicted = segments[seg_idx].predict(float(key))
+            assert abs(predicted - rank) <= epsilon + 1.0
+
+    def test_smaller_epsilon_more_segments(self, rng):
+        keys = np.unique(rng.lognormal(8, 2, 3000))
+        tight = build_pla(keys, epsilon=4)
+        loose = build_pla(keys, epsilon=256)
+        assert len(tight) > len(loose)
+
+    def test_empty_input(self):
+        assert build_pla(np.empty(0), epsilon=8) == []
+
+    def test_single_key(self):
+        segments = build_pla(np.asarray([5.0]), epsilon=8)
+        assert len(segments) == 1
+
+
+class TestPGMIndex:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            PGMIndex(epsilon=0)
+
+    def test_levels_collapse_to_one_root(self, small_pairs):
+        pgm = PGMIndex(epsilon=8)
+        pgm.bulk_load(small_pairs)
+        assert pgm.levels >= 1
+        assert len(pgm._levels[-1]) == 1
+
+    def test_segment_count_property(self, small_pairs):
+        pgm = PGMIndex(epsilon=8)
+        pgm.bulk_load(small_pairs)
+        assert pgm.segment_count >= 1
+
+    def test_all_lookups_succeed_small_epsilon(self, small_pairs):
+        pgm = PGMIndex(epsilon=4)
+        pgm.bulk_load(small_pairs)
+        for key, value in small_pairs:
+            assert pgm.get(key) == value
+
+    def test_all_lookups_succeed_large_epsilon(self, small_pairs):
+        pgm = PGMIndex(epsilon=512)
+        pgm.bulk_load(small_pairs)
+        for key, value in small_pairs[::3]:
+            assert pgm.get(key) == value
+
+    def test_delta_and_retrain(self, small_pairs):
+        pgm = PGMIndex(epsilon=16, max_delta=None)
+        pgm.bulk_load(small_pairs)
+        pgm.insert(123.456, "x")
+        assert pgm.delta_size == 1
+        pgm.retrain()
+        assert pgm.delta_size == 0
+        assert pgm.get(123.456) == "x"
+
+    def test_search_window_bounded_by_epsilon(self, small_pairs):
+        pgm = PGMIndex(epsilon=8)
+        pgm.bulk_load(small_pairs)
+        pgm.get(small_pairs[100][0])
+        # window = 2*epsilon + 2 at most (when prediction holds).
+        assert pgm.stats.last_search_window <= 2 * 8 + 2

@@ -1,0 +1,112 @@
+"""Property-based tests: every ordered index behaves like a sorted dict."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.indexes import (
+    AdaptiveLearnedIndex,
+    BPlusTree,
+    PGMIndex,
+    RecursiveModelIndex,
+    SortedArrayIndex,
+)
+
+# Finite, not-too-extreme floats keep model arithmetic meaningful.
+KEYS = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+INDEX_FACTORIES = [
+    lambda: BPlusTree(order=4),
+    lambda: SortedArrayIndex(),
+    lambda: RecursiveModelIndex(fanout=4, max_delta=8),
+    lambda: PGMIndex(epsilon=4, max_delta=8),
+    lambda: AdaptiveLearnedIndex(node_capacity=16),
+]
+IDS = ["btree", "sorted-array", "rmi", "pgm", "alex"]
+
+
+@pytest.mark.parametrize("factory", INDEX_FACTORIES, ids=IDS)
+@given(keys=st.lists(KEYS, min_size=0, max_size=60))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_matches_reference_dict_on_inserts(factory, keys):
+    """Insert sequence: index agrees with a dict + sorted() reference."""
+    index = factory()
+    reference = {}
+    for i, key in enumerate(keys):
+        index.insert(key, i)
+        reference[key] = i
+    assert len(index) == len(reference)
+    assert [k for k, _ in index.items()] == sorted(reference)
+    for key, value in reference.items():
+        assert index.get(key) == value
+
+
+@pytest.mark.parametrize("factory", INDEX_FACTORIES, ids=IDS)
+@given(
+    keys=st.lists(KEYS, min_size=1, max_size=50, unique=True),
+    delete_ratio=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_deletes_match_reference(factory, keys, delete_ratio):
+    """Bulk-load then delete a prefix: survivors intact, victims gone."""
+    index = factory()
+    index.bulk_load([(k, i) for i, k in enumerate(keys)])
+    n_delete = int(len(keys) * delete_ratio)
+    victims, survivors = keys[:n_delete], keys[n_delete:]
+    for key in victims:
+        index.delete(key)
+    assert len(index) == len(survivors)
+    for key in victims:
+        with pytest.raises(KeyNotFoundError):
+            index.get(key)
+    for key in survivors:
+        assert index.get(key) == keys.index(key)
+
+
+@pytest.mark.parametrize("factory", INDEX_FACTORIES, ids=IDS)
+@given(
+    keys=st.lists(KEYS, min_size=2, max_size=50, unique=True),
+    bounds=st.tuples(KEYS, KEYS),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_range_matches_filter(factory, keys, bounds):
+    """range(lo, hi) equals the brute-force filtered sorted list."""
+    lo, hi = min(bounds), max(bounds)
+    index = factory()
+    index.bulk_load([(k, None) for k in keys])
+    got = [k for k, _ in index.range(lo, hi)]
+    expected = sorted(k for k in keys if lo <= k <= hi)
+    assert got == expected
+
+
+@given(
+    keys=st.lists(KEYS, min_size=5, max_size=80, unique=True),
+    fanout=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=40, deadline=None)
+def test_rmi_error_bounds_always_honest(keys, fanout):
+    """For any data and fanout, the RMI finds every trained key."""
+    rmi = RecursiveModelIndex(fanout=fanout, max_delta=None)
+    rmi.bulk_load([(k, i) for i, k in enumerate(keys)])
+    ordered = sorted(set(keys))
+    for rank, key in enumerate(ordered):
+        assert rmi.get(key) == keys.index(key)
+
+
+@given(
+    keys=st.lists(KEYS, min_size=5, max_size=80, unique=True),
+    epsilon=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_pgm_epsilon_always_honest(keys, epsilon):
+    """For any data and ε, the PGM finds every trained key."""
+    pgm = PGMIndex(epsilon=epsilon, max_delta=None)
+    pgm.bulk_load([(k, i) for i, k in enumerate(keys)])
+    for key in keys:
+        assert pgm.get(key) == keys.index(key)

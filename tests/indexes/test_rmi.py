@@ -1,0 +1,158 @@
+"""RMI specifics: training, error bounds, delta buffer, access routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, KeyNotFoundError, NotTrainedError
+from repro.indexes.rmi import RecursiveModelIndex
+
+
+class TestConstruction:
+    def test_rejects_zero_fanout(self):
+        with pytest.raises(ConfigurationError):
+            RecursiveModelIndex(fanout=0)
+
+    def test_untrained_empty_lookup_is_clean_miss(self):
+        rmi = RecursiveModelIndex()
+        with pytest.raises(KeyNotFoundError):
+            rmi.get(1.0)
+
+    def test_set_fanout_validates(self):
+        rmi = RecursiveModelIndex()
+        with pytest.raises(ConfigurationError):
+            rmi.set_fanout(0)
+
+
+class TestTraining:
+    def test_bulk_load_trains(self, small_pairs):
+        rmi = RecursiveModelIndex(fanout=16)
+        rmi.bulk_load(small_pairs)
+        assert rmi.is_trained
+        assert rmi.stats.retrains == 1
+
+    def test_higher_fanout_smaller_error(self, small_pairs):
+        coarse = RecursiveModelIndex(fanout=2)
+        fine = RecursiveModelIndex(fanout=128)
+        coarse.bulk_load(small_pairs)
+        fine.bulk_load(small_pairs)
+        assert fine.mean_error_bound() < coarse.mean_error_bound()
+
+    def test_error_bounds_are_honest(self, small_pairs):
+        """A lookup within the claimed window must find every key."""
+        rmi = RecursiveModelIndex(fanout=8)
+        rmi.bulk_load(small_pairs)
+        for key, value in small_pairs:
+            assert rmi.get(key) == value
+
+    def test_empty_train(self):
+        rmi = RecursiveModelIndex(fanout=4)
+        rmi.bulk_load([])
+        assert rmi.is_trained
+        assert rmi.max_error_bound() == 0
+
+
+class TestDeltaBuffer:
+    def test_inserts_buffer_until_retrain(self, small_pairs):
+        rmi = RecursiveModelIndex(fanout=8, max_delta=None)
+        rmi.bulk_load(small_pairs)
+        rmi.insert(1e9, "x")
+        assert rmi.delta_size == 1
+        assert rmi.get(1e9) == "x"
+        rmi.retrain()
+        assert rmi.delta_size == 0
+        assert rmi.get(1e9) == "x"
+
+    def test_auto_retrain_at_max_delta(self, small_pairs):
+        rmi = RecursiveModelIndex(fanout=8, max_delta=10)
+        rmi.bulk_load(small_pairs)
+        for i in range(12):
+            rmi.insert(2e9 + i, i)
+        assert rmi.stats.retrains >= 2
+        assert rmi.delta_size <= 10
+
+    def test_delta_overwrites_base(self, small_pairs):
+        rmi = RecursiveModelIndex(max_delta=None)
+        rmi.bulk_load(small_pairs)
+        key = small_pairs[10][0]
+        rmi.insert(key, "updated")
+        assert rmi.get(key) == "updated"
+        rmi.retrain()
+        assert rmi.get(key) == "updated"
+        assert len(rmi) == len(small_pairs)
+
+    def test_tombstone_then_retrain(self, small_pairs):
+        rmi = RecursiveModelIndex(max_delta=None)
+        rmi.bulk_load(small_pairs)
+        key = small_pairs[20][0]
+        rmi.delete(key)
+        with pytest.raises(KeyNotFoundError):
+            rmi.get(key)
+        rmi.retrain()
+        with pytest.raises(KeyNotFoundError):
+            rmi.get(key)
+        assert len(rmi) == len(small_pairs) - 1
+
+
+class TestAccessRouting:
+    def _hot_cold(self, rng, pairs):
+        keys = np.asarray([k for k, _ in pairs])
+        lo, hi = keys.min(), keys.max()
+        hot = rng.uniform(lo, lo + (hi - lo) * 0.05, 2000)
+        return hot
+
+    def test_access_sample_sets_boundary_routing(self, rng, small_pairs):
+        rmi = RecursiveModelIndex(fanout=32, max_delta=None)
+        rmi.bulk_load(small_pairs)
+        assert not rmi.uses_access_routing
+        rmi.retrain(access_sample=self._hot_cold(rng, small_pairs))
+        assert rmi.uses_access_routing
+
+    def test_routing_preserves_correctness(self, rng, small_pairs):
+        rmi = RecursiveModelIndex(fanout=32, max_delta=None)
+        rmi.bulk_load(small_pairs)
+        rmi.retrain(access_sample=self._hot_cold(rng, small_pairs))
+        for key, value in small_pairs[::11]:
+            assert rmi.get(key) == value
+
+    def test_boundaries_survive_delta_merge(self, rng, small_pairs):
+        rmi = RecursiveModelIndex(fanout=32, max_delta=None)
+        rmi.bulk_load(small_pairs)
+        rmi.retrain(access_sample=self._hot_cold(rng, small_pairs))
+        rmi.insert(123456.0, "x")
+        rmi.retrain()  # merge without a fresh sample
+        assert rmi.uses_access_routing
+        assert rmi.get(123456.0) == "x"
+
+    def test_bulk_load_resets_routing(self, rng, small_pairs):
+        rmi = RecursiveModelIndex(fanout=32, max_delta=None)
+        rmi.bulk_load(small_pairs)
+        rmi.retrain(access_sample=self._hot_cold(rng, small_pairs))
+        rmi.bulk_load(small_pairs)
+        assert not rmi.uses_access_routing
+
+    def test_hot_region_cheaper_than_cold(self, rng):
+        """Specialization: hot-region lookups use smaller windows."""
+        keys = np.unique(
+            np.concatenate([rng.normal(c, 30, 600) for c in range(0, 100_000, 5000)])
+        )
+        pairs = [(float(k), i) for i, k in enumerate(keys)]
+        rmi = RecursiveModelIndex(fanout=64, max_delta=None)
+        rmi.bulk_load(pairs)
+        lo, hi = keys.min(), keys.max()
+        hot_lo, hot_hi = lo, lo + (hi - lo) * 0.05
+        sample = rng.uniform(hot_lo, hot_hi, 2000)
+        rmi.retrain(access_sample=sample)
+
+        def mean_window(region):
+            windows = []
+            for k in region:
+                snapped = keys[min(len(keys) - 1, np.searchsorted(keys, k))]
+                rmi.get(float(snapped))
+                windows.append(rmi.stats.last_search_window)
+            return np.mean(windows)
+
+        hot_keys = rng.uniform(hot_lo, hot_hi, 100)
+        cold_keys = rng.uniform(lo + (hi - lo) * 0.5, lo + (hi - lo) * 0.6, 100)
+        assert mean_window(hot_keys) < mean_window(cold_keys)

@@ -1,0 +1,178 @@
+"""End-to-end shape tests: the paper's qualitative claims must hold.
+
+These are the scientific core of the reproduction: each test runs a real
+(small) benchmark scenario and asserts the *shape* the paper's figures
+predict — who wins, where the dips are, what training buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import Benchmark
+from repro.metrics.adaptability import (
+    adaptability_report,
+    area_between_systems,
+    area_vs_ideal,
+)
+from repro.metrics.cost import training_cost_to_outperform
+from repro.metrics.sla import adjustment_speed, calibrate_sla, latency_bands
+from repro.metrics.specialization import specialization_report
+from repro.scenarios import (
+    abrupt_shift,
+    default_dataset,
+    expected_access_sample,
+    specialization_ladder,
+    training_budget_scenario,
+)
+from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
+from repro.suts.kv_traditional import TraditionalKVStore
+
+# Small-but-meaningful scale: ~20k keys, tuned so the learned store's
+# specialized capacity > offered rate > its mis-specialized capacity.
+N_KEYS = 20_000
+RATE = 3000.0
+SEG = 15.0
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return default_dataset(n=N_KEYS, seed=7)
+
+
+#: Leaf budget matched to the 20k-key dataset so specialization has
+#: teeth: the cold region gets few leaves, so mis-specialized lookups
+#: span many storage blocks.
+FANOUT = 64
+
+
+@pytest.fixture(scope="module")
+def shift_runs(dataset):
+    scenario = abrupt_shift(dataset, rate=RATE, segment_duration=SEG,
+                            train_budget=1e9)
+    sample = expected_access_sample(scenario)
+    bench = Benchmark()
+    learned = bench.run(
+        LearnedKVStore(max_fanout=FANOUT, retrain_cooldown=2.0,
+                       expected_access_sample=sample),
+        scenario,
+    )
+    static = bench.run(
+        StaticLearnedKVStore(max_fanout=FANOUT, expected_access_sample=sample),
+        scenario,
+    )
+    traditional = bench.run(TraditionalKVStore(), scenario)
+    return scenario, learned, static, traditional
+
+
+class TestFig1bShape:
+    def test_adaptive_beats_static_after_shift(self, shift_runs):
+        _, learned, static, _ = shift_runs
+        assert area_between_systems(learned, static) > 0
+
+    def test_learned_dips_then_recovers(self, shift_runs):
+        """Throughput dips right after the shift, then recovers."""
+        scenario, learned, _, _ = shift_runs
+        change = scenario.segments[0].duration
+        _, counts = learned.throughput_series(interval=1.0)
+        before = counts[int(change) - 5 : int(change)].mean()
+        dip = counts[int(change) : int(change) + 6].min()
+        tail = counts[-6:-1].mean()  # skip the final partial bucket
+        assert dip < before * 0.9  # visible dip
+        assert tail > before * 0.8  # recovery
+
+    def test_static_learned_saturates_after_shift(self, shift_runs):
+        """The overfit store cannot sustain the offered load post-shift."""
+        _, learned, static, _ = shift_runs
+        assert static.mean_throughput() < learned.mean_throughput() * 0.8
+
+    def test_adaptive_recovery_is_finite(self, shift_runs):
+        scenario, learned, _, _ = shift_runs
+        report = adaptability_report(learned)
+        assert report.recovery_seconds is not None
+        assert report.recovery_seconds < scenario.segments[1].duration
+
+
+class TestFig1cShape:
+    def test_violations_concentrate_after_change(self, shift_runs):
+        scenario, learned, _, traditional = shift_runs
+        # SLA from the traditional baseline's first (unstressed) segment,
+        # as §V-D2 prescribes.
+        sla = calibrate_sla(traditional, percentile=95.0, headroom=2.0)
+        bands = latency_bands(learned, sla=sla, interval=1.0)
+        change = scenario.segments[0].duration
+        before = sum(b.violated for b in bands if b.start < change)
+        after = sum(
+            b.violated for b in bands if change <= b.start < change + 10.0
+        )
+        assert after > before
+
+    def test_adjustment_speed_ranks_systems(self, shift_runs):
+        scenario, learned, static, traditional = shift_runs
+        sla = calibrate_sla(traditional, percentile=95.0, headroom=2.0)
+        change = scenario.segments[0].duration
+        n_after = int(RATE * 10)  # ten post-change seconds of arrivals
+        adaptive_speed = adjustment_speed(learned, change, n_after, sla)
+        static_speed = adjustment_speed(static, change, n_after, sla)
+        assert adaptive_speed < static_speed
+
+
+class TestFig1aShape:
+    def test_static_learned_degrades_with_phi(self, dataset):
+        """For the overfit store, throughput at far Φ < throughput at 0."""
+        scenario, holdout = specialization_ladder(
+            dataset, rate=RATE, segment_duration=10.0, train_budget=1e9
+        )
+        sample = expected_access_sample(scenario)
+        result = Benchmark().run(
+            StaticLearnedKVStore(max_fanout=FANOUT,
+                                 expected_access_sample=sample),
+            scenario,
+        )
+        report = specialization_report(
+            result, scenario, holdout_labels=(holdout,)
+        )
+        near = report.segments[0].throughput.median
+        far = report.segments[-1].throughput.median
+        latency_near = report.segments[0].mean_latency
+        latency_far = report.segments[-1].mean_latency
+        assert far < near or latency_far > latency_near * 2
+
+
+class TestFig1dShape:
+    def test_throughput_grows_with_budget_and_crosses(self, dataset):
+        """More training -> lower latency; crossover vs DBA steps exists."""
+        from repro.core.hardware import CPU
+        from repro.metrics.cost import DBAModel
+
+        bench = Benchmark()
+        learned_curve = []
+        full = LearnedKVStore().cost_model.full_retrain_seconds(len(dataset))
+        latencies = {}
+        for fraction in (0.02, 0.3, 1.0):
+            budget = full * fraction
+            scenario = training_budget_scenario(
+                dataset, budget_seconds=budget, rate=1500.0, duration=10.0
+            )
+            result = bench.run(LearnedKVStore(), scenario)
+            cost = result.total_training_cost()
+            learned_curve.append((cost, result.mean_throughput()))
+            latencies[fraction] = float(np.mean(result.latencies()))
+        assert latencies[1.0] < latencies[0.02]
+
+        dba = DBAModel()
+        traditional_levels = []
+        for level in range(dba.levels):
+            scenario = training_budget_scenario(
+                dataset, budget_seconds=0.0, rate=1500.0, duration=10.0
+            )
+            result = bench.run(TraditionalKVStore(tuning_level=level), scenario)
+            traditional_levels.append(
+                (dba.cost_of_level(level), result.mean_throughput())
+            )
+        crossover = training_cost_to_outperform(learned_curve, traditional_levels)
+        # Training costs cents; DBA hours cost hundreds of dollars — the
+        # learned system must win at a tiny training cost.
+        assert crossover is not None
+        assert crossover < 1.0

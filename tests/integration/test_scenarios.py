@@ -1,0 +1,64 @@
+"""Scenario builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    abrupt_shift,
+    bursty_diurnal,
+    default_dataset,
+    gradual_shift,
+    hotspot,
+    specialization_ladder,
+    training_budget_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return default_dataset(n=3000, seed=2)
+
+
+class TestBuilders:
+    def test_ladder_structure(self, dataset):
+        scenario, holdout = specialization_ladder(dataset, rate=10, segment_duration=2)
+        assert scenario.segments[-1].label == holdout
+        assert len(scenario.segments) == 6
+        assert scenario.initial_keys is dataset.keys
+
+    def test_abrupt_shift_two_segments(self, dataset):
+        scenario = abrupt_shift(dataset, rate=10, segment_duration=2)
+        assert [s.label for s in scenario.segments] == ["dist-A", "dist-B"]
+
+    def test_gradual_shift_single_segment(self, dataset):
+        scenario = gradual_shift(dataset, rate=10, total_duration=10)
+        assert len(scenario.segments) == 1
+        drift = scenario.segments[0].spec.key_drift
+        early = drift.at(0.0)
+        late = drift.at(10.0)
+        assert early is not late
+
+    def test_budget_scenario_names_budget(self, dataset):
+        scenario = training_budget_scenario(dataset, budget_seconds=2.5, rate=10,
+                                            duration=2)
+        assert "2.5" in scenario.name
+        assert scenario.initial_training.budget_seconds == 2.5
+
+    def test_bursty_has_bursts(self, dataset):
+        scenario = bursty_diurnal(dataset, base_rate=10, duration=20)
+        arrivals = scenario.segments[0].spec.arrivals
+        base = arrivals.rate(1.0)
+        burst = arrivals.rate(20 * 0.3 + 0.1)
+        assert burst > base * 2
+
+    def test_hotspot_position(self, dataset):
+        dist = hotspot(dataset, 0.5, width=0.1)
+        span = dataset.high - dataset.low
+        assert dist.hot_start == pytest.approx(dataset.low + 0.5 * span)
+
+    def test_fingerprints_differ_across_builders(self, dataset):
+        a = abrupt_shift(dataset, rate=10, segment_duration=2)
+        b = gradual_shift(dataset, rate=10, total_duration=4)
+        assert a.fingerprint() != b.fingerprint()

@@ -1,0 +1,107 @@
+"""Cache policies: LRU, LFU, learned eviction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learned.cache import LearnedCache, LFUCache, LRUCache
+
+ALL_CACHES = [LRUCache, LFUCache, LearnedCache]
+
+
+@pytest.fixture(params=ALL_CACHES, ids=lambda c: c.__name__)
+def cache(request):
+    return request.param(capacity=4)
+
+
+class TestCommonBehavior:
+    def test_miss_then_hit(self, cache):
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_capacity_respected(self, cache):
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) <= 4
+        assert cache.stats.evictions >= 6
+
+    def test_update_existing_no_eviction(self, cache):
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert cache.stats.evictions == 0
+
+    def test_rejects_zero_capacity(self):
+        for cls in ALL_CACHES:
+            with pytest.raises(ConfigurationError):
+                cls(capacity=0)
+
+    def test_hit_rate(self, cache):
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.get("a")
+        cache.put("c", 3)  # evicts b (freq 1 < a's 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+
+class TestLearned:
+    def test_scan_resistance(self, rng):
+        """A one-pass scan should not wipe out the hot set as badly as LRU."""
+        hot_keys = list(range(20))
+        capacity = 30
+
+        def run(cache):
+            # Warm hot keys with several rounds.
+            for _ in range(10):
+                for k in hot_keys:
+                    if cache.get(k) is None:
+                        cache.put(k, k)
+            # Scan pollution: 200 once-only keys.
+            for k in range(1000, 1200):
+                if cache.get(k) is None:
+                    cache.put(k, k)
+            # Measure hot-key survival.
+            return sum(cache.get(k) is not None for k in hot_keys)
+
+        learned_survivors = run(LearnedCache(capacity))
+        lru_survivors = run(LRUCache(capacity))
+        assert learned_survivors >= lru_survivors
+
+    def test_zipf_hit_rate_reasonable(self, rng):
+        cache = LearnedCache(100)
+        keys = rng.zipf(1.3, 20_000) % 2000
+        for k in keys:
+            if cache.get(int(k)) is None:
+                cache.put(int(k), k)
+        assert cache.stats.hit_rate > 0.3
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            LearnedCache(10, ema_alpha=0.0)

@@ -1,0 +1,74 @@
+"""KS drift detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learned.drift_detector import DriftDetector, DriftVerdict
+
+
+class TestLifecycle:
+    def test_insufficient_before_first_window(self):
+        det = DriftDetector(window=64)
+        verdicts = {det.observe(float(i)) for i in range(63)}
+        assert verdicts == {DriftVerdict.INSUFFICIENT_DATA}
+
+    def test_stable_on_same_distribution(self, rng):
+        det = DriftDetector(window=128, threshold=0.2)
+        verdicts = [det.observe(float(k)) for k in rng.uniform(0, 1, 1500)]
+        assert DriftVerdict.DRIFTED not in verdicts
+        assert det.checks > 0
+
+    def test_detects_abrupt_shift(self, rng):
+        det = DriftDetector(window=128, threshold=0.2)
+        for k in rng.uniform(0, 1, 600):
+            det.observe(float(k))
+        verdicts = [det.observe(float(k)) for k in rng.uniform(10, 11, 300)]
+        assert DriftVerdict.DRIFTED in verdicts
+        assert det.drifts_detected >= 1
+
+    def test_reset_reference_accepts_new_normal(self, rng):
+        det = DriftDetector(window=128, threshold=0.2)
+        for k in rng.uniform(0, 1, 300):
+            det.observe(float(k))
+        det.reset_reference(rng.uniform(10, 11, 256))
+        verdicts = [det.observe(float(k)) for k in rng.uniform(10, 11, 300)]
+        assert DriftVerdict.DRIFTED not in verdicts
+
+    def test_reset_without_sample_relearns(self, rng):
+        det = DriftDetector(window=64, threshold=0.2)
+        for k in rng.uniform(0, 1, 100):
+            det.observe(float(k))
+        det.reset_reference()
+        assert det.observe(0.5) == DriftVerdict.INSUFFICIENT_DATA
+
+
+class TestSensitivity:
+    def test_small_shift_below_threshold_ignored(self, rng):
+        det = DriftDetector(window=256, threshold=0.5)
+        for k in rng.uniform(0, 1, 600):
+            det.observe(float(k))
+        verdicts = [det.observe(float(k)) for k in rng.uniform(0.05, 1.05, 600)]
+        assert DriftVerdict.DRIFTED not in verdicts
+
+    def test_gradual_drift_eventually_detected(self, rng):
+        det = DriftDetector(window=128, threshold=0.3)
+        drifted = False
+        for step in range(30):
+            shift = step * 0.3
+            for k in rng.uniform(shift, shift + 1, 128):
+                if det.observe(float(k)) == DriftVerdict.DRIFTED:
+                    drifted = True
+        assert drifted
+
+
+class TestValidation:
+    def test_rejects_small_window(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(window=8)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(threshold=1.5)

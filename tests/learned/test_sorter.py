@@ -1,0 +1,87 @@
+"""Learned sorting: correctness always, speed when specialized."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.learned.sorter import LearnedSorter, comparison_sort_work
+
+
+class TestCorrectness:
+    def test_sorts_normal_data(self, rng):
+        data = rng.normal(100, 15, 5000)
+        out, report = LearnedSorter().sort(data)
+        assert np.array_equal(out, np.sort(data))
+        assert report.n == 5000
+
+    def test_sorts_already_sorted(self):
+        data = np.arange(1000, dtype=np.float64)
+        out, _ = LearnedSorter().sort(data)
+        assert np.array_equal(out, data)
+
+    def test_sorts_reversed(self):
+        data = np.arange(1000, dtype=np.float64)[::-1]
+        out, _ = LearnedSorter().sort(data)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_sorts_with_duplicates(self, rng):
+        data = rng.integers(0, 50, 2000).astype(np.float64)
+        out, _ = LearnedSorter().sort(data)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_empty(self):
+        out, report = LearnedSorter().sort([])
+        assert out.size == 0 and report.work_units == 0
+
+    def test_single(self):
+        out, _ = LearnedSorter().sort([42.0])
+        assert out.tolist() == [42.0]
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_sorted(self, data):
+        out, _ = LearnedSorter(sample_size=16).sort(data)
+        assert np.array_equal(out, np.sort(np.asarray(data, dtype=np.float64)))
+
+
+class TestPerformanceShape:
+    def test_beats_nlogn_when_specialized(self, rng):
+        data = rng.normal(1000, 100, 30_000)
+        _, report = LearnedSorter().sort(data)
+        assert report.work_units < comparison_sort_work(data.size)
+
+    def test_mis_specialized_costs_more(self, rng):
+        """A model fitted to yesterday's distribution pays on today's."""
+        sorter = LearnedSorter().fit(rng.normal(1000, 100, 2048))
+        in_dist = rng.normal(1000, 100, 20_000)
+        shifted = rng.lognormal(9, 1.5, 20_000)
+        _, report_in = sorter.sort(in_dist)
+        _, report_out = sorter.sort(shifted)
+        assert report_out.work_units > report_in.work_units
+        assert report_out.max_bucket_fill > report_in.max_bucket_fill
+
+    def test_overflow_buckets_on_mismatch(self, rng):
+        sorter = LearnedSorter().fit(rng.uniform(0, 1, 2048))
+        clustered = rng.normal(1e6, 1.0, 10_000)
+        out, report = sorter.sort(clustered)
+        assert np.array_equal(out, np.sort(clustered))
+        assert report.overflow_buckets > 0
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            LearnedSorter(sample_size=1)
+        with pytest.raises(ConfigurationError):
+            LearnedSorter(bucket_size=1)
+        with pytest.raises(ConfigurationError):
+            LearnedSorter(overflow_factor=0.5)
+
+    def test_comparison_work_monotone(self):
+        assert comparison_sort_work(100) < comparison_sort_work(1000)
+        assert comparison_sort_work(0) == 0.0

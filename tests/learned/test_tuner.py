@@ -1,0 +1,129 @@
+"""Knob auto-tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learned.tuner import KnobSpace, KnobTuner, tuning_cost_seconds
+
+
+@pytest.fixture
+def space():
+    return KnobSpace.of(order=(4, 16, 64, 256), cache=(0, 1, 2))
+
+
+class TestKnobSpace:
+    def test_default_is_first_values(self, space):
+        assert space.default() == {"order": 4, "cache": 0}
+
+    def test_neighbors_one_step(self, space):
+        config = {"order": 16, "cache": 1}
+        neighbors = space.neighbors(config)
+        assert {"order": 4, "cache": 1} in neighbors
+        assert {"order": 64, "cache": 1} in neighbors
+        assert {"order": 16, "cache": 0} in neighbors
+        assert {"order": 16, "cache": 2} in neighbors
+        assert len(neighbors) == 4
+
+    def test_boundary_neighbors(self, space):
+        neighbors = space.neighbors(space.default())
+        assert len(neighbors) == 2  # only up-steps at the boundary
+
+    def test_size(self, space):
+        assert space.size() == 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KnobSpace.of()
+        with pytest.raises(ConfigurationError):
+            KnobSpace.of(order=())
+
+
+class TestTuner:
+    @staticmethod
+    def _objective(config):
+        # Optimum at order=64, cache=2 (unimodal along each axis).
+        return abs(config["order"] - 64) / 64 + abs(config["cache"] - 2)
+
+    def test_finds_optimum(self, space):
+        result = KnobTuner(space, self._objective, budget=32).tune()
+        assert result.best == {"order": 64, "cache": 2}
+        assert result.converged
+
+    def test_budget_limits_evaluations(self, space):
+        result = KnobTuner(space, self._objective, budget=3).tune()
+        assert result.evaluation_count <= 3
+        assert not result.converged or result.evaluation_count <= 3
+
+    def test_never_reevaluates(self, space):
+        calls = []
+
+        def counting(config):
+            calls.append(dict(config))
+            return self._objective(config)
+
+        KnobTuner(space, counting, budget=50).tune()
+        keys = [tuple(sorted(c.items())) for c in calls]
+        assert len(keys) == len(set(keys))
+
+    def test_custom_start(self, space):
+        result = KnobTuner(space, self._objective, budget=32).tune(
+            start={"order": 256, "cache": 2}
+        )
+        assert result.best == {"order": 64, "cache": 2}
+
+    def test_rejects_zero_budget(self, space):
+        with pytest.raises(ConfigurationError):
+            KnobTuner(space, self._objective, budget=0)
+
+    def test_evaluation_log_ordered(self, space):
+        result = KnobTuner(space, self._objective, budget=32).tune()
+        assert result.evaluations[0][0] == space.default()
+        best_seen = min(score for _, score in result.evaluations)
+        assert result.best_score == best_seen
+
+
+class TestTuningCost:
+    def test_cost_scales_with_evaluations(self, space):
+        result = KnobTuner(space, self._objective_flat, budget=10).tune()
+        assert tuning_cost_seconds(result, probe_seconds=5.0) == (
+            result.evaluation_count * 5.0
+        )
+
+    @staticmethod
+    def _objective_flat(config):
+        return 1.0
+
+    def test_negative_probe_rejected(self, space):
+        result = KnobTuner(space, self._objective_flat, budget=2).tune()
+        with pytest.raises(ConfigurationError):
+            tuning_cost_seconds(result, probe_seconds=-1.0)
+
+
+class TestTunerOnRealStore:
+    def test_tunes_btree_order_for_workload(self, tiny_dataset):
+        """The tuner finds a better B+ tree order than the default."""
+        from repro.suts.kv_traditional import TraditionalKVStore
+        from repro.workloads.generators import KVOperation, KVQuery
+        import numpy as np
+
+        pairs = tiny_dataset.pairs()
+        rng = np.random.default_rng(4)
+        probe_keys = rng.choice(tiny_dataset.keys, 150)
+
+        def objective(config):
+            store = TraditionalKVStore(order=config["order"])
+            store.setup(pairs)
+            total = 0.0
+            for key in probe_keys:
+                total += store.execute(
+                    KVQuery(op=KVOperation.READ, key=float(key)), 0.0
+                )
+            return total
+
+        space = KnobSpace.of(order=(4, 8, 16, 32, 64, 128, 256))
+        result = KnobTuner(space, objective, budget=8).tune()
+        default_score = result.evaluations[0][1]
+        assert result.best_score < default_score
+        assert result.best["order"] > 4

@@ -1,0 +1,106 @@
+"""Fig 1d cost metrics: DBA step function, TCO, crossover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phases import TrainingEvent
+from repro.core.results import QueryRecord, RunResult
+from repro.errors import ConfigurationError
+from repro.metrics.cost import (
+    CostBreakdown,
+    DBAModel,
+    TCOModel,
+    cost_breakdown,
+    training_cost_to_outperform,
+)
+
+
+class TestDBAModel:
+    def test_step_costs(self):
+        dba = DBAModel(hourly_rate=100.0, hours_per_level=(0.0, 10.0, 50.0))
+        assert dba.cost_of_level(0) == 0.0
+        assert dba.cost_of_level(1) == 1000.0
+        assert dba.cost_of_level(2) == 5000.0
+
+    def test_level_at_cost(self):
+        dba = DBAModel(hourly_rate=100.0, hours_per_level=(0.0, 10.0, 50.0))
+        assert dba.level_at_cost(0.0) == 0
+        assert dba.level_at_cost(999.0) == 0
+        assert dba.level_at_cost(1000.0) == 1
+        assert dba.level_at_cost(1e9) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DBAModel(hours_per_level=(5.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            DBAModel(hours_per_level=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            DBAModel(hourly_rate=-5.0)
+        with pytest.raises(ConfigurationError):
+            DBAModel().cost_of_level(99)
+
+
+class TestTCO:
+    def test_traditional_includes_retunes(self):
+        tco = TCOModel(hardware_monthly=100.0, horizon_months=12.0)
+        once = tco.traditional_tco(tuning_level=1, retunes=0)
+        thrice = tco.traditional_tco(tuning_level=1, retunes=2)
+        assert thrice - once == pytest.approx(2 * tco.dba.cost_of_level(1))
+
+    def test_learned_scales_with_sessions(self):
+        tco = TCOModel(hardware_monthly=100.0, horizon_months=12.0)
+        base = tco.learned_tco(training_cost_per_session=2.0, sessions=0)
+        many = tco.learned_tco(training_cost_per_session=2.0, sessions=10)
+        assert many - base == pytest.approx(20.0)
+
+    def test_hardware_floor_shared(self):
+        tco = TCOModel(hardware_monthly=100.0, horizon_months=12.0)
+        assert tco.traditional_tco(0) == tco.learned_tco(0.0, 0) == 1200.0
+
+
+class TestCostBreakdown:
+    def _result(self):
+        queries = [
+            QueryRecord(arrival=float(i), start=float(i), completion=float(i) + 0.1,
+                        op="read", segment="a")
+            for i in range(100)
+        ]
+        return RunResult(
+            sut_name="x",
+            scenario_name="s",
+            queries=queries,
+            segments=[("a", 0.0, 100.0)],
+            training_events=[
+                TrainingEvent(start=-1, duration=1, nominal_seconds=1,
+                              hardware_name="cpu", cost=0.5, online=False)
+            ],
+        )
+
+    def test_breakdown_components(self):
+        breakdown = cost_breakdown(self._result(), serving_dollars_per_hour=3.6)
+        assert breakdown.training_cost == pytest.approx(0.5)
+        assert breakdown.execution_cost == pytest.approx(100.0 / 3600.0 * 3.6)
+        assert breakdown.total_cost == breakdown.training_cost + breakdown.execution_cost
+        assert breakdown.cost_per_kquery == pytest.approx(breakdown.total_cost / 0.1)
+
+
+class TestCrossover:
+    LEVELS = [(0.0, 100.0), (600.0, 130.0), (3000.0, 150.0)]
+
+    def test_learned_wins_immediately(self):
+        curve = [(0.0, 120.0), (10.0, 160.0)]
+        assert training_cost_to_outperform(curve, self.LEVELS) == 0.0
+
+    def test_crossover_in_middle(self):
+        curve = [(0.0, 50.0), (100.0, 90.0), (500.0, 120.0), (2000.0, 170.0)]
+        # At $500 learned=120 vs traditional(500)=100 -> crossover at 500.
+        assert training_cost_to_outperform(curve, self.LEVELS) == 500.0
+
+    def test_never_crosses(self):
+        curve = [(0.0, 10.0), (10_000.0, 20.0)]
+        assert training_cost_to_outperform(curve, self.LEVELS) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            training_cost_to_outperform([], self.LEVELS)

@@ -1,0 +1,74 @@
+"""Fig 1a specialization report on a real (small) run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import Benchmark
+from repro.errors import ConfigurationError
+from repro.metrics.specialization import specialization_report
+from repro.scenarios import default_dataset, specialization_ladder
+from repro.suts.kv_traditional import TraditionalKVStore
+
+
+@pytest.fixture(scope="module")
+def ladder_run():
+    dataset = default_dataset(n=5000, seed=3)
+    scenario, holdout = specialization_ladder(
+        dataset, rate=150.0, segment_duration=4.0, train_budget=1e9
+    )
+    result = Benchmark().run(TraditionalKVStore(), scenario)
+    return scenario, result, holdout
+
+
+class TestReport:
+    def test_segments_sorted_by_phi(self, ladder_run):
+        scenario, result, holdout = ladder_run
+        report = specialization_report(result, scenario)
+        phis = [s.phi for s in report.segments]
+        assert phis == sorted(phis)
+
+    def test_baseline_has_zero_phi(self, ladder_run):
+        scenario, result, _ = ladder_run
+        report = specialization_report(result, scenario)
+        assert report.segments[0].label == report.baseline_label
+        assert report.segments[0].phi == pytest.approx(0.0, abs=0.05)
+
+    def test_phi_grows_with_hotspot_distance(self, ladder_run):
+        scenario, result, _ = ladder_run
+        report = specialization_report(result, scenario)
+        by_label = {s.label: s for s in report.segments}
+        assert by_label["dist-1"].phi < by_label["dist-4"].phi
+
+    def test_holdout_marked(self, ladder_run):
+        scenario, result, holdout = ladder_run
+        report = specialization_report(result, scenario, holdout_labels=(holdout,))
+        flagged = [s.label for s in report.segments if s.holdout]
+        assert flagged == [holdout]
+
+    def test_every_segment_present(self, ladder_run):
+        scenario, result, _ = ladder_run
+        report = specialization_report(result, scenario)
+        assert len(report.segments) == len(scenario.segments)
+
+    def test_throughput_stats_positive(self, ladder_run):
+        scenario, result, _ = ladder_run
+        report = specialization_report(result, scenario)
+        for seg in report.segments:
+            assert seg.throughput.median > 0
+
+    def test_rows_flat_export(self, ladder_run):
+        scenario, result, _ = ladder_run
+        rows = specialization_report(result, scenario).rows()
+        assert all("phi" in row and "tp_median" in row for row in rows)
+
+    def test_unknown_baseline_rejected(self, ladder_run):
+        scenario, result, _ = ladder_run
+        with pytest.raises(ConfigurationError):
+            specialization_report(result, scenario, baseline_label="nope")
+
+    def test_bad_interval_rejected(self, ladder_run):
+        scenario, result, _ = ladder_run
+        with pytest.raises(ConfigurationError):
+            specialization_report(result, scenario, interval=0.0)

@@ -1,0 +1,114 @@
+"""Analytic SUTs: workload generation, drivers, learned vs traditional."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.suts.analytic import (
+    AnalyticDriver,
+    AnalyticWorkload,
+    LearnedOptimizerSUT,
+    TraditionalOptimizerSUT,
+    build_analytic_catalog,
+)
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.drift import AbruptDrift, NoDrift
+
+
+@pytest.fixture
+def catalog():
+    return build_analytic_catalog(n_orders=1500, n_customers=150, seed=4)
+
+
+@pytest.fixture
+def workload():
+    return AnalyticWorkload(
+        threshold_drift=NoDrift(UniformDistribution(0.0, 300.0)),
+        window=50.0,
+        join_fraction=0.5,
+        seed=9,
+    )
+
+
+class TestWorkload:
+    def test_queries_have_plans(self, workload):
+        query = workload.next_query(0.0)
+        assert query.kind in ("filter", "join")
+        assert query.plan.tables()
+
+    def test_join_fraction_respected(self):
+        workload = AnalyticWorkload(
+            threshold_drift=NoDrift(UniformDistribution(0, 100)),
+            join_fraction=1.0,
+            seed=1,
+        )
+        kinds = {workload.next_query(0.0).kind for _ in range(10)}
+        assert kinds == {"join"}
+
+    def test_drifting_thresholds(self):
+        drift = AbruptDrift(
+            [UniformDistribution(0, 10), UniformDistribution(500, 510)], [50.0]
+        )
+        workload = AnalyticWorkload(threshold_drift=drift, seed=1, join_fraction=0.0)
+        early = workload.next_query(0.0)
+        late = workload.next_query(100.0)
+        early_lo = early.plan.children()[0].predicate.low
+        late_lo = late.plan.children()[0].predicate.low
+        assert early_lo < 10 and late_lo >= 500
+
+
+class TestSUTs:
+    def test_traditional_executes(self, catalog, workload):
+        sut = TraditionalOptimizerSUT(catalog)
+        sut.setup()
+        service = sut.execute(workload.next_query(0.0), 0.0)
+        assert service > 0
+
+    def test_learned_executes_and_learns(self, catalog, workload):
+        sut = LearnedOptimizerSUT(catalog, seed=2, warmup_queries=5)
+        sut.setup()
+        for i in range(12):
+            sut.execute(workload.next_query(float(i)), float(i))
+        assert sut.steering.decisions == 12
+        assert sut.learned_cards.trained_examples > 0
+
+    def test_learned_without_cardinality_model(self, catalog, workload):
+        sut = LearnedOptimizerSUT(catalog, use_learned_cardinality=False)
+        sut.setup()
+        for i in range(5):
+            sut.execute(workload.next_query(float(i)), float(i))
+        assert sut.learned_cards.trained_examples == 0
+
+
+class TestAnalyticDriver:
+    def test_run_produces_result(self, catalog, workload):
+        sut = TraditionalOptimizerSUT(catalog)
+        driver = AnalyticDriver(seed=1)
+        result = driver.run(sut, [("seg", workload, 5.0, 10.0)])
+        assert len(result.queries) == 50
+        assert result.segments == [("seg", 0.0, 5.0)]
+        for q in result.queries:
+            assert q.arrival <= q.start < q.completion
+
+    def test_multi_segment(self, catalog, workload):
+        sut = TraditionalOptimizerSUT(catalog)
+        result = AnalyticDriver(seed=1).run(
+            sut, [("a", workload, 3.0, 10.0), ("b", workload, 3.0, 10.0)]
+        )
+        assert {q.segment for q in result.queries} == {"a", "b"}
+
+    def test_learned_improves_over_run(self, catalog):
+        """Later queries should be no slower on average than early ones
+        (the bandit converges to good arms)."""
+        workload = AnalyticWorkload(
+            threshold_drift=NoDrift(UniformDistribution(0.0, 300.0)),
+            join_fraction=1.0,
+            seed=3,
+        )
+        sut = LearnedOptimizerSUT(catalog, seed=5, warmup_queries=20)
+        result = AnalyticDriver(seed=2).run(sut, [("seg", workload, 20.0, 8.0)])
+        services = [q.service_time for q in sorted(result.queries, key=lambda q: q.arrival)]
+        early = np.mean(services[:40])
+        late = np.mean(services[-40:])
+        assert late <= early * 1.5

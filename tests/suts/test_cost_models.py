@@ -1,0 +1,61 @@
+"""Virtual-time cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.indexes.base import IndexStats
+from repro.suts.cost_models import KVCostModel
+
+
+class TestServiceTime:
+    def test_base_overhead_always_charged(self):
+        model = KVCostModel()
+        assert model.service_time(IndexStats()) == pytest.approx(model.base_overhead_s)
+
+    def test_node_accesses_dominate(self):
+        model = KVCostModel()
+        cheap = model.service_time(IndexStats(node_accesses=1))
+        expensive = model.service_time(IndexStats(node_accesses=10))
+        assert expensive > cheap * 5
+
+    def test_writes_add_cost(self):
+        model = KVCostModel()
+        read = model.service_time(IndexStats(node_accesses=1))
+        write = model.service_time(IndexStats(node_accesses=1), writes=1)
+        assert write - read == pytest.approx(model.insert_extra_s)
+
+    def test_scan_items_charged(self):
+        model = KVCostModel()
+        base = model.service_time(IndexStats())
+        scan = model.service_time(IndexStats(), scanned_items=100)
+        assert scan - base == pytest.approx(100 * model.scan_per_item_s)
+
+    def test_tuning_divides_time(self):
+        model = KVCostModel()
+        delta = IndexStats(node_accesses=4, comparisons=20)
+        untuned = model.service_time(delta, tuning_level=0)
+        tuned = model.service_time(delta, tuning_level=3)
+        assert tuned == pytest.approx(untuned / model.tuning_speedups[3])
+
+    def test_tuning_level_clamped(self):
+        model = KVCostModel()
+        delta = IndexStats(node_accesses=1)
+        assert model.service_time(delta, tuning_level=99) == model.service_time(
+            delta, tuning_level=len(model.tuning_speedups) - 1
+        )
+
+    def test_retrain_seconds_linear(self):
+        model = KVCostModel()
+        assert model.full_retrain_seconds(100_000) == pytest.approx(
+            100_000 * model.train_per_key_s
+        )
+
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ConfigurationError):
+            KVCostModel(node_access_s=-1.0)
+
+    def test_rejects_zero_speedups(self):
+        with pytest.raises(ConfigurationError):
+            KVCostModel(tuning_speedups=(1.0, 0.0))

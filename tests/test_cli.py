@@ -1,0 +1,104 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import SCENARIOS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "abrupt-shift"
+        assert "learned-kv" in args.sut
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "nope"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "osm" in out and "learned-kv" in out and "abrupt-shift" in out
+
+    def test_quality_builtin(self, capsys):
+        assert main(["quality", "uniform", "--keys", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "grade" in out
+
+    def test_quality_from_file(self, tmp_path, capsys, rng):
+        path = tmp_path / "keys.txt"
+        np.savetxt(path, rng.lognormal(5, 2, 2000))
+        assert main(["quality", str(path)]) == 0
+        assert "overall" in capsys.readouterr().out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--scenario", "abrupt-shift", "--sut", "btree-kv",
+            "--dataset", "uniform", "--keys", "2000",
+            "--rate", "100", "--duration", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "btree-kv" in out and "adaptability" in out
+
+    def test_run_unknown_sut(self, capsys):
+        code = main([
+            "run", "--sut", "no-such-store", "--dataset", "uniform",
+            "--keys", "2000", "--rate", "50", "--duration", "2",
+        ])
+        assert code == 2
+
+    def test_run_with_export(self, tmp_path, capsys):
+        prefix = str(tmp_path / "out")
+        code = main([
+            "run", "--scenario", "bursty-diurnal", "--sut", "btree-kv",
+            "--dataset", "uniform", "--keys", "2000",
+            "--rate", "100", "--duration", "4",
+            "--export-prefix", prefix,
+        ])
+        assert code == 0
+        queries = (tmp_path / "out-btree-kv-queries.csv").read_text()
+        assert queries.startswith("arrival,")
+
+    def test_synthesize(self, tmp_path, capsys, rng):
+        trace = tmp_path / "trace.txt"
+        np.savetxt(trace, rng.normal(100, 10, 3000))
+        out = tmp_path / "synthetic.txt"
+        code = main(["synthesize", str(trace), "--out", str(out),
+                     "--emit", "500"])
+        assert code == 0
+        synthetic = np.loadtxt(out)
+        assert synthetic.size == 500
+        assert 50 < synthetic.mean() < 150
+
+    def test_every_scenario_builder_runs(self, tiny_dataset):
+        for name, builder in SCENARIOS.items():
+            scenario = builder(tiny_dataset, 50.0, 12.0)
+            assert scenario.total_duration > 0, name
+
+
+class TestScenarioFiles:
+    def test_save_then_load_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "scenario.json")
+        assert main([
+            "run", "--scenario", "abrupt-shift", "--sut", "btree-kv",
+            "--dataset", "uniform", "--keys", "2000",
+            "--rate", "50", "--duration", "2",
+            "--save-scenario", path,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", "--sut", "btree-kv", "--dataset", "uniform",
+            "--keys", "2000", "--scenario-file", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "loaded scenario" in out and "fingerprint" in out

@@ -1,0 +1,132 @@
+"""Distribution sampling and CDF correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import (
+    HotspotDistribution,
+    LognormalDistribution,
+    MixtureDistribution,
+    NormalDistribution,
+    PiecewiseDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+)
+
+ALL = [
+    UniformDistribution(0.0, 100.0),
+    ZipfDistribution(0.0, 100.0, theta=0.99, n_items=500),
+    NormalDistribution(0.0, 100.0, mean=50.0, std=15.0),
+    LognormalDistribution(0.0, 100.0, mu=0.0, sigma=1.0),
+    HotspotDistribution(0.0, 100.0, hot_start=20.0, hot_width=10.0),
+    PiecewiseDistribution(0.0, 100.0, [1, 3, 0.5, 2]),
+    MixtureDistribution(
+        [UniformDistribution(0.0, 50.0), UniformDistribution(50.0, 100.0)], [1, 3]
+    ),
+]
+
+
+@pytest.fixture(params=ALL, ids=lambda d: d.name)
+def dist(request):
+    return request.param
+
+
+class TestSamplingContract:
+    def test_samples_in_domain(self, dist, rng):
+        sample = dist.sample(rng, 5000)
+        assert sample.min() >= dist.low
+        assert sample.max() <= dist.high
+
+    def test_sample_count(self, dist, rng):
+        assert dist.sample(rng, 123).shape == (123,)
+
+    def test_deterministic_given_seed(self, dist):
+        a = dist.sample(np.random.default_rng(7), 100)
+        b = dist.sample(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+    def test_cdf_monotone(self, dist):
+        grid = np.linspace(dist.low - 5, dist.high + 5, 300)
+        cdf = dist.cdf(grid)
+        assert (np.diff(cdf) >= -1e-9).all()
+        assert cdf[0] >= -1e-9 and cdf[-1] <= 1.0 + 1e-9
+
+    def test_cdf_matches_empirical(self, dist, rng):
+        """KS distance between analytic CDF and a large sample is small."""
+        sample = np.sort(dist.sample(rng, 20_000))
+        grid = np.linspace(dist.low, dist.high, 200)
+        analytic = dist.cdf(grid)
+        empirical = np.searchsorted(sample, grid, side="right") / sample.size
+        assert np.abs(analytic - empirical).max() < 0.03
+
+    def test_describe_is_jsonable(self, dist):
+        import json
+
+        payload = json.dumps(dist.describe())
+        assert dist.name in payload or "kind" in payload
+
+
+class TestValidation:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDistribution(5.0, 5.0)
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(0, 1, theta=-1.0)
+
+    def test_bad_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NormalDistribution(0, 1, mean=0.5, std=0.0)
+
+    def test_bad_hot_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotDistribution(0, 1, 0.5, 0.1, hot_fraction=1.5)
+
+    def test_piecewise_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseDistribution(0, 1, [0, 0, 0])
+
+    def test_mixture_weight_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            MixtureDistribution([UniformDistribution(0, 1)], [1, 2])
+
+
+class TestZipf:
+    def test_higher_theta_more_skew(self, rng):
+        flat = ZipfDistribution(0, 100, theta=0.1, n_items=200)
+        steep = ZipfDistribution(0, 100, theta=1.4, n_items=200)
+        def top_share(d):
+            sample = d.sample(rng, 20_000)
+            hist, _ = np.histogram(sample, bins=200, range=(0, 100))
+            return np.sort(hist)[-10:].sum() / hist.sum()
+        assert top_share(steep) > top_share(flat) + 0.1
+
+    def test_permutation_scatters_hot_keys(self, rng):
+        """With permute_seed, the hottest slot is not simply slot 0."""
+        z = ZipfDistribution(0, 100, theta=1.2, n_items=100, permute_seed=42)
+        sample = z.sample(rng, 20_000)
+        hist, _ = np.histogram(sample, bins=100, range=(0, 100))
+        assert hist.argmax() != 0
+
+    def test_theta_zero_near_uniform(self, rng):
+        z = ZipfDistribution(0, 100, theta=0.0, n_items=100)
+        sample = z.sample(rng, 20_000)
+        hist, _ = np.histogram(sample, bins=10, range=(0, 100))
+        assert hist.std() / hist.mean() < 0.1
+
+
+class TestHotspot:
+    def test_hot_range_receives_fraction(self, rng):
+        h = HotspotDistribution(0, 100, hot_start=30, hot_width=10, hot_fraction=0.8)
+        sample = h.sample(rng, 20_000)
+        in_hot = ((sample >= 30) & (sample <= 40)).mean()
+        assert in_hot == pytest.approx(0.8 + 0.2 * 0.1, abs=0.03)
+
+    def test_hot_start_wraps(self, rng):
+        h = HotspotDistribution(0, 100, hot_start=150, hot_width=10)
+        sample = h.sample(rng, 1000)
+        assert sample.min() >= 0 and sample.max() <= 100

@@ -1,0 +1,100 @@
+"""Drift models: transitions over virtual time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import UniformDistribution, ZipfDistribution
+from repro.workloads.drift import (
+    AbruptDrift,
+    GradualDrift,
+    GrowingSkewDrift,
+    NoDrift,
+    RotatingHotspotDrift,
+)
+
+
+class TestNoDrift:
+    def test_same_distribution_always(self):
+        dist = UniformDistribution(0, 1)
+        drift = NoDrift(dist)
+        assert drift.at(0.0) is dist
+        assert drift.at(1e9) is dist
+
+
+class TestAbruptDrift:
+    def test_switches_at_change_times(self):
+        d1, d2, d3 = (UniformDistribution(i, i + 1) for i in range(3))
+        drift = AbruptDrift([d1, d2, d3], [10.0, 20.0])
+        assert drift.at(9.999) is d1
+        assert drift.at(10.0) is d2
+        assert drift.at(19.999) is d2
+        assert drift.at(20.0) is d3
+        assert drift.at(1e6) is d3
+
+    def test_validates_counts(self):
+        with pytest.raises(ConfigurationError):
+            AbruptDrift([UniformDistribution(0, 1)], [5.0])
+
+    def test_validates_order(self):
+        d = [UniformDistribution(0, 1)] * 3
+        with pytest.raises(ConfigurationError):
+            AbruptDrift(d, [20.0, 10.0])
+
+
+class TestGradualDrift:
+    def setup_method(self):
+        self.before = UniformDistribution(0, 10)
+        self.after = UniformDistribution(90, 100)
+        self.drift = GradualDrift(self.before, self.after, start=10.0, duration=20.0)
+
+    def test_pure_before_and_after(self):
+        assert self.drift.at(5.0) is self.before
+        assert self.drift.at(35.0) is self.after
+
+    def test_mix_fraction_linear(self):
+        assert self.drift.mix_fraction(10.0) == 0.0
+        assert self.drift.mix_fraction(20.0) == pytest.approx(0.5)
+        assert self.drift.mix_fraction(30.0) == 1.0
+
+    def test_midpoint_samples_from_both(self, rng):
+        mid = self.drift.at(20.0)
+        sample = mid.sample(rng, 4000)
+        low_share = (sample <= 10).mean()
+        assert 0.4 < low_share < 0.6
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ConfigurationError):
+            GradualDrift(self.before, self.after, 0.0, 0.0)
+
+
+class TestRotatingHotspot:
+    def test_position_follows_phase(self):
+        drift = RotatingHotspotDrift(0, 100, hot_width=5, period=100)
+        assert drift.at(0.0).hot_start == pytest.approx(0.0)
+        assert drift.at(25.0).hot_start == pytest.approx(25.0)
+        assert drift.at(125.0).hot_start == pytest.approx(25.0)  # wraps
+
+    def test_samples_track_position(self, rng):
+        drift = RotatingHotspotDrift(0, 100, hot_width=5, period=100, hot_fraction=0.95)
+        early = drift.at(10.0).sample(rng, 2000)
+        late = drift.at(60.0).sample(rng, 2000)
+        assert np.median(early) < np.median(late)
+
+
+class TestGrowingSkew:
+    def test_theta_ramps(self):
+        drift = GrowingSkewDrift(0, 100, theta_start=0.0, theta_end=1.0, duration=100)
+        assert drift.theta_at(0.0) == 0.0
+        assert drift.theta_at(50.0) == pytest.approx(0.5)
+        assert drift.theta_at(1e9) == 1.0
+
+    def test_returns_zipf(self):
+        drift = GrowingSkewDrift(0, 100, duration=100, n_items=50)
+        assert isinstance(drift.at(50.0), ZipfDistribution)
+
+    def test_caches_quantized_theta(self):
+        drift = GrowingSkewDrift(0, 100, duration=100, n_items=50)
+        assert drift.at(50.0) is drift.at(50.2)  # same rounded theta

@@ -1,0 +1,123 @@
+"""Query-stream generation: mixes, specs, signatures, reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import UniformDistribution, ZipfDistribution
+from repro.workloads.drift import GradualDrift, NoDrift
+from repro.workloads.generators import (
+    KVOperation,
+    KVWorkload,
+    OperationMix,
+    WorkloadSpec,
+    simple_spec,
+)
+from repro.workloads.patterns import ConstantArrivals
+
+
+class TestOperationMix:
+    def test_normalizes(self):
+        mix = OperationMix({KVOperation.READ: 3.0, KVOperation.UPDATE: 1.0})
+        props = mix.proportions()
+        assert props[KVOperation.READ] == pytest.approx(0.75)
+
+    def test_sample_respects_proportions(self, rng):
+        mix = OperationMix({KVOperation.READ: 0.9, KVOperation.INSERT: 0.1})
+        ops = [mix.sample(rng) for _ in range(2000)]
+        read_share = sum(op == KVOperation.READ for op in ops) / len(ops)
+        assert read_share == pytest.approx(0.9, abs=0.03)
+
+    def test_read_only_helper(self, rng):
+        mix = OperationMix.read_only()
+        assert all(mix.sample(rng) == KVOperation.READ for _ in range(20))
+
+    def test_read_write_helper_validates(self):
+        with pytest.raises(ConfigurationError):
+            OperationMix.read_write(1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            OperationMix({})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            OperationMix({KVOperation.READ: -1.0})
+
+
+class TestWorkloadSignature:
+    def test_identical_specs_same_signature(self):
+        a = simple_spec("a", UniformDistribution(0, 1), read_fraction=0.5)
+        b = simple_spec("b", UniformDistribution(0, 1), read_fraction=0.5)
+        assert a.signature() == b.signature()
+
+    def test_different_mix_different_signature(self):
+        a = simple_spec("a", UniformDistribution(0, 1), read_fraction=1.0)
+        b = simple_spec("b", UniformDistribution(0, 1), read_fraction=0.5)
+        assert a.signature() != b.signature()
+
+    def test_different_distribution_kind_differs(self):
+        a = simple_spec("a", UniformDistribution(0, 1))
+        b = simple_spec("b", ZipfDistribution(0, 1, n_items=10))
+        assert a.signature() != b.signature()
+
+    def test_signature_follows_drift(self):
+        drift = GradualDrift(
+            UniformDistribution(0, 1), ZipfDistribution(0, 1, n_items=10), 0.0, 10.0
+        )
+        spec = WorkloadSpec(
+            "d", OperationMix.read_only(), drift, ConstantArrivals(10)
+        )
+        assert spec.signature(at_time=0.0) != spec.signature(at_time=20.0)
+
+
+class TestKVWorkload:
+    def test_generate_volume(self):
+        spec = simple_spec("s", UniformDistribution(0, 100), rate=200.0)
+        queries = KVWorkload(spec, seed=1).generate(0.0, 5.0)
+        assert len(queries) == pytest.approx(1000, abs=2)
+
+    def test_reproducible(self):
+        spec = simple_spec("s", UniformDistribution(0, 100), rate=50.0)
+        a = KVWorkload(spec, seed=9).generate(0.0, 4.0)
+        b = KVWorkload(spec, seed=9).generate(0.0, 4.0)
+        assert [(q.op, q.key) for q in a] == [(q.op, q.key) for q in b]
+
+    def test_different_seeds_differ(self):
+        spec = simple_spec("s", UniformDistribution(0, 100), rate=50.0)
+        a = KVWorkload(spec, seed=1).generate(0.0, 2.0)
+        b = KVWorkload(spec, seed=2).generate(0.0, 2.0)
+        assert [q.key for q in a] != [q.key for q in b]
+
+    def test_arrival_times_attached(self):
+        spec = simple_spec("s", UniformDistribution(0, 100), rate=50.0)
+        queries = KVWorkload(spec, seed=1).generate(3.0, 6.0)
+        assert all(3.0 <= q.arrival_time < 6.0 for q in queries)
+
+    def test_scan_lengths_positive(self):
+        spec = simple_spec(
+            "s", UniformDistribution(0, 100), rate=100.0,
+            scan_fraction=1.0, scan_length_mean=20,
+        )
+        queries = KVWorkload(spec, seed=1).generate(0.0, 2.0)
+        assert queries
+        assert all(q.op == KVOperation.SCAN and 1 <= q.scan_length <= 40 for q in queries)
+
+    def test_insert_keys_unique(self):
+        spec = WorkloadSpec(
+            "ins",
+            OperationMix({KVOperation.INSERT: 1.0}),
+            NoDrift(UniformDistribution(0, 100)),
+            ConstantArrivals(100.0),
+        )
+        queries = KVWorkload(spec, seed=1).generate(0.0, 5.0)
+        keys = [q.key for q in queries]
+        assert len(set(keys)) == len(keys)
+
+    def test_sample_keys_matches_distribution(self):
+        spec = simple_spec("s", UniformDistribution(50, 60), rate=10.0)
+        workload = KVWorkload(spec, seed=1)
+        sample = workload.sample_keys(0.0, 500)
+        assert sample.min() >= 50 and sample.max() <= 60

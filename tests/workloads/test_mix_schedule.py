@@ -1,0 +1,92 @@
+"""Evolving operation mixes (MixSchedule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.drift import NoDrift
+from repro.workloads.generators import (
+    KVOperation,
+    KVWorkload,
+    MixSchedule,
+    OperationMix,
+    WorkloadSpec,
+)
+from repro.workloads.patterns import ConstantArrivals
+
+
+def _spec_with_schedule():
+    schedule = MixSchedule(
+        [
+            (0.0, OperationMix.read_only()),
+            (10.0, OperationMix({KVOperation.SCAN: 1.0})),
+        ]
+    )
+    return WorkloadSpec(
+        name="mix-drift",
+        mix=OperationMix.read_only(),
+        key_drift=NoDrift(UniformDistribution(0, 100)),
+        arrivals=ConstantArrivals(50.0),
+        scan_length_mean=10,
+        mix_schedule=schedule,
+    )
+
+
+class TestMixSchedule:
+    def test_switches_at_time(self):
+        schedule = MixSchedule(
+            [(0.0, OperationMix.read_only()),
+             (5.0, OperationMix.read_write(0.5))]
+        )
+        early = schedule.at(4.9).proportions()
+        late = schedule.at(5.0).proportions()
+        assert early == {KVOperation.READ: 1.0}
+        assert late[KVOperation.UPDATE] == pytest.approx(0.5)
+
+    def test_before_first_entry_uses_first(self):
+        schedule = MixSchedule([(10.0, OperationMix.read_only())])
+        assert schedule.at(0.0).proportions() == {KVOperation.READ: 1.0}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            MixSchedule([])
+
+    def test_rejects_unordered(self):
+        with pytest.raises(ConfigurationError):
+            MixSchedule(
+                [(5.0, OperationMix.read_only()), (0.0, OperationMix.read_only())]
+            )
+
+
+class TestSpecIntegration:
+    def test_mix_at_prefers_schedule(self):
+        spec = _spec_with_schedule()
+        assert spec.mix_at(0.0).proportions() == {KVOperation.READ: 1.0}
+        assert spec.mix_at(15.0).proportions() == {KVOperation.SCAN: 1.0}
+
+    def test_generated_ops_follow_schedule(self):
+        workload = KVWorkload(_spec_with_schedule(), seed=3)
+        early_ops = {q.op for q in workload.generate(0.0, 5.0)}
+        late_ops = {q.op for q in workload.generate(12.0, 17.0)}
+        assert early_ops == {KVOperation.READ}
+        assert late_ops == {KVOperation.SCAN}
+
+    def test_signature_tracks_schedule(self):
+        spec = _spec_with_schedule()
+        assert spec.signature(0.0) != spec.signature(15.0)
+
+    def test_describe_includes_schedule(self):
+        payload = _spec_with_schedule().describe()
+        assert payload["mix_schedule"]["kind"] == "MixSchedule"
+        assert len(payload["mix_schedule"]["segments"]) == 2
+
+    def test_without_schedule_uses_static_mix(self):
+        spec = WorkloadSpec(
+            name="static",
+            mix=OperationMix.read_only(),
+            key_drift=NoDrift(UniformDistribution(0, 1)),
+            arrivals=ConstantArrivals(1.0),
+        )
+        assert spec.mix_at(1e9).proportions() == {KVOperation.READ: 1.0}

@@ -1,0 +1,89 @@
+"""Dataset/workload quality scorer (§V-C tool)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import UniformDistribution, ZipfDistribution
+from repro.workloads.drift import GradualDrift, NoDrift
+from repro.workloads.generators import OperationMix, WorkloadSpec, simple_spec
+from repro.workloads.patterns import ConstantArrivals, DiurnalArrivals
+from repro.workloads.quality import score_dataset, score_workload
+
+
+class TestDatasetScoring:
+    def test_uniform_scores_low(self, rng):
+        report = score_dataset(rng.uniform(0, 1, 10_000))
+        assert report.overall < 0.2
+        assert report.grade() in ("D", "F")
+
+    def test_skewed_scores_higher_than_uniform(self, rng):
+        uniform = score_dataset(rng.uniform(0, 1, 10_000))
+        skewed = score_dataset(rng.lognormal(0, 2, 10_000))
+        assert skewed.overall > uniform.overall
+
+    def test_zipf_beats_uniform(self, rng):
+        z = ZipfDistribution(0, 1, theta=1.3, n_items=200)
+        uniform = score_dataset(rng.uniform(0, 1, 10_000))
+        zipf = score_dataset(z.sample(rng, 10_000))
+        assert zipf.overall > uniform.overall
+
+    def test_constant_data_degenerate_max(self):
+        report = score_dataset([5.0] * 100)
+        assert report.overall == 1.0
+
+    def test_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            score_dataset([1.0])
+
+    def test_components_in_unit_range(self, rng):
+        report = score_dataset(rng.normal(0, 1, 5000))
+        for value in (report.non_uniformity, report.multimodality,
+                      report.tail_weight, report.overall):
+            assert 0.0 <= value <= 1.0
+
+
+class TestWorkloadScoring:
+    def test_static_uniform_scores_low(self):
+        spec = simple_spec("s", UniformDistribution(0, 1), rate=10.0)
+        report = score_workload(spec)
+        assert report.overall < 0.3
+
+    def test_drifting_scores_higher(self):
+        static = simple_spec("s", UniformDistribution(0, 1), rate=10.0)
+        drifting = WorkloadSpec(
+            "d",
+            OperationMix.read_only(),
+            GradualDrift(
+                UniformDistribution(0, 1),
+                ZipfDistribution(5, 6, theta=1.2, n_items=100),
+                0.0,
+                600.0,
+            ),
+            DiurnalArrivals(10.0, 0.8, period=600.0),
+        )
+        assert score_workload(drifting).overall > score_workload(static).overall
+
+    def test_load_variation_detected(self):
+        steady = simple_spec("s", UniformDistribution(0, 1), rate=10.0)
+        wavy = WorkloadSpec(
+            "w",
+            OperationMix.read_only(),
+            NoDrift(UniformDistribution(0, 1)),
+            DiurnalArrivals(10.0, 0.9, period=100.0),
+        )
+        assert (
+            score_workload(wavy).load_variation
+            > score_workload(steady).load_variation
+        )
+
+    def test_requires_two_probes(self):
+        spec = simple_spec("s", UniformDistribution(0, 1), rate=10.0)
+        with pytest.raises(ConfigurationError):
+            score_workload(spec, probes=1)
+
+    def test_deterministic(self):
+        spec = simple_spec("s", UniformDistribution(0, 1), rate=10.0)
+        assert score_workload(spec, seed=5) == score_workload(spec, seed=5)

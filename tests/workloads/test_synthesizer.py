@@ -1,0 +1,79 @@
+"""Trace-to-generator synthesis (§V-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import ZipfDistribution
+from repro.workloads.synthesizer import (
+    evaluate_fit,
+    fit_arrivals,
+    fit_distribution,
+    fit_workload,
+)
+
+
+class TestFitDistribution:
+    def test_reproduces_normal(self, rng):
+        sample = rng.normal(100, 10, 8000)
+        fitted = fit_distribution(sample)
+        report = evaluate_fit(sample, fitted)
+        assert report.ks_distance < 0.05
+        assert report.high_fidelity
+
+    def test_reproduces_zipf(self, rng):
+        sample = ZipfDistribution(0, 1000, theta=1.0, n_items=200).sample(rng, 8000)
+        fitted = fit_distribution(sample)
+        assert evaluate_fit(sample, fitted).ks_distance < 0.06
+
+    def test_reproduces_bimodal(self, rng):
+        sample = np.concatenate([rng.normal(0, 1, 4000), rng.normal(50, 1, 4000)])
+        fitted = fit_distribution(sample)
+        synth = fitted.sample(rng, 4000)
+        # Nothing generated in the empty middle band (beyond smoothing dust).
+        assert ((synth > 10) & (synth < 40)).mean() < 0.02
+
+    def test_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_distribution([1.0])
+
+    def test_constant_sample_ok(self):
+        fitted = fit_distribution([5.0, 5.0, 5.0])
+        assert fitted.low <= 5.0 <= fitted.high
+
+
+class TestFitArrivals:
+    def test_reproduces_rate_profile(self, rng):
+        # 10/s for 30s then 50/s for 30s.
+        t1 = np.sort(rng.uniform(0, 30, 300))
+        t2 = np.sort(rng.uniform(30, 60, 1500))
+        process = fit_arrivals(np.concatenate([t1, t2]), window=10.0)
+        assert process.rate(5.0) == pytest.approx(10.0, rel=0.3)
+        assert process.rate(45.0) == pytest.approx(50.0, rel=0.3)
+
+    def test_empty_trace(self):
+        assert fit_arrivals([]).rate(0.0) == 0.0
+
+    def test_rejects_bad_window(self, rng):
+        with pytest.raises(ConfigurationError):
+            fit_arrivals(rng.uniform(0, 10, 100), window=0.0)
+
+
+class TestFitWorkload:
+    def test_round_trip(self, rng):
+        keys = rng.lognormal(5, 1, 5000)
+        times = np.sort(rng.uniform(0, 60, 5000))
+        spec, report = fit_workload("synth", keys, timestamps=times)
+        assert spec.name == "synth"
+        assert report.high_fidelity
+        # The fitted workload samples keys in the observed range.
+        sample = spec.key_drift.at(0.0).sample(rng, 100)
+        assert sample.min() >= keys.min() - 1.0
+        assert sample.max() <= keys.max() + 1.0
+
+    def test_default_arrivals_without_timestamps(self, rng):
+        keys = rng.uniform(0, 1, 600)
+        spec, _ = fit_workload("synth", keys)
+        assert spec.arrivals.rate(0.0) == pytest.approx(10.0)

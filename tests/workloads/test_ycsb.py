@@ -1,0 +1,55 @@
+"""YCSB preset correctness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import KVOperation, KVWorkload
+from repro.workloads.ycsb import ycsb_workload
+
+
+class TestPresets:
+    @pytest.mark.parametrize("letter", list("ABCDEF"))
+    def test_all_workloads_build(self, letter):
+        spec = ycsb_workload(letter, rate=10.0)
+        assert spec.name == f"ycsb-{letter.lower()}"
+
+    def test_case_insensitive(self):
+        assert ycsb_workload("a").name == "ycsb-a"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ycsb_workload("Z")
+
+    def test_a_mix(self):
+        props = ycsb_workload("A").mix.proportions()
+        assert props[KVOperation.READ] == pytest.approx(0.5)
+        assert props[KVOperation.UPDATE] == pytest.approx(0.5)
+
+    def test_c_read_only(self):
+        props = ycsb_workload("C").mix.proportions()
+        assert props == {KVOperation.READ: 1.0}
+
+    def test_e_scan_heavy_with_length(self):
+        spec = ycsb_workload("E")
+        assert spec.mix.proportions()[KVOperation.SCAN] == pytest.approx(0.95)
+        assert spec.scan_length_mean == 50
+
+    def test_f_has_rmw(self):
+        props = ycsb_workload("F").mix.proportions()
+        assert props[KVOperation.READ_MODIFY_WRITE] == pytest.approx(0.5)
+
+    def test_uniform_keys_flag(self, rng):
+        spec = ycsb_workload("C", uniform_keys=True, low=0, high=100)
+        sample = spec.key_drift.at(0.0).sample(rng, 2000)
+        import numpy as np
+
+        hist, _ = np.histogram(sample, bins=10, range=(0, 100))
+        assert hist.std() / hist.mean() < 0.2
+
+    def test_generates_expected_ops(self):
+        spec = ycsb_workload("D", rate=200.0)
+        queries = KVWorkload(spec, seed=1).generate(0.0, 5.0)
+        ops = {q.op for q in queries}
+        assert ops == {KVOperation.READ, KVOperation.INSERT}
