@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from bench_common import FANOUT, bench_once, dataset
+from bench_common import FANOUT, bench_once
 from repro.core.hardware import CPU
 from repro.learned.tuner import KnobSpace, KnobTuner, tuning_cost_seconds
 from repro.suts.kv_learned import LearnedKVStore

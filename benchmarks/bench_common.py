@@ -5,13 +5,27 @@ the `osm`-shaped dataset (the hard, lumpy one — mirroring SOSD), offered
 rates chosen so the learned store's *specialized* capacity exceeds the
 offered load while its *mis-specialized* capacity does not, which is the
 regime where the paper's dynamic metrics have signal.
+
+Figure scripts go through :func:`matrix_run`, which fans their (SUT ×
+scenario) jobs across the process-pool matrix runner and caches results
+under ``benchmarks/results/cache/`` — re-running a figure only executes
+jobs whose inputs changed. Environment knobs:
+
+* ``REPRO_BENCH_WORKERS`` — pool size (default: one per job, capped at
+  the CPU count; ``1`` forces serial).
+* ``REPRO_CACHE_DIR`` — cache location override.
+* ``REPRO_BENCH_NO_CACHE=1`` — disable the result cache.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
+from typing import Callable, Dict
 
-from repro.core.benchmark import Benchmark
+from repro.core.driver import DriverConfig
+from repro.core.results import RunResult
+from repro.core.runner import MatrixJob, MatrixRunner
 from repro.data.datasets import Dataset, build_dataset
 from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
 from repro.suts.kv_traditional import TraditionalKVStore
@@ -60,3 +74,36 @@ def bench_once(benchmark, fn):
     simulation per statistical round.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+#: Result-cache directory shared by every figure script.
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+    os.path.dirname(__file__), "results", "cache"
+)
+#: Process-pool size for figure matrices (None → one worker per job,
+#: capped at the CPU count).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
+#: Master cache switch (REPRO_BENCH_NO_CACHE=1 forces re-execution).
+USE_CACHE = not os.environ.get("REPRO_BENCH_NO_CACHE")
+
+
+def matrix_run(
+    factories: Dict[str, Callable], scenario, servers: int = 1
+) -> Dict[str, RunResult]:
+    """Run ``{name: SUT factory}`` against ``scenario`` via the runner.
+
+    Jobs fan out across the process pool and hit the shared result cache;
+    parallel results are identical to serial ones (the driver seeds every
+    RNG from the scenario), so figures are reproducible either way. Any
+    failed job raises — a figure must never render from partial data.
+    """
+    jobs = [
+        MatrixJob(sut_factory=factory, scenario=scenario, label=name)
+        for name, factory in factories.items()
+    ]
+    runner = MatrixRunner(
+        driver_config=DriverConfig(servers=servers),
+        workers=WORKERS,
+        cache_dir=CACHE_DIR if USE_CACHE else None,
+    )
+    return runner.run(jobs).raise_on_failure().named()

@@ -10,16 +10,17 @@ in-sample segments; the traditional store is flat across Φ.
 
 from __future__ import annotations
 
+from functools import partial
+
 from bench_common import (
-    SEG_DURATION,
     RATE,
     bench_once,
     dataset,
     make_learned,
     make_static,
     make_traditional,
+    matrix_run,
 )
-from repro.core.benchmark import Benchmark
 from repro.metrics.specialization import specialization_report
 from repro.reporting.figures import render_fig1a
 from repro.scenarios import expected_access_sample, specialization_ladder
@@ -31,14 +32,18 @@ def test_fig1a_specialization(benchmark, figure_sink):
         ds, rate=RATE, segment_duration=20.0, train_budget=1e9
     )
     sample = expected_access_sample(scenario)
-    bench = Benchmark()
 
     runs = {}
 
     def run_all():
-        runs["static-learned-kv"] = bench.run(make_static(sample), scenario)
-        runs["learned-kv"] = bench.run(make_learned(sample), scenario)
-        runs["btree-kv"] = bench.run(make_traditional(), scenario)
+        runs.update(matrix_run(
+            {
+                "static-learned-kv": partial(make_static, sample),
+                "learned-kv": partial(make_learned, sample),
+                "btree-kv": make_traditional,
+            },
+            scenario,
+        ))
 
     bench_once(benchmark, run_all)
 

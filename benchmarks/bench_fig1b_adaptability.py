@@ -8,6 +8,8 @@ the area-difference single-value metrics quantify it.
 
 from __future__ import annotations
 
+from functools import partial
+
 from bench_common import (
     RATE,
     SEG_DURATION,
@@ -16,8 +18,8 @@ from bench_common import (
     make_learned,
     make_static,
     make_traditional,
+    matrix_run,
 )
-from repro.core.benchmark import Benchmark
 from repro.metrics.adaptability import area_between_systems, area_vs_ideal
 from repro.reporting.figures import render_fig1b
 from repro.scenarios import abrupt_shift, expected_access_sample
@@ -29,13 +31,17 @@ def test_fig1b_adaptability(benchmark, figure_sink):
         ds, rate=RATE, segment_duration=SEG_DURATION, train_budget=1e9
     )
     sample = expected_access_sample(scenario)
-    bench = Benchmark()
     runs = {}
 
     def run_all():
-        runs["learned-kv"] = bench.run(make_learned(sample), scenario)
-        runs["static-learned-kv"] = bench.run(make_static(sample), scenario)
-        runs["btree-kv"] = bench.run(make_traditional(), scenario)
+        runs.update(matrix_run(
+            {
+                "learned-kv": partial(make_learned, sample),
+                "static-learned-kv": partial(make_static, sample),
+                "btree-kv": make_traditional,
+            },
+            scenario,
+        ))
 
     bench_once(benchmark, run_all)
 

@@ -15,13 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from bench_common import FANOUT, bench_once, dataset, make_traditional
-from repro.core.benchmark import Benchmark, BenchmarkConfig
+from repro.core.benchmark import Benchmark
 from repro.core.hardware import CPU, GPU
 from repro.core.phases import TrainingPhase
-from repro.core.scenario import Scenario, Segment
+from repro.core.scenario import Scenario
 from repro.metrics.cost import DBAModel, training_cost_to_outperform
 from repro.reporting.figures import render_fig1d
-from repro.scenarios import hotspot, training_budget_scenario
+from repro.scenarios import training_budget_scenario
 from repro.suts.kv_learned import LearnedKVStore
 
 RATE = 3200.0

@@ -11,16 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from bench_common import (
-    FANOUT,
-    bench_once,
-    dataset,
-    make_static,
-    make_traditional,
-)
+from bench_common import bench_once, dataset, make_static, make_traditional
 from repro.core.benchmark import Benchmark
-from repro.core.service import BenchmarkService
 from repro.core.scenario import Scenario, Segment
+from repro.core.service import BenchmarkService
 from repro.scenarios import expected_access_sample, hotspot
 from repro.workloads.generators import simple_spec
 

@@ -7,14 +7,13 @@ while favoring datasets exhibiting skew or varying query load".
 
 from __future__ import annotations
 
-import numpy as np
 
 from bench_common import bench_once
 from repro.data.datasets import build_dataset, dataset_names
 from repro.workloads.distributions import UniformDistribution, ZipfDistribution
-from repro.workloads.drift import GradualDrift, NoDrift, RotatingHotspotDrift
+from repro.workloads.drift import GradualDrift, RotatingHotspotDrift
 from repro.workloads.generators import OperationMix, WorkloadSpec, simple_spec
-from repro.workloads.patterns import BurstyArrivals, ConstantArrivals, DiurnalArrivals
+from repro.workloads.patterns import BurstyArrivals, DiurnalArrivals
 from repro.workloads.quality import score_dataset, score_workload
 
 

@@ -21,7 +21,6 @@ import numpy as np
 from bench_common import RATE, bench_once, dataset, make_learned
 from repro.core.benchmark import Benchmark
 from repro.metrics.adaptability import area_vs_ideal
-from repro.metrics.sla import latency_bands
 from repro.scenarios import abrupt_shift, expected_access_sample, gradual_shift
 
 SEG = 30.0

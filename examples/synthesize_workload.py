@@ -27,7 +27,7 @@ from repro.data import EmailGenerator, email_to_key
 from repro.indexes import RecursiveModelIndex
 from repro.metrics import ks_statistic
 from repro.workloads.quality import score_dataset
-from repro.workloads.synthesizer import evaluate_fit, fit_workload
+from repro.workloads.synthesizer import fit_workload
 
 
 def make_production_trace(rng, n=6000):

@@ -5,6 +5,8 @@
 * ``list`` — available datasets, scenarios, and systems under test.
 * ``run`` — run a scenario against one or more SUTs and print the full
   report (optionally exporting the query log / throughput as CSV).
+* ``run-matrix`` — fan a (SUT × scenario × seed) matrix across a process
+  pool with content-addressed result caching; prints the run manifest.
 * ``quality`` — score a built-in dataset (or a file of keys) with the
   §V-C quality tool.
 * ``synthesize`` — fit a shareable synthetic workload to a trace file of
@@ -18,14 +20,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.benchmark import Benchmark, BenchmarkConfig
-from repro.core.scenario import Scenario
+from repro.core.driver import DriverConfig
+from repro.core.runner import MatrixRunner, matrix_jobs
 from repro.core.sut import SystemUnderTest
 from repro.data.datasets import build_dataset, dataset_names
+from repro.errors import RunnerError
 from repro.metrics.sla import calibrate_sla
 from repro.reporting.export import queries_csv, throughput_csv
 from repro.reporting.report import build_report
@@ -59,17 +64,20 @@ SCENARIOS: Dict[str, Callable] = {
 
 
 def _sut_factories(sample) -> Dict[str, Callable[[], SystemUnderTest]]:
+    # Partials of classes (not lambdas) so factories pickle cleanly into
+    # the matrix runner's worker processes.
     return {
-        "learned-kv": lambda: LearnedKVStore(
-            max_fanout=160, retrain_cooldown=2.0, expected_access_sample=sample
+        "learned-kv": partial(
+            LearnedKVStore,
+            max_fanout=160, retrain_cooldown=2.0, expected_access_sample=sample,
         ),
-        "static-learned-kv": lambda: StaticLearnedKVStore(
-            max_fanout=160, expected_access_sample=sample
+        "static-learned-kv": partial(
+            StaticLearnedKVStore, max_fanout=160, expected_access_sample=sample
         ),
-        "btree-kv": lambda: TraditionalKVStore(),
-        "hash-kv": lambda: HashKVStore(),
-        "alex-kv": lambda: AlexKVStore(),
-        "pgm-kv": lambda: PGMKVStore(),
+        "btree-kv": TraditionalKVStore,
+        "hash-kv": HashKVStore,
+        "alex-kv": AlexKVStore,
+        "pgm-kv": PGMKVStore,
     }
 
 
@@ -130,6 +138,61 @@ def cmd_run(args: argparse.Namespace) -> int:
                 handle.write(throughput_csv(result))
             print(f"exported {qpath}, {tpath}\n")
     return 0
+
+
+def cmd_run_matrix(args: argparse.Namespace) -> int:
+    """``repro run-matrix``: parallel (SUT × scenario × seed) matrix.
+
+    Jobs fan out across a process pool; results land in a
+    content-addressed cache so a re-run only executes jobs whose inputs
+    changed. Prints one manifest row per job plus totals.
+    """
+    dataset = build_dataset(args.dataset, n=args.keys, seed=args.seed)
+    scenarios = [
+        SCENARIOS[name](dataset, args.rate, args.duration)
+        for name in args.scenario
+    ]
+    sample = expected_access_sample(scenarios[0])
+    factories = _sut_factories(sample)
+    unknown = [name for name in args.sut if name not in factories]
+    if unknown:
+        print(f"unknown SUT(s) {', '.join(unknown)}; "
+              f"try: {', '.join(sorted(factories))}", file=sys.stderr)
+        return 2
+    jobs = matrix_jobs(
+        {name: factories[name] for name in args.sut},
+        scenarios,
+        seeds=args.seeds or (),
+    )
+    try:
+        runner = MatrixRunner(
+            driver_config=DriverConfig(servers=args.servers),
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+    except RunnerError as exc:
+        print(f"run-matrix: {exc}", file=sys.stderr)
+        return 2
+    outcome = runner.run(jobs)
+    manifest = outcome.manifest
+
+    width = max(len(j.label) for j in manifest.jobs)
+    for record, result in zip(manifest.jobs, outcome.results):
+        line = f"  {record.label:<{width}}  {record.status:<7}"
+        if record.status == "failed":
+            line += f"  {record.error}"
+        else:
+            line += f"  {record.wall_seconds:7.2f}s"
+            if result is not None:
+                line += f"  {result.mean_throughput():10.1f} q/s"
+        print(line)
+    print(f"\n{manifest.summary()}")
+    if not args.no_cache:
+        print(f"cache: {args.cache_dir}")
+    if args.manifest:
+        manifest.save(args.manifest)
+        print(f"wrote manifest to {args.manifest}")
+    return 1 if manifest.failures else 0
 
 
 def cmd_quality(args: argparse.Namespace) -> int:
@@ -199,6 +262,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save-scenario", default=None,
                      help="write the scenario definition to this JSON file")
     run.set_defaults(func=cmd_run)
+
+    mat = sub.add_parser(
+        "run-matrix",
+        help="run a (SUT × scenario × seed) matrix in parallel with caching",
+    )
+    mat.add_argument("--scenario", nargs="+", choices=sorted(SCENARIOS),
+                     default=["abrupt-shift"])
+    mat.add_argument("--sut", nargs="+", default=["learned-kv", "btree-kv"])
+    mat.add_argument("--seeds", nargs="*", type=int, default=None,
+                     help="seed overrides (one job per seed; default: "
+                          "each scenario's own seed)")
+    mat.add_argument("--dataset", choices=dataset_names(), default="osm")
+    mat.add_argument("--keys", type=int, default=50_000)
+    mat.add_argument("--rate", type=float, default=3200.0)
+    mat.add_argument("--duration", type=float, default=60.0)
+    mat.add_argument("--servers", type=int, default=1)
+    mat.add_argument("--seed", type=int, default=7,
+                     help="dataset seed (scenario seeds come from --seeds)")
+    mat.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: one per job, "
+                          "capped at the CPU count)")
+    mat.add_argument("--cache-dir", default=".repro-cache",
+                     help="result-cache directory (default: .repro-cache)")
+    mat.add_argument("--no-cache", action="store_true",
+                     help="disable the result cache entirely")
+    mat.add_argument("--manifest", default=None,
+                     help="write the run manifest (JSON) to this path")
+    mat.set_defaults(func=cmd_run_matrix)
 
     quality = sub.add_parser("quality", help="score a dataset (§V-C tool)")
     quality.add_argument("dataset",

@@ -7,15 +7,24 @@ hardware profiles for training-cost accounting, and sealed hold-out
 scenarios for out-of-sample evaluation.
 """
 
-from repro.core.hardware import HardwareProfile, CPU, GPU, TPU
-from repro.core.sut import SystemUnderTest, TrainingSummary
-from repro.core.phases import TrainingEvent, TrainingPhase
-from repro.core.scenario import Scenario, Segment
-from repro.core.results import QueryRecord, RunResult
-from repro.core.driver import VirtualClockDriver
 from repro.core.benchmark import Benchmark, BenchmarkConfig
+from repro.core.driver import DriverConfig, VirtualClockDriver
+from repro.core.hardware import CPU, GPU, TPU, HardwareProfile
 from repro.core.holdout import HoldoutRegistry
+from repro.core.phases import TrainingEvent, TrainingPhase
+from repro.core.results import QueryRecord, RunResult
+from repro.core.runner import (
+    MatrixJob,
+    MatrixOutcome,
+    MatrixRunner,
+    ResultCache,
+    RunManifest,
+    matrix_jobs,
+    run_matrix,
+)
+from repro.core.scenario import Scenario, Segment
 from repro.core.service import BenchmarkService, HoldoutReport
+from repro.core.sut import SystemUnderTest, TrainingSummary
 
 __all__ = [
     "HardwareProfile",
@@ -30,9 +39,17 @@ __all__ = [
     "Segment",
     "QueryRecord",
     "RunResult",
+    "DriverConfig",
     "VirtualClockDriver",
     "Benchmark",
     "BenchmarkConfig",
+    "MatrixJob",
+    "MatrixOutcome",
+    "MatrixRunner",
+    "ResultCache",
+    "RunManifest",
+    "matrix_jobs",
+    "run_matrix",
     "HoldoutRegistry",
     "BenchmarkService",
     "HoldoutReport",

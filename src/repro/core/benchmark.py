@@ -9,8 +9,8 @@ examples and benchmark harnesses read like the paper's workflow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.driver import DriverConfig, VirtualClockDriver
 from repro.core.hardware import CPU, HardwareProfile

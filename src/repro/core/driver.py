@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.hardware import CPU, HardwareProfile
 from repro.core.phases import TrainingEvent, TrainingPhase, make_event
 from repro.core.results import QueryRecord, RunResult
-from repro.core.scenario import Scenario, Segment
+from repro.core.scenario import Scenario
 from repro.core.sut import SystemUnderTest
 from repro.errors import DriverError
 from repro.workloads.generators import KVWorkload
@@ -67,6 +67,16 @@ class DriverConfig:
     def __post_init__(self) -> None:
         if self.servers < 1:
             raise DriverError(f"servers must be >= 1, got {self.servers}")
+
+    def describe(self) -> dict:
+        """JSON-friendly description (part of the runner's cache key)."""
+        return {
+            "online_hardware": self.online_hardware.name,
+            "max_queries": self.max_queries,
+            "jitter_arrivals": self.jitter_arrivals,
+            "min_service_time": self.min_service_time,
+            "servers": self.servers,
+        }
 
 
 class VirtualClockDriver:
@@ -117,6 +127,17 @@ class VirtualClockDriver:
             workload = KVWorkload(
                 segment.spec, seed=scenario.seed * 1_000_003 + seg_index
             )
+            # Check the projected count *before* materializing arrival
+            # arrays: an oversized segment must not allocate first.
+            projected = workload.spec.arrivals.projected_count(
+                0.0, segment.duration
+            )
+            if total_queries + projected > self.config.max_queries:
+                raise DriverError(
+                    f"scenario generates > {self.config.max_queries} queries "
+                    f"(segment {segment.label!r} alone projects {projected}); "
+                    "reduce rates or durations"
+                )
             local = workload.spec.arrivals.arrivals(
                 np.random.default_rng(scenario.seed * 7 + seg_index),
                 0.0,
@@ -125,11 +146,6 @@ class VirtualClockDriver:
             )
             arrivals = local + seg_start
             total_queries += arrivals.size
-            if total_queries > self.config.max_queries:
-                raise DriverError(
-                    f"scenario generates > {self.config.max_queries} queries; "
-                    "reduce rates or durations"
-                )
 
             next_tick = seg_start
             for arrival in arrivals:

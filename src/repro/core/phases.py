@@ -10,8 +10,7 @@ the cost metrics (Fig 1d) can price it and the adaptability metrics
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.core.hardware import CPU, HardwareProfile
 from repro.errors import ConfigurationError

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
@@ -124,38 +124,44 @@ class RunResult:
 
     # -- persistence --------------------------------------------------------------
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict of the full result.
+
+        This is the canonical wire format: the matrix runner ships results
+        across process boundaries and stores them in its on-disk cache as
+        exactly this payload (see :mod:`repro.serialization`).
+        """
+        return {
+            "sut_name": self.sut_name,
+            "scenario_name": self.scenario_name,
+            "segments": [list(s) for s in self.segments],
+            "scenario_description": self.scenario_description,
+            "sut_description": self.sut_description,
+            "training_events": [
+                {
+                    "start": e.start,
+                    "duration": e.duration,
+                    "nominal_seconds": e.nominal_seconds,
+                    "hardware_name": e.hardware_name,
+                    "cost": e.cost,
+                    "online": e.online,
+                    "label": e.label,
+                }
+                for e in self.training_events
+            ],
+            "queries": [
+                [q.arrival, q.start, q.completion, q.op, q.segment]
+                for q in self.queries
+            ],
+        }
+
     def to_json(self) -> str:
         """Serialize the full result to a JSON string."""
-        return json.dumps(
-            {
-                "sut_name": self.sut_name,
-                "scenario_name": self.scenario_name,
-                "segments": [list(s) for s in self.segments],
-                "scenario_description": self.scenario_description,
-                "sut_description": self.sut_description,
-                "training_events": [
-                    {
-                        "start": e.start,
-                        "duration": e.duration,
-                        "nominal_seconds": e.nominal_seconds,
-                        "hardware_name": e.hardware_name,
-                        "cost": e.cost,
-                        "online": e.online,
-                        "label": e.label,
-                    }
-                    for e in self.training_events
-                ],
-                "queries": [
-                    [q.arrival, q.start, q.completion, q.op, q.segment]
-                    for q in self.queries
-                ],
-            }
-        )
+        return json.dumps(self.to_dict())
 
     @classmethod
-    def from_json(cls, payload: str) -> "RunResult":
-        """Reconstruct a result from :meth:`to_json` output."""
-        data = json.loads(payload)
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Reconstruct a result from :meth:`to_dict` output."""
         return cls(
             sut_name=data["sut_name"],
             scenario_name=data["scenario_name"],
@@ -181,3 +187,8 @@ class RunResult:
             scenario_description=data.get("scenario_description", {}),
             sut_description=data.get("sut_description", {}),
         )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunResult":
+        """Reconstruct a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))

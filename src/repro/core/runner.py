@@ -1,0 +1,578 @@
+"""The parallel benchmark matrix runner.
+
+Every figure in the paper is a *matrix* of runs — (SUT × scenario × seed)
+— yet :class:`~repro.core.driver.VirtualClockDriver` executes one pair at
+a time. This module is the orchestration layer on top of it:
+
+* :class:`MatrixRunner` fans a list of :class:`MatrixJob` s across a
+  ``multiprocessing`` pool. Runs are deterministic functions of their
+  inputs (the driver seeds every RNG from ``scenario.seed``), so parallel
+  results are byte-identical to serial ones and arrive in job order.
+* :class:`ResultCache` is a content-addressed on-disk store: the cache
+  key is a SHA-256 over the SUT description, the scenario fingerprint,
+  the :class:`~repro.core.driver.DriverConfig` fields, the seed, and a
+  hash of the result-determining source modules. Re-running a figure
+  script therefore only executes jobs whose inputs actually changed.
+* :class:`RunManifest` records per-job wall time, cache hit/miss, worker
+  pid, and failure details, so every matrix invocation leaves an
+  observable trace (and a crash in one job cannot sink the matrix —
+  the job is marked ``failed`` and the rest completes).
+
+The runner is the layer future scaling work (sharding, remote workers)
+builds on; see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.driver import DriverConfig, VirtualClockDriver
+from repro.core.results import RunResult
+from repro.core.scenario import Scenario
+from repro.core.sut import SystemUnderTest
+from repro.errors import RunnerError
+
+#: Manifest/cache schema version (bump to invalidate old cache entries).
+CACHE_FORMAT = 1
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hash of the source modules that determine a run's output.
+
+    Part of every cache key: editing the driver, the workload generator,
+    or the result record invalidates previously cached results, while
+    editing metrics/reporting (pure post-processing) does not.
+    """
+    import repro
+    from repro.core import driver, phases, results, scenario
+    from repro.workloads import distributions, drift, generators, patterns
+
+    digest = hashlib.sha256()
+    digest.update(repro.__version__.encode())
+    digest.update(str(CACHE_FORMAT).encode())
+    for module in (
+        driver, phases, results, scenario,
+        distributions, drift, generators, patterns,
+    ):
+        digest.update(inspect.getsource(module).encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class MatrixJob:
+    """One cell of the benchmark matrix.
+
+    Attributes:
+        sut_factory: Zero-argument callable building a fresh SUT. Must be
+            picklable for multi-process execution — a module-level
+            function, a class, or a :func:`functools.partial` of either
+            (not a lambda or closure).
+        scenario: The scenario to run.
+        seed: Optional seed override; ``None`` keeps ``scenario.seed``.
+        label: Display/grouping label (defaults to ``<sut>×<scenario>``
+            plus the seed when overridden).
+    """
+
+    sut_factory: Callable[[], SystemUnderTest]
+    scenario: Scenario
+    seed: Optional[int] = None
+    label: str = ""
+
+    def resolved_scenario(self) -> Scenario:
+        """The scenario with the job's seed override applied."""
+        if self.seed is None or self.seed == self.scenario.seed:
+            return self.scenario
+        return replace(self.scenario, seed=self.seed)
+
+
+def matrix_jobs(
+    sut_factories: Dict[str, Callable[[], SystemUnderTest]],
+    scenarios: Sequence[Scenario],
+    seeds: Sequence[int] = (),
+) -> List[MatrixJob]:
+    """Cartesian product (SUT × scenario × seed) as a job list.
+
+    An empty ``seeds`` keeps each scenario's own seed (one run per pair).
+    """
+    jobs: List[MatrixJob] = []
+    for scenario in scenarios:
+        for sut_key, factory in sut_factories.items():
+            if seeds:
+                for seed in seeds:
+                    jobs.append(MatrixJob(
+                        sut_factory=factory,
+                        scenario=scenario,
+                        seed=seed,
+                        label=f"{sut_key}×{scenario.name}#s{seed}",
+                    ))
+            else:
+                jobs.append(MatrixJob(
+                    sut_factory=factory,
+                    scenario=scenario,
+                    label=f"{sut_key}×{scenario.name}",
+                ))
+    return jobs
+
+
+@dataclass
+class JobRecord:
+    """One manifest row: what happened to one job.
+
+    ``status`` is ``"ok"`` (executed), ``"cached"`` (served from the
+    result cache), or ``"failed"`` (the worker raised or crashed).
+    """
+
+    label: str
+    sut_name: str
+    scenario_name: str
+    seed: int
+    cache_key: str
+    status: str
+    wall_seconds: float = 0.0
+    worker: int = 0
+    error: Optional[str] = None
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.status == "cached"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "sut_name": self.sut_name,
+            "scenario_name": self.scenario_name,
+            "seed": self.seed,
+            "cache_key": self.cache_key,
+            "status": self.status,
+            "wall_seconds": self.wall_seconds,
+            "worker": self.worker,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        return cls(**data)
+
+
+@dataclass
+class RunManifest:
+    """Observability record of one matrix invocation."""
+
+    jobs: List[JobRecord] = field(default_factory=list)
+    workers: int = 1
+    cache_dir: Optional[str] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for j in self.jobs if j.status == "cached")
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for j in self.jobs if j.status == "ok")
+
+    @property
+    def failures(self) -> List[JobRecord]:
+        return [j for j in self.jobs if j.status == "failed"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": CACHE_FORMAT,
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "wall_seconds": self.wall_seconds,
+            "jobs": [j.to_dict() for j in self.jobs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        return cls(
+            jobs=[JobRecord.from_dict(j) for j in data.get("jobs", [])],
+            workers=data.get("workers", 1),
+            cache_dir=data.get("cache_dir"),
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the manifest as JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def summary(self) -> str:
+        """One-line human summary (used by the CLI and bench logs)."""
+        return (
+            f"{len(self.jobs)} jobs: {self.executed} executed, "
+            f"{self.hits} cached, {len(self.failures)} failed "
+            f"in {self.wall_seconds:.2f}s on {self.workers} worker(s)"
+        )
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`RunResult` payloads."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None`` on miss/corruption."""
+        try:
+            with open(self.path(key)) as handle:
+                payload = json.load(handle)
+            return RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError):
+            # A torn/stale entry is a miss, never an error.
+            return None
+
+    def store(self, key: str, result: RunResult, meta: Dict[str, Any]) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        payload = {"format": CACHE_FORMAT, "meta": meta, "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+def job_cache_key(
+    job: MatrixJob, config: DriverConfig, sut_description: Dict[str, Any]
+) -> str:
+    """SHA-256 cache key of everything that determines the job's result."""
+    scenario = job.resolved_scenario()
+    payload = json.dumps(
+        {
+            "sut": sut_description,
+            "scenario": scenario.fingerprint(),
+            "driver": config.describe(),
+            "seed": scenario.seed,
+            "code": code_version(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _execute_job(
+    index: int,
+    factory: Callable[[], SystemUnderTest],
+    scenario: Scenario,
+    config: DriverConfig,
+) -> Tuple[int, int, float, Optional[Dict[str, Any]], Optional[str]]:
+    """Worker entry point: run one job, never raise.
+
+    Returns ``(index, worker_pid, wall_seconds, result_dict, error)``.
+    Results travel as :meth:`RunResult.to_dict` payloads so transport is
+    identical to the cache format (and cheap to pickle).
+    """
+    start = time.perf_counter()
+    try:
+        sut = factory()
+        result = VirtualClockDriver(config).run(sut, scenario)
+        wall = time.perf_counter() - start
+        return index, os.getpid(), wall, result.to_dict(), None
+    except Exception as exc:  # structured failure: the pool survives
+        wall = time.perf_counter() - start
+        return index, os.getpid(), wall, None, f"{type(exc).__name__}: {exc}"
+
+
+@dataclass
+class MatrixOutcome:
+    """What :meth:`MatrixRunner.run` returns.
+
+    ``results`` is aligned with the submitted job list; a failed job's
+    slot is ``None`` (details in ``manifest``).
+    """
+
+    results: List[Optional[RunResult]]
+    manifest: RunManifest
+
+    def named(self) -> Dict[str, RunResult]:
+        """Successful results keyed by job label."""
+        return {
+            record.label: result
+            for record, result in zip(self.manifest.jobs, self.results)
+            if result is not None
+        }
+
+    def raise_on_failure(self) -> "MatrixOutcome":
+        """Raise :class:`RunnerError` if any job failed; else ``self``."""
+        failed = self.manifest.failures
+        if failed:
+            detail = "; ".join(f"{j.label}: {j.error}" for j in failed)
+            raise RunnerError(f"{len(failed)} matrix job(s) failed — {detail}")
+        return self
+
+
+class MatrixRunner:
+    """Runs a benchmark matrix across a process pool with result caching.
+
+    Args:
+        driver_config: Driver knobs shared by every job.
+        workers: Process-pool size; ``1`` (or a single-job matrix) runs
+            in-process. ``None`` picks ``min(cpu_count, len(jobs))``.
+        cache_dir: Result-cache directory; ``None`` disables caching.
+        use_cache: Master switch (lets callers keep ``cache_dir``
+            configured while forcing re-execution).
+        max_attempts: Executions per job before it is marked failed.
+            Only pool-level breakage (a hard worker crash) consumes
+            attempts; ordinary exceptions fail the job immediately.
+    """
+
+    def __init__(
+        self,
+        driver_config: Optional[DriverConfig] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        max_attempts: int = 2,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise RunnerError(f"workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise RunnerError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.driver_config = driver_config or DriverConfig()
+        self.workers = workers
+        self.use_cache = use_cache and cache_dir is not None
+        self.cache = ResultCache(cache_dir) if self.use_cache else None
+        self.max_attempts = max_attempts
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(self, jobs: Sequence[MatrixJob]) -> MatrixOutcome:
+        """Execute the matrix; cache hits skip execution entirely."""
+        jobs = list(jobs)
+        if not jobs:
+            return MatrixOutcome(results=[], manifest=RunManifest(workers=0))
+        t0 = time.perf_counter()
+
+        records: List[Optional[JobRecord]] = [None] * len(jobs)
+        results: List[Optional[RunResult]] = [None] * len(jobs)
+        pending: List[int] = []
+
+        for index, job in enumerate(jobs):
+            try:
+                sut = job.sut_factory()  # construction is cheap; setup is not
+            except Exception as exc:
+                records[index] = JobRecord(
+                    label=job.label or f"?×{job.scenario.name}",
+                    sut_name="?",
+                    scenario_name=job.scenario.name,
+                    seed=job.resolved_scenario().seed,
+                    cache_key="",
+                    status="failed",
+                    error=f"factory raised {type(exc).__name__}: {exc}",
+                )
+                continue
+            key = job_cache_key(job, self.driver_config, sut.describe())
+            record = JobRecord(
+                label=job.label or f"{sut.name}×{job.scenario.name}",
+                sut_name=sut.name,
+                scenario_name=job.scenario.name,
+                seed=job.resolved_scenario().seed,
+                cache_key=key,
+                status="pending",
+            )
+            records[index] = record
+            cached = self.cache.load(key) if self.use_cache else None
+            if cached is not None:
+                record.status = "cached"
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        workers = self._worker_count(len(pending))
+        if pending:
+            if workers == 1:
+                self._run_serial(jobs, pending, records, results)
+            else:
+                self._run_pool(jobs, pending, records, results, workers)
+
+        manifest = RunManifest(
+            jobs=[r for r in records if r is not None],
+            workers=workers,
+            cache_dir=self.cache.root if self.cache else None,
+            wall_seconds=time.perf_counter() - t0,
+        )
+        return MatrixOutcome(results=results, manifest=manifest)
+
+    # -- execution strategies --------------------------------------------------------
+
+    def _worker_count(self, n_pending: int) -> int:
+        if n_pending <= 1:
+            return 1
+        if self.workers is not None:
+            return min(self.workers, n_pending)
+        return min(os.cpu_count() or 1, n_pending)
+
+    def _run_serial(
+        self,
+        jobs: Sequence[MatrixJob],
+        pending: List[int],
+        records: List[Optional[JobRecord]],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        for index in pending:
+            job = jobs[index]
+            outcome = _execute_job(
+                index, job.sut_factory, job.resolved_scenario(), self.driver_config
+            )
+            self._absorb(outcome, records, results)
+
+    def _run_pool(
+        self,
+        jobs: Sequence[MatrixJob],
+        pending: List[int],
+        records: List[Optional[JobRecord]],
+        results: List[Optional[RunResult]],
+        workers: int,
+    ) -> None:
+        """Fan pending jobs across a pool; survive hard worker crashes.
+
+        A worker that raises returns a structured error (``_execute_job``
+        never raises), so the pool only breaks on a *hard* crash
+        (segfault, OOM-kill). When that happens every in-flight future
+        fails with the pool; each affected job gets re-submitted to a
+        fresh pool until it exhausts ``max_attempts`` — so one poisonous
+        job is eventually marked failed while the rest complete.
+        """
+        attempts = {index: 0 for index in pending}
+        queue = list(pending)
+        context = self._mp_context()
+        while queue:
+            for index in queue:
+                attempts[index] += 1
+            retry: List[int] = []
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(queue)), mp_context=context
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _execute_job,
+                        index,
+                        jobs[index].sut_factory,
+                        jobs[index].resolved_scenario(),
+                        self.driver_config,
+                    ): index
+                    for index in queue
+                }
+                not_done = set(futures)
+                broken = False
+                while not_done and not broken:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        error = future.exception()
+                        if error is None:
+                            self._absorb(future.result(), records, results)
+                        else:
+                            # Pool-level breakage: the whole executor is
+                            # dead; triage every unfinished job.
+                            broken = True
+                            self._crashed(index, error, attempts, retry, records)
+                for future in not_done:
+                    index = futures[future]
+                    self._crashed(
+                        index,
+                        RuntimeError("aborted: worker pool broke"),
+                        attempts,
+                        retry,
+                        records,
+                    )
+            queue = retry
+
+    def _crashed(
+        self,
+        index: int,
+        error: BaseException,
+        attempts: Dict[int, int],
+        retry: List[int],
+        records: List[Optional[JobRecord]],
+    ) -> None:
+        record = records[index]
+        assert record is not None
+        if attempts[index] < self.max_attempts:
+            retry.append(index)
+        else:
+            record.status = "failed"
+            record.error = f"{type(error).__name__}: {error}"
+
+    def _absorb(
+        self,
+        outcome: Tuple[int, int, float, Optional[Dict[str, Any]], Optional[str]],
+        records: List[Optional[JobRecord]],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        index, worker, wall, payload, error = outcome
+        record = records[index]
+        assert record is not None
+        record.wall_seconds = wall
+        record.worker = worker
+        if error is not None:
+            record.status = "failed"
+            record.error = error
+            return
+        result = RunResult.from_dict(payload)
+        record.status = "ok"
+        results[index] = result
+        if self.cache is not None:
+            self.cache.store(
+                record.cache_key,
+                result,
+                meta={
+                    "label": record.label,
+                    "sut": record.sut_name,
+                    "scenario": record.scenario_name,
+                    "seed": record.seed,
+                    "wall_seconds": wall,
+                },
+            )
+
+    @staticmethod
+    def _mp_context():
+        """Prefer ``fork`` so factories defined in scripts stay picklable."""
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return multiprocessing.get_context()
+
+
+def run_matrix(
+    jobs: Iterable[MatrixJob],
+    driver_config: Optional[DriverConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> MatrixOutcome:
+    """One-call convenience wrapper around :class:`MatrixRunner`."""
+    runner = MatrixRunner(
+        driver_config=driver_config,
+        workers=workers,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+    )
+    return runner.run(list(jobs))

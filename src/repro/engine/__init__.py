@@ -7,8 +7,8 @@ similarity), a pull-based executor, and a cost-based optimizer with a
 pluggable cardinality estimator.
 """
 
-from repro.engine.schema import Column, ColumnType, Schema
-from repro.engine.table import Table
+from repro.engine.catalog import Catalog
+from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.expressions import (
     And,
     Between,
@@ -18,6 +18,7 @@ from repro.engine.expressions import (
     Or,
     Predicate,
 )
+from repro.engine.optimizer_base import CostBasedOptimizer, PlanCost
 from repro.engine.plans import (
     Aggregate,
     Filter,
@@ -28,9 +29,8 @@ from repro.engine.plans import (
     Sort,
     plan_subtrees,
 )
-from repro.engine.executor import ExecutionResult, Executor
-from repro.engine.catalog import Catalog
-from repro.engine.optimizer_base import CostBasedOptimizer, PlanCost
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.table import Table
 
 __all__ = [
     "Column",

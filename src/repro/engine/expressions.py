@@ -16,7 +16,6 @@ from typing import Any, FrozenSet, List, Tuple
 import numpy as np
 
 from repro.engine.table import Table
-from repro.errors import SchemaError
 
 
 class CompareOp(enum.Enum):

@@ -12,7 +12,7 @@ Plans are immutable trees of relational operators. Two uses:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence
 
 from repro.engine.expressions import Predicate
 from repro.errors import PlanError

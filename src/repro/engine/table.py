@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.schema import ColumnType, Schema
 from repro.errors import SchemaError
 
 

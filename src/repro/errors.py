@@ -59,3 +59,7 @@ class HoldoutViolationError(ReproError):
 
 class DriverError(ReproError):
     """The benchmark driver encountered an unrecoverable condition."""
+
+
+class RunnerError(ReproError):
+    """The matrix runner was misconfigured or could not complete."""

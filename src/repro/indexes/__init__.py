@@ -14,13 +14,13 @@ systems under test are built on:
   index with gapped arrays (simplified ALEX).
 """
 
+from repro.indexes.alex import AdaptiveLearnedIndex
 from repro.indexes.base import IndexStats, OrderedIndex
 from repro.indexes.btree import BPlusTree
-from repro.indexes.sorted_array import SortedArrayIndex
 from repro.indexes.hashindex import HashIndex
-from repro.indexes.rmi import RecursiveModelIndex
 from repro.indexes.pgm import PGMIndex
-from repro.indexes.alex import AdaptiveLearnedIndex
+from repro.indexes.rmi import RecursiveModelIndex
+from repro.indexes.sorted_array import SortedArrayIndex
 
 __all__ = [
     "IndexStats",

@@ -14,15 +14,15 @@ traditional baseline so the benchmark can compare them:
 * :mod:`~repro.learned.tuner` — automatic knob tuning (vs DBA effort).
 """
 
+from repro.learned.cache import LearnedCache, LFUCache, LRUCache
 from repro.learned.cardinality import (
     HistogramEstimator,
     LearnedCardinalityEstimator,
     TrueCardinalityOracle,
 )
+from repro.learned.drift_detector import DriftDetector, DriftVerdict
 from repro.learned.optimizer import BanditPlanSteering, SteeringChoice
 from repro.learned.sorter import LearnedSorter, SortReport
-from repro.learned.cache import LearnedCache, LFUCache, LRUCache
-from repro.learned.drift_detector import DriftDetector, DriftVerdict
 from repro.learned.tuner import KnobSpace, KnobTuner, TuningResult
 
 __all__ = [

@@ -21,7 +21,7 @@ transient cost is precisely what the paper's adaptability metrics (Fig
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -14,19 +14,6 @@
   the DBA step function, and training-cost-to-outperform.
 """
 
-from repro.metrics.descriptive import BoxStats, box_stats, percentile
-from repro.metrics.similarity import (
-    jaccard_similarity,
-    ks_statistic,
-    mmd_rbf,
-    workload_phi,
-    data_phi,
-)
-from repro.metrics.specialization import (
-    SegmentPerformance,
-    SpecializationReport,
-    specialization_report,
-)
 from repro.metrics.adaptability import (
     AdaptabilityReport,
     adaptability_report,
@@ -36,6 +23,21 @@ from repro.metrics.adaptability import (
     latency_timeline,
     recovery_time,
 )
+from repro.metrics.cost import (
+    CostBreakdown,
+    DBAModel,
+    TCOModel,
+    cost_breakdown,
+    training_cost_to_outperform,
+)
+from repro.metrics.descriptive import BoxStats, box_stats, percentile
+from repro.metrics.similarity import (
+    data_phi,
+    jaccard_similarity,
+    ks_statistic,
+    mmd_rbf,
+    workload_phi,
+)
 from repro.metrics.sla import (
     LatencyBand,
     adjustment_speed,
@@ -43,12 +45,10 @@ from repro.metrics.sla import (
     latency_bands,
     multi_latency_bands,
 )
-from repro.metrics.cost import (
-    CostBreakdown,
-    DBAModel,
-    TCOModel,
-    cost_breakdown,
-    training_cost_to_outperform,
+from repro.metrics.specialization import (
+    SegmentPerformance,
+    SpecializationReport,
+    specialization_report,
 )
 
 __all__ = [

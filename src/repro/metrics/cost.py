@@ -15,9 +15,8 @@ whole deployment (hardware + training + DBA) over a horizon; and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError

@@ -7,7 +7,7 @@ adequately capture the specialization and adaptation capabilities."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np

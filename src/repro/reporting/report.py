@@ -8,10 +8,9 @@ adaptability summary, SLA bands, and the cost decomposition — into one
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
-import numpy as np
 
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario

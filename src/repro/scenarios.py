@@ -10,21 +10,17 @@ and ``duration`` so tests can run them small and benchmarks large.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.core.phases import TrainingPhase
 from repro.core.scenario import Scenario, Segment
 from repro.data.datasets import Dataset, build_dataset
-from repro.workloads.distributions import (
-    HotspotDistribution,
-    UniformDistribution,
-    ZipfDistribution,
-)
+from repro.workloads.distributions import HotspotDistribution, ZipfDistribution
 from repro.workloads.drift import GradualDrift, NoDrift
 from repro.workloads.generators import OperationMix, WorkloadSpec, simple_spec
-from repro.workloads.patterns import BurstyArrivals, ConstantArrivals, DiurnalArrivals
+from repro.workloads.patterns import BurstyArrivals, ConstantArrivals
 
 
 def hotspot(dataset: Dataset, position: float, width: float = 0.05,

@@ -22,8 +22,10 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.driver import DriverConfig
+from repro.core.hardware import CPU, GPU, TPU
 from repro.core.phases import TrainingPhase
-from repro.core.hardware import CPU, GPU, TPU, HardwareProfile
+from repro.core.results import RunResult
 from repro.core.scenario import Scenario, Segment
 from repro.errors import ConfigurationError
 from repro.workloads.distributions import (
@@ -231,4 +233,41 @@ def scenario_from_dict(
         initial_keys=initial_keys,
         tick_interval=payload.get("tick_interval", 1.0),
         seed=payload.get("seed", 0),
+    )
+
+
+# -- run results & driver config (matrix-runner transport) ---------------------------
+#
+# The matrix runner ships results across process boundaries and stores
+# them in its on-disk cache; both use these dict payloads, so a cached
+# entry, a worker response, and an exported artifact are the same format.
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Serialize a run result (same payload as ``RunResult.to_dict``)."""
+    return result.to_dict()
+
+
+def run_result_from_dict(payload: Dict[str, Any]) -> RunResult:
+    """Rebuild a run result from :func:`run_result_to_dict` output."""
+    return RunResult.from_dict(payload)
+
+
+def driver_config_to_dict(config: DriverConfig) -> Dict[str, Any]:
+    """Serialize driver knobs (same payload as ``DriverConfig.describe``)."""
+    return config.describe()
+
+
+def driver_config_from_dict(payload: Dict[str, Any]) -> DriverConfig:
+    """Rebuild a :class:`DriverConfig` from :func:`driver_config_to_dict`."""
+    hardware_name = payload.get("online_hardware", "cpu")
+    hardware = _HARDWARE.get(str(hardware_name).lower())
+    if hardware is None:
+        raise ConfigurationError(f"unknown hardware profile {hardware_name!r}")
+    return DriverConfig(
+        online_hardware=hardware,
+        max_queries=payload.get("max_queries", 2_000_000),
+        jitter_arrivals=payload.get("jitter_arrivals", True),
+        min_service_time=payload.get("min_service_time", 1e-9),
+        servers=payload.get("servers", 1),
     )

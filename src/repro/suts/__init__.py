@@ -18,10 +18,6 @@ Analytic SUTs (driven by :class:`repro.suts.analytic.AnalyticDriver`):
   optimizer with histogram cardinalities.
 """
 
-from repro.suts.cost_models import KVCostModel, WORK_UNIT_SECONDS
-from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
-from repro.suts.kv_traditional import HashKVStore, TraditionalKVStore
-from repro.suts.kv_variants import AlexKVStore, PGMKVStore
 from repro.suts.analytic import (
     AnalyticDriver,
     AnalyticQuery,
@@ -29,6 +25,10 @@ from repro.suts.analytic import (
     LearnedOptimizerSUT,
     TraditionalOptimizerSUT,
 )
+from repro.suts.cost_models import WORK_UNIT_SECONDS, KVCostModel
+from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
+from repro.suts.kv_traditional import HashKVStore, TraditionalKVStore
+from repro.suts.kv_variants import AlexKVStore, PGMKVStore
 
 __all__ = [
     "KVCostModel",

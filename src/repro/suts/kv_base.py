@@ -11,10 +11,9 @@ index; the index's stats delta is what gets priced into service time.
 from __future__ import annotations
 
 import bisect
-from typing import Any, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.sut import SystemUnderTest
-from repro.errors import KeyNotFoundError
 from repro.indexes.base import OrderedIndex
 from repro.suts.cost_models import KVCostModel
 from repro.workloads.generators import KVOperation, KVQuery

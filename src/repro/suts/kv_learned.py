@@ -20,7 +20,7 @@ distribution moves.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Optional
 
 import numpy as np
 

@@ -33,14 +33,6 @@ from repro.workloads.drift import (
     NoDrift,
     RotatingHotspotDrift,
 )
-from repro.workloads.patterns import (
-    ArrivalProcess,
-    BurstyArrivals,
-    CompositeArrivals,
-    ConstantArrivals,
-    DiurnalArrivals,
-    RampArrivals,
-)
 from repro.workloads.generators import (
     KVOperation,
     KVQuery,
@@ -49,13 +41,21 @@ from repro.workloads.generators import (
     OperationMix,
     WorkloadSpec,
 )
-from repro.workloads.ycsb import ycsb_workload
+from repro.workloads.patterns import (
+    ArrivalProcess,
+    BurstyArrivals,
+    CompositeArrivals,
+    ConstantArrivals,
+    DiurnalArrivals,
+    RampArrivals,
+)
 from repro.workloads.quality import (
     DatasetQualityReport,
     WorkloadQualityReport,
     score_dataset,
     score_workload,
 )
+from repro.workloads.ycsb import ycsb_workload
 
 __all__ = [
     "Distribution",

@@ -16,14 +16,14 @@ the paper's central requirement (Lesson 1).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.workloads.drift import DriftModel, NoDrift
 from repro.workloads.distributions import Distribution
+from repro.workloads.drift import DriftModel, NoDrift
 from repro.workloads.patterns import ArrivalProcess, ConstantArrivals
 
 

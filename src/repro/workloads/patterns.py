@@ -56,6 +56,28 @@ class ArrivalProcess(ABC):
             t += step
         return np.asarray(times, dtype=np.float64)
 
+    def projected_count(self, start: float, end: float) -> int:
+        """Exact number of arrivals :meth:`arrivals` would generate.
+
+        Per-slice counts are deterministic (only offsets are random), so
+        this mirrors the integration loop without materializing timestamp
+        arrays — callers like the driver's ``max_queries`` safety valve can
+        reject an oversized segment before any allocation happens.
+        """
+        if end <= start:
+            return 0
+        total = 0
+        carry = 0.0
+        t = start
+        while t < end:
+            step = min(1.0, end - t)
+            expected = self.rate(t + step / 2.0) * step + carry
+            count = int(expected)
+            carry = expected - count
+            total += count
+            t += step
+        return total
+
     def describe(self) -> dict:
         """JSON-friendly description."""
         return {"kind": type(self).__name__}

@@ -14,7 +14,7 @@ in [0, 1]; higher means more benchmark-relevant (harder / more realistic).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

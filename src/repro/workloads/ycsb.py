@@ -14,8 +14,8 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.errors import ConfigurationError
-from repro.workloads.drift import NoDrift
 from repro.workloads.distributions import UniformDistribution, ZipfDistribution
+from repro.workloads.drift import NoDrift
 from repro.workloads.generators import KVOperation, OperationMix, WorkloadSpec
 from repro.workloads.patterns import ConstantArrivals
 

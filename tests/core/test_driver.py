@@ -107,6 +107,35 @@ class TestBasicRun:
         with pytest.raises(DriverError):
             VirtualClockDriver(config).run(FakeSUT(), _scenario(rate=100.0))
 
+    def test_max_queries_checked_before_materializing(self, monkeypatch):
+        """The guard fires on the projected count — before any arrival
+        array for the offending segment is generated (regression: it used
+        to materialize the full array first, then raise)."""
+        from repro.workloads.patterns import ArrivalProcess
+
+        def _explode(self, rng, start, end, jitter=True):
+            raise AssertionError("arrival array materialized despite overflow")
+
+        monkeypatch.setattr(ArrivalProcess, "arrivals", _explode)
+        config = DriverConfig(max_queries=10)
+        with pytest.raises(DriverError, match="projects"):
+            VirtualClockDriver(config).run(FakeSUT(), _scenario(rate=100.0))
+
+    def test_max_queries_overflow_spans_segments(self):
+        """Earlier segments' counts accumulate into the projection."""
+        config = DriverConfig(max_queries=150)
+        # Two segments of ~100 queries each: neither alone overflows.
+        with pytest.raises(DriverError):
+            VirtualClockDriver(config).run(
+                FakeSUT(), _scenario(rate=20.0, duration=5.0, segments=2)
+            )
+
+    def test_projected_count_matches_arrivals(self):
+        spec = simple_spec("s", UniformDistribution(0, 100), rate=17.0)
+        rng = np.random.default_rng(3)
+        actual = spec.arrivals.arrivals(rng, 0.0, 7.5).size
+        assert spec.arrivals.projected_count(0.0, 7.5) == actual
+
 
 class TestQueueing:
     def test_overload_builds_queue(self):

@@ -1,0 +1,258 @@
+"""The matrix runner: determinism, caching, invalidation, failures."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.driver import DriverConfig
+from repro.core.runner import (
+    MatrixJob,
+    MatrixRunner,
+    RunManifest,
+    job_cache_key,
+    matrix_jobs,
+    run_matrix,
+)
+from repro.core.scenario import Scenario, Segment
+from repro.core.sut import SystemUnderTest
+from repro.errors import RunnerError
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import simple_spec
+
+
+class CountingSUT(SystemUnderTest):
+    """Deterministic SUT whose service time depends on the query key."""
+
+    def __init__(self, name: str = "counting", scale: float = 1.0) -> None:
+        super().__init__(name)
+        self.scale = scale
+
+    def setup(self, pairs):
+        self.n = len(pairs)
+
+    def execute(self, query, now):
+        return 1e-4 * self.scale * (1.0 + (query.key or 0.0) % 3)
+
+    def describe(self):
+        return {"name": self.name, "class": "CountingSUT", "scale": self.scale}
+
+
+class ExplodingSUT(SystemUnderTest):
+    """Raises at query time — exercises in-worker failure reporting."""
+
+    def __init__(self) -> None:
+        super().__init__("exploding")
+
+    def setup(self, pairs):
+        pass
+
+    def execute(self, query, now):
+        raise RuntimeError("boom at query time")
+
+
+def _raising_factory():
+    raise ValueError("factory cannot build")
+
+
+def _scenario(rate=60.0, duration=3.0, seed=5, name="matrix-test"):
+    return Scenario(
+        name=name,
+        segments=[
+            Segment(
+                spec=simple_spec("s0", UniformDistribution(0, 100), rate=rate),
+                duration=duration,
+            )
+        ],
+        seed=seed,
+    )
+
+
+class TestJobBuilding:
+    def test_cartesian_product(self):
+        jobs = matrix_jobs(
+            {"a": CountingSUT, "b": CountingSUT},
+            [_scenario(name="x"), _scenario(name="y")],
+            seeds=[1, 2, 3],
+        )
+        assert len(jobs) == 2 * 2 * 3
+        assert jobs[0].label == "a×x#s1"
+
+    def test_seed_override_applied(self):
+        job = MatrixJob(sut_factory=CountingSUT, scenario=_scenario(seed=5), seed=9)
+        assert job.resolved_scenario().seed == 9
+        assert job.scenario.seed == 5  # original untouched
+
+    def test_no_seeds_keeps_scenario_seed(self):
+        jobs = matrix_jobs({"a": CountingSUT}, [_scenario(seed=5)])
+        assert len(jobs) == 1
+        assert jobs[0].resolved_scenario().seed == 5
+
+
+class TestDeterminism:
+    def test_parallel_identical_to_serial(self):
+        jobs = matrix_jobs(
+            {"counting": CountingSUT}, [_scenario()], seeds=[1, 2, 3, 4]
+        )
+        serial = MatrixRunner(workers=1).run(jobs)
+        parallel = MatrixRunner(workers=4).run(jobs)
+        assert all(r is not None for r in serial.results)
+        for a, b in zip(serial.results, parallel.results):
+            assert a.to_json() == b.to_json()
+
+    def test_results_aligned_with_jobs(self):
+        jobs = matrix_jobs({"counting": CountingSUT}, [_scenario()], seeds=[7, 8])
+        outcome = MatrixRunner(workers=2).run(jobs)
+        for job, record in zip(jobs, outcome.manifest.jobs):
+            assert record.seed == job.seed
+        assert [r.scenario_name for r in outcome.manifest.jobs] == [
+            "matrix-test",
+            "matrix-test",
+        ]
+
+
+class TestCaching:
+    def test_hit_on_unchanged_inputs(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = matrix_jobs({"counting": CountingSUT}, [_scenario()], seeds=[1, 2])
+        cold = run_matrix(jobs, cache_dir=cache)
+        warm = run_matrix(jobs, cache_dir=cache)
+        assert cold.manifest.executed == 2 and cold.manifest.hits == 0
+        assert warm.manifest.hits == 2 and warm.manifest.executed == 0
+        for a, b in zip(cold.results, warm.results):
+            assert a.to_json() == b.to_json()
+
+    def test_invalidated_by_driver_config(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = matrix_jobs({"counting": CountingSUT}, [_scenario()])
+        run_matrix(jobs, cache_dir=cache)
+        changed = run_matrix(
+            jobs, driver_config=DriverConfig(servers=2), cache_dir=cache
+        )
+        assert changed.manifest.hits == 0 and changed.manifest.executed == 1
+
+    def test_invalidated_by_scenario_change(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_matrix(
+            matrix_jobs({"c": CountingSUT}, [_scenario(rate=60.0)]),
+            cache_dir=cache,
+        )
+        changed = run_matrix(
+            matrix_jobs({"c": CountingSUT}, [_scenario(rate=61.0)]),
+            cache_dir=cache,
+        )
+        assert changed.manifest.hits == 0 and changed.manifest.executed == 1
+
+    def test_invalidated_by_seed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_matrix(
+            matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[1]),
+            cache_dir=cache,
+        )
+        changed = run_matrix(
+            matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[2]),
+            cache_dir=cache,
+        )
+        assert changed.manifest.hits == 0
+
+    def test_invalidated_by_sut_description(self):
+        config = DriverConfig()
+        job = MatrixJob(sut_factory=CountingSUT, scenario=_scenario())
+        a = job_cache_key(job, config, CountingSUT(scale=1.0).describe())
+        b = job_cache_key(job, config, CountingSUT(scale=2.0).describe())
+        assert a != b
+
+    def test_no_cache_flag_forces_execution(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()])
+        run_matrix(jobs, cache_dir=cache)
+        forced = run_matrix(jobs, cache_dir=cache, use_cache=False)
+        assert forced.manifest.executed == 1 and forced.manifest.hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()])
+        cold = run_matrix(jobs, cache_dir=cache)
+        key = cold.manifest.jobs[0].cache_key
+        with open(os.path.join(cache, f"{key}.json"), "w") as handle:
+            handle.write("{ torn write")
+        again = run_matrix(jobs, cache_dir=cache)
+        assert again.manifest.executed == 1
+        assert again.results[0].to_json() == cold.results[0].to_json()
+
+
+class TestFailureReporting:
+    def test_in_worker_failure_marked_and_matrix_completes(self):
+        jobs = [
+            MatrixJob(sut_factory=CountingSUT, scenario=_scenario(), label="good"),
+            MatrixJob(sut_factory=ExplodingSUT, scenario=_scenario(), label="bad"),
+            MatrixJob(sut_factory=CountingSUT, scenario=_scenario(), label="good2"),
+        ]
+        outcome = MatrixRunner(workers=2).run(jobs)
+        statuses = {j.label: j.status for j in outcome.manifest.jobs}
+        assert statuses == {"good": "ok", "bad": "failed", "good2": "ok"}
+        bad = outcome.manifest.jobs[1]
+        assert "boom at query time" in bad.error
+        assert outcome.results[0] is not None and outcome.results[1] is None
+        with pytest.raises(RunnerError, match="bad"):
+            outcome.raise_on_failure()
+
+    def test_factory_failure_marked(self):
+        jobs = [
+            MatrixJob(sut_factory=_raising_factory, scenario=_scenario(), label="f"),
+            MatrixJob(sut_factory=CountingSUT, scenario=_scenario(), label="ok"),
+        ]
+        outcome = MatrixRunner().run(jobs)
+        assert outcome.manifest.jobs[0].status == "failed"
+        assert "factory cannot build" in outcome.manifest.jobs[0].error
+        assert outcome.manifest.jobs[1].status == "ok"
+
+    def test_failed_jobs_never_cached(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = [MatrixJob(sut_factory=ExplodingSUT, scenario=_scenario())]
+        run_matrix(jobs, cache_dir=cache)
+        again = run_matrix(jobs, cache_dir=cache)
+        assert again.manifest.hits == 0
+        assert again.manifest.jobs[0].status == "failed"
+
+    def test_empty_matrix(self):
+        outcome = MatrixRunner().run([])
+        assert outcome.results == [] and outcome.manifest.jobs == []
+
+
+class TestManifest:
+    def test_roundtrip(self, tmp_path):
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[1, 2])
+        outcome = run_matrix(jobs, cache_dir=str(tmp_path / "cache"))
+        path = str(tmp_path / "manifest.json")
+        outcome.manifest.save(path)
+        loaded = RunManifest.load(path)
+        assert loaded.to_dict() == outcome.manifest.to_dict()
+        # The file is plain JSON (observability contract).
+        with open(path) as handle:
+            data = json.load(handle)
+        assert {j["status"] for j in data["jobs"]} == {"ok"}
+
+    def test_records_wall_time_and_worker(self):
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[1, 2])
+        outcome = MatrixRunner(workers=2).run(jobs)
+        for record in outcome.manifest.jobs:
+            assert record.wall_seconds > 0
+            assert record.worker > 0
+
+    def test_named_view(self):
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[1, 2])
+        named = MatrixRunner().run(jobs).named()
+        assert set(named) == {"c×matrix-test#s1", "c×matrix-test#s2"}
+
+
+class TestValidation:
+    def test_bad_worker_count(self):
+        with pytest.raises(RunnerError):
+            MatrixRunner(workers=0)
+
+    def test_bad_max_attempts(self):
+        with pytest.raises(RunnerError):
+            MatrixRunner(max_attempts=0)

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.engine.expressions import And, Between, Comparison, CompareOp, Or, col
+from repro.engine.expressions import And, Or, col
 from repro.engine.schema import ColumnType, Schema
 from repro.engine.table import Table
 

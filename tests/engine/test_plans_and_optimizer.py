@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.engine.executor import Executor
@@ -12,7 +11,6 @@ from repro.engine.plans import (
     Aggregate,
     Filter,
     Join,
-    Project,
     Scan,
     plan_subtrees,
     workload_subtrees,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.schema import ColumnType, Schema
 from repro.engine.table import Table
 from repro.errors import SchemaError
 

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.errors import ConfigurationError
 from repro.indexes.btree import BPlusTree
 
 

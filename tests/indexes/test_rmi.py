@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, KeyNotFoundError, NotTrainedError
+from repro.errors import ConfigurationError, KeyNotFoundError
 from repro.indexes.rmi import RecursiveModelIndex
 
 

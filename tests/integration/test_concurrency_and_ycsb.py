@@ -5,6 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+# Slowest lane of the suite: CI runs these separately (-m smoke).
+pytestmark = pytest.mark.smoke
+
 from repro.core.benchmark import Benchmark, BenchmarkConfig
 from repro.core.phases import TrainingPhase
 from repro.core.scenario import Scenario, Segment

@@ -10,12 +10,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+# Slowest lane of the suite: CI runs these separately (-m smoke).
+pytestmark = pytest.mark.smoke
+
 from repro.core.benchmark import Benchmark
-from repro.metrics.adaptability import (
-    adaptability_report,
-    area_between_systems,
-    area_vs_ideal,
-)
+from repro.metrics.adaptability import adaptability_report, area_between_systems
 from repro.metrics.cost import training_cost_to_outperform
 from repro.metrics.sla import adjustment_speed, calibrate_sla, latency_bands
 from repro.metrics.specialization import specialization_report
@@ -143,7 +142,6 @@ class TestFig1aShape:
 class TestFig1dShape:
     def test_throughput_grows_with_budget_and_crosses(self, dataset):
         """More training -> lower latency; crossover vs DBA steps exists."""
-        from repro.core.hardware import CPU
         from repro.metrics.cost import DBAModel
 
         bench = Benchmark()

@@ -59,7 +59,6 @@ class TestHistogram:
         """Data changes after ANALYZE -> estimates go wrong (the classic
         failure learned estimators address)."""
         orders = orders_catalog.get("orders")
-        amounts = np.asarray(orders.column("amount"))
         rows = [
             {"oid": 10_000 + i, "cid": 0, "amount": 5000.0} for i in range(2000)
         ]

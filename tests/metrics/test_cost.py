@@ -8,7 +8,6 @@ from repro.core.phases import TrainingEvent
 from repro.core.results import QueryRecord, RunResult
 from repro.errors import ConfigurationError
 from repro.metrics.cost import (
-    CostBreakdown,
     DBAModel,
     TCOModel,
     cost_breakdown,

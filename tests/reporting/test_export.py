@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.phases import TrainingEvent
 from repro.core.results import QueryRecord, RunResult
-from repro.metrics.sla import LatencyBand, latency_bands
+from repro.metrics.sla import latency_bands
 from repro.reporting.export import (
     bands_csv,
     curves_csv,

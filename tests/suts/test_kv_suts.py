@@ -5,14 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.benchmark import Benchmark
-from repro.core.phases import TrainingPhase
-from repro.core.scenario import Scenario, Segment
 from repro.errors import ConfigurationError
 from repro.suts.kv_learned import LearnedKVStore, StaticLearnedKVStore
 from repro.suts.kv_traditional import HashKVStore, TraditionalKVStore
-from repro.workloads.distributions import HotspotDistribution, UniformDistribution
-from repro.workloads.generators import KVOperation, KVQuery, simple_spec
+from repro.workloads.generators import KVOperation, KVQuery
 
 
 @pytest.fixture

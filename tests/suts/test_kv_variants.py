@@ -8,8 +8,8 @@ import pytest
 from repro.core.benchmark import Benchmark
 from repro.core.phases import TrainingPhase
 from repro.core.scenario import Scenario, Segment
-from repro.suts.kv_variants import AlexKVStore, PGMKVStore
 from repro.suts.kv_traditional import TraditionalKVStore
+from repro.suts.kv_variants import AlexKVStore, PGMKVStore
 from repro.workloads.distributions import UniformDistribution
 from repro.workloads.generators import KVOperation, KVQuery, simple_spec
 
@@ -42,7 +42,6 @@ class TestAlexStore:
         store = AlexKVStore()
         store.setup(pairs)
         rng = np.random.default_rng(2)
-        span = tiny_dataset.high - tiny_dataset.low
         times = []
         for key in rng.uniform(tiny_dataset.low, tiny_dataset.high, 1000):
             times.append(store.execute(_query(KVOperation.INSERT, float(key)), 0.0))

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.cli import SCENARIOS, build_parser, main
+from repro.core.runner import RunManifest
 
 
 class TestParser:
@@ -84,6 +85,48 @@ class TestCommands:
         for name, builder in SCENARIOS.items():
             scenario = builder(tiny_dataset, 50.0, 12.0)
             assert scenario.total_duration > 0, name
+
+
+class TestRunMatrix:
+    SMALL = [
+        "--dataset", "uniform", "--keys", "2000",
+        "--rate", "100", "--duration", "4",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run-matrix"])
+        assert args.workers is None
+        assert args.cache_dir == ".repro-cache"
+        assert not args.no_cache
+
+    def test_matrix_cold_then_warm(self, tmp_path, capsys):
+        argv = [
+            "run-matrix", "--scenario", "abrupt-shift",
+            "--sut", "btree-kv", "hash-kv", "--seeds", "1", "2",
+            "--workers", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "manifest.json"),
+        ] + self.SMALL
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 executed" in out and "0 cached" in out
+        manifest = RunManifest.load(str(tmp_path / "manifest.json"))
+        assert len(manifest.jobs) == 4
+        assert all(j.status == "ok" for j in manifest.jobs)
+
+        assert main(argv) == 0  # second pass: all served from cache
+        assert "4 cached" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        argv = [
+            "run-matrix", "--sut", "btree-kv", "--no-cache",
+            "--cache-dir", str(tmp_path / "cache"),
+        ] + self.SMALL
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "1 executed, 0 cached" in capsys.readouterr().out
+
+    def test_unknown_sut(self, capsys):
+        assert main(["run-matrix", "--sut", "no-such"] + self.SMALL) == 2
 
 
 class TestScenarioFiles:

@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.workloads.distributions import UniformDistribution, ZipfDistribution
 from repro.workloads.drift import GradualDrift, NoDrift
 from repro.workloads.generators import OperationMix, WorkloadSpec, simple_spec
-from repro.workloads.patterns import ConstantArrivals, DiurnalArrivals
+from repro.workloads.patterns import DiurnalArrivals
 from repro.workloads.quality import score_dataset, score_workload
 
 
