@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.core.hardware import CPU, HardwareProfile
 from repro.core.phases import TrainingEvent, TrainingPhase, make_event
-from repro.core.results import QueryRecord, RunResult
+from repro.core.results import ColumnarRecorder, RunResult
 from repro.core.scenario import Scenario
 from repro.core.sut import SystemUnderTest
 from repro.errors import DriverError
@@ -88,7 +88,7 @@ class VirtualClockDriver:
     def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
         """Execute ``scenario`` against ``sut`` and return the record."""
         training_events: List[TrainingEvent] = []
-        records: List[QueryRecord] = []
+        recorder = ColumnarRecorder()
 
         # Initial load + offline training happen before query time zero.
         if scenario.initial_keys is not None and scenario.initial_keys.size:
@@ -146,6 +146,8 @@ class VirtualClockDriver:
             )
             arrivals = local + seg_start
             total_queries += arrivals.size
+            recorder.reserve(arrivals.size)
+            segment_code = recorder.intern_segment(segment.label)
 
             next_tick = seg_start
             for arrival in arrivals:
@@ -166,14 +168,12 @@ class VirtualClockDriver:
                 )
                 completion = start + service
                 heapq.heappush(server_free, completion)
-                records.append(
-                    QueryRecord(
-                        arrival=arrival,
-                        start=start,
-                        completion=completion,
-                        op=query.op.value,
-                        segment=segment.label,
-                    )
+                recorder.append(
+                    arrival,
+                    start,
+                    completion,
+                    recorder.intern_op(query.op.value),
+                    segment_code,
                 )
             # Remaining ticks to the end of the segment.
             while next_tick < seg_end:
@@ -187,7 +187,7 @@ class VirtualClockDriver:
         return RunResult(
             sut_name=sut.name,
             scenario_name=scenario.name,
-            queries=records,
+            columns=recorder.build(),
             segments=scenario.segment_boundaries(),
             training_events=training_events,
             scenario_description=scenario.describe(),

@@ -4,13 +4,24 @@ A :class:`RunResult` is the complete record of one benchmark run: every
 query's arrival/start/completion timestamps, segment boundaries, and all
 training events. The Fig 1 metrics are pure functions of this record, so
 results can be persisted as JSON and re-analyzed without re-running.
+
+Storage is *columnar*: the query log lives in NumPy arrays (one column
+per field, see :class:`QueryColumns`), built either directly by the
+driver's :class:`ColumnarRecorder` or lazily from a list of
+:class:`QueryRecord` objects. Derived views the metric kernels need —
+completion-sorted timestamps, latencies, per-query segment codes — are
+built once per result and cached, so evaluating the full Fig 1 metric
+suite over a multi-million-query run costs one sort, not thousands of
+Python loops. ``result.queries`` remains available as a lazily
+materialized compatibility view.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,71 +59,343 @@ class QueryRecord:
         return self.completion - self.start
 
 
-@dataclass
+def _intern(labels: Sequence[str]) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """(codes, vocab) encoding of a string sequence (vocab sorted)."""
+    if not len(labels):
+        return np.zeros(0, dtype=np.int32), ()
+    vocab, codes = np.unique(np.asarray(labels, dtype=object), return_inverse=True)
+    return codes.astype(np.int32), tuple(str(v) for v in vocab)
+
+
+@dataclass(eq=False)
+class QueryColumns:
+    """Columnar query log, in driver append (arrival) order.
+
+    Attributes:
+        arrivals / starts / completions: float64 timestamp columns.
+        op_codes: int32 code per query into ``op_vocab``.
+        op_vocab: Operation names, indexed by code.
+        segment_codes: int32 code per query into ``segment_vocab``.
+        segment_vocab: Segment labels, indexed by code.
+    """
+
+    arrivals: np.ndarray
+    starts: np.ndarray
+    completions: np.ndarray
+    op_codes: np.ndarray
+    op_vocab: Tuple[str, ...]
+    segment_codes: np.ndarray
+    segment_vocab: Tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of queries."""
+        return int(self.arrivals.size)
+
+    @cached_property
+    def latencies(self) -> np.ndarray:
+        """End-to-end latencies (completion - arrival), record order."""
+        return self.completions - self.arrivals
+
+    @cached_property
+    def service_times(self) -> np.ndarray:
+        """Pure service times (completion - start), record order."""
+        return self.completions - self.starts
+
+    def ops(self) -> List[str]:
+        """Per-query operation names (decoded)."""
+        vocab = self.op_vocab
+        return [vocab[i] for i in self.op_codes.tolist()]
+
+    def segment_names(self) -> List[str]:
+        """Per-query segment labels (decoded)."""
+        vocab = self.segment_vocab
+        return [vocab[i] for i in self.segment_codes.tolist()]
+
+    def iter_records(self) -> Iterator[QueryRecord]:
+        """Materialize :class:`QueryRecord` objects (compatibility path)."""
+        rows = zip(
+            self.arrivals.tolist(),
+            self.starts.tolist(),
+            self.completions.tolist(),
+            self.ops(),
+            self.segment_names(),
+        )
+        for arrival, start, completion, op, segment in rows:
+            yield QueryRecord(arrival, start, completion, op, segment)
+
+    @classmethod
+    def from_records(cls, queries: Sequence[QueryRecord]) -> "QueryColumns":
+        """Build columns from a sequence of :class:`QueryRecord`."""
+        n = len(queries)
+        op_codes, op_vocab = _intern([q.op for q in queries])
+        seg_codes, seg_vocab = _intern([q.segment for q in queries])
+        return cls(
+            arrivals=np.fromiter((q.arrival for q in queries), np.float64, count=n),
+            starts=np.fromiter((q.start for q in queries), np.float64, count=n),
+            completions=np.fromiter(
+                (q.completion for q in queries), np.float64, count=n
+            ),
+            op_codes=op_codes,
+            op_vocab=op_vocab,
+            segment_codes=seg_codes,
+            segment_vocab=seg_vocab,
+        )
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence[Any]]) -> "QueryColumns":
+        """Build columns from wire rows ``[arrival, start, completion, op, segment]``."""
+        n = len(rows)
+        numeric = np.asarray(
+            [row[:3] for row in rows], dtype=np.float64
+        ).reshape(n, 3)
+        op_codes, op_vocab = _intern([row[3] for row in rows])
+        seg_codes, seg_vocab = _intern([row[4] for row in rows])
+        return cls(
+            arrivals=np.ascontiguousarray(numeric[:, 0]),
+            starts=np.ascontiguousarray(numeric[:, 1]),
+            completions=np.ascontiguousarray(numeric[:, 2]),
+            op_codes=op_codes,
+            op_vocab=op_vocab,
+            segment_codes=seg_codes,
+            segment_vocab=seg_vocab,
+        )
+
+
+class ColumnarRecorder:
+    """Preallocated append-only column buffers for driver hot loops.
+
+    The driver interns each segment label once per segment and each
+    operation name once ever, then appends plain scalars; buffers grow
+    geometrically and :meth:`reserve` pre-sizes them when the caller
+    already knows how many arrivals a segment will produce.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        capacity = max(1, int(capacity))
+        self._arrivals = np.empty(capacity, dtype=np.float64)
+        self._starts = np.empty(capacity, dtype=np.float64)
+        self._completions = np.empty(capacity, dtype=np.float64)
+        self._op_codes = np.empty(capacity, dtype=np.int32)
+        self._segment_codes = np.empty(capacity, dtype=np.int32)
+        self._n = 0
+        self._op_index: Dict[str, int] = {}
+        self._op_vocab: List[str] = []
+        self._segment_index: Dict[str, int] = {}
+        self._segment_vocab: List[str] = []
+
+    def __len__(self) -> int:
+        return self._n
+
+    def intern_op(self, op: str) -> int:
+        """Code for an operation name (added on first sight)."""
+        code = self._op_index.get(op)
+        if code is None:
+            code = len(self._op_vocab)
+            self._op_index[op] = code
+            self._op_vocab.append(op)
+        return code
+
+    def intern_segment(self, label: str) -> int:
+        """Code for a segment label (added on first sight)."""
+        code = self._segment_index.get(label)
+        if code is None:
+            code = len(self._segment_vocab)
+            self._segment_index[label] = code
+            self._segment_vocab.append(label)
+        return code
+
+    def reserve(self, extra: int) -> None:
+        """Ensure capacity for ``extra`` more appends."""
+        self._grow(self._n + int(extra))
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._arrivals.size
+        if needed <= capacity:
+            return
+        new_cap = max(needed, capacity * 2)
+        for name in (
+            "_arrivals",
+            "_starts",
+            "_completions",
+            "_op_codes",
+            "_segment_codes",
+        ):
+            old = getattr(self, name)
+            grown = np.empty(new_cap, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
+    def append(
+        self,
+        arrival: float,
+        start: float,
+        completion: float,
+        op_code: int,
+        segment_code: int,
+    ) -> None:
+        """Record one completed query."""
+        i = self._n
+        if i >= self._arrivals.size:
+            self._grow(i + 1)
+        self._arrivals[i] = arrival
+        self._starts[i] = start
+        self._completions[i] = completion
+        self._op_codes[i] = op_code
+        self._segment_codes[i] = segment_code
+        self._n = i + 1
+
+    def build(self) -> QueryColumns:
+        """Trimmed :class:`QueryColumns` of everything appended so far."""
+        n = self._n
+        return QueryColumns(
+            arrivals=self._arrivals[:n].copy(),
+            starts=self._starts[:n].copy(),
+            completions=self._completions[:n].copy(),
+            op_codes=self._op_codes[:n].copy(),
+            op_vocab=tuple(self._op_vocab),
+            segment_codes=self._segment_codes[:n].copy(),
+            segment_vocab=tuple(self._segment_vocab),
+        )
+
+
 class RunResult:
     """Everything recorded during one benchmark run.
+
+    Construct with either ``queries`` (a list of :class:`QueryRecord`,
+    the historical API) or ``columns`` (a :class:`QueryColumns`, what the
+    driver produces); the other representation is derived lazily and
+    cached, as are the sorted views the metric kernels share.
 
     Attributes:
         sut_name: Name of the system under test.
         scenario_name: Name of the scenario executed.
-        queries: All completed queries, in completion order.
         segments: ``(label, start, end)`` boundaries in query time.
         training_events: All training work performed.
         scenario_description: The scenario's ``describe()`` payload.
         sut_description: The SUT's ``describe()`` payload.
     """
 
-    sut_name: str
-    scenario_name: str
-    queries: List[QueryRecord]
-    segments: List[Tuple[str, float, float]]
-    training_events: List[TrainingEvent] = field(default_factory=list)
-    scenario_description: dict = field(default_factory=dict)
-    sut_description: dict = field(default_factory=dict)
+    def __init__(
+        self,
+        sut_name: str,
+        scenario_name: str,
+        queries: Optional[Sequence[QueryRecord]] = None,
+        segments: Optional[Sequence[Tuple[str, float, float]]] = None,
+        training_events: Optional[Iterable[TrainingEvent]] = None,
+        scenario_description: Optional[dict] = None,
+        sut_description: Optional[dict] = None,
+        columns: Optional[QueryColumns] = None,
+    ) -> None:
+        if queries is None and columns is None:
+            raise ReproError("RunResult needs either queries or columns")
+        if queries is not None and columns is not None:
+            raise ReproError("pass either queries or columns, not both")
+        self.sut_name = sut_name
+        self.scenario_name = scenario_name
+        self.segments: List[Tuple[str, float, float]] = list(segments or [])
+        self.training_events: List[TrainingEvent] = list(training_events or [])
+        self.scenario_description = scenario_description or {}
+        self.sut_description = sut_description or {}
+        self._queries: Optional[List[QueryRecord]] = (
+            list(queries) if queries is not None else None
+        )
+        self._columns = columns
 
-    # -- basic views --------------------------------------------------------------
+    # -- representations -----------------------------------------------------------
+
+    @property
+    def queries(self) -> List[QueryRecord]:
+        """The query log as :class:`QueryRecord` objects (lazy view)."""
+        if self._queries is None:
+            self._queries = list(self.columns.iter_records())
+        return self._queries
+
+    @property
+    def columns(self) -> QueryColumns:
+        """The columnar query log (lazy, cached)."""
+        if self._columns is None:
+            self._columns = QueryColumns.from_records(self._queries or [])
+        return self._columns
+
+    @property
+    def num_queries(self) -> int:
+        """Number of completed queries (no representation conversion)."""
+        if self._columns is not None:
+            return self._columns.size
+        return len(self._queries or [])
+
+    # -- basic views ---------------------------------------------------------------
 
     @property
     def duration(self) -> float:
         """Query-time horizon of the run (end of the last segment)."""
         return self.segments[-1][2] if self.segments else 0.0
 
+    @cached_property
+    def completion_order(self) -> np.ndarray:
+        """Permutation sorting the columns by completion time (stable)."""
+        return np.argsort(self.columns.completions, kind="stable")
+
+    @cached_property
+    def completions_sorted(self) -> np.ndarray:
+        """Completion timestamps, ascending (cached)."""
+        return self.columns.completions[self.completion_order]
+
+    @cached_property
+    def latencies_sorted(self) -> np.ndarray:
+        """Latencies in completion order (cached)."""
+        return self.columns.latencies[self.completion_order]
+
+    @cached_property
+    def max_completion(self) -> float:
+        """Largest completion timestamp (0.0 for an empty run)."""
+        if self.completions_sorted.size == 0:
+            return 0.0
+        return float(self.completions_sorted[-1])
+
+    @property
+    def horizon(self) -> float:
+        """Analysis horizon: max of segment end and last completion."""
+        return max(self.duration, self.max_completion)
+
     def completions(self) -> np.ndarray:
         """Completion timestamps, ascending."""
-        return np.asarray(sorted(q.completion for q in self.queries))
+        return self.completions_sorted
 
     def latencies(self) -> np.ndarray:
         """Latencies in completion order."""
-        ordered = sorted(self.queries, key=lambda q: q.completion)
-        return np.asarray([q.latency for q in ordered])
+        return self.latencies_sorted
 
     def queries_in_segment(self, label: str) -> List[QueryRecord]:
         """Queries whose *arrival* fell inside the named segment."""
         bounds = [(s, e) for name, s, e in self.segments if name == label]
         if not bounds:
             raise ReproError(f"unknown segment {label!r}")
-        out = []
+        queries = self.queries
+        arrivals = self.columns.arrivals
+        out: List[QueryRecord] = []
         for lo, hi in bounds:
-            out.extend(q for q in self.queries if lo <= q.arrival < hi)
+            idx = np.nonzero((arrivals >= lo) & (arrivals < hi))[0]
+            out.extend(queries[int(i)] for i in idx)
         return out
 
     def throughput_series(self, interval: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
         """(bucket start times, completed queries per interval)."""
+        from repro.metrics._buckets import time_edges
+
         if interval <= 0:
             raise ReproError("interval must be > 0")
-        horizon = max(self.duration, max((q.completion for q in self.queries), default=0.0))
-        edges = np.arange(0.0, horizon + interval, interval)
-        counts, _ = np.histogram(self.completions(), bins=edges)
+        edges = time_edges(self.horizon, interval)
+        counts, _ = np.histogram(self.completions_sorted, bins=edges)
         return edges[:-1], counts.astype(np.float64)
 
     def mean_throughput(self) -> float:
         """Completed queries per second over the run horizon."""
-        horizon = max(
-            self.duration, max((q.completion for q in self.queries), default=0.0)
-        )
+        horizon = self.horizon
         if horizon <= 0:
             return 0.0
-        return len(self.queries) / horizon
+        return self.num_queries / horizon
 
     def total_training_cost(self) -> float:
         """Dollar cost of all training events."""
@@ -122,7 +405,7 @@ class RunResult:
         """Nominal CPU-seconds of training across all events."""
         return sum(e.nominal_seconds for e in self.training_events)
 
-    # -- persistence --------------------------------------------------------------
+    # -- persistence ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready dict of the full result.
@@ -131,6 +414,17 @@ class RunResult:
         across process boundaries and stores them in its on-disk cache as
         exactly this payload (see :mod:`repro.serialization`).
         """
+        cols = self.columns
+        query_rows = [
+            [arrival, start, completion, op, segment]
+            for arrival, start, completion, op, segment in zip(
+                cols.arrivals.tolist(),
+                cols.starts.tolist(),
+                cols.completions.tolist(),
+                cols.ops(),
+                cols.segment_names(),
+            )
+        ]
         return {
             "sut_name": self.sut_name,
             "scenario_name": self.scenario_name,
@@ -149,10 +443,7 @@ class RunResult:
                 }
                 for e in self.training_events
             ],
-            "queries": [
-                [q.arrival, q.start, q.completion, q.op, q.segment]
-                for q in self.queries
-            ],
+            "queries": query_rows,
         }
 
     def to_json(self) -> str:
@@ -165,12 +456,7 @@ class RunResult:
         return cls(
             sut_name=data["sut_name"],
             scenario_name=data["scenario_name"],
-            queries=[
-                QueryRecord(
-                    arrival=q[0], start=q[1], completion=q[2], op=q[3], segment=q[4]
-                )
-                for q in data["queries"]
-            ],
+            columns=QueryColumns.from_rows(data["queries"]),
             segments=[tuple(s) for s in data["segments"]],
             training_events=[
                 TrainingEvent(

@@ -92,7 +92,7 @@ class BenchmarkService:
             mean_throughput=result.mean_throughput(),
             p99_latency=p99,
             total_training_cost=result.total_training_cost(),
-            query_count=len(result.queries),
+            query_count=result.num_queries,
         )
 
     def raw_result(self, holdout_name: str, sut_name: str) -> RunResult:

@@ -1,0 +1,51 @@
+"""Shared bucket-edge construction for every timeline metric.
+
+The Fig 1 timeline metrics — ``latency_bands``, ``multi_latency_bands``,
+``latency_timeline``, ``cumulative_curve``, per-segment throughput, and
+``RunResult.throughput_series`` — all bucket the run's time axis. They
+must agree on the bucket boundaries, or band totals drift away from
+throughput counts (accumulating ``t += interval`` in a float loop gains
+or loses a trailing bucket on long runs). This module is the single
+source of those edges: one ``np.arange`` call, shared by everyone.
+
+Bucket semantics follow :func:`numpy.histogram`: every bucket is
+half-open ``[e_i, e_{i+1})`` except the last, which is closed so a
+completion landing exactly on the final edge is still counted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def time_edges(horizon: float, interval: float) -> np.ndarray:
+    """Bucket edges ``0, interval, 2*interval, ...`` covering ``[0, horizon]``.
+
+    The last edge is the first grid point at or after ``horizon``.
+    Degenerate inputs (``horizon <= 0``) yield a single edge, i.e. zero
+    buckets; callers validate ``interval > 0`` with their own error types.
+    """
+    return np.arange(0.0, float(horizon) + float(interval), float(interval))
+
+
+def span_edges(lo: float, hi: float, interval: float) -> np.ndarray:
+    """Bucket edges for an arbitrary span ``[lo, hi]`` (segment-local grids)."""
+    return np.arange(float(lo), float(hi) + float(interval), float(interval))
+
+
+def bucket_counts(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Per-bucket counts of ``values`` (histogram semantics; int64)."""
+    if edges.size < 2:
+        return np.zeros(0, dtype=np.int64)
+    counts, _ = np.histogram(values, bins=edges)
+    return counts.astype(np.int64)
+
+
+def bucket_index(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Index of the bucket each value falls in (histogram semantics).
+
+    Values below the first edge clip into bucket 0, values at or beyond
+    the last edge clip into the final bucket (the closed last bin).
+    """
+    idx = np.searchsorted(edges, values, side="right") - 1
+    return np.clip(idx, 0, max(edges.size - 2, 0))

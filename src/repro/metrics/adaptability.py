@@ -5,6 +5,10 @@ cumulative queries completed over time. ... We can derive a single-value
 result from this plot by computing the area difference between an ideal
 system with a constant throughput. Similarly, ... the area difference
 between the two systems provides a single-value result."
+
+The timeline kernels here are vectorized over the run's columnar query
+log and share their bucket grid with every other timeline metric via
+:mod:`repro.metrics._buckets`.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import numpy as np
 
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
+from repro.metrics._buckets import bucket_index, time_edges
 
 
 def cumulative_curve(
@@ -28,9 +33,8 @@ def cumulative_curve(
     """
     if resolution <= 0:
         raise ConfigurationError("resolution must be > 0")
-    completions = result.completions()
-    horizon = max(result.duration, completions[-1] if completions.size else 0.0)
-    times = np.arange(0.0, horizon + resolution, resolution)
+    completions = result.completions_sorted
+    times = time_edges(result.horizon, resolution)
     cum = np.searchsorted(completions, times, side="right").astype(np.float64)
     return times, cum
 
@@ -69,15 +73,36 @@ def area_between_systems(
     """Signed area between two systems' cumulative curves (A minus B).
 
     Positive = A stayed ahead (completed queries earlier) on balance.
-    Both curves are evaluated on the union horizon. Units: query·seconds.
+    Units: query·seconds.
+
+    Both cumulative curves are step functions, so the area is computed
+    *exactly*: the step values are evaluated with ``np.searchsorted`` on
+    the shared edge set (every completion time of either system, plus
+    the union horizon) and integrated piecewise-constant. Linear
+    interpolation between grid samples — the previous implementation —
+    biased the metric whenever completions fell between grid points.
+
+    Args:
+        resolution: Unused; retained for backward compatibility (the
+            exact integration needs no sampling grid).
     """
-    times_a, cum_a = cumulative_curve(result_a, resolution)
-    times_b, cum_b = cumulative_curve(result_b, resolution)
-    horizon = max(times_a[-1] if times_a.size else 0, times_b[-1] if times_b.size else 0)
-    times = np.arange(0.0, horizon + resolution, resolution)
-    a = np.interp(times, times_a, cum_a, left=0.0, right=cum_a[-1] if cum_a.size else 0.0)
-    b = np.interp(times, times_b, cum_b, left=0.0, right=cum_b[-1] if cum_b.size else 0.0)
-    return float(np.trapezoid(a - b, times))
+    if resolution <= 0:
+        raise ConfigurationError("resolution must be > 0")
+    completions_a = result_a.completions_sorted
+    completions_b = result_b.completions_sorted
+    horizon = max(result_a.horizon, result_b.horizon)
+    if horizon <= 0:
+        return 0.0
+    edges = np.unique(np.concatenate((
+        np.asarray([0.0, horizon]),
+        completions_a,
+        completions_b,
+    )))
+    edges = edges[(edges >= 0.0) & (edges <= horizon)]
+    ahead_a = np.searchsorted(completions_a, edges[:-1], side="right")
+    ahead_b = np.searchsorted(completions_b, edges[:-1], side="right")
+    widths = np.diff(edges)
+    return float(((ahead_a - ahead_b) * widths).sum())
 
 
 def recovery_time(
@@ -91,25 +116,34 @@ def recovery_time(
     Pre-change throughput is measured over the ``window`` seconds before
     the change; recovery is the first post-change window whose
     throughput reaches ``recovery_fraction`` of it. Returns ``None`` if
-    the run ends first.
+    the run ends first — or if the pre-change window is idle, in which
+    case there is no baseline to recover *to* (reporting instant
+    recovery there would be vacuous).
     """
     if window <= 0:
         raise ConfigurationError("window must be > 0")
-    completions = result.completions()
+    completions = result.completions_sorted
     if completions.size == 0:
         return None
-    before = np.count_nonzero(
-        (completions >= change_time - window) & (completions < change_time)
+    lo, hi = np.searchsorted(
+        completions, (change_time - window, change_time), side="left"
     )
+    before = int(hi - lo)
+    if before == 0:
+        return None
     target = recovery_fraction * before
-    horizon = max(result.duration, completions[-1])
-    t = change_time
-    while t + window <= horizon + window:
-        count = np.count_nonzero((completions >= t) & (completions < t + window))
-        if count >= target:
-            return float(t - change_time)
-        t += window
-    return None
+    horizon = result.horizon
+    n_windows = int(np.floor((horizon - change_time) / window)) + 1
+    if n_windows <= 0:
+        return None
+    starts = change_time + window * np.arange(n_windows)
+    counts = np.searchsorted(completions, starts + window, side="left") - (
+        np.searchsorted(completions, starts, side="left")
+    )
+    recovered = counts >= target
+    if not recovered.any():
+        return None
+    return float(starts[int(np.argmax(recovered))] - change_time)
 
 
 def latency_timeline(
@@ -122,32 +156,41 @@ def latency_timeline(
     §IV asks for "throughput and latency during transitions between
     distributions"; this is the latency half: for each ``interval``-second
     bucket (by completion time), the requested percentiles of the
-    latencies completed in it (NaN for idle buckets).
+    latencies completed in it (NaN for idle buckets). Bucket boundaries
+    come from the shared edge grid; the group-wise percentiles are
+    computed in one vectorized pass (matching ``np.percentile``'s linear
+    interpolation bucket-for-bucket).
 
     Returns:
         (bucket start times, {percentile: values array}).
     """
     if interval <= 0:
         raise ConfigurationError("interval must be > 0")
-    completions = np.asarray([q.completion for q in result.queries])
-    latencies = np.asarray([q.latency for q in result.queries])
-    horizon = max(result.duration, completions.max() if completions.size else 0.0)
-    edges = np.arange(0.0, horizon + interval, interval)
+    cols = result.columns
+    edges = time_edges(result.horizon, interval)
     times = edges[:-1]
     out = {p: np.full(times.size, np.nan) for p in percentiles}
-    if completions.size:
-        buckets = np.clip(
-            (completions / interval).astype(np.int64), 0, times.size - 1
-        )
-        order = np.argsort(buckets, kind="stable")
-        sorted_buckets = buckets[order]
-        sorted_latencies = latencies[order]
-        boundaries = np.searchsorted(sorted_buckets, np.arange(times.size + 1))
-        for i in range(times.size):
-            chunk = sorted_latencies[boundaries[i] : boundaries[i + 1]]
-            if chunk.size:
-                for p in percentiles:
-                    out[p][i] = float(np.percentile(chunk, p))
+    if cols.size == 0 or times.size == 0:
+        return times, out
+    buckets = bucket_index(cols.completions, edges)
+    order = np.lexsort((cols.latencies, buckets))
+    sorted_latencies = cols.latencies[order]
+    boundaries = np.searchsorted(buckets[order], np.arange(times.size + 1))
+    counts = np.diff(boundaries)
+    nonempty = counts > 0
+    base = np.where(nonempty, boundaries[:-1], 0)
+    for p in percentiles:
+        # np.percentile's "linear" method: virtual index h = (n-1) * q,
+        # gathered with its two-sided lerp for bit-identical results.
+        h = np.where(nonempty, counts - 1, 0) * (float(p) / 100.0)
+        low = np.floor(h).astype(np.int64)
+        high = np.ceil(h).astype(np.int64)
+        frac = h - low
+        a = sorted_latencies[base + low]
+        b = sorted_latencies[base + high]
+        diff = b - a
+        values = np.where(frac >= 0.5, b - diff * (1.0 - frac), a + diff * frac)
+        out[p] = np.where(nonempty, values, np.nan)
     return times, out
 
 

@@ -133,13 +133,10 @@ def cost_breakdown(
     Execution cost prices the run's virtual duration on the serving
     hardware; training cost sums the run's training events.
     """
-    duration = max(
-        result.duration,
-        max((q.completion for q in result.queries), default=0.0),
-    )
+    duration = result.horizon
     execution_cost = duration / 3600.0 * serving_dollars_per_hour
     training_cost = result.total_training_cost()
-    n = len(result.queries)
+    n = result.num_queries
     per_kquery = (execution_cost + training_cost) / (n / 1000.0) if n else 0.0
     return CostBreakdown(
         sut_name=result.sut_name,

@@ -17,7 +17,7 @@ from repro.errors import ConfigurationError
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0-100) of ``values``."""
-    arr = np.asarray(list(values), dtype=np.float64)
+    arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
         raise ConfigurationError("cannot take a percentile of no data")
     return float(np.percentile(arr, q))
@@ -81,7 +81,7 @@ def box_stats(values: Sequence[float]) -> BoxStats:
     Raises:
         ConfigurationError: On empty input.
     """
-    arr = np.asarray(list(values), dtype=np.float64)
+    arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
         raise ConfigurationError("cannot summarize no data")
     q1, median, q3 = (float(np.percentile(arr, q)) for q in (25, 50, 75))

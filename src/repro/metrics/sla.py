@@ -12,6 +12,11 @@ distribution" — :func:`calibrate_sla` implements exactly that. The
 "single-value metric for the adjustment speed ... as the sum of query
 times above the SLA threshold over the first N queries after a
 distribution change" is :func:`adjustment_speed`.
+
+All kernels are vectorized over the run's columnar query log: band
+boundaries come from the shared :mod:`repro.metrics._buckets` edge grid
+(the same one ``RunResult.throughput_series`` uses), so band totals and
+throughput counts agree bucket-for-bucket on runs of any length.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import numpy as np
 
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
+from repro.metrics._buckets import time_edges
 
 
 @dataclass(frozen=True)
@@ -74,18 +80,16 @@ def latency_bands(
         raise ConfigurationError("interval must be > 0")
     if sla <= 0:
         raise ConfigurationError("sla must be > 0")
-    completions = np.asarray([q.completion for q in result.queries])
-    latencies = np.asarray([q.latency for q in result.queries])
-    horizon = max(result.duration, completions.max() if completions.size else 0.0)
-    bands: List[LatencyBand] = []
-    t = 0.0
-    while t < horizon:
-        mask = (completions >= t) & (completions < t + interval)
-        over = int((latencies[mask] > sla).sum())
-        total = int(mask.sum())
-        bands.append(LatencyBand(start=t, within_sla=total - over, violated=over))
-        t += interval
-    return bands
+    cols = result.columns
+    edges = time_edges(result.horizon, interval)
+    if edges.size < 2:
+        return []
+    total, _ = np.histogram(cols.completions, bins=edges)
+    over, _ = np.histogram(cols.completions[cols.latencies > sla], bins=edges)
+    return [
+        LatencyBand(start=start, within_sla=int(n - v), violated=int(v))
+        for start, n, v in zip(edges[:-1].tolist(), total, over)
+    ]
 
 
 def multi_latency_bands(
@@ -104,18 +108,18 @@ def multi_latency_bands(
         raise ConfigurationError("thresholds must be positive and ascending")
     if interval <= 0:
         raise ConfigurationError("interval must be > 0")
-    completions = np.asarray([q.completion for q in result.queries])
-    latencies = np.asarray([q.latency for q in result.queries])
-    horizon = max(result.duration, completions.max() if completions.size else 0.0)
-    edges = np.asarray([0.0] + ts + [np.inf])
-    out: List[Tuple[float, List[int]]] = []
-    t = 0.0
-    while t < horizon:
-        mask = (completions >= t) & (completions < t + interval)
-        counts, _ = np.histogram(latencies[mask], bins=edges)
-        out.append((t, counts.astype(int).tolist()))
-        t += interval
-    return out
+    cols = result.columns
+    edges = time_edges(result.horizon, interval)
+    if edges.size < 2:
+        return []
+    latency_edges = np.asarray([0.0] + ts + [np.inf])
+    grid, _, _ = np.histogram2d(
+        cols.completions, cols.latencies, bins=(edges, latency_edges)
+    )
+    return [
+        (start, row.astype(int).tolist())
+        for start, row in zip(edges[:-1].tolist(), grid)
+    ]
 
 
 def adjustment_speed(
@@ -131,8 +135,9 @@ def adjustment_speed(
     """
     if n_queries < 1:
         raise ConfigurationError("n_queries must be >= 1")
-    after = sorted(
-        (q for q in result.queries if q.arrival >= change_time),
-        key=lambda q: q.arrival,
-    )[:n_queries]
-    return float(sum(max(0.0, q.latency - sla) for q in after))
+    cols = result.columns
+    order = np.argsort(cols.arrivals, kind="stable")
+    first = np.searchsorted(cols.arrivals[order], change_time, side="left")
+    selected = order[first : first + n_queries]
+    over = np.maximum(0.0, cols.latencies[selected] - sla)
+    return float(over.sum())

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario
 from repro.errors import ConfigurationError
+from repro.metrics._buckets import span_edges
 from repro.metrics.descriptive import BoxStats, box_stats
 from repro.metrics.similarity import data_phi, workload_phi
 
@@ -76,13 +77,12 @@ def _segment_throughputs(
     result: RunResult, label: str, lo: float, hi: float, interval: float
 ) -> np.ndarray:
     """Per-interval completed-query counts inside [lo, hi)."""
-    completions = np.asarray(
-        [q.completion for q in result.queries if lo <= q.completion < hi]
-    )
-    edges = np.arange(lo, hi + interval, interval)
+    completions = result.completions_sorted
+    first, last = np.searchsorted(completions, (lo, hi), side="left")
+    edges = span_edges(lo, hi, interval)
     if edges.size < 2:
         return np.zeros(0)
-    counts, _ = np.histogram(completions, bins=edges)
+    counts, _ = np.histogram(completions[first:last], bins=edges)
     return counts / interval
 
 
@@ -138,9 +138,10 @@ def specialization_report(
         throughputs = _segment_throughputs(result, label, lo, hi, interval)
         if throughputs.size == 0:
             throughputs = np.zeros(1)
-        seg_queries = [q for q in result.queries if lo <= q.arrival < hi]
+        cols = result.columns
+        in_segment = (cols.arrivals >= lo) & (cols.arrivals < hi)
         mean_latency = (
-            float(np.mean([q.latency for q in seg_queries])) if seg_queries else 0.0
+            float(np.mean(cols.latencies[in_segment])) if in_segment.any() else 0.0
         )
         rows.append(
             SegmentPerformance(

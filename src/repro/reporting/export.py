@@ -33,10 +33,15 @@ def _render(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
 
 def queries_csv(result: RunResult) -> str:
     """One row per query: arrival, start, completion, latency, op, segment."""
-    rows = [
-        (q.arrival, q.start, q.completion, q.latency, q.op, q.segment)
-        for q in result.queries
-    ]
+    cols = result.columns
+    rows = zip(
+        cols.arrivals.tolist(),
+        cols.starts.tolist(),
+        cols.completions.tolist(),
+        cols.latencies.tolist(),
+        cols.ops(),
+        cols.segment_names(),
+    )
     return _render(
         ["arrival", "start", "completion", "latency", "op", "segment"], rows
     )

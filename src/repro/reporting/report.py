@@ -49,7 +49,7 @@ class BenchmarkReport:
         return {
             "sut": self.result.sut_name,
             "scenario": self.result.scenario_name,
-            "queries": len(self.result.queries),
+            "queries": self.result.num_queries,
             "mean_throughput": self.result.mean_throughput(),
             "specialization": self.specialization.rows(),
             "adaptability": {
@@ -73,7 +73,7 @@ class BenchmarkReport:
         lat_stats = box_stats(latencies) if latencies.size else None
         lines = [
             f"=== {self.result.sut_name} on {self.result.scenario_name} ===",
-            f"queries={len(self.result.queries)}  "
+            f"queries={self.result.num_queries}  "
             f"mean throughput={self.result.mean_throughput():.1f} q/s  "
             f"training events={len(self.result.training_events)}",
         ]

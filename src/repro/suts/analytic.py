@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.results import QueryRecord, RunResult
+from repro.core.results import ColumnarRecorder, RunResult
 from repro.core.sut import TrainingSummary
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Executor
@@ -259,7 +259,7 @@ class AnalyticDriver:
         """
         sut.setup()
         rng = np.random.default_rng(self.seed)
-        records: List[QueryRecord] = []
+        recorder = ColumnarRecorder()
         boundaries: List[Tuple[str, float, float]] = []
         server_free = 0.0
         seg_start = 0.0
@@ -271,6 +271,8 @@ class AnalyticDriver:
                 raise ConfigurationError("duration must be > 0 and rate >= 0")
             count = int(rate * duration)
             arrivals = np.sort(rng.uniform(seg_start, seg_start + duration, count))
+            recorder.reserve(arrivals.size)
+            segment_code = recorder.intern_segment(label)
             for arrival in arrivals:
                 arrival = float(arrival)
                 query = workload.next_query(arrival)
@@ -278,21 +280,19 @@ class AnalyticDriver:
                 service = max(1e-9, sut.execute(query, start))
                 completion = start + service
                 server_free = completion
-                records.append(
-                    QueryRecord(
-                        arrival=arrival,
-                        start=start,
-                        completion=completion,
-                        op=query.kind,
-                        segment=label,
-                    )
+                recorder.append(
+                    arrival,
+                    start,
+                    completion,
+                    recorder.intern_op(query.kind),
+                    segment_code,
                 )
             boundaries.append((label, seg_start, seg_start + duration))
             seg_start += duration
         return RunResult(
             sut_name=sut.name,
             scenario_name=scenario_name,
-            queries=records,
+            columns=recorder.build(),
             segments=boundaries,
             training_events=[],
             sut_description=sut.describe(),
