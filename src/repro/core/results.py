@@ -245,6 +245,31 @@ class ColumnarRecorder:
         self._segment_codes[i] = segment_code
         self._n = i + 1
 
+    def append_block(
+        self,
+        arrivals: np.ndarray,
+        starts: np.ndarray,
+        completions: np.ndarray,
+        op_codes: np.ndarray,
+        segment_code: int,
+    ) -> None:
+        """Record a whole slice of completed queries at once.
+
+        ``op_codes`` are *recorder* codes (from :meth:`intern_op`);
+        ``segment_code`` applies to every query in the block.
+        """
+        m = int(arrivals.size)
+        if m == 0:
+            return
+        self._grow(self._n + m)
+        i = self._n
+        self._arrivals[i : i + m] = arrivals
+        self._starts[i : i + m] = starts
+        self._completions[i : i + m] = completions
+        self._op_codes[i : i + m] = op_codes
+        self._segment_codes[i : i + m] = segment_code
+        self._n = i + m
+
     def build(self) -> QueryColumns:
         """Trimmed :class:`QueryColumns` of everything appended so far."""
         n = self._n

@@ -23,7 +23,9 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.workloads.generators import KVQuery
+import numpy as np
+
+from repro.workloads.generators import KVQuery, QueryBatch
 
 
 @dataclass
@@ -66,6 +68,23 @@ class SystemUnderTest(ABC):
     def execute(self, query: KVQuery, now: float) -> float:
         """Execute ``query`` at virtual time ``now``; return service time
         in virtual seconds (> 0)."""
+
+    def execute_batch(self, batch: QueryBatch, now: float) -> np.ndarray:
+        """Execute a :class:`QueryBatch`; return per-query service times.
+
+        ``now`` is the virtual time of the batch's first arrival; each
+        query is executed at its own arrival time. The default loops over
+        :meth:`execute`, so SUTs that only implement the scalar interface
+        work unchanged; vectorized SUTs override this for speed. Results
+        must be identical to the scalar loop.
+        """
+        return np.asarray(
+            [
+                self.execute(batch.query(i), float(batch.arrivals[i]))
+                for i in range(len(batch))
+            ],
+            dtype=np.float64,
+        )
 
     def offline_train(self, budget_seconds: float) -> float:
         """Use up to ``budget_seconds`` nominal training; return usage.

@@ -159,6 +159,40 @@ class AdaptiveLearnedIndex(OrderedIndex):
             raise KeyNotFoundError(key)
         return node.vals[slot]
 
+    def bulk_lookup(self, keys) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Batched lookups: vectorized routing + per-node probe loop.
+
+        Routing (the boundary bisect) is one ``searchsorted``; the gapped
+        exponential probe is inherently sequential, so it runs per key with
+        its comparison/model-evaluation deltas captured. On any miss the
+        counters are restored to the pre-call snapshot and ``None`` is
+        returned so the caller can fall back to scalar ``get`` calls.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        m = keys.size
+        route_bits = max(1, len(self._boundaries).bit_length())
+        snap = self.stats.snapshot()
+        comps = np.empty(m, dtype=np.int64)
+        me = np.empty(m, dtype=np.int64)
+        barr = np.asarray(self._boundaries, dtype=np.float64)
+        node_idx = np.searchsorted(barr, keys, side="right")
+        for i in range(m):
+            c0 = self.stats.comparisons
+            e0 = self.stats.model_evaluations
+            node = self._nodes[int(node_idx[i])]
+            slot = self._search_node(node, float(keys[i]))
+            if slot is None:
+                self.stats.comparisons = snap.comparisons
+                self.stats.model_evaluations = snap.model_evaluations
+                self.stats.last_search_window = snap.last_search_window
+                return None
+            comps[i] = route_bits + (self.stats.comparisons - c0)
+            me[i] = self.stats.model_evaluations - e0
+        self.stats.lookups += m
+        self.stats.node_accesses += m
+        self.stats.comparisons += route_bits * m
+        return comps, np.ones(m, dtype=np.int64), me
+
     # -- insert ------------------------------------------------------------------
 
     def insert(self, key: float, value: Any) -> None:

@@ -121,6 +121,20 @@ class OrderedIndex(ABC):
 
     # -- optional interface --------------------------------------------------
 
+    def bulk_lookup(self, keys) -> "Any":
+        """Vectorized point lookups over a float64 key array, or ``None``.
+
+        Contract: when supported and *every* key is found, perform the
+        lookups, commit exactly the counter increments the equivalent
+        sequence of :meth:`get` calls would have made to :attr:`stats`,
+        and return a ``(comparisons, node_accesses, model_evaluations)``
+        tuple of per-key int arrays. Return ``None`` — with :attr:`stats`
+        untouched — when the bulk path is unsupported or any key would
+        miss; the caller then falls back to scalar :meth:`get` calls.
+        Default: unsupported.
+        """
+        return None
+
     def contains(self, key: float) -> bool:
         """Return whether ``key`` is present (default: probe ``get``)."""
         from repro.errors import KeyNotFoundError

@@ -15,6 +15,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError, KeyNotFoundError
 from repro.indexes.base import OrderedIndex
 
@@ -49,6 +51,7 @@ class BPlusTree(OrderedIndex):
         self._root = _Node(leaf=True)
         self._size = 0
         self._height = 1
+        self._bulk_cache = None
 
     @property
     def order(self) -> int:
@@ -82,9 +85,82 @@ class BPlusTree(OrderedIndex):
             return leaf.values[idx]
         raise KeyNotFoundError(key)
 
+    # -- bulk lookup -----------------------------------------------------------
+
+    def _build_bulk_cache(self):
+        """Flatten the tree for vectorized routing.
+
+        An in-order walk yields every inner separator in sorted order (one
+        per leaf boundary), which makes the per-node ``bisect_right``
+        descent equivalent to one global ``searchsorted`` over the
+        flattened separators. Per-leaf comparison/node-access totals are
+        precomputed along each root-to-leaf path. Returns ``False`` if the
+        separator invariant does not hold (unsupported shape).
+        """
+        seps: List[float] = []
+        leaves: List[Tuple[_Node, int, int]] = []
+
+        def dfs(node: _Node, comps: int, depth: int) -> None:
+            if node.leaf:
+                leaves.append((node, comps, depth))
+                return
+            step = max(1, len(node.keys).bit_length())
+            for i, child in enumerate(node.children):
+                if i > 0:
+                    seps.append(node.keys[i - 1])
+                dfs(child, comps + step, depth + 1)
+
+        dfs(self._root, 0, 0)
+        sep_arr = np.asarray(seps, dtype=np.float64)
+        if sep_arr.size and (np.diff(sep_arr) < 0).any():
+            return False
+        sizes = np.asarray([len(leaf.keys) for leaf, _, _ in leaves], dtype=np.int64)
+        ends = np.cumsum(sizes)
+        starts = ends - sizes
+        all_keys = np.asarray(
+            [k for leaf, _, _ in leaves for k in leaf.keys], dtype=np.float64
+        )
+        if all_keys.size > 1 and (np.diff(all_keys) < 0).any():
+            return False
+        leaf_comps = np.asarray(
+            [
+                comps + max(1, len(leaf.keys).bit_length())
+                for leaf, comps, _ in leaves
+            ],
+            dtype=np.int64,
+        )
+        leaf_na = np.asarray([depth + 1 for _, _, depth in leaves], dtype=np.int64)
+        return sep_arr, all_keys, starts, ends, leaf_comps, leaf_na
+
+    def bulk_lookup(self, keys) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Vectorized point lookups via one global separator search."""
+        if self._bulk_cache is None:
+            self._bulk_cache = self._build_bulk_cache()
+        cache = self._bulk_cache
+        if cache is False:
+            return None
+        sep_arr, all_keys, starts, ends, leaf_comps, leaf_na = cache
+        if all_keys.size == 0:
+            return None
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        leaf_idx = np.searchsorted(sep_arr, keys, side="right")
+        pos = np.searchsorted(all_keys, keys, side="left")
+        ok = pos < all_keys.size
+        ok &= all_keys[np.minimum(pos, all_keys.size - 1)] == keys
+        ok &= (pos >= starts[leaf_idx]) & (pos < ends[leaf_idx])
+        if not ok.all():
+            return None
+        comps = leaf_comps[leaf_idx]
+        na = leaf_na[leaf_idx]
+        self.stats.lookups += keys.size
+        self.stats.comparisons += int(comps.sum())
+        self.stats.node_accesses += int(na.sum())
+        return comps, na, np.zeros(keys.size, dtype=np.int64)
+
     # -- insert ---------------------------------------------------------------
 
     def insert(self, key: float, value: Any) -> None:
+        self._bulk_cache = None
         self.stats.inserts += 1
         root = self._root
         result = self._insert_into(root, key, value)
@@ -150,6 +226,7 @@ class BPlusTree(OrderedIndex):
     # -- delete ---------------------------------------------------------------
 
     def delete(self, key: float) -> None:
+        self._bulk_cache = None
         leaf = self._find_leaf(key)
         idx = bisect.bisect_left(leaf.keys, key)
         if idx >= len(leaf.keys) or leaf.keys[idx] != key:
@@ -192,6 +269,7 @@ class BPlusTree(OrderedIndex):
 
     def bulk_load(self, pairs: List[Tuple[float, Any]]) -> None:
         """Build bottom-up from sorted pairs (deduplicated by last wins)."""
+        self._bulk_cache = None
         ordered = sorted(pairs, key=lambda kv: kv[0])
         dedup: List[Tuple[float, Any]] = []
         for k, v in ordered:

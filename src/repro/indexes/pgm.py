@@ -103,6 +103,8 @@ class PGMIndex(OrderedIndex):
         self._delta_keys: List[float] = []
         self._delta_values: List[Any] = []
         self._tombstones: set = set()
+        # (retrains, gathered per-level segment params) for bulk lookups.
+        self._param_cache: Optional[Tuple[int, list]] = None
 
     @property
     def epsilon(self) -> int:
@@ -241,6 +243,111 @@ class PGMIndex(OrderedIndex):
         if idx < n and self._keys[idx] == key:
             return self._values[idx]
         raise KeyNotFoundError(key)
+
+    def _level_params(self) -> Optional[list]:
+        """Per-level (key0, pos0, slope) arrays, cached per retrain."""
+        if self._param_cache is not None and self._param_cache[0] == self.stats.retrains:
+            return self._param_cache[1]
+        if not self._levels:
+            return None
+        payload = [
+            (
+                np.asarray([s.key0 for s in level], dtype=np.float64),
+                np.asarray([s.pos0 for s in level], dtype=np.float64),
+                np.asarray([s.slope for s in level], dtype=np.float64),
+            )
+            for level in self._levels
+        ]
+        self._param_cache = (self.stats.retrains, payload)
+        return payload
+
+    def _vectorized_bounded_search(
+        self, seg_keys: np.ndarray, lk: np.ndarray, pred_f: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_bounded_search`; returns (positions, windows).
+
+        Counter updates are left to the caller (windows carry the widths).
+        """
+        n_k = seg_keys.size
+        eps = self._epsilon
+        pred = np.clip(np.trunc(pred_f), -(2.0**62), 2.0**62).astype(np.int64)
+        lo = np.maximum(0, np.minimum(n_k, pred - eps))
+        hi = np.maximum(lo, np.minimum(n_k, pred + eps + 2))
+        window = np.maximum(1, hi - lo)
+        if n_k:
+            widen_lo = (lo >= n_k) | (seg_keys[np.minimum(lo, n_k - 1)] > lk)
+            lo = np.where(widen_lo, 0, lo)
+            widen_hi = (hi <= 0) | (seg_keys[np.maximum(hi - 1, 0)] < lk)
+            hi = np.where(widen_hi, n_k, hi)
+        pos = np.clip(np.searchsorted(seg_keys, lk), lo, hi)
+        return pos, window
+
+    def bulk_lookup(self, keys) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Vectorized :meth:`get` over found keys; stats match exactly.
+
+        The level descent runs breadth-wise: every key advances one level
+        per pass, with segment params gathered from per-retrain caches.
+        """
+        if self._tombstones:
+            return None
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        m = keys.size
+        d = len(self._delta_keys)
+        d_bits = max(1, d.bit_length())
+        comps = np.full(m, d_bits, dtype=np.int64)
+        na = np.zeros(m, dtype=np.int64)
+        me = np.zeros(m, dtype=np.int64)
+        last_window = None
+        if d:
+            darr = np.asarray(self._delta_keys, dtype=np.float64)
+            dpos = np.searchsorted(darr, keys)
+            delta_hit = (dpos < d) & (darr[np.minimum(dpos, d - 1)] == keys)
+        else:
+            delta_hit = np.zeros(m, dtype=bool)
+        learned = ~delta_hit
+        if m and learned.any():
+            n = len(self._keys)
+            if n == 0 or not self._levels:
+                return None
+            params = self._level_params()
+            lk = keys[learned]
+            lcomps = np.zeros(lk.size, dtype=np.int64)
+            depths = len(self._levels)
+            seg_idx = np.zeros(lk.size, dtype=np.int64)
+            for depth in range(depths - 1, 0, -1):
+                key0, pos0, slope = params[depth]
+                si = np.minimum(seg_idx, len(self._levels[depth]) - 1)
+                pred_f = slope[si] * (lk - key0[si]) + pos0[si]
+                if not np.isfinite(pred_f).all():
+                    return None
+                seg_keys = self._level_keys[depth - 1]
+                pos, window = self._vectorized_bounded_search(seg_keys, lk, pred_f)
+                lcomps += np.frexp(window.astype(np.float64))[1].astype(np.int64)
+                n_k = seg_keys.size
+                hit = (pos < n_k) & (seg_keys[np.minimum(pos, n_k - 1)] == lk)
+                seg_idx = np.where(hit, pos, np.maximum(0, pos - 1))
+                seg_idx = np.minimum(seg_idx, len(self._levels[depth - 1]) - 1)
+            key0, pos0, slope = params[0]
+            si = np.minimum(seg_idx, len(self._levels[0]) - 1)
+            pred_f = slope[si] * (lk - key0[si]) + pos0[si]
+            if not np.isfinite(pred_f).all():
+                return None
+            idx, window = self._vectorized_bounded_search(self._keys, lk, pred_f)
+            lcomps += np.frexp(window.astype(np.float64))[1].astype(np.int64)
+            found = (idx < n) & (self._keys[np.minimum(idx, n - 1)] == lk)
+            if not found.all():
+                return None
+            comps[learned] += lcomps
+            na[learned] += depths
+            me[learned] += depths
+            last_window = int(window[-1])
+        self.stats.lookups += m
+        self.stats.comparisons += int(comps.sum())
+        self.stats.node_accesses += int(na.sum())
+        self.stats.model_evaluations += int(me.sum())
+        if last_window is not None:
+            self.stats.last_search_window = last_window
+        return comps, na, me
 
     # -- mutation ---------------------------------------------------------------
 

@@ -53,6 +53,8 @@ class RecursiveModelIndex(OrderedIndex):
         # Optional workload-aware routing: leaf boundary keys derived
         # from access-sample quantiles (hot regions get more leaves).
         self._boundaries: Optional[np.ndarray] = None
+        # (retrains, gathered per-leaf params) for bulk lookups.
+        self._param_cache: Optional[Tuple[int, tuple]] = None
 
     # -- training ---------------------------------------------------------------
 
@@ -262,6 +264,102 @@ class RecursiveModelIndex(OrderedIndex):
         if idx is None:
             raise KeyNotFoundError(key)
         return self._values[idx]
+
+    def _leaf_params(self) -> Optional[tuple]:
+        """Gathered per-leaf model params, cached per retrain generation."""
+        if self._param_cache is not None and self._param_cache[0] == self.stats.retrains:
+            return self._param_cache[1]
+        if not self._leaves:
+            return None
+        payload = (
+            np.asarray([mdl.slope for mdl in self._leaves], dtype=np.float64),
+            np.asarray([mdl.intercept for mdl in self._leaves], dtype=np.float64),
+            np.asarray([e[0] for e in self._errors], dtype=np.int64),
+            np.asarray([e[1] for e in self._errors], dtype=np.int64),
+        )
+        self._param_cache = (self.stats.retrains, payload)
+        return payload
+
+    def bulk_lookup(self, keys) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Vectorized :meth:`get` over found keys; stats match exactly.
+
+        Routing, truncation, window clamping, and the bounded search all
+        mirror the scalar expressions (``lo + searchsorted(keys[lo:hi], k)``
+        equals ``clip(searchsorted(keys, k), lo, hi)`` on a sorted array),
+        so per-key comparison / node-access / model-evaluation counts are
+        the ones the equivalent ``get`` sequence would have produced.
+        """
+        if self._tombstones:
+            return None
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        m = keys.size
+        d = len(self._delta_keys)
+        d_bits = max(1, d.bit_length())
+        comps = np.full(m, d_bits, dtype=np.int64)
+        na = np.zeros(m, dtype=np.int64)
+        me = np.zeros(m, dtype=np.int64)
+        if d:
+            darr = np.asarray(self._delta_keys, dtype=np.float64)
+            dpos = np.searchsorted(darr, keys)
+            delta_hit = (dpos < d) & (darr[np.minimum(dpos, d - 1)] == keys)
+        else:
+            delta_hit = np.zeros(m, dtype=bool)
+        learned = ~delta_hit
+        last_window = None
+        if m and learned.any():
+            n = len(self._keys)
+            if n == 0 or not self._leaves:
+                return None
+            params = self._leaf_params()
+            if params is None:
+                return None
+            slopes, intercepts, err_lo, err_hi = params
+            lk = keys[learned]
+            if self._boundaries is not None:
+                leaf = np.searchsorted(
+                    self._boundaries, lk, side="right"
+                ).astype(np.int64)
+            else:
+                assert self._root is not None
+                raw = self._root.slope * lk + self._root.intercept
+                if not np.isfinite(raw).all():
+                    return None
+                leaf = np.clip(np.trunc(raw), 0, self._fanout - 1).astype(np.int64)
+            pred_f = np.trunc(slopes[leaf] * lk + intercepts[leaf])
+            if not np.isfinite(pred_f).all():
+                return None
+            pred = np.clip(pred_f, -(2.0**62), 2.0**62).astype(np.int64)
+            lo = np.maximum(0, pred - err_hi[leaf])
+            hi = np.minimum(n, pred + err_lo[leaf] + 1)
+            bad = lo >= hi
+            if bad.any():
+                lo = np.where(bad, np.maximum(0, np.minimum(lo, n - 1)), lo)
+                hi = np.where(bad, np.minimum(n, np.maximum(hi, 1)), hi)
+            window = hi - lo  # always >= 1 after the clamp
+            lcomps = np.frexp(window.astype(np.float64))[1].astype(np.int64)
+            lna = (window + 255) // 256
+            ss = np.searchsorted(self._keys, lk)
+            idx = np.clip(ss, lo, hi)
+            found = (idx < n) & (self._keys[np.minimum(idx, n - 1)] == lk)
+            fail = ~found
+            if fail.any():
+                # Replicate the scalar full-binary-search fallback.
+                lcomps[fail] += max(1, n.bit_length())
+                ss_f = ss[fail]
+                found2 = (ss_f < n) & (self._keys[np.minimum(ss_f, n - 1)] == lk[fail])
+                if not found2.all():
+                    return None
+            comps[learned] += lcomps
+            na[learned] += lna
+            me[learned] += 2
+            last_window = int(window[-1])
+        self.stats.lookups += m
+        self.stats.comparisons += int(comps.sum())
+        self.stats.node_accesses += int(na.sum())
+        self.stats.model_evaluations += int(me.sum())
+        if last_window is not None:
+            self.stats.last_search_window = last_window
+        return comps, na, me
 
     # -- mutation -------------------------------------------------------------------
 

@@ -9,7 +9,9 @@ so this structure anchors the cost-model calibration.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import KeyNotFoundError
 from repro.indexes.base import OrderedIndex
@@ -22,6 +24,7 @@ class SortedArrayIndex(OrderedIndex):
         super().__init__()
         self._keys: List[float] = []
         self._values: List[Any] = []
+        self._bulk_cache: Optional[np.ndarray] = None
 
     def _locate(self, key: float) -> int:
         """Return the insertion point for ``key``, counting comparisons."""
@@ -43,6 +46,39 @@ class SortedArrayIndex(OrderedIndex):
             return self._values[pos]
         raise KeyNotFoundError(key)
 
+    def bulk_lookup(self, keys) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Vectorized masked binary search replicating :meth:`_locate`.
+
+        The lockstep search takes the same branch per key per round as
+        the scalar loop, so per-key comparison counts match exactly.
+        """
+        n = len(self._keys)
+        if n == 0:
+            return None
+        if self._bulk_cache is None:
+            self._bulk_cache = np.asarray(self._keys, dtype=np.float64)
+        arr = self._bulk_cache
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        m = keys.size
+        lo = np.zeros(m, dtype=np.int64)
+        hi = np.full(m, n, dtype=np.int64)
+        comps = np.zeros(m, dtype=np.int64)
+        active = lo < hi
+        while active.any():
+            mid = (lo + hi) // 2
+            comps[active] += 1
+            go_right = np.zeros(m, dtype=bool)
+            go_right[active] = arr[mid[active]] < keys[active]
+            lo = np.where(active & go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+            active = lo < hi
+        if not (arr[np.minimum(lo, n - 1)] == keys).all() or bool((lo >= n).any()):
+            return None
+        self.stats.lookups += m
+        self.stats.node_accesses += m
+        self.stats.comparisons += int(comps.sum())
+        return comps, np.ones(m, dtype=np.int64), np.zeros(m, dtype=np.int64)
+
     def insert(self, key: float, value: Any) -> None:
         pos = self._locate(key)
         if pos < len(self._keys) and self._keys[pos] == key:
@@ -50,6 +86,7 @@ class SortedArrayIndex(OrderedIndex):
         else:
             self._keys.insert(pos, key)
             self._values.insert(pos, value)
+            self._bulk_cache = None
         self.stats.inserts += 1
         self.stats.node_accesses += 1
 
@@ -59,6 +96,7 @@ class SortedArrayIndex(OrderedIndex):
             raise KeyNotFoundError(key)
         del self._keys[pos]
         del self._values[pos]
+        self._bulk_cache = None
         self.stats.deletes += 1
 
     def range(self, low: float, high: float) -> List[Tuple[float, Any]]:
@@ -76,6 +114,7 @@ class SortedArrayIndex(OrderedIndex):
         ordered = sorted(pairs, key=lambda kv: kv[0])
         self._keys = []
         self._values = []
+        self._bulk_cache = None
         for key, value in ordered:
             if self._keys and self._keys[-1] == key:
                 self._values[-1] = value  # last value wins

@@ -85,6 +85,35 @@ class DriftDetector:
             return DriftVerdict.DRIFTED
         return DriftVerdict.STABLE
 
+    def observe_many(self, keys) -> bool:
+        """Feed many keys at once; return whether any check saw drift.
+
+        Chunk-fills the current window to capacity and runs the same
+        reference-adoption / KS-check logic as :meth:`observe`, so the
+        sequence of checks (and the ``checks`` / ``drifts_detected``
+        counters) is identical to feeding the keys one at a time.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        drifted = False
+        i = 0
+        n = keys.size
+        while i < n:
+            take = min(self.window - len(self._current), n - i)
+            self._current.extend(keys[i : i + take].tolist())
+            i += take
+            if len(self._current) >= self.window:
+                if self._reference is None:
+                    self._reference = np.sort(np.asarray(self._current))
+                    self._current.clear()
+                else:
+                    ks = self._ks(self._reference, np.sort(np.asarray(self._current)))
+                    self._current.clear()
+                    self._checks += 1
+                    if ks > self.threshold:
+                        self._drifts += 1
+                        drifted = True
+        return drifted
+
     def last_window(self) -> np.ndarray:
         """A copy of the in-progress current window."""
         return np.asarray(self._current)

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.queueing import fifo_single_server
 from repro.core.results import ColumnarRecorder, RunResult
 from repro.core.sut import TrainingSummary
 from repro.engine.catalog import Catalog
@@ -85,9 +86,29 @@ class AnalyticWorkload:
     def next_query(self, t: float) -> AnalyticQuery:
         """Generate the query arriving at virtual time ``t``."""
         theta = float(self.threshold_drift.at(t).sample(self._rng, 1)[0])
+        use_join = bool(self._rng.uniform() < self.join_fraction)
+        return self._build(t, theta, use_join)
+
+    def next_batch(self, times: np.ndarray) -> List[AnalyticQuery]:
+        """Generate the queries arriving at ``times`` in one pass.
+
+        Thresholds are drawn in bulk from the drift model, then the
+        template coin flips — so the per-query random streams differ from
+        repeated :meth:`next_query` calls, but the batch is deterministic
+        at a fixed seed and statistically identical.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        thetas = self.threshold_drift.sample_at(self._rng, times)
+        joins = self._rng.uniform(0.0, 1.0, times.size) < self.join_fraction
+        return [
+            self._build(float(t), float(theta), bool(use_join))
+            for t, theta, use_join in zip(times, thetas, joins)
+        ]
+
+    def _build(self, t: float, theta: float, use_join: bool) -> AnalyticQuery:
         predicate = col("amount").between(theta, theta + self.window)
         filtered = Filter(Scan("orders"), predicate)
-        if self._rng.uniform() < self.join_fraction:
+        if use_join:
             joined = Join(filtered, Scan("customers"), "cid", "cid")
             plan: LogicalPlan = Aggregate(joined, "count")
             kind = "join"
@@ -112,6 +133,24 @@ class AnalyticSUT:
     def execute(self, query: AnalyticQuery, now: float) -> float:
         """Optimize + execute; return virtual service time."""
         raise NotImplementedError
+
+    def execute_batch(
+        self, queries: List[AnalyticQuery], arrivals: np.ndarray
+    ) -> np.ndarray:
+        """Execute a batch of queries; returns per-query service times.
+
+        The default loops over :meth:`execute` with each query's arrival
+        time as ``now`` — plan optimization and execution are inherently
+        per-plan, so the batched driver's win comes from queueing and
+        recording, not from this hook.
+        """
+        return np.asarray(
+            [
+                self.execute(q, float(t))
+                for q, t in zip(queries, np.asarray(arrivals, dtype=np.float64))
+            ],
+            dtype=np.float64,
+        )
 
     def describe(self) -> dict:
         """JSON-friendly description."""
@@ -238,10 +277,18 @@ class AnalyticDriver:
 
     Segments are ``(label, workload, duration, rate)`` tuples executed
     back to back.
+
+    Args:
+        seed: Arrival-process seed.
+        use_batching: Serve each segment as one batch (``execute_batch``
+            + vectorized FIFO + block append). ``False`` keeps the
+            scalar reference loop; both consume the same query batch, so
+            results are bit-identical at a fixed seed.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, use_batching: bool = True) -> None:
         self.seed = seed
+        self.use_batching = use_batching
 
     def run(
         self,
@@ -273,20 +320,38 @@ class AnalyticDriver:
             arrivals = np.sort(rng.uniform(seg_start, seg_start + duration, count))
             recorder.reserve(arrivals.size)
             segment_code = recorder.intern_segment(label)
-            for arrival in arrivals:
-                arrival = float(arrival)
-                query = workload.next_query(arrival)
-                start = max(arrival, server_free)
-                service = max(1e-9, sut.execute(query, start))
-                completion = start + service
-                server_free = completion
-                recorder.append(
-                    arrival,
-                    start,
-                    completion,
-                    recorder.intern_op(query.kind),
-                    segment_code,
+            queries = workload.next_batch(arrivals)
+            if self.use_batching:
+                services = np.maximum(
+                    1e-9,
+                    np.asarray(
+                        sut.execute_batch(queries, arrivals), dtype=np.float64
+                    ),
                 )
+                starts, completions, server_free = fifo_single_server(
+                    arrivals, services, server_free
+                )
+                op_codes = np.asarray(
+                    [recorder.intern_op(q.kind) for q in queries],
+                    dtype=np.int32,
+                )
+                recorder.append_block(
+                    arrivals, starts, completions, op_codes, segment_code
+                )
+            else:
+                for i, query in enumerate(queries):
+                    arrival = float(arrivals[i])
+                    start = max(arrival, server_free)
+                    service = max(1e-9, sut.execute(query, arrival))
+                    completion = start + service
+                    server_free = completion
+                    recorder.append(
+                        arrival,
+                        start,
+                        completion,
+                        recorder.intern_op(query.kind),
+                        segment_code,
+                    )
             boundaries.append((label, seg_start, seg_start + duration))
             seg_start += duration
         return RunResult(

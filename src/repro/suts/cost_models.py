@@ -96,6 +96,32 @@ class KVCostModel:
         level = min(max(0, tuning_level), len(self.tuning_speedups) - 1)
         return raw / self.tuning_speedups[level]
 
+    def service_time_arrays(
+        self,
+        comparisons,
+        node_accesses,
+        model_evaluations,
+        writes=0,
+        scanned_items=0,
+        tuning_level: int = 0,
+    ):
+        """Vectorized :meth:`service_time` over per-query counter arrays.
+
+        The arithmetic expression and evaluation order match the scalar
+        method exactly (integer counts × float constants are exact in
+        float64 below 2**53), so results are bit-identical per element.
+        """
+        raw = (
+            self.base_overhead_s
+            + node_accesses * self.node_access_s
+            + comparisons * self.comparison_s
+            + model_evaluations * self.model_eval_s
+            + writes * self.insert_extra_s
+            + scanned_items * self.scan_per_item_s
+        )
+        level = min(max(0, tuning_level), len(self.tuning_speedups) - 1)
+        return raw / self.tuning_speedups[level]
+
     def full_retrain_seconds(self, n_keys: int) -> float:
         """Nominal CPU-seconds to fully rebuild models over ``n_keys``."""
         return max(0.0, n_keys) * self.train_per_key_s

@@ -13,10 +13,14 @@ from __future__ import annotations
 import bisect
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.sut import SystemUnderTest
 from repro.indexes.base import OrderedIndex
 from repro.suts.cost_models import KVCostModel
-from repro.workloads.generators import KVOperation, KVQuery
+from repro.workloads.generators import KV_OP_CODES, KVOperation, KVQuery, QueryBatch
+
+_READ_CODE = KV_OP_CODES[KVOperation.READ]
 
 
 class KVStoreBase(SystemUnderTest):
@@ -42,21 +46,25 @@ class KVStoreBase(SystemUnderTest):
         self.cost_model = cost_model or KVCostModel()
         self.tuning_level = tuning_level
         self._mirror: List[float] = []
+        self._mirror_arr: Optional[np.ndarray] = None
 
     # -- lifecycle --------------------------------------------------------------
 
     def setup(self, pairs: List[Tuple[float, object]]) -> None:
         self.index.bulk_load(pairs)
         self._mirror = sorted(k for k, _ in pairs)
+        self._mirror_arr = None
 
     def inject(self, pairs: List[Tuple[float, object]]) -> None:
         """Bulk data injection: loads the index, skips the clock."""
         for key, value in pairs:
             self.index.insert(key, value)
             bisect.insort(self._mirror, key)
+        self._mirror_arr = None
 
     def teardown(self) -> None:
         self._mirror = []
+        self._mirror_arr = None
 
     # -- key snapping --------------------------------------------------------------
 
@@ -71,6 +79,19 @@ class KVStoreBase(SystemUnderTest):
             return self._mirror[0]
         before, after = self._mirror[pos - 1], self._mirror[pos]
         return before if key - before <= after - key else after
+
+    def _snap_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_snap` (caller guarantees a non-empty store)."""
+        if self._mirror_arr is None:
+            self._mirror_arr = np.asarray(self._mirror, dtype=np.float64)
+        arr = self._mirror_arr
+        n = arr.size
+        pos = np.searchsorted(arr, keys, side="left")
+        before = arr[np.clip(pos - 1, 0, n - 1)]
+        after = arr[np.clip(pos, 0, n - 1)]
+        snapped = np.where(keys - before <= after - keys, before, after)
+        snapped = np.where(pos >= n, arr[-1], snapped)
+        return np.where(pos == 0, arr[0], snapped)
 
     def _scan_bounds(self, key: float, length: int) -> Tuple[float, float]:
         """Start/end stored keys covering ``length`` items from ``key``."""
@@ -98,6 +119,7 @@ class KVStoreBase(SystemUnderTest):
         elif query.op == KVOperation.INSERT:
             self.index.insert(query.key, now)
             bisect.insort(self._mirror, query.key)
+            self._mirror_arr = None
             writes = 1
         elif query.op == KVOperation.SCAN:
             if self._mirror:
@@ -120,6 +142,68 @@ class KVStoreBase(SystemUnderTest):
 
     def _after_execute(self, query: KVQuery, now: float) -> None:
         """Hook for subclasses (drift observation etc.). Default: none."""
+
+    def execute_batch(self, batch: QueryBatch, now: float) -> np.ndarray:
+        """Vectorized execution: bulk read runs, scalar write barriers.
+
+        Consecutive READ queries form runs served by the index's
+        ``bulk_lookup`` kernel; every other operation (and any run the
+        index declines to serve in bulk) goes through the scalar
+        :meth:`execute` path, so results match the per-query loop exactly.
+        """
+        n = len(batch)
+        services = np.empty(n, dtype=np.float64)
+        barriers = np.flatnonzero(batch.ops != _READ_CODE)
+        pos = 0
+        bi = 0
+        while pos < n:
+            next_barrier = int(barriers[bi]) if bi < barriers.size else n
+            if next_barrier > pos:
+                self._execute_read_run(batch, pos, next_barrier, services)
+                pos = next_barrier
+            if pos < n:
+                services[pos] = self.execute(
+                    batch.query(pos), float(batch.arrivals[pos])
+                )
+                pos += 1
+                bi += 1
+        return services
+
+    def _execute_read_run(
+        self, batch: QueryBatch, a: int, b: int, services: np.ndarray
+    ) -> None:
+        """Serve READ queries ``[a, b)`` in bulk (scalar fallback on miss)."""
+        if not self._mirror:
+            # Empty store: every read is a snap-miss costing base overhead.
+            services[a:b] = self.cost_model.service_time_arrays(
+                0, 0, 0, tuning_level=self.tuning_level
+            )
+            self._after_execute_slice(batch, a, b)
+            return
+        snapped = self._snap_batch(batch.keys[a:b])
+        res = self.index.bulk_lookup(snapped)
+        if res is None:
+            for i in range(a, b):
+                services[i] = self.execute(batch.query(i), float(batch.arrivals[i]))
+            return
+        comps, na, me = res
+        services[a:b] = self.cost_model.service_time_arrays(
+            comps, na, me, tuning_level=self.tuning_level
+        )
+        self._after_execute_slice(batch, a, b)
+
+    def _after_execute_slice(self, batch: QueryBatch, a: int, b: int) -> None:
+        """Fire :meth:`_after_execute` for queries ``[a, b)``, in order.
+
+        Deferring the hook to the end of a read run is exact because the
+        hooks cannot change intra-run lookup costs and the driver never
+        lets a run cross an ``on_tick`` boundary. Subclasses with a
+        vectorized observer override this.
+        """
+        if type(self)._after_execute is KVStoreBase._after_execute:
+            return
+        for i in range(a, b):
+            self._after_execute(batch.query(i), float(batch.arrivals[i]))
 
     # -- introspection --------------------------------------------------------------
 

@@ -150,6 +150,22 @@ class LearnedKVStore(KVStoreBase):
         if self.rmi.delta_size > self.delta_threshold:
             self._retrain_requested = True
 
+    def _after_execute_slice(self, batch, a: int, b: int) -> None:
+        """Vectorized observer: same end state as per-query hooks.
+
+        ``_retrain_requested`` is sticky and only read at ``on_tick``, and
+        the delta buffer cannot change during a read run, so batching the
+        detector feed is exact.
+        """
+        keys = batch.keys[a:b]
+        self._recent_accesses.extend(keys.tolist())
+        if not self.adapt:
+            return
+        if self._detector.observe_many(keys):
+            self._retrain_requested = True
+        if self.rmi.delta_size > self.delta_threshold:
+            self._retrain_requested = True
+
     def on_tick(self, now: float) -> Optional[float]:
         """Perform a pending online retrain (charging nominal time)."""
         if not self.adapt or not self._retrain_requested:

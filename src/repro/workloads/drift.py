@@ -13,6 +13,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.workloads.distributions import (
     Distribution,
@@ -29,6 +31,28 @@ class DriftModel(ABC):
     def at(self, t: float) -> Distribution:
         """Return the distribution in effect at virtual time ``t``."""
 
+    def sample_at(self, rng: np.random.Generator, times: np.ndarray) -> np.ndarray:
+        """Draw one key per entry of ``times`` from the drift.
+
+        The base implementation groups *consecutive* times that resolve to
+        the same :meth:`at` object and bulk-samples each run — one RNG call
+        per run instead of one per query. Models whose ``at`` builds a
+        fresh distribution per call override this with a fully vectorized
+        equivalent.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        n = times.size
+        out = np.empty(n, dtype=np.float64)
+        i = 0
+        while i < n:
+            dist = self.at(float(times[i]))
+            j = i + 1
+            while j < n and self.at(float(times[j])) is dist:
+                j += 1
+            out[i:j] = dist.sample(rng, j - i)
+            i = j
+        return out
+
     def describe(self) -> dict:
         """JSON-friendly description of the drift model."""
         return {"kind": type(self).__name__}
@@ -42,6 +66,9 @@ class NoDrift(DriftModel):
 
     def at(self, t: float) -> Distribution:
         return self.distribution
+
+    def sample_at(self, rng: np.random.Generator, times: np.ndarray) -> np.ndarray:
+        return self.distribution.sample(rng, np.asarray(times).size)
 
     def describe(self) -> dict:
         return {"kind": "NoDrift", "distribution": self.distribution.describe()}
@@ -74,6 +101,17 @@ class AbruptDrift(DriftModel):
             else:
                 break
         return self.distributions[idx]
+
+    def sample_at(self, rng: np.random.Generator, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        idx = np.searchsorted(np.asarray(self.change_times), times, side="right")
+        out = np.empty(times.size, dtype=np.float64)
+        cuts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(idx)) + 1, [times.size]]
+        )
+        for a, b in zip(cuts[:-1], cuts[1:]):
+            out[a:b] = self.distributions[int(idx[a])].sample(rng, int(b - a))
+        return out
 
     def describe(self) -> dict:
         return {
@@ -122,6 +160,25 @@ class GradualDrift(DriftModel):
             return self.after
         return MixtureDistribution([self.before, self.after], [1.0 - frac, frac])
 
+    def sample_at(self, rng: np.random.Generator, times: np.ndarray) -> np.ndarray:
+        """Vectorized ramp sampling: one component draw per query.
+
+        Statistically equivalent to sampling ``at(t)`` per query: each
+        query picks the 'after' component with probability
+        ``mix_fraction(t)`` and the chosen components are bulk-sampled.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        n = times.size
+        frac = np.clip((times - self.start) / self.duration, 0.0, 1.0)
+        take_after = rng.uniform(0.0, 1.0, n) < frac
+        out = np.empty(n, dtype=np.float64)
+        n_after = int(take_after.sum())
+        if n_after < n:
+            out[~take_after] = self.before.sample(rng, n - n_after)
+        if n_after:
+            out[take_after] = self.after.sample(rng, n_after)
+        return out
+
     def describe(self) -> dict:
         return {
             "kind": "GradualDrift",
@@ -166,6 +223,28 @@ class RotatingHotspotDrift(DriftModel):
             hot_width=self.hot_width,
             hot_fraction=self.hot_fraction,
         )
+
+    def sample_at(self, rng: np.random.Generator, times: np.ndarray) -> np.ndarray:
+        """Vectorized rotation: per-query hot bounds, bulk uniforms.
+
+        Mirrors :meth:`HotspotDistribution.sample` with a per-query hot
+        range computed from each query's phase.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        n = times.size
+        span = self.high - self.low
+        phase = (times % self.period) / self.period
+        hot_start = self.low + phase * span
+        width = min(self.hot_width, span)
+        start = self.low + (hot_start - self.low) % span
+        end = np.minimum(start + width, self.high)
+        hot = rng.uniform(0.0, 1.0, n) < self.hot_fraction
+        out = rng.uniform(self.low, self.high, n)
+        n_hot = int(hot.sum())
+        if n_hot:
+            u = rng.uniform(0.0, 1.0, n_hot)
+            out[hot] = start[hot] + u * (end[hot] - start[hot])
+        return out
 
     def describe(self) -> dict:
         return {

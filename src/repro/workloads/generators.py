@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,13 @@ class KVOperation(enum.Enum):
     READ_MODIFY_WRITE = "rmw"
 
 
+#: Fixed operation order defining the integer codes used by
+#: :class:`QueryBatch` (``ops[i]`` indexes into this tuple).
+KV_OPERATIONS: Tuple[KVOperation, ...] = tuple(KVOperation)
+#: Operation → batch code (inverse of :data:`KV_OPERATIONS`).
+KV_OP_CODES: Dict[KVOperation, int] = {op: i for i, op in enumerate(KV_OPERATIONS)}
+
+
 @dataclass(frozen=True)
 class KVQuery:
     """One key-value query instance.
@@ -54,6 +61,67 @@ class KVQuery:
     arrival_time: float = 0.0
 
 
+@dataclass
+class QueryBatch:
+    """Struct-of-arrays query stream: one row per query, arrival order.
+
+    The batched pipeline's unit of exchange: the generator fills it in one
+    vectorized pass, the driver slices it at tick/training boundaries, and
+    SUTs consume whole slices through ``execute_batch``.
+
+    Attributes:
+        ops: int8 codes into :data:`KV_OPERATIONS`.
+        keys: float64 target keys (scan start keys for scans).
+        scan_lengths: int64 scan lengths (0 for non-scans).
+        arrivals: float64 virtual arrival timestamps, ascending.
+    """
+
+    ops: np.ndarray
+    keys: np.ndarray
+    scan_lengths: np.ndarray
+    arrivals: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.arrivals.size)
+
+    @property
+    def size(self) -> int:
+        """Number of queries in the batch."""
+        return int(self.arrivals.size)
+
+    def query(self, i: int) -> KVQuery:
+        """Materialize row ``i`` as a :class:`KVQuery` (compat view)."""
+        return KVQuery(
+            op=KV_OPERATIONS[int(self.ops[i])],
+            key=float(self.keys[i]),
+            scan_length=int(self.scan_lengths[i]),
+            arrival_time=float(self.arrivals[i]),
+        )
+
+    def iter_queries(self) -> Iterator[KVQuery]:
+        """Materialize every row as a :class:`KVQuery`, in order."""
+        ops = self.ops.tolist()
+        keys = self.keys.tolist()
+        lengths = self.scan_lengths.tolist()
+        arrivals = self.arrivals.tolist()
+        for op, key, length, arrival in zip(ops, keys, lengths, arrivals):
+            yield KVQuery(
+                op=KV_OPERATIONS[op],
+                key=key,
+                scan_length=length,
+                arrival_time=arrival,
+            )
+
+    def slice(self, a: int, b: int) -> "QueryBatch":
+        """Zero-copy view of rows ``[a, b)``."""
+        return QueryBatch(
+            ops=self.ops[a:b],
+            keys=self.keys[a:b],
+            scan_lengths=self.scan_lengths[a:b],
+            arrivals=self.arrivals[a:b],
+        )
+
+
 class OperationMix:
     """Proportions of each operation type, normalized to sum to 1."""
 
@@ -66,6 +134,9 @@ class OperationMix:
         self._ops = list(proportions.keys())
         self._probs = np.asarray(
             [proportions[op] / total for op in self._ops], dtype=np.float64
+        )
+        self._codes = np.asarray(
+            [KV_OP_CODES[op] for op in self._ops], dtype=np.int8
         )
 
     @classmethod
@@ -87,6 +158,11 @@ class OperationMix:
     def sample(self, rng: np.random.Generator) -> KVOperation:
         """Draw one operation type."""
         return self._ops[int(rng.choice(len(self._ops), p=self._probs))]
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` operation codes (see :data:`KV_OPERATIONS`) at once."""
+        idx = rng.choice(len(self._ops), size=n, p=self._probs)
+        return self._codes[idx]
 
     def proportions(self) -> Dict[KVOperation, float]:
         """Return a copy of the normalized proportions."""
@@ -113,6 +189,7 @@ class MixSchedule:
         if starts != sorted(starts):
             raise ConfigurationError("mix schedule start times must ascend")
         self._segments = [(float(s), m) for s, m in segments]
+        self._starts = np.asarray([s for s, _ in self._segments], dtype=np.float64)
 
     def at(self, t: float) -> OperationMix:
         """The operation mix in effect at time ``t``."""
@@ -123,6 +200,15 @@ class MixSchedule:
             else:
                 break
         return active
+
+    def indices_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`at`: index of the active mix per timestamp."""
+        idx = np.searchsorted(self._starts, times, side="right") - 1
+        return np.clip(idx, 0, len(self._segments) - 1)
+
+    def mix_for_index(self, i: int) -> OperationMix:
+        """The mix at schedule position ``i`` (see :meth:`indices_at`)."""
+        return self._segments[i][1]
 
     def describe(self) -> dict:
         """JSON-friendly description."""
@@ -209,6 +295,7 @@ class KVWorkload:
         self, spec: WorkloadSpec, seed: int = 0, insert_key_counter: float = 0.0
     ) -> None:
         self.spec = spec
+        self._seed = int(seed)
         self._rng = np.random.default_rng(seed)
         self._insert_counter = float(insert_key_counter)
 
@@ -236,21 +323,75 @@ class KVWorkload:
             scan_length = int(self._rng.integers(1, 2 * mean + 1))
         return KVQuery(op=op, key=key, scan_length=scan_length, arrival_time=t)
 
+    def next_batch(self, times: np.ndarray) -> QueryBatch:
+        """Generate the queries arriving at ``times`` in one vectorized pass.
+
+        Struct-of-arrays counterpart to calling :meth:`next_query` per
+        arrival. The RNG consumption order is fixed and documented so the
+        stream at a given seed is stable: (1) operation codes, drawn in
+        bulk per active-mix run; (2) keys, drawn via the drift model's
+        bulk sampler; (3) insert-counter key offsets; (4) scan lengths,
+        drawn in bulk for all scans.
+        """
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        n = times.size
+        ops = np.empty(n, dtype=np.int8)
+        if n:
+            if self.spec.mix_schedule is not None:
+                idx = self.spec.mix_schedule.indices_at(times)
+                cuts = np.concatenate(
+                    [[0], np.flatnonzero(np.diff(idx)) + 1, [n]]
+                )
+                for a, b in zip(cuts[:-1], cuts[1:]):
+                    mix = self.spec.mix_schedule.mix_for_index(int(idx[a]))
+                    ops[a:b] = mix.sample_array(self._rng, int(b - a))
+            else:
+                ops[:] = self.spec.mix.sample_array(self._rng, n)
+        keys = (
+            self.spec.key_drift.sample_at(self._rng, times)
+            if n
+            else np.empty(0, dtype=np.float64)
+        )
+        keys = np.asarray(keys, dtype=np.float64)
+        insert_mask = ops == KV_OP_CODES[KVOperation.INSERT]
+        m = int(insert_mask.sum())
+        if m:
+            counters = self._insert_counter + np.arange(1, m + 1, dtype=np.float64)
+            keys[insert_mask] += counters * 1e-9
+            self._insert_counter += float(m)
+        scan_lengths = np.zeros(n, dtype=np.int64)
+        scan_mask = ops == KV_OP_CODES[KVOperation.SCAN]
+        m_sc = int(scan_mask.sum())
+        if m_sc:
+            mean = max(1, self.spec.scan_length_mean)
+            scan_lengths[scan_mask] = self._rng.integers(1, 2 * mean + 1, m_sc)
+        return QueryBatch(
+            ops=ops, keys=keys, scan_lengths=scan_lengths, arrivals=times
+        )
+
     def generate(
         self, start: float, end: float, jitter: bool = True
     ) -> Sequence[KVQuery]:
         """Generate the full query stream for ``[start, end)``."""
         times = self.spec.arrivals.arrivals(self._rng, start, end, jitter=jitter)
-        return [self.next_query(float(t)) for t in times]
+        return list(self.next_batch(np.asarray(times)).iter_queries())
 
     def sample_keys(self, t: float, n: int) -> np.ndarray:
         """Sample ``n`` access keys from the distribution active at ``t``.
 
         Used by similarity estimation and drift detection without
-        disturbing the query stream's own generator state.
+        disturbing the query stream's own generator state. The probe RNG
+        is seeded from a :class:`numpy.random.SeedSequence` that mixes the
+        workload seed with the exact bit pattern of ``t``, so probes at
+        sub-millisecond-spaced (or negative) times stay distinct while
+        remaining reproducible.
         """
         dist = self.spec.key_drift.at(t)
-        probe_rng = np.random.default_rng(int(t * 1000) % (2**31))
+        probe_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self._seed & 0xFFFFFFFFFFFFFFFF, int(np.float64(t).view(np.uint64))]
+            )
+        )
         return dist.sample(probe_rng, n)
 
 

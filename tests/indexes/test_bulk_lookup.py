@@ -1,0 +1,131 @@
+"""``bulk_lookup`` must count exactly what per-key ``get`` counts.
+
+The batched SUT path swaps a loop of scalar ``get`` calls for one
+``bulk_lookup``; its contract is *stat equality*, not just value
+equality — the per-key comparison / node-access / model-evaluation
+tuples feed the cost model, so any drift changes measured service
+times. Each test builds twin instances of an index, runs one through
+scalar gets (diffing stats around each call) and the other through
+``bulk_lookup``, and demands identical per-key tuples and totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.indexes.alex import AdaptiveLearnedIndex
+from repro.indexes.btree import BPlusTree
+from repro.indexes.pgm import PGMIndex
+from repro.indexes.rmi import RecursiveModelIndex
+from repro.indexes.sorted_array import SortedArrayIndex
+
+FACTORIES = {
+    "sorted_array": lambda: SortedArrayIndex(),
+    "btree": lambda: BPlusTree(),
+    "rmi": lambda: RecursiveModelIndex(fanout=16),
+    "pgm": lambda: PGMIndex(epsilon=8),
+    "alex": lambda: AdaptiveLearnedIndex(),
+}
+
+
+def _loaded(factory, keys):
+    index = factory()
+    index.bulk_load([(float(k), i) for i, k in enumerate(keys)])
+    return index
+
+
+def _scalar_counts(index, probe):
+    """Per-key (comparisons, node_accesses, model_evals) via scalar gets."""
+    rows = []
+    for key in probe:
+        before = index.stats.snapshot()
+        index.get(float(key))
+        diff = index.stats.diff(before)
+        rows.append(
+            (diff.comparisons, diff.node_accesses, diff.model_evaluations)
+        )
+    return rows
+
+
+@pytest.fixture
+def keys():
+    rng = np.random.default_rng(17)
+    return np.unique(rng.uniform(0.0, 1e6, 3000))
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_bulk_matches_scalar_stats(name, keys):
+    factory = FACTORIES[name]
+    rng = np.random.default_rng(5)
+    probe = rng.choice(keys, size=500)
+
+    scalar_index = _loaded(factory, keys)
+    scalar_rows = _scalar_counts(scalar_index, probe)
+
+    bulk_index = _loaded(factory, keys)
+    baseline = bulk_index.stats.snapshot()
+    out = bulk_index.bulk_lookup(np.asarray(probe, dtype=np.float64))
+    assert out is not None, f"{name}: bulk_lookup unsupported on a clean load"
+    comps, node_accesses, model_evals = out
+    bulk_rows = list(
+        zip(comps.tolist(), node_accesses.tolist(), model_evals.tolist())
+    )
+    assert bulk_rows == scalar_rows
+
+    # Committed totals equal the summed per-key counts.
+    total = bulk_index.stats.diff(baseline)
+    assert total.lookups == probe.size
+    assert total.comparisons == scalar_index.stats.comparisons
+    assert total.node_accesses == scalar_index.stats.node_accesses
+    assert total.model_evaluations == scalar_index.stats.model_evaluations
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_bulk_miss_returns_none_without_stats(name, keys):
+    index = _loaded(FACTORIES[name], keys)
+    before = index.stats.snapshot()
+    probe = np.asarray([float(keys[0]), -1234.5])  # second key absent
+    assert index.bulk_lookup(probe) is None
+    diff = index.stats.diff(before)
+    assert diff.lookups == 0
+    assert diff.comparisons == 0
+    assert diff.node_accesses == 0
+    assert diff.model_evaluations == 0
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_bulk_after_mutation_stays_exact(name, keys):
+    """Inserts/deletes invalidate caches; bulk must still match scalar."""
+    factory = FACTORIES[name]
+
+    def mutate(index):
+        for k in (7.5, 11.25, 13.0):
+            index.insert(k, "new")
+        index.delete(float(keys[10]))
+
+    probe_keys = np.asarray([7.5, 11.25, 13.0, float(keys[0]), float(keys[50])])
+
+    scalar_index = _loaded(factory, keys)
+    mutate(scalar_index)
+    scalar_rows = _scalar_counts(scalar_index, probe_keys)
+
+    bulk_index = _loaded(factory, keys)
+    mutate(bulk_index)
+    out = bulk_index.bulk_lookup(probe_keys)
+    if out is None:
+        # Tombstones / delta buffers may legitimately disable the fast
+        # path; the SUT then falls back to scalar gets, which is what
+        # the driver equivalence tests cover.
+        return
+    comps, node_accesses, model_evals = out
+    assert (
+        list(zip(comps.tolist(), node_accesses.tolist(), model_evals.tolist()))
+        == scalar_rows
+    )
+
+
+def test_empty_index_unsupported():
+    for name, factory in FACTORIES.items():
+        index = factory()
+        assert index.bulk_lookup(np.asarray([1.0])) is None, name

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -120,3 +121,89 @@ class TestKVWorkload:
         workload = KVWorkload(spec, seed=1)
         sample = workload.sample_keys(0.0, 500)
         assert sample.min() >= 50 and sample.max() <= 60
+
+    def test_sample_keys_distinct_at_subsecond_times(self):
+        """Probes milliseconds apart (or at negative t) must not collide
+        (regression: seeding on ``int(t)`` made them identical)."""
+        spec = simple_spec("s", UniformDistribution(0, 100), rate=10.0)
+        workload = KVWorkload(spec, seed=1)
+        probes = [
+            workload.sample_keys(t, 64).tolist()
+            for t in (0.0, 0.001, 0.002, -0.001, -1.5)
+        ]
+        for i, a in enumerate(probes):
+            for b in probes[i + 1 :]:
+                assert a != b
+
+    def test_sample_keys_reproducible_per_seed(self):
+        spec = simple_spec("s", UniformDistribution(0, 100), rate=10.0)
+        a = KVWorkload(spec, seed=3).sample_keys(0.125, 64)
+        b = KVWorkload(spec, seed=3).sample_keys(0.125, 64)
+        c = KVWorkload(spec, seed=4).sample_keys(0.125, 64)
+        assert a.tolist() == b.tolist()
+        assert a.tolist() != c.tolist()
+
+
+class TestQueryBatch:
+    def _spec(self):
+        return WorkloadSpec(
+            "b",
+            OperationMix(
+                {
+                    KVOperation.READ: 0.6,
+                    KVOperation.INSERT: 0.2,
+                    KVOperation.SCAN: 0.2,
+                }
+            ),
+            NoDrift(UniformDistribution(0, 100)),
+            ConstantArrivals(100.0),
+            scan_length_mean=8,
+        )
+
+    def test_batch_columns_consistent_with_query_view(self):
+        workload = KVWorkload(self._spec(), seed=2)
+        times = np.linspace(0.0, 5.0, 400)
+        batch = workload.next_batch(times)
+        assert len(batch) == 400
+        queries = list(batch.iter_queries())
+        for i in (0, 17, 399):
+            q = batch.query(i)
+            assert q == queries[i]
+            assert q.arrival_time == times[i]
+        reads = [q for q in queries if q.op == KVOperation.READ]
+        scans = [q for q in queries if q.op == KVOperation.SCAN]
+        assert reads and scans
+        assert all(1 <= q.scan_length <= 16 for q in scans)
+        assert all(q.scan_length == 0 for q in reads)
+
+    def test_batch_deterministic(self):
+        times = np.linspace(0.0, 3.0, 200)
+        a = KVWorkload(self._spec(), seed=5).next_batch(times)
+        b = KVWorkload(self._spec(), seed=5).next_batch(times)
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.scan_lengths, b.scan_lengths)
+
+    def test_batch_insert_keys_unique(self):
+        spec = WorkloadSpec(
+            "ins",
+            OperationMix({KVOperation.INSERT: 1.0}),
+            NoDrift(UniformDistribution(0, 1)),
+            ConstantArrivals(100.0),
+        )
+        batch = KVWorkload(spec, seed=1).next_batch(np.linspace(0, 5, 500))
+        assert np.unique(batch.keys).size == batch.keys.size
+
+    def test_empty_batch(self):
+        batch = KVWorkload(self._spec(), seed=1).next_batch(np.empty(0))
+        assert len(batch) == 0
+        assert list(batch.iter_queries()) == []
+
+    def test_slice_is_view(self):
+        batch = KVWorkload(self._spec(), seed=1).next_batch(
+            np.linspace(0, 2, 100)
+        )
+        part = batch.slice(10, 30)
+        assert len(part) == 20
+        assert np.shares_memory(part.keys, batch.keys)
+        assert part.query(0) == batch.query(10)
