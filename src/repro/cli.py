@@ -7,6 +7,8 @@
   report (optionally exporting the query log / throughput as CSV).
 * ``run-matrix`` — fan a (SUT × scenario × seed) matrix across a process
   pool with content-addressed result caching; prints the run manifest.
+* ``trace`` — print the telemetry rollup (per-phase wall time and
+  counters) of a saved run-matrix manifest.
 * ``quality`` — score a built-in dataset (or a file of keys) with the
   §V-C quality tool.
 * ``synthesize`` — fit a shareable synthetic workload to a trace file of
@@ -19,6 +21,7 @@ be reproduced programmatically.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from functools import partial
 from typing import Callable, Dict, Optional, Sequence
@@ -195,6 +198,57 @@ def cmd_run_matrix(args: argparse.Namespace) -> int:
     return 1 if manifest.failures else 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: telemetry rollup of a saved run-matrix manifest.
+
+    Prints the matrix-wide phase/counter aggregation, then (with
+    ``--jobs``) one phase row per traced job.
+    """
+    from repro.core.runner import RunManifest
+    from repro.observability import PHASES, Trace
+
+    try:
+        with open(args.manifest) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read manifest {args.manifest!r}: {exc}", file=sys.stderr)
+        return 2
+    if "jobs" not in payload:
+        print(f"{args.manifest!r} is not a run-matrix manifest (no 'jobs' key)",
+              file=sys.stderr)
+        return 2
+    manifest = RunManifest.from_dict(payload)
+    telemetry = manifest.telemetry()
+    print(f"manifest: {args.manifest}")
+    print(f"  {manifest.summary()}")
+    print(f"  traced jobs: {telemetry['traced_jobs']}/{len(manifest.jobs)}")
+    print("\nphase wall time (self-time attribution):")
+    phase_seconds = telemetry["phase_seconds"]
+    total = sum(phase_seconds.values())
+    for phase in PHASES:
+        seconds = phase_seconds[phase]
+        share = (seconds / total * 100.0) if total > 0 else 0.0
+        print(f"  {phase:<8} {seconds:12.6f}s  {share:5.1f}%")
+    counters = telemetry["counters"]
+    if counters:
+        print("\ncounters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {counters[name]:,.0f}")
+    if args.jobs:
+        traced = [job for job in manifest.jobs if job.trace]
+        if traced:
+            print("\nper-job phase seconds:")
+            width = max(len(job.label) for job in traced)
+            header = "  ".join(f"{phase:>12}" for phase in PHASES)
+            print(f"  {'job':<{width}}  {header}")
+            for job in traced:
+                phases = Trace.from_dict(job.trace).phase_seconds()
+                row = "  ".join(f"{phases[phase]:12.6f}" for phase in PHASES)
+                print(f"  {job.label:<{width}}  {row}")
+    return 0
+
+
 def cmd_quality(args: argparse.Namespace) -> int:
     """``repro quality``: score a dataset with the §V-C tool."""
     if args.dataset in dataset_names():
@@ -290,6 +344,14 @@ def build_parser() -> argparse.ArgumentParser:
     mat.add_argument("--manifest", default=None,
                      help="write the run manifest (JSON) to this path")
     mat.set_defaults(func=cmd_run_matrix)
+
+    trace = sub.add_parser(
+        "trace", help="print the telemetry rollup of a saved run manifest"
+    )
+    trace.add_argument("manifest", help="manifest JSON written by run-matrix")
+    trace.add_argument("--jobs", action="store_true",
+                       help="also print per-job phase rows")
+    trace.set_defaults(func=cmd_trace)
 
     quality = sub.add_parser("quality", help="score a dataset (§V-C tool)")
     quality.add_argument("dataset",

@@ -46,11 +46,20 @@ class BenchmarkConfig:
 
 
 class Benchmark:
-    """Runs scenarios against systems under test."""
+    """Runs scenarios against systems under test.
 
-    def __init__(self, config: Optional[BenchmarkConfig] = None) -> None:
+    Args:
+        config: Benchmark knobs (defaults throughout).
+        tracer: Optional :class:`~repro.observability.Tracer` shared by
+            every run this facade executes; ``None`` keeps the no-op
+            default (zero overhead).
+    """
+
+    def __init__(
+        self, config: Optional[BenchmarkConfig] = None, tracer=None
+    ) -> None:
         self.config = config or BenchmarkConfig()
-        self._driver = VirtualClockDriver(self.config.driver_config())
+        self._driver = VirtualClockDriver(self.config.driver_config(), tracer=tracer)
 
     def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
         """Run one SUT through ``scenario``."""

@@ -32,12 +32,18 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.hardware import CPU, HardwareProfile
-from repro.core.phases import TrainingEvent, TrainingPhase, make_event
+from repro.core.phases import (
+    TrainingEvent,
+    TrainingPhase,
+    event_to_telemetry,
+    make_event,
+)
 from repro.core.queueing import fifo_single_server
 from repro.core.results import ColumnarRecorder, RunResult
 from repro.core.scenario import Scenario
 from repro.core.sut import SystemUnderTest
 from repro.errors import DriverError
+from repro.observability import NULL_TRACER
 from repro.workloads.generators import KV_OPERATIONS, KVWorkload, QueryBatch
 
 
@@ -91,22 +97,40 @@ class DriverConfig:
 
 
 class VirtualClockDriver:
-    """Runs a scenario against a SUT on a virtual clock."""
+    """Runs a scenario against a SUT on a virtual clock.
 
-    def __init__(self, config: Optional[DriverConfig] = None) -> None:
+    Args:
+        config: Driver knobs.
+        tracer: Observability sink (:class:`~repro.observability.Tracer`)
+            receiving per-segment/per-batch serve spans, train/adapt
+            spans carrying the run's training events, and driver
+            counters. Defaults to the no-op
+            :data:`~repro.observability.NULL_TRACER`, which keeps the
+            batched hot path allocation-free; tracing never changes the
+            produced :class:`RunResult`.
+    """
+
+    def __init__(
+        self, config: Optional[DriverConfig] = None, tracer=None
+    ) -> None:
         self.config = config or DriverConfig()
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
         """Execute ``scenario`` against ``sut`` and return the record."""
         training_events: List[TrainingEvent] = []
         recorder = ColumnarRecorder()
+        tracer = self.tracer
+        sut.attach_tracer(tracer)
 
         # Initial load + offline training happen before query time zero.
-        if scenario.initial_keys is not None and scenario.initial_keys.size:
-            pairs = [(float(k), i) for i, k in enumerate(scenario.initial_keys)]
-            sut.setup(pairs)
-        else:
-            sut.setup([])
+        with tracer.span("setup", phase="serve", sut=sut.name,
+                         scenario=scenario.name):
+            if scenario.initial_keys is not None and scenario.initial_keys.size:
+                pairs = [(float(k), i) for i, k in enumerate(scenario.initial_keys)]
+                sut.setup(pairs)
+            else:
+                sut.setup([])
         if scenario.initial_training is not None:
             event = self._run_training_phase(
                 sut, scenario.initial_training, start_at=None
@@ -125,93 +149,99 @@ class VirtualClockDriver:
         op_map = np.full(len(KV_OPERATIONS), -1, dtype=np.int32)
         for seg_index, segment in enumerate(scenario.segments):
             seg_end = seg_start + segment.duration
-            # Between-segment retraining blocks every server.
-            if segment.training_before is not None:
-                event = self._run_training_phase(
-                    sut,
-                    segment.training_before,
-                    start_at=max(seg_start, max(server_free)),
-                )
-                if event is not None:
-                    training_events.append(event)
-                    server_free = [max(f, event.end) for f in server_free]
-                    heapq.heapify(server_free)
-            if segment.data_injection is not None and segment.data_injection.size:
-                sut.inject([(float(k), None) for k in segment.data_injection])
-
-            workload = KVWorkload(
-                segment.spec, seed=scenario.seed * 1_000_003 + seg_index
-            )
-            # Check the projected count *before* materializing arrival
-            # arrays: an oversized segment must not allocate first.
-            projected = workload.spec.arrivals.projected_count(
-                0.0, segment.duration
-            )
-            if (
-                total_queries + projected > self.config.max_queries
-                and not self.config.truncate_max_queries
+            with tracer.span(
+                f"segment:{segment.label}", phase="serve", index=seg_index
             ):
-                raise DriverError(
-                    f"scenario generates > {self.config.max_queries} queries "
-                    f"(segment {segment.label!r} alone projects {projected}); "
-                    "reduce rates or durations"
-                )
-            local = workload.spec.arrivals.arrivals(
-                np.random.default_rng(scenario.seed * 7 + seg_index),
-                0.0,
-                segment.duration,
-                jitter=self.config.jitter_arrivals,
-            )
-            arrivals = local + seg_start
-            if (
-                self.config.truncate_max_queries
-                and total_queries + arrivals.size > self.config.max_queries
-            ):
-                arrivals = arrivals[
-                    : max(0, self.config.max_queries - total_queries)
-                ]
-            total_queries += arrivals.size
-            recorder.reserve(arrivals.size)
-            segment_code = recorder.intern_segment(segment.label)
-            batch = workload.next_batch(arrivals)
+                # Between-segment retraining blocks every server.
+                if segment.training_before is not None:
+                    event = self._run_training_phase(
+                        sut,
+                        segment.training_before,
+                        start_at=max(seg_start, max(server_free)),
+                    )
+                    if event is not None:
+                        training_events.append(event)
+                        server_free = [max(f, event.end) for f in server_free]
+                        heapq.heapify(server_free)
+                if segment.data_injection is not None and segment.data_injection.size:
+                    sut.inject([(float(k), None) for k in segment.data_injection])
 
-            if self.config.use_batching:
-                server_free = self._run_segment_batched(
-                    sut,
-                    scenario,
-                    batch,
-                    seg_start,
-                    seg_end,
-                    segment_code,
-                    server_free,
-                    recorder,
-                    op_map,
-                    training_events,
+                workload = KVWorkload(
+                    segment.spec, seed=scenario.seed * 1_000_003 + seg_index
                 )
-            else:
-                server_free = self._run_segment_scalar(
-                    sut,
-                    scenario,
-                    batch,
-                    seg_start,
-                    seg_end,
-                    segment_code,
-                    server_free,
-                    recorder,
-                    training_events,
+                # Check the projected count *before* materializing arrival
+                # arrays: an oversized segment must not allocate first.
+                projected = workload.spec.arrivals.projected_count(
+                    0.0, segment.duration
                 )
+                if (
+                    total_queries + projected > self.config.max_queries
+                    and not self.config.truncate_max_queries
+                ):
+                    raise DriverError(
+                        f"scenario generates > {self.config.max_queries} queries "
+                        f"(segment {segment.label!r} alone projects {projected}); "
+                        "reduce rates or durations"
+                    )
+                local = workload.spec.arrivals.arrivals(
+                    np.random.default_rng(scenario.seed * 7 + seg_index),
+                    0.0,
+                    segment.duration,
+                    jitter=self.config.jitter_arrivals,
+                )
+                arrivals = local + seg_start
+                if (
+                    self.config.truncate_max_queries
+                    and total_queries + arrivals.size > self.config.max_queries
+                ):
+                    arrivals = arrivals[
+                        : max(0, self.config.max_queries - total_queries)
+                    ]
+                total_queries += arrivals.size
+                recorder.reserve(arrivals.size)
+                segment_code = recorder.intern_segment(segment.label)
+                batch = workload.next_batch(arrivals)
+                tracer.counter("driver.segments")
+                tracer.counter("driver.queries", arrivals.size)
+
+                if self.config.use_batching:
+                    server_free = self._run_segment_batched(
+                        sut,
+                        scenario,
+                        batch,
+                        seg_start,
+                        seg_end,
+                        segment_code,
+                        server_free,
+                        recorder,
+                        op_map,
+                        training_events,
+                    )
+                else:
+                    server_free = self._run_segment_scalar(
+                        sut,
+                        scenario,
+                        batch,
+                        seg_start,
+                        seg_end,
+                        segment_code,
+                        server_free,
+                        recorder,
+                        training_events,
+                    )
             seg_start = seg_end
 
         sut.teardown()
-        return RunResult(
-            sut_name=sut.name,
-            scenario_name=scenario.name,
-            columns=recorder.build(),
-            segments=scenario.segment_boundaries(),
-            training_events=training_events,
-            scenario_description=scenario.describe(),
-            sut_description=sut.describe(),
-        )
+        with tracer.span("collect-result", phase="report"):
+            return RunResult(
+                sut_name=sut.name,
+                scenario_name=scenario.name,
+                columns=recorder.build(),
+                segments=scenario.segment_boundaries(),
+                training_events=training_events,
+                scenario_description=scenario.describe(),
+                sut_description=sut.describe(),
+            )
 
     # -- segment execution -------------------------------------------------------------
 
@@ -317,13 +347,16 @@ class VirtualClockDriver:
         op_map: np.ndarray,
     ) -> List[float]:
         """Execute one tick-free slice and append it as a block."""
+        self.tracer.counter("driver.batches")
+        self.tracer.counter("driver.batched_queries", b - a)
         sub = batch.slice(a, b)
-        services = np.maximum(
-            self.config.min_service_time,
-            np.asarray(
-                sut.execute_batch(sub, float(sub.arrivals[0])), dtype=np.float64
-            ),
-        )
+        with self.tracer.span("batch", phase="serve", queries=b - a):
+            services = np.maximum(
+                self.config.min_service_time,
+                np.asarray(
+                    sut.execute_batch(sub, float(sub.arrivals[0])), dtype=np.float64
+                ),
+            )
         if self.config.servers == 1:
             starts, completions, new_free = fifo_single_server(
                 sub.arrivals, services, server_free[0]
@@ -360,8 +393,19 @@ class VirtualClockDriver:
         phase: TrainingPhase,
         start_at: Optional[float],
     ) -> Optional[TrainingEvent]:
-        """Run a blocking offline phase; returns its event (or None)."""
-        used = float(sut.offline_train(phase.budget_seconds))
+        """Run a blocking offline phase; returns its event (or None).
+
+        The phase runs inside a train-phase span so its *wall* time is
+        measured; when training actually happened, the resulting
+        :class:`TrainingEvent` (virtual-time accounting) is attached to
+        that span as a ``training_event`` attribute, which is what
+        :func:`repro.metrics.cost.phases_from_trace` reads back.
+        """
+        span = self.tracer.start_span("offline-train", phase="train")
+        try:
+            used = float(sut.offline_train(phase.budget_seconds))
+        finally:
+            self.tracer.end_span()
         if used <= 0:
             return None
         if used > phase.budget_seconds + 1e-9:
@@ -370,13 +414,17 @@ class VirtualClockDriver:
             )
         wall = phase.hardware.wall_time(used)
         start = -wall if start_at is None else start_at
-        return make_event(
+        event = make_event(
             start=start,
             nominal_seconds=used,
             hardware=phase.hardware,
             online=False,
             label="offline",
         )
+        self.tracer.counter("driver.offline_trainings")
+        if span is not None:
+            span.attrs["training_event"] = event_to_telemetry(event)
+        return event
 
     def _tick(
         self, sut: SystemUnderTest, now: float, server_free: List[float]
@@ -386,6 +434,7 @@ class VirtualClockDriver:
         An online retrain is stop-the-world: it starts once the busiest
         server drains and blocks every server until it finishes.
         """
+        self.tracer.counter("driver.ticks")
         nominal = sut.on_tick(now)
         if not nominal or nominal <= 0:
             return server_free, None
@@ -397,6 +446,13 @@ class VirtualClockDriver:
             online=True,
             label="online-retrain",
         )
+        # Marker span carrying the measured event; the SUT's own adapt
+        # span (inside on_tick) holds the wall time of the rebuild.
+        span = self.tracer.start_span("online-retrain", phase="adapt")
+        self.tracer.end_span()
+        if span is not None:
+            span.attrs["training_event"] = event_to_telemetry(event)
+        self.tracer.counter("driver.online_retrains")
         blocked = [max(f, event.end) for f in server_free]
         heapq.heapify(blocked)
         return blocked, event

@@ -86,3 +86,37 @@ def make_event(
         online=online,
         label=label,
     )
+
+
+def event_to_telemetry(event: TrainingEvent) -> dict:
+    """JSON-friendly payload the driver attaches to training spans.
+
+    The driver tags every train/adapt span with this under the
+    ``training_event`` attribute, so a run's cost breakdown can be
+    recomputed from its *trace* alone
+    (:func:`repro.metrics.cost.phases_from_trace`). Field-for-field the
+    same shape as :meth:`~repro.core.results.RunResult.to_dict`'s
+    ``training_events`` rows — one wire format, two carriers.
+    """
+    return {
+        "start": event.start,
+        "duration": event.duration,
+        "nominal_seconds": event.nominal_seconds,
+        "hardware_name": event.hardware_name,
+        "cost": event.cost,
+        "online": event.online,
+        "label": event.label,
+    }
+
+
+def event_from_telemetry(data: dict) -> TrainingEvent:
+    """Inverse of :func:`event_to_telemetry` (exact field round-trip)."""
+    return TrainingEvent(
+        start=data["start"],
+        duration=data["duration"],
+        nominal_seconds=data["nominal_seconds"],
+        hardware_name=data["hardware_name"],
+        cost=data["cost"],
+        online=data["online"],
+        label=data.get("label", ""),
+    )

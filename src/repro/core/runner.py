@@ -31,6 +31,7 @@ import multiprocessing
 import os
 import tempfile
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
@@ -41,6 +42,7 @@ from repro.core.results import RunResult
 from repro.core.scenario import Scenario
 from repro.core.sut import SystemUnderTest
 from repro.errors import RunnerError
+from repro.observability import Trace, Tracer
 
 #: Manifest/cache schema version (bump to invalidate old cache entries).
 CACHE_FORMAT = 1
@@ -131,6 +133,10 @@ class JobRecord:
 
     ``status`` is ``"ok"`` (executed), ``"cached"`` (served from the
     result cache), or ``"failed"`` (the worker raised or crashed).
+
+    ``trace`` is the worker's serialized :class:`~repro.observability.Trace`
+    (``Trace.to_dict`` payload) for executed jobs; cached and failed jobs
+    carry ``None``.
     """
 
     label: str
@@ -142,6 +148,7 @@ class JobRecord:
     wall_seconds: float = 0.0
     worker: int = 0
     error: Optional[str] = None
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -158,6 +165,7 @@ class JobRecord:
             "wall_seconds": self.wall_seconds,
             "worker": self.worker,
             "error": self.error,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -186,12 +194,32 @@ class RunManifest:
     def failures(self) -> List[JobRecord]:
         return [j for j in self.jobs if j.status == "failed"]
 
+    def telemetry(self) -> Dict[str, Any]:
+        """Matrix-wide telemetry rollup: merged worker traces.
+
+        Folds every job's trace together (phase self-time totals plus
+        summed counters) and reports how many jobs contributed — cached
+        and failed jobs carry no trace and are excluded.
+        """
+        merged = Trace()
+        traced_jobs = 0
+        for job in self.jobs:
+            if job.trace:
+                merged = merged.merge(Trace.from_dict(job.trace))
+                traced_jobs += 1
+        return {
+            "traced_jobs": traced_jobs,
+            "phase_seconds": merged.phase_seconds(),
+            "counters": dict(merged.counters),
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "format": CACHE_FORMAT,
             "workers": self.workers,
             "cache_dir": self.cache_dir,
             "wall_seconds": self.wall_seconds,
+            "telemetry": self.telemetry(),
             "jobs": [j.to_dict() for j in self.jobs],
         }
 
@@ -238,6 +266,10 @@ class ResultCache:
         try:
             with open(self.path(key)) as handle:
                 payload = json.load(handle)
+            if payload.get("format") != CACHE_FORMAT:
+                # An entry written by a different schema version is a
+                # miss: its payload may not deserialize correctly.
+                return None
             return RunResult.from_dict(payload["result"])
         except FileNotFoundError:
             return None
@@ -282,22 +314,34 @@ def _execute_job(
     factory: Callable[[], SystemUnderTest],
     scenario: Scenario,
     config: DriverConfig,
-) -> Tuple[int, int, float, Optional[Dict[str, Any]], Optional[str]]:
+) -> Tuple[
+    int, int, float, Optional[Dict[str, Any]], Optional[str],
+    Optional[Dict[str, Any]],
+]:
     """Worker entry point: run one job, never raise.
 
-    Returns ``(index, worker_pid, wall_seconds, result_dict, error)``.
-    Results travel as :meth:`RunResult.to_dict` payloads so transport is
-    identical to the cache format (and cheap to pickle).
+    Returns ``(index, worker_pid, wall_seconds, result_dict, error,
+    trace_dict)``. Results travel as :meth:`RunResult.to_dict` payloads
+    so transport is identical to the cache format (and cheap to pickle);
+    the trace travels as :meth:`~repro.observability.Trace.to_dict` and
+    lands on the job's manifest record.
     """
     start = time.perf_counter()
+    tracer = Tracer()
     try:
         sut = factory()
-        result = VirtualClockDriver(config).run(sut, scenario)
+        result = VirtualClockDriver(config, tracer=tracer).run(sut, scenario)
+        with tracer.span("serialize-result", phase="report"):
+            payload = result.to_dict()
         wall = time.perf_counter() - start
-        return index, os.getpid(), wall, result.to_dict(), None
+        return index, os.getpid(), wall, payload, None, tracer.finish().to_dict()
     except Exception as exc:  # structured failure: the pool survives
         wall = time.perf_counter() - start
-        return index, os.getpid(), wall, None, f"{type(exc).__name__}: {exc}"
+        tail = "".join(traceback.format_tb(exc.__traceback__)[-3:]).rstrip()
+        error = f"{type(exc).__name__}: {exc}\n{tail}" if tail else (
+            f"{type(exc).__name__}: {exc}"
+        )
+        return index, os.getpid(), wall, None, error, None
 
 
 @dataclass
@@ -523,15 +567,19 @@ class MatrixRunner:
 
     def _absorb(
         self,
-        outcome: Tuple[int, int, float, Optional[Dict[str, Any]], Optional[str]],
+        outcome: Tuple[
+            int, int, float, Optional[Dict[str, Any]], Optional[str],
+            Optional[Dict[str, Any]],
+        ],
         records: List[Optional[JobRecord]],
         results: List[Optional[RunResult]],
     ) -> None:
-        index, worker, wall, payload, error = outcome
+        index, worker, wall, payload, error, trace = outcome
         record = records[index]
         assert record is not None
         record.wall_seconds = wall
         record.worker = worker
+        record.trace = trace
         if error is not None:
             record.status = "failed"
             record.error = error

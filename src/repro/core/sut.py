@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.observability import NULL_TRACER
 from repro.workloads.generators import KVQuery, QueryBatch
 
 
@@ -52,11 +53,23 @@ class SystemUnderTest(ABC):
     def __init__(self, name: str) -> None:
         self._name = name
         self.training = TrainingSummary()
+        self.tracer = NULL_TRACER
 
     @property
     def name(self) -> str:
         """Identifier used in results and hold-out bookkeeping."""
         return self._name
+
+    def attach_tracer(self, tracer) -> None:
+        """Adopt the driver's tracer for the duration of a run.
+
+        The driver calls this at run start; the default stores the
+        tracer on ``self.tracer`` (a :data:`~repro.observability.NULL_TRACER`
+        until then, so SUT code can always emit spans/counters without
+        checking). Subclasses holding learned components override this
+        to propagate the tracer into them.
+        """
+        self.tracer = tracer
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from typing import Deque, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.observability import NULL_TRACER
 
 
 class DriftVerdict(enum.Enum):
@@ -50,6 +51,10 @@ class DriftDetector:
         self._current: Deque[float] = deque(maxlen=window)
         self._checks = 0
         self._drifts = 0
+        # Observability sink; the owning SUT swaps in the run tracer via
+        # ``attach_tracer``. Counters fire once per completed *check*
+        # (every ``window`` keys), never per observation.
+        self.tracer = NULL_TRACER
 
     @property
     def checks(self) -> int:
@@ -80,8 +85,10 @@ class DriftDetector:
         ks = self._ks(self._reference, np.sort(np.asarray(self._current)))
         self._current.clear()
         self._checks += 1
+        self.tracer.counter("drift.checks")
         if ks > self.threshold:
             self._drifts += 1
+            self.tracer.counter("drift.drifts_detected")
             return DriftVerdict.DRIFTED
         return DriftVerdict.STABLE
 
@@ -109,8 +116,10 @@ class DriftDetector:
                     ks = self._ks(self._reference, np.sort(np.asarray(self._current)))
                     self._current.clear()
                     self._checks += 1
+                    self.tracer.counter("drift.checks")
                     if ks > self.threshold:
                         self._drifts += 1
+                        self.tracer.counter("drift.drifts_detected")
                         drifted = True
         return drifted
 

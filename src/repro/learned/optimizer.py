@@ -28,6 +28,7 @@ import numpy as np
 from repro.engine.catalog import Catalog
 from repro.engine.optimizer_base import CardinalityEstimator, CostBasedOptimizer, PlanCost
 from repro.engine.plans import Filter, Join, LogicalPlan
+from repro.observability import NULL_TRACER
 
 
 class _ScaledEstimator:
@@ -111,6 +112,8 @@ class BanditPlanSteering:
         ]
         self._decisions = 0
         self._arm_counts = [0] * len(self.ARMS)
+        # Observability sink; the owning SUT swaps in the run tracer.
+        self.tracer = NULL_TRACER
 
     @property
     def decisions(self) -> int:
@@ -192,6 +195,7 @@ class BanditPlanSteering:
         plan_cost = optimizer.optimize(candidate, catalog)
         self._decisions += 1
         self._arm_counts[best_arm] += 1
+        self.tracer.counter("optimizer.decisions")
         return SteeringChoice(arm=best_arm, arm_name=name, plan_cost=plan_cost)
 
     def learn(
@@ -203,3 +207,4 @@ class BanditPlanSteering:
         # Reward = negative log work (smaller work is better).
         reward = -float(np.log1p(max(0.0, observed_work)))
         self._arms[choice.arm].update(x, reward)
+        self.tracer.counter("optimizer.learn_updates")

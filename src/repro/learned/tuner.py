@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.observability import NULL_TRACER
 
 #: A configuration: knob name → chosen value.
 Configuration = Dict[str, object]
@@ -100,6 +101,9 @@ class KnobTuner:
             mean service time of a probe workload on a store built with
             that configuration.
         budget: Maximum objective evaluations.
+        tracer: Observability sink; a tuning session is a train-phase
+            span and every objective probe increments
+            ``tuner.evaluations`` (the Fig-1d cost trail, measured).
     """
 
     def __init__(
@@ -107,15 +111,24 @@ class KnobTuner:
         space: KnobSpace,
         objective: Callable[[Configuration], float],
         budget: int = 32,
+        tracer=None,
     ) -> None:
         if budget < 1:
             raise ConfigurationError("budget must be >= 1")
         self.space = space
         self.objective = objective
         self.budget = budget
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     def tune(self, start: Configuration = None) -> TuningResult:
         """Run the search from ``start`` (default: the knob defaults)."""
+        with self.tracer.span("tuner.tune", phase="train"):
+            result = self._tune(start)
+        self.tracer.counter("tuner.sessions")
+        self.tracer.counter("tuner.evaluations", result.evaluation_count)
+        return result
+
+    def _tune(self, start: Configuration = None) -> TuningResult:
         current = dict(start) if start is not None else self.space.default()
         evaluations: List[Tuple[Configuration, float]] = []
         seen: Dict[Tuple, float] = {}

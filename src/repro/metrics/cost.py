@@ -15,11 +15,13 @@ whole deployment (hardware + training + DBA) over a horizon; and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
+from repro.core.phases import TrainingEvent, event_from_telemetry
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
+from repro.observability import Trace
 
 
 @dataclass(frozen=True)
@@ -125,17 +127,44 @@ class CostBreakdown:
         return self.training_cost + self.execution_cost
 
 
+def phases_from_trace(trace: Trace) -> List[TrainingEvent]:
+    """Rebuild measured :class:`TrainingEvent` s from a run's trace.
+
+    The driver annotates every train/adapt span with a
+    ``training_event`` attribute holding the exact event fields (see
+    :func:`repro.core.phases.event_to_telemetry`), so a stored trace is
+    a second, independent source of the run's training timeline:
+    feeding the result through :func:`cost_breakdown` with these events
+    reproduces the breakdown computed from the result's own
+    ``training_events`` exactly.
+    """
+    events: List[TrainingEvent] = []
+    for span in trace.walk():
+        payload = span.attrs.get("training_event")
+        if payload is not None:
+            events.append(event_from_telemetry(payload))
+    events.sort(key=lambda e: e.start)
+    return events
+
+
 def cost_breakdown(
-    result: RunResult, serving_dollars_per_hour: float = 0.40
+    result: RunResult,
+    serving_dollars_per_hour: float = 0.40,
+    training_events: Optional[Sequence[TrainingEvent]] = None,
 ) -> CostBreakdown:
     """Split a run's cost into training and execution (§V-D3).
 
     Execution cost prices the run's virtual duration on the serving
-    hardware; training cost sums the run's training events.
+    hardware; training cost sums the run's training events — or, when
+    ``training_events`` is given (e.g. rebuilt from a trace via
+    :func:`phases_from_trace`), that sequence instead.
     """
     duration = result.horizon
     execution_cost = duration / 3600.0 * serving_dollars_per_hour
-    training_cost = result.total_training_cost()
+    if training_events is None:
+        training_cost = result.total_training_cost()
+    else:
+        training_cost = float(sum(e.cost for e in training_events))
     n = result.num_queries
     per_kquery = (execution_cost + training_cost) / (n / 1000.0) if n else 0.0
     return CostBreakdown(

@@ -1,0 +1,39 @@
+"""Benchmark observability: phase-aware tracing, counters, run telemetry.
+
+The paper makes training a first-class benchmark phase and prices runs
+by where their time goes (Fig 1d); this package is the measurement spine
+that feeds those metrics from *observed* work instead of hand-built
+fixtures. See DESIGN.md §7 for the span/phase model and the zero-cost
+``NullTracer`` default.
+
+Public surface:
+
+* :class:`Tracer` / :class:`NullTracer` / :data:`NULL_TRACER` — span and
+  counter collection (real vs. no-op).
+* :class:`Span` / :class:`Trace` — the collected telemetry, JSON
+  round-trippable and mergeable across matrix workers.
+* :class:`CounterRegistry` — named monotonic counters with associative
+  merges.
+* :data:`PHASES` — the four benchmark phases
+  (``train | adapt | serve | report``).
+"""
+
+from repro.observability.counters import CounterRegistry
+from repro.observability.tracer import (
+    NULL_TRACER,
+    PHASES,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PHASES",
+    "Span",
+    "Trace",
+    "Tracer",
+]

@@ -1,0 +1,63 @@
+"""Monotonic counter registry.
+
+Counters are the cheap half of the observability layer: named,
+monotonically increasing numbers (retrain count, drift checks, bulk
+fast-path hits). They are kept in a plain dict so incrementing one is a
+dictionary update, and merging registries from parallel matrix workers
+is a plain sum — which makes the merge associative and commutative, a
+property the telemetry aggregation tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class CounterRegistry:
+    """Named monotonic counters.
+
+    Deltas must be non-negative: a counter is a tally of events, not a
+    gauge, so merged values from independent workers always add up to
+    the fleet-wide total.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, initial: Mapping[str, float] = ()) -> None:
+        self._counts: Dict[str, float] = {}
+        for name, value in dict(initial).items():
+            self.increment(name, value)
+
+    def increment(self, name: str, delta: float = 1) -> None:
+        """Add ``delta`` (>= 0) to counter ``name`` (created at 0)."""
+        if delta < 0:
+            raise ConfigurationError(
+                f"counter {name!r} is monotonic; negative delta {delta}"
+            )
+        self._counts[name] = self._counts.get(name, 0) + delta
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Current value of ``name`` (``default`` when never touched)."""
+        return self._counts.get(name, default)
+
+    def merge(self, other: "CounterRegistry") -> "CounterRegistry":
+        """New registry with per-name sums (associative across workers)."""
+        merged = CounterRegistry(self._counts)
+        for name, value in other._counts.items():
+            merged.increment(name, value)
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the underlying ``{name: value}`` mapping."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(self._counts.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CounterRegistry({self._counts!r})"

@@ -9,7 +9,7 @@ adaptability summary, SLA bands, and the cost decomposition — into one
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 from repro.core.results import RunResult
@@ -34,6 +34,9 @@ class BenchmarkReport:
         sla: The SLA threshold used for the bands.
         adjustment: Fig 1c's single-value adjustment-speed metric.
         cost: Fig 1d's per-run cost decomposition.
+        phase_seconds: Per-phase wall-time totals from the run's trace
+            (present when the run was traced; see
+            :meth:`repro.observability.Trace.phase_seconds`).
     """
 
     result: RunResult
@@ -43,6 +46,7 @@ class BenchmarkReport:
     sla: Optional[float]
     adjustment: Optional[float]
     cost: CostBreakdown
+    phase_seconds: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> dict:
         """JSON-friendly summary (excludes raw query log)."""
@@ -65,6 +69,7 @@ class BenchmarkReport:
                 "per_kquery": self.cost.cost_per_kquery,
             },
             "training_events": len(self.result.training_events),
+            "phase_seconds": self.phase_seconds,
         }
 
     def render(self) -> str:
@@ -100,6 +105,12 @@ class BenchmarkReport:
             f"execution=${self.cost.execution_cost:.4f} "
             f"(${self.cost.cost_per_kquery:.5f}/kquery)"
         )
+        if self.phase_seconds is not None:
+            parts = "  ".join(
+                f"{phase}={seconds:.4f}s"
+                for phase, seconds in self.phase_seconds.items()
+            )
+            lines.append(f"phases (wall): {parts}")
         _, counts = self.result.throughput_series()
         lines.append(f"  tp   {sparkline(counts)}")
         return "\n".join(lines)
@@ -111,6 +122,7 @@ def build_report(
     sla: Optional[float] = None,
     band_interval: float = 1.0,
     adjustment_n: int = 1000,
+    trace=None,
 ) -> BenchmarkReport:
     """Assemble the full report for one run.
 
@@ -120,6 +132,8 @@ def build_report(
         sla: SLA threshold for the Fig 1c bands (None skips them).
         band_interval: Band width in virtual seconds.
         adjustment_n: N for the adjustment-speed metric.
+        trace: Optional :class:`~repro.observability.Trace` from the run;
+            folds its per-phase wall-time totals into the report.
     """
     spec = specialization_report(result, scenario)
     adapt = adaptability_report(result)
@@ -138,4 +152,5 @@ def build_report(
         sla=sla,
         adjustment=adjustment,
         cost=cost_breakdown(result),
+        phase_seconds=trace.phase_seconds() if trace is not None else None,
     )

@@ -28,6 +28,7 @@ from repro.core.phases import TrainingPhase
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario, Segment
 from repro.errors import ConfigurationError
+from repro.observability import Trace
 from repro.workloads.distributions import (
     Distribution,
     HotspotDistribution,
@@ -270,4 +271,16 @@ def driver_config_from_dict(payload: Dict[str, Any]) -> DriverConfig:
         jitter_arrivals=payload.get("jitter_arrivals", True),
         min_service_time=payload.get("min_service_time", 1e-9),
         servers=payload.get("servers", 1),
+        use_batching=payload.get("use_batching", True),
+        truncate_max_queries=payload.get("truncate_max_queries", False),
     )
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Serialize a run trace (same payload as ``Trace.to_dict``)."""
+    return trace.to_dict()
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> Trace:
+    """Rebuild a :class:`~repro.observability.Trace` from its payload."""
+    return Trace.from_dict(payload)

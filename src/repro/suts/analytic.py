@@ -32,6 +32,7 @@ from repro.engine.plans import Aggregate, Filter, Join, LogicalPlan, Scan
 from repro.errors import ConfigurationError
 from repro.learned.cardinality import HistogramEstimator, LearnedCardinalityEstimator
 from repro.learned.optimizer import BanditPlanSteering
+from repro.observability import NULL_TRACER
 from repro.suts.cost_models import WORK_UNIT_SECONDS
 from repro.workloads.drift import DriftModel
 
@@ -126,6 +127,11 @@ class AnalyticSUT:
         self.catalog = catalog
         self.executor = Executor(catalog)
         self.training = TrainingSummary()
+        self.tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer) -> None:
+        """Adopt the driver's tracer for the duration of a run."""
+        self.tracer = tracer
 
     def setup(self) -> None:
         """Called once before a run (statistics collection etc.)."""
@@ -231,6 +237,11 @@ class LearnedOptimizerSUT(AnalyticSUT):
         self.plan_overhead_s = plan_overhead_s
         self._observed = 0
 
+    def attach_tracer(self, tracer) -> None:
+        """Propagate the run tracer into the bandit steering."""
+        super().attach_tracer(tracer)
+        self.steering.tracer = tracer
+
     def setup(self) -> None:
         for table_name in self.catalog.names():
             self.histograms.analyze(self.catalog, table_name)
@@ -284,11 +295,18 @@ class AnalyticDriver:
             + vectorized FIFO + block append). ``False`` keeps the
             scalar reference loop; both consume the same query batch, so
             results are bit-identical at a fixed seed.
+        tracer: Observability sink (defaults to the no-op
+            :data:`~repro.observability.NULL_TRACER`); spans are emitted
+            per segment, never per query, so tracing stays off the
+            batched hot path.
     """
 
-    def __init__(self, seed: int = 0, use_batching: bool = True) -> None:
+    def __init__(
+        self, seed: int = 0, use_batching: bool = True, tracer=None
+    ) -> None:
         self.seed = seed
         self.use_batching = use_batching
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     def run(
         self,
@@ -304,64 +322,77 @@ class AnalyticDriver:
                 once when its segment starts (e.g., to inject data into
                 the catalog mid-run — the stale-statistics scenario).
         """
-        sut.setup()
+        tracer = self.tracer
+        sut.attach_tracer(tracer)
+        with tracer.span("setup", phase="serve", sut=sut.name):
+            sut.setup()
         rng = np.random.default_rng(self.seed)
         recorder = ColumnarRecorder()
         boundaries: List[Tuple[str, float, float]] = []
         server_free = 0.0
         seg_start = 0.0
         hooks = segment_hooks or {}
-        for label, workload, duration, rate in segments:
-            if label in hooks:
-                hooks[label]()
-            if duration <= 0 or rate < 0:
-                raise ConfigurationError("duration must be > 0 and rate >= 0")
-            count = int(rate * duration)
-            arrivals = np.sort(rng.uniform(seg_start, seg_start + duration, count))
-            recorder.reserve(arrivals.size)
-            segment_code = recorder.intern_segment(label)
-            queries = workload.next_batch(arrivals)
-            if self.use_batching:
-                services = np.maximum(
-                    1e-9,
-                    np.asarray(
-                        sut.execute_batch(queries, arrivals), dtype=np.float64
-                    ),
+        for seg_index, (label, workload, duration, rate) in enumerate(segments):
+            with tracer.span(f"segment:{label}", phase="serve", index=seg_index):
+                if label in hooks:
+                    hooks[label]()
+                if duration <= 0 or rate < 0:
+                    raise ConfigurationError("duration must be > 0 and rate >= 0")
+                count = int(rate * duration)
+                arrivals = np.sort(
+                    rng.uniform(seg_start, seg_start + duration, count)
                 )
-                starts, completions, server_free = fifo_single_server(
-                    arrivals, services, server_free
-                )
-                op_codes = np.asarray(
-                    [recorder.intern_op(q.kind) for q in queries],
-                    dtype=np.int32,
-                )
-                recorder.append_block(
-                    arrivals, starts, completions, op_codes, segment_code
-                )
-            else:
-                for i, query in enumerate(queries):
-                    arrival = float(arrivals[i])
-                    start = max(arrival, server_free)
-                    service = max(1e-9, sut.execute(query, arrival))
-                    completion = start + service
-                    server_free = completion
-                    recorder.append(
-                        arrival,
-                        start,
-                        completion,
-                        recorder.intern_op(query.kind),
-                        segment_code,
+                recorder.reserve(arrivals.size)
+                segment_code = recorder.intern_segment(label)
+                queries = workload.next_batch(arrivals)
+                tracer.counter("driver.segments")
+                tracer.counter("driver.queries", arrivals.size)
+                if self.use_batching:
+                    tracer.counter("driver.batches")
+                    tracer.counter("driver.batched_queries", arrivals.size)
+                    with tracer.span("batch", phase="serve", queries=len(queries)):
+                        services = np.maximum(
+                            1e-9,
+                            np.asarray(
+                                sut.execute_batch(queries, arrivals),
+                                dtype=np.float64,
+                            ),
+                        )
+                    starts, completions, server_free = fifo_single_server(
+                        arrivals, services, server_free
                     )
-            boundaries.append((label, seg_start, seg_start + duration))
-            seg_start += duration
-        return RunResult(
-            sut_name=sut.name,
-            scenario_name=scenario_name,
-            columns=recorder.build(),
-            segments=boundaries,
-            training_events=[],
-            sut_description=sut.describe(),
-        )
+                    op_codes = np.asarray(
+                        [recorder.intern_op(q.kind) for q in queries],
+                        dtype=np.int32,
+                    )
+                    recorder.append_block(
+                        arrivals, starts, completions, op_codes, segment_code
+                    )
+                else:
+                    for i, query in enumerate(queries):
+                        arrival = float(arrivals[i])
+                        start = max(arrival, server_free)
+                        service = max(1e-9, sut.execute(query, arrival))
+                        completion = start + service
+                        server_free = completion
+                        recorder.append(
+                            arrival,
+                            start,
+                            completion,
+                            recorder.intern_op(query.kind),
+                            segment_code,
+                        )
+                boundaries.append((label, seg_start, seg_start + duration))
+                seg_start += duration
+        with tracer.span("collect-result", phase="report"):
+            return RunResult(
+                sut_name=sut.name,
+                scenario_name=scenario_name,
+                columns=recorder.build(),
+                segments=boundaries,
+                training_events=[],
+                sut_description=sut.describe(),
+            )
 
 
 def build_analytic_catalog(

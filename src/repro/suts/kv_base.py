@@ -63,6 +63,13 @@ class KVStoreBase(SystemUnderTest):
         self._mirror_arr = None
 
     def teardown(self) -> None:
+        # Flush the index's cumulative work counters into the run's
+        # telemetry before releasing state (monotonic totals, so one
+        # end-of-run delta is exact).
+        stats = self.index.stats
+        self.tracer.counter("index.model_evaluations", stats.model_evaluations)
+        self.tracer.counter("index.retrains", stats.retrains)
+        self.tracer.counter("index.node_accesses", stats.node_accesses)
         self._mirror = []
         self._mirror_arr = None
 
@@ -173,6 +180,7 @@ class KVStoreBase(SystemUnderTest):
         self, batch: QueryBatch, a: int, b: int, services: np.ndarray
     ) -> None:
         """Serve READ queries ``[a, b)`` in bulk (scalar fallback on miss)."""
+        self.tracer.counter("kv.read_runs")
         if not self._mirror:
             # Empty store: every read is a snap-miss costing base overhead.
             services[a:b] = self.cost_model.service_time_arrays(
@@ -183,9 +191,14 @@ class KVStoreBase(SystemUnderTest):
         snapped = self._snap_batch(batch.keys[a:b])
         res = self.index.bulk_lookup(snapped)
         if res is None:
+            # Fast-path miss: the run falls back to scalar ``get`` calls.
+            self.tracer.counter("kv.bulk_fallback_runs")
+            self.tracer.counter("kv.bulk_fallback_queries", b - a)
             for i in range(a, b):
                 services[i] = self.execute(batch.query(i), float(batch.arrivals[i]))
             return
+        self.tracer.counter("kv.bulk_hit_runs")
+        self.tracer.counter("kv.bulk_hit_queries", b - a)
         comps, na, me = res
         services[a:b] = self.cost_model.service_time_arrays(
             comps, na, me, tuning_level=self.tuning_level

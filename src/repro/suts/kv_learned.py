@@ -87,6 +87,11 @@ class LearnedKVStore(KVStoreBase):
             else None
         )
 
+    def attach_tracer(self, tracer) -> None:
+        """Propagate the run tracer into the drift detector."""
+        super().attach_tracer(tracer)
+        self._detector.tracer = tracer
+
     # -- typed view of the index ---------------------------------------------------
 
     @property
@@ -118,7 +123,9 @@ class LearnedKVStore(KVStoreBase):
         fraction = min(1.0, budget_seconds / full)
         fanout = max(1, int(round(self.max_fanout * fraction)))
         used = full * (fanout / self.max_fanout)
-        self._retrain(fanout)
+        with self.tracer.span("kv.offline-retrain", phase="train", fanout=fanout):
+            self._retrain(fanout)
+        self.tracer.counter("kv.retrains")
         self.training.add(used)
         return used
 
@@ -176,7 +183,10 @@ class LearnedKVStore(KVStoreBase):
         self._last_retrain_at = now
         fanout = self._trained_fanout if self._trained_fanout > 1 else self.max_fanout
         nominal = self._full_budget() * (fanout / self.max_fanout)
-        self._retrain(fanout)
+        with self.tracer.span("kv.online-retrain", phase="adapt", fanout=fanout):
+            self._retrain(fanout)
+        self.tracer.counter("kv.retrains")
+        self.tracer.counter("kv.online_retrains")
         self.training.add(nominal)
         return nominal
 

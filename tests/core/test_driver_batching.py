@@ -19,6 +19,7 @@ from repro.core.driver import DriverConfig, VirtualClockDriver
 from repro.core.queueing import fifo_single_server
 from repro.core.scenario import Scenario, Segment
 from repro.core.sut import SystemUnderTest
+from repro.observability import NullTracer, Tracer
 from repro.suts.kv_learned import LearnedKVStore
 from repro.suts.kv_traditional import TraditionalKVStore
 from repro.workloads.distributions import UniformDistribution, ZipfDistribution
@@ -69,11 +70,12 @@ def _mixed_scenario(seed: int = 11, extra_segments: Optional[List[Segment]] = No
     )
 
 
-def _run_both(sut_factory, scenario_factory, **config_kwargs):
+def _run_both(sut_factory, scenario_factory, tracer_factory=None, **config_kwargs):
     out = {}
     for batching in (True, False):
         config = DriverConfig(use_batching=batching, **config_kwargs)
-        out[batching] = VirtualClockDriver(config).run(
+        tracer = tracer_factory() if tracer_factory is not None else None
+        out[batching] = VirtualClockDriver(config, tracer=tracer).run(
             sut_factory(), scenario_factory()
         )
     return out[True], out[False]
@@ -159,6 +161,58 @@ class TestBatchedEqualsScalar:
             VirtualClockDriver(DriverConfig(max_queries=700)).run(
                 TraditionalKVStore(), _mixed_scenario()
             )
+
+
+class TestTracingInvariance:
+    """Tracing is observational: it may never change a run's results."""
+
+    @pytest.mark.parametrize("sut_factory", [TraditionalKVStore, LearnedKVStore])
+    def test_batched_equals_scalar_with_tracing_enabled(self, sut_factory):
+        """The bit-identity invariant holds with a live tracer attached."""
+        batched, scalar = _run_both(
+            sut_factory, _mixed_scenario, tracer_factory=Tracer
+        )
+        _assert_identical(batched, scalar)
+
+    @pytest.mark.parametrize("tracer_factory", [None, NullTracer, Tracer])
+    def test_result_payload_identical_across_tracers(self, tracer_factory):
+        """No tracer, NullTracer, and full Tracer: byte-identical results."""
+        import json
+
+        config = DriverConfig()
+        tracer = tracer_factory() if tracer_factory is not None else None
+        result = VirtualClockDriver(config, tracer=tracer).run(
+            LearnedKVStore(), _mixed_scenario()
+        )
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        baseline = VirtualClockDriver(DriverConfig()).run(
+            LearnedKVStore(), _mixed_scenario()
+        )
+        assert payload == json.dumps(baseline.to_dict(), sort_keys=True)
+
+    def test_trace_counts_agree_with_result(self):
+        """The trace's driver counters match the run record exactly."""
+        tracer = Tracer()
+        result = VirtualClockDriver(DriverConfig(), tracer=tracer).run(
+            LearnedKVStore(), _mixed_scenario()
+        )
+        trace = tracer.finish()
+        assert trace.counter("driver.queries") == result.num_queries
+        assert trace.counter("driver.segments") == len(result.segments)
+        online = sum(1 for e in result.training_events if e.online)
+        assert trace.counter("driver.online_retrains") == online
+        # Per-batch spans cover every query served through the fast path.
+        assert trace.counter("driver.batched_queries") == result.num_queries
+        batch_spans = [s for s in trace.walk() if s.name == "batch"]
+        assert len(batch_spans) == trace.counter("driver.batches")
+        assert sum(s.attrs["queries"] for s in batch_spans) == result.num_queries
+
+    def test_no_open_spans_after_run(self):
+        tracer = Tracer()
+        VirtualClockDriver(DriverConfig(), tracer=tracer).run(
+            TraditionalKVStore(), _mixed_scenario()
+        )
+        assert tracer.open_spans == 0
 
 
 class TestExecuteOnlyFallback:

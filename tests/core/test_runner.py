@@ -9,8 +9,10 @@ import pytest
 
 from repro.core.driver import DriverConfig
 from repro.core.runner import (
+    CACHE_FORMAT,
     MatrixJob,
     MatrixRunner,
+    ResultCache,
     RunManifest,
     job_cache_key,
     matrix_jobs,
@@ -182,6 +184,35 @@ class TestCaching:
         assert again.manifest.executed == 1
         assert again.results[0].to_json() == cold.results[0].to_json()
 
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        """An entry written under another schema version is not served."""
+        cache = str(tmp_path / "cache")
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()])
+        cold = run_matrix(jobs, cache_dir=cache)
+        key = cold.manifest.jobs[0].cache_key
+        path = os.path.join(cache, f"{key}.json")
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["format"] = CACHE_FORMAT + 1
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert ResultCache(cache).load(key) is None
+        again = run_matrix(jobs, cache_dir=cache)
+        assert again.manifest.executed == 1 and again.manifest.hits == 0
+
+    def test_missing_format_field_is_a_miss(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()])
+        cold = run_matrix(jobs, cache_dir=cache)
+        key = cold.manifest.jobs[0].cache_key
+        path = os.path.join(cache, f"{key}.json")
+        with open(path) as handle:
+            payload = json.load(handle)
+        del payload["format"]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert ResultCache(cache).load(key) is None
+
 
 class TestFailureReporting:
     def test_in_worker_failure_marked_and_matrix_completes(self):
@@ -198,6 +229,15 @@ class TestFailureReporting:
         assert outcome.results[0] is not None and outcome.results[1] is None
         with pytest.raises(RunnerError, match="bad"):
             outcome.raise_on_failure()
+
+    def test_error_includes_traceback_tail(self):
+        """A worker failure reports *where* it raised, not just what."""
+        jobs = [MatrixJob(sut_factory=ExplodingSUT, scenario=_scenario())]
+        outcome = MatrixRunner().run(jobs)
+        error = outcome.manifest.jobs[0].error
+        assert error.startswith("RuntimeError: boom at query time")
+        assert "test_runner.py" in error  # frame where execute() raised
+        assert "raise RuntimeError" in error
 
     def test_factory_failure_marked(self):
         jobs = [
@@ -246,6 +286,58 @@ class TestManifest:
         jobs = matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[1, 2])
         named = MatrixRunner().run(jobs).named()
         assert set(named) == {"c×matrix-test#s1", "c×matrix-test#s2"}
+
+
+class TestTelemetry:
+    """Per-job traces on the manifest and the matrix-wide rollup."""
+
+    def test_executed_jobs_carry_traces(self):
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[1, 2])
+        outcome = MatrixRunner(workers=2).run(jobs)
+        for record in outcome.manifest.jobs:
+            assert record.trace is not None
+            assert record.trace["spans"], "trace should hold the span forest"
+        telemetry = outcome.manifest.telemetry()
+        assert telemetry["traced_jobs"] == 2
+        # Two jobs of the same scenario: counters double a single run's.
+        queries = outcome.results[0].num_queries + outcome.results[1].num_queries
+        assert telemetry["counters"]["driver.queries"] == queries
+        assert telemetry["phase_seconds"]["serve"] > 0.0
+
+    def test_cached_jobs_have_no_trace(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()])
+        run_matrix(jobs, cache_dir=cache)
+        warm = run_matrix(jobs, cache_dir=cache)
+        record = warm.manifest.jobs[0]
+        assert record.status == "cached" and record.trace is None
+        assert warm.manifest.telemetry()["traced_jobs"] == 0
+
+    def test_failed_jobs_have_no_trace(self):
+        jobs = [MatrixJob(sut_factory=ExplodingSUT, scenario=_scenario())]
+        outcome = MatrixRunner().run(jobs)
+        assert outcome.manifest.jobs[0].trace is None
+
+    def test_telemetry_survives_manifest_roundtrip(self, tmp_path):
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[3])
+        outcome = MatrixRunner().run(jobs)
+        path = str(tmp_path / "manifest.json")
+        outcome.manifest.save(path)
+        loaded = RunManifest.load(path)
+        assert loaded.telemetry() == outcome.manifest.telemetry()
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["telemetry"] == outcome.manifest.telemetry()
+
+    def test_serial_and_parallel_telemetry_counters_match(self):
+        """Counter totals are execution-strategy independent."""
+        jobs = matrix_jobs({"c": CountingSUT}, [_scenario()], seeds=[1, 2, 3])
+        serial = MatrixRunner(workers=1).run(jobs)
+        parallel = MatrixRunner(workers=3).run(jobs)
+        assert (
+            serial.manifest.telemetry()["counters"]
+            == parallel.manifest.telemetry()["counters"]
+        )
 
 
 class TestValidation:

@@ -1,18 +1,24 @@
-"""Fig 1d cost metrics: DBA step function, TCO, crossover."""
+"""Fig 1d cost metrics: DBA step function, TCO, crossover, trace adapter."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.core.phases import TrainingEvent
+from repro.core.driver import DriverConfig, VirtualClockDriver
+from repro.core.hardware import CPU
+from repro.core.phases import TrainingEvent, TrainingPhase, event_to_telemetry
 from repro.core.results import QueryRecord, RunResult
+from repro.core.scenario import Scenario, Segment
 from repro.errors import ConfigurationError
 from repro.metrics.cost import (
     DBAModel,
     TCOModel,
     cost_breakdown,
+    phases_from_trace,
     training_cost_to_outperform,
 )
+from repro.observability import Span, Trace, Tracer
 
 
 class TestDBAModel:
@@ -82,6 +88,98 @@ class TestCostBreakdown:
         assert breakdown.execution_cost == pytest.approx(100.0 / 3600.0 * 3.6)
         assert breakdown.total_cost == breakdown.training_cost + breakdown.execution_cost
         assert breakdown.cost_per_kquery == pytest.approx(breakdown.total_cost / 0.1)
+
+
+class TestPhasesFromTrace:
+    """The trace is a second, exact source of the training timeline."""
+
+    def _hand_built_trace(self, events):
+        """Trace shaped like the driver's: train/adapt spans with the
+        ``training_event`` attribute."""
+        spans = []
+        for i, event in enumerate(events):
+            phase = "adapt" if event.online else "train"
+            spans.append(
+                Span(
+                    name=f"retrain-{i}",
+                    phase=phase,
+                    start=float(i),
+                    end=float(i) + 0.25,
+                    attrs={"training_event": event_to_telemetry(event)},
+                )
+            )
+        return Trace(spans=spans)
+
+    def _events(self):
+        return [
+            TrainingEvent(start=-2.0, duration=2.0, nominal_seconds=2.0,
+                          hardware_name="cpu", cost=0.375, online=False),
+            TrainingEvent(start=10.0, duration=0.5, nominal_seconds=0.5,
+                          hardware_name="cpu", cost=0.125, online=True,
+                          label="drift-retrain"),
+        ]
+
+    def test_round_trip_exact(self):
+        events = self._events()
+        rebuilt = phases_from_trace(self._hand_built_trace(events))
+        assert rebuilt == events  # frozen dataclass: field-exact equality
+
+    def test_cost_breakdown_matches_hand_built_fixture_exactly(self):
+        """cost_breakdown fed from the trace equals the result's own."""
+        events = self._events()
+        queries = [
+            QueryRecord(arrival=float(i), start=float(i),
+                        completion=float(i) + 0.1, op="read", segment="a")
+            for i in range(50)
+        ]
+        result = RunResult(
+            sut_name="x", scenario_name="s", queries=queries,
+            segments=[("a", 0.0, 50.0)], training_events=events,
+        )
+        from_result = cost_breakdown(result)
+        from_trace = cost_breakdown(
+            result, training_events=phases_from_trace(self._hand_built_trace(events))
+        )
+        assert from_trace == from_result  # frozen dataclass, exact floats
+
+    def test_driver_trace_reproduces_run_training_events(self):
+        """End to end: a traced adaptive run's trace rebuilds the exact
+        TrainingEvents the RunResult carries — offline phase included."""
+        from repro.suts.kv_learned import LearnedKVStore
+        from repro.workloads.distributions import UniformDistribution, ZipfDistribution
+        from repro.workloads.drift import AbruptDrift
+        from repro.workloads.generators import KVOperation, OperationMix, WorkloadSpec
+        from repro.workloads.patterns import ConstantArrivals
+
+        spec = WorkloadSpec(
+            name="drift",
+            mix=OperationMix({KVOperation.READ: 1.0}),
+            key_drift=AbruptDrift(
+                [UniformDistribution(0, 1000), ZipfDistribution(0, 1000, theta=1.3)],
+                [1.5],
+            ),
+            arrivals=ConstantArrivals(400.0),
+        )
+        scenario = Scenario(
+            name="traced",
+            segments=[Segment(spec=spec, duration=4.0)],
+            seed=3,
+            initial_keys=np.linspace(0, 1000, 1500),
+            initial_training=TrainingPhase(budget_seconds=5.0, hardware=CPU),
+        )
+        tracer = Tracer()
+        result = VirtualClockDriver(DriverConfig(), tracer=tracer).run(
+            LearnedKVStore(max_fanout=64, retrain_cooldown=1.0,
+                           drift_window=256),
+            scenario,
+        )
+        assert result.training_events, "fixture must produce training"
+        rebuilt = phases_from_trace(tracer.finish())
+        assert rebuilt == sorted(result.training_events, key=lambda e: e.start)
+        assert cost_breakdown(result, training_events=rebuilt) == cost_breakdown(result)
+
+    def test_empty_trace_yields_no_events(self):
+        assert phases_from_trace(Trace()) == []
 
 
 class TestCrossover:

@@ -1,0 +1,195 @@
+"""Unit tests for the observability layer: spans, traces, counters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import (
+    NULL_TRACER,
+    PHASES,
+    CounterRegistry,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+)
+
+
+class FakeClock:
+    """Scripted clock: returns queued readings, then keeps the last."""
+
+    def __init__(self, readings):
+        self.readings = list(readings)
+        self.last = self.readings[0] if self.readings else 0.0
+
+    def __call__(self) -> float:
+        if self.readings:
+            self.last = self.readings.pop(0)
+        return self.last
+
+
+class TestTracerSpans:
+    def test_span_records_duration(self):
+        tracer = Tracer(clock=FakeClock([1.0, 3.5]))
+        with tracer.span("work", phase="serve"):
+            pass
+        trace = tracer.finish()
+        (span,) = trace.spans
+        assert span.name == "work"
+        assert span.phase == "serve"
+        assert span.duration == pytest.approx(2.5)
+
+    def test_nested_spans_become_children(self):
+        tracer = Tracer(clock=FakeClock([0.0, 1.0, 2.0, 3.0]))
+        with tracer.span("outer", phase="serve"):
+            with tracer.span("inner", phase="train"):
+                pass
+        trace = tracer.finish()
+        (outer,) = trace.spans
+        assert [c.name for c in outer.children] == ["inner"]
+        inner = outer.children[0]
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_unknown_phase_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ConfigurationError):
+            tracer.start_span("x", phase="warmup")
+
+    def test_end_span_on_empty_stack_returns_none(self):
+        assert Tracer().end_span() is None
+
+    def test_span_attrs_captured(self):
+        tracer = Tracer()
+        with tracer.span("seg", phase="serve", index=3, label="ramp"):
+            pass
+        (span,) = tracer.finish().spans
+        assert span.attrs == {"index": 3, "label": "ramp"}
+
+    def test_finish_closes_open_spans(self):
+        tracer = Tracer(clock=FakeClock([0.0, 1.0]))
+        tracer.start_span("dangling", phase="serve")
+        assert tracer.open_spans == 1
+        trace = tracer.finish()
+        assert tracer.open_spans == 0
+        (span,) = trace.spans
+        assert span.end >= span.start
+
+    def test_adversarial_clock_clamped(self):
+        # A clock that goes backwards cannot produce a negative duration.
+        tracer = Tracer(clock=FakeClock([10.0, 4.0]))
+        with tracer.span("work", phase="serve"):
+            pass
+        (span,) = tracer.finish().spans
+        assert span.duration == 0.0
+
+
+class TestPhaseAccounting:
+    def test_self_time_excludes_children(self):
+        tracer = Tracer(clock=FakeClock([0.0, 2.0, 7.0, 10.0]))
+        with tracer.span("segment", phase="serve"):
+            with tracer.span("retrain", phase="train"):
+                pass
+        trace = tracer.finish()
+        phases = trace.phase_seconds()
+        # serve = 10 - (7 - 2) = 5; train = 5; no double counting.
+        assert phases["serve"] == pytest.approx(5.0)
+        assert phases["train"] == pytest.approx(5.0)
+        assert sum(phases.values()) == pytest.approx(10.0)
+
+    def test_all_phases_always_present(self):
+        phases = Trace().phase_seconds()
+        assert set(phases) == set(PHASES)
+        assert all(v == 0.0 for v in phases.values())
+
+
+class TestTraceRoundTrip:
+    def _sample_trace(self) -> Trace:
+        tracer = Tracer(clock=FakeClock([0.0, 1.0, 2.0, 3.0, 4.0, 5.0]))
+        with tracer.span("segment:a", phase="serve", index=0):
+            with tracer.span("retrain", phase="adapt", fanout=8):
+                pass
+        with tracer.span("report", phase="report"):
+            pass
+        tracer.counter("queries", 128)
+        tracer.counter("retrains")
+        return tracer.finish()
+
+    def test_json_round_trip_exact(self):
+        trace = self._sample_trace()
+        payload = json.loads(json.dumps(trace.to_dict()))
+        clone = Trace.from_dict(payload)
+        assert clone.to_dict() == trace.to_dict()
+        assert clone.phase_seconds() == trace.phase_seconds()
+        assert clone.counters == trace.counters
+
+    def test_to_dict_carries_derived_phase_seconds(self):
+        trace = self._sample_trace()
+        assert trace.to_dict()["phase_seconds"] == trace.phase_seconds()
+
+    def test_walk_visits_every_span(self):
+        trace = self._sample_trace()
+        names = [s.name for s in trace.walk()]
+        assert names == ["segment:a", "retrain", "report"]
+
+    def test_merge_concatenates_and_sums(self):
+        a = Trace(spans=[Span("x", "serve", 0.0, 1.0)], counters={"n": 2})
+        b = Trace(spans=[Span("y", "train", 0.0, 3.0)], counters={"n": 1, "m": 5})
+        merged = a.merge(b)
+        assert [s.name for s in merged.spans] == ["x", "y"]
+        assert merged.counters == {"n": 3, "m": 5}
+        assert merged.phase_seconds()["train"] == pytest.approx(3.0)
+
+
+class TestCounters:
+    def test_tracer_counters(self):
+        tracer = Tracer()
+        tracer.counter("a")
+        tracer.counter("a", 4)
+        tracer.counter("b", 0.5)
+        assert tracer.counters == {"a": 5, "b": 0.5}
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer().counter("a", -1)
+        with pytest.raises(ConfigurationError):
+            CounterRegistry().increment("a", -0.5)
+
+    def test_registry_merge(self):
+        left = CounterRegistry()
+        left.increment("x", 2)
+        right = CounterRegistry()
+        right.increment("x", 3)
+        right.increment("y")
+        merged = left.merge(right)
+        assert merged.as_dict() == {"x": 5, "y": 1}
+        # merge is non-destructive
+        assert left.as_dict() == {"x": 2}
+        assert right.as_dict() == {"x": 3, "y": 1}
+
+
+class TestNullTracer:
+    def test_is_default_and_shared(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
+
+    def test_all_operations_are_noops(self):
+        tracer = NullTracer()
+        assert tracer.start_span("x", phase="serve") is None
+        assert tracer.end_span() is None
+        with tracer.span("x", phase="serve") as span:
+            assert span is None
+        tracer.counter("a", 100)
+        assert tracer.counters == {}
+        trace = tracer.finish()
+        assert trace.spans == [] and trace.counters == {}
+
+    def test_span_context_is_singleton(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b", phase="train")
+
+    def test_has_no_instance_dict(self):
+        with pytest.raises(AttributeError):
+            NullTracer().extra = 1  # __slots__ keeps it allocation-free

@@ -129,6 +129,65 @@ class TestRunMatrix:
         assert main(["run-matrix", "--sut", "no-such"] + self.SMALL) == 2
 
 
+class TestTraceCommand:
+    SMALL = [
+        "--dataset", "uniform", "--keys", "2000",
+        "--rate", "100", "--duration", "4",
+    ]
+
+    def _write_manifest(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        assert main([
+            "run-matrix", "--sut", "btree-kv", "learned-kv",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", path,
+        ] + self.SMALL) == 0
+        return path
+
+    def test_rollup(self, tmp_path, capsys):
+        path = self._write_manifest(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "traced jobs: 2/2" in out
+        for phase in ("train", "adapt", "serve", "report"):
+            assert phase in out
+        assert "driver.queries" in out
+        assert "kv.read_runs" in out
+
+    def test_per_job_rows(self, tmp_path, capsys):
+        path = self._write_manifest(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", path, "--jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "per-job phase seconds" in out
+        assert "btree-kv×abrupt-shift" in out
+
+    def test_missing_manifest(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_non_manifest_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"broken": true}')
+        assert main(["trace", str(path)]) == 2
+        assert "not a run-matrix manifest" in capsys.readouterr().err
+
+    def test_untraced_manifest(self, tmp_path, capsys):
+        """A manifest whose jobs were all cache hits still renders."""
+        path = self._write_manifest(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "run-matrix", "--sut", "btree-kv", "learned-kv",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", path,
+        ] + self.SMALL) == 0
+        capsys.readouterr()
+        assert main(["trace", path, "--jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "traced jobs: 0/2" in out
+
+
 class TestScenarioFiles:
     def test_save_then_load_round_trip(self, tmp_path, capsys):
         path = str(tmp_path / "scenario.json")
