@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Chaos benchmark: inject a stall and a crash, watch the recovery.
+
+The runnable companion to ``docs/chaos-tutorial.md`` (experiment T6 in
+EXPERIMENTS.md). Runs one steady scenario twice — fault-free, then with
+a stop-the-world stall and a crash/restart — on a learned KV store, so
+the crash also wipes the store's warm state and forces a cold retrain.
+Prints a Fig 1c-style outage timeline (within-SLA vs. violated queries
+per interval) and the resilience report: per-fault recovery time,
+over-SLA mass inside the degraded windows, and the progress area the
+faults cost versus the fault-free twin.
+
+Everything is deterministic: both runs share every arrival, key, and
+model decision, so every difference between them is fault-attributable.
+
+Run:
+    python examples/chaos_recovery.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import Benchmark
+from repro.core.scenario import Scenario, Segment
+from repro.faults import CrashFault, FaultPlan, StallFault
+from repro.metrics import calibrate_sla, latency_bands
+from repro.metrics.resilience import resilience_report
+from repro.suts import LearnedKVStore
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import simple_spec
+
+RATE = 800.0        # comfortably under capacity: fault signal, not queueing noise
+DURATION = 100.0
+N_KEYS = 50_000
+KEY_DOMAIN = 100_000.0
+
+PLAN = FaultPlan([
+    StallFault(at=40.0, duration=4.0),          # stop-the-world pause
+    CrashFault(at=70.0, recovery_seconds=2.0),  # restart + cold retrain
+])
+
+
+def build_scenario() -> Scenario:
+    spec = simple_spec("steady", UniformDistribution(0, KEY_DOMAIN), rate=RATE)
+    return Scenario(
+        name="chaos-recovery",
+        segments=[Segment(spec=spec, duration=DURATION)],
+        seed=42,
+        initial_keys=np.linspace(0.0, KEY_DOMAIN, N_KEYS),
+    )
+
+
+def make_sut() -> LearnedKVStore:
+    # Fresh instance per run: SUTs are stateful.
+    return LearnedKVStore()
+
+
+def main() -> None:
+    scenario = build_scenario()
+    bench = Benchmark()
+
+    print(f"scenario: {scenario.name!r}, {RATE:.0f} q/s x {DURATION:.0f}s, "
+          f"seed {scenario.seed}")
+    print("plan:     stall 4s @ t=40, crash (2s outage + retrain) @ t=70\n")
+
+    # The twin pair: identical except for the fault plan.
+    baseline = bench.run(make_sut(), scenario)
+    faulted = bench.run(make_sut(), replace(scenario, fault_plan=PLAN))
+
+    sla = calibrate_sla(baseline, percentile=99.0, headroom=1.5)
+    print(f"baseline: {baseline.num_queries} queries, "
+          f"{baseline.mean_throughput():.1f} q/s mean, "
+          f"SLA calibrated at {sla * 1000:.3f} ms")
+    print(f"faulted:  {faulted.num_queries} queries, "
+          f"{faulted.mean_throughput():.1f} q/s mean")
+
+    # The crash wiped the learned store's warm state; the cold rebuild is
+    # a priced training event like any other (Lesson 3).
+    retrains = [e for e in faulted.training_events if e.label == "crash-retrain"]
+    for event in retrains:
+        print(f"crash-retrain: t={event.start:.2f}s, "
+              f"{event.duration:.3f}s outage extension, ${event.cost:.6f}")
+
+    # Fig 1c-style outage timeline: '#' = SLA-violated, '.' = within SLA.
+    print("\nSLA bands (5s intervals, 1 char per 40 queries):")
+    for band in latency_bands(faulted, sla=sla, interval=5.0):
+        bar = "#" * (band.violated // 40) + "." * (band.within_sla // 40)
+        marks = []
+        for fault in PLAN.point_faults:
+            if band.start <= fault.at < band.start + 5.0:
+                marks.append(fault.kind)
+        suffix = f"   <-- {', '.join(marks)}" if marks else ""
+        print(f"  {band.start:6.1f}s  {bar}{suffix}")
+
+    # window=2.0: recovery compares non-overlapping windows, so the
+    # window must be shorter than the outages it should resolve.
+    report = resilience_report(
+        faulted, plan=PLAN, sla=sla, baseline=baseline, window=2.0
+    )
+    print("\nresilience report:")
+    for impact in report.impacts:
+        recovered = ("not recovered" if impact.recovery_seconds is None
+                     else f"recovered in {impact.recovery_seconds:.2f}s")
+        print(f"  {impact.kind:<8} at t={impact.at:5.1f}s  ->  {recovered}")
+    print("  over-SLA mass in degraded windows: "
+          f"{report.degraded_sla_mass:.2f}s")
+    print("  progress lost to faults:           "
+          f"{report.area_lost:.1f} query-seconds")
+
+
+if __name__ == "__main__":
+    main()

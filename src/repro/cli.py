@@ -7,6 +7,12 @@
   report (optionally exporting the query log / throughput as CSV).
 * ``run-matrix`` — fan a (SUT × scenario × seed) matrix across a process
   pool with content-addressed result caching; prints the run manifest.
+  Hardening flags: ``--timeout`` (per-job kill), ``--max-attempts`` /
+  ``--retry-backoff`` (retry budget), ``--checkpoint`` + ``--resume``
+  (survive interrupted invocations).
+* ``faults`` — chaos benchmark: inject a fault plan (stalls, crashes,
+  latency/throughput degradation windows) into a scenario, run it next
+  to its fault-free twin, and print the resilience report.
 * ``trace`` — print the telemetry rollup (per-phase wall time and
   counters) of a saved run-matrix manifest.
 * ``quality`` — score a built-in dataset (or a file of keys) with the
@@ -172,6 +178,11 @@ def cmd_run_matrix(args: argparse.Namespace) -> int:
             driver_config=DriverConfig(servers=args.servers),
             workers=args.workers,
             cache_dir=None if args.no_cache else args.cache_dir,
+            max_attempts=args.max_attempts,
+            job_timeout=args.timeout,
+            retry_backoff=args.retry_backoff,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
     except RunnerError as exc:
         print(f"run-matrix: {exc}", file=sys.stderr)
@@ -196,6 +207,95 @@ def cmd_run_matrix(args: argparse.Namespace) -> int:
         manifest.save(args.manifest)
         print(f"wrote manifest to {args.manifest}")
     return 1 if manifest.failures else 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """``repro faults``: chaos benchmark — inject faults, score resilience.
+
+    Builds a :class:`~repro.faults.FaultPlan` from the command-line
+    fault flags (or ``--plan-file``), runs the scenario twice — once
+    fault-free, once with the plan — and prints the resilience report:
+    per-fault recovery times, over-SLA latency mass inside degraded
+    windows, and progress area lost to the faults.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.faults import (
+        CrashFault,
+        DegradationFault,
+        FaultPlan,
+        LatencyFault,
+        StallFault,
+    )
+    from repro.metrics.resilience import resilience_report
+
+    faults: list = []
+    for at, duration in args.stall or []:
+        faults.append(StallFault(at=at, duration=duration))
+    for at, recovery in args.crash or []:
+        faults.append(CrashFault(at=at, recovery_seconds=recovery))
+    for start, end, multiplier in args.slow or []:
+        faults.append(LatencyFault(start=start, end=end, multiplier=multiplier))
+    for start, end, added in args.degrade or []:
+        faults.append(
+            DegradationFault(start=start, end=end, added_seconds=added)
+        )
+    if args.plan_file:
+        with open(args.plan_file) as handle:
+            plan = FaultPlan.from_dict(json.load(handle))
+        if faults:
+            print("faults: use either fault flags or --plan-file, not both",
+                  file=sys.stderr)
+            return 2
+    else:
+        if not faults:
+            print("faults: no faults given; add --stall/--crash/--slow/"
+                  "--degrade or --plan-file", file=sys.stderr)
+            return 2
+        plan = FaultPlan(faults)
+    if args.export_plan:
+        with open(args.export_plan, "w") as handle:
+            json.dump(plan.describe(), handle, indent=2)
+        print(f"wrote fault plan to {args.export_plan}\n")
+
+    dataset = build_dataset(args.dataset, n=args.keys, seed=args.seed)
+    scenario = SCENARIOS[args.scenario](dataset, args.rate, args.duration)
+    faulted_scenario = dc_replace(scenario, fault_plan=plan)
+    sample = expected_access_sample(scenario)
+    factories = _sut_factories(sample)
+    if args.sut not in factories:
+        print(f"unknown SUT {args.sut!r}; try: {', '.join(sorted(factories))}",
+              file=sys.stderr)
+        return 2
+    bench = Benchmark(BenchmarkConfig(servers=args.servers))
+
+    baseline = bench.run(factories[args.sut](), scenario)
+    sla = args.sla if args.sla is not None else calibrate_sla(
+        baseline, percentile=99.0, headroom=1.5
+    )
+    faulted = bench.run(factories[args.sut](), faulted_scenario)
+    report = resilience_report(
+        faulted, plan=plan, sla=sla, baseline=baseline
+    )
+
+    print(f"chaos benchmark: {args.sut} on {scenario.name!r} "
+          f"({len(plan)} fault(s), SLA {sla*1000:.3f} ms)")
+    print(f"  baseline: {baseline.num_queries} queries, "
+          f"{baseline.mean_throughput():.1f} q/s mean")
+    print(f"  faulted:  {faulted.num_queries} queries, "
+          f"{faulted.mean_throughput():.1f} q/s mean")
+    print("\nper-fault recovery:")
+    for impact in report.impacts:
+        recovered = ("not recovered" if impact.recovery_seconds is None
+                     else f"{impact.recovery_seconds:8.3f}s")
+        print(f"  {impact.kind:<12} at {impact.at:8.2f}s  ->  {recovered}")
+    print(f"\nrecovered faults:      {report.recovered_faults}"
+          f"/{len(report.impacts)}")
+    if report.worst_recovery_seconds is not None:
+        print(f"worst recovery:        {report.worst_recovery_seconds:.3f}s")
+    print(f"degraded SLA mass:     {report.degraded_sla_mass:.3f}s over SLA")
+    print(f"area lost to faults:   {report.area_lost:.1f} query·seconds")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -343,7 +443,62 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the result cache entirely")
     mat.add_argument("--manifest", default=None,
                      help="write the run manifest (JSON) to this path")
+    mat.add_argument("--max-attempts", type=int, default=2,
+                     help="executions per job before it is marked failed "
+                          "(crashes, timeouts, and exceptions all count)")
+    mat.add_argument("--timeout", type=float, default=None,
+                     help="per-job wall-clock budget in seconds; a job "
+                          "over budget is killed (consumes one attempt)")
+    mat.add_argument("--retry-backoff", type=float, default=0.25,
+                     help="base of the exponential backoff between "
+                          "attempts (seconds)")
+    mat.add_argument("--checkpoint", default=None,
+                     help="atomically rewrite the manifest here after "
+                          "every finished job")
+    mat.add_argument("--resume", action="store_true",
+                     help="reuse completed jobs from --checkpoint "
+                          "(results served from the cache)")
     mat.set_defaults(func=cmd_run_matrix)
+
+    fl = sub.add_parser(
+        "faults",
+        help="chaos benchmark: inject faults into a scenario and score "
+             "resilience",
+    )
+    fl.add_argument("--scenario", choices=sorted(SCENARIOS),
+                    default="abrupt-shift")
+    fl.add_argument("--sut", default="learned-kv")
+    fl.add_argument("--dataset", choices=dataset_names(), default="osm")
+    fl.add_argument("--keys", type=int, default=50_000)
+    fl.add_argument("--rate", type=float, default=3200.0)
+    fl.add_argument("--duration", type=float, default=60.0)
+    fl.add_argument("--servers", type=int, default=1)
+    fl.add_argument("--seed", type=int, default=7)
+    fl.add_argument("--stall", nargs=2, type=float, action="append",
+                    metavar=("AT", "DURATION"),
+                    help="full-stop stall: all servers blocked for "
+                         "DURATION seconds at AT (repeatable)")
+    fl.add_argument("--crash", nargs=2, type=float, action="append",
+                    metavar=("AT", "RECOVERY"),
+                    help="crash/restart at AT: RECOVERY seconds of "
+                         "outage, then a cold-cache retrain (repeatable)")
+    fl.add_argument("--slow", nargs=3, type=float, action="append",
+                    metavar=("START", "END", "MULTIPLIER"),
+                    help="latency window: service times ×MULTIPLIER for "
+                         "arrivals in [START, END) (repeatable)")
+    fl.add_argument("--degrade", nargs=3, type=float, action="append",
+                    metavar=("START", "END", "SECONDS"),
+                    help="throughput degradation window: +SECONDS per "
+                         "query for arrivals in [START, END) (repeatable)")
+    fl.add_argument("--plan-file", default=None,
+                    help="load the fault plan from this JSON file "
+                         "(FaultPlan.describe() format)")
+    fl.add_argument("--export-plan", default=None,
+                    help="write the fault plan (JSON) to this path")
+    fl.add_argument("--sla", type=float, default=None,
+                    help="SLA threshold in seconds (default: p99 × 1.5 "
+                         "calibrated from the fault-free baseline)")
+    fl.set_defaults(func=cmd_faults)
 
     trace = sub.add_parser(
         "trace", help="print the telemetry rollup of a saved run manifest"

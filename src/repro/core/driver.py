@@ -21,6 +21,20 @@ Training placement:
 * ``on_tick`` retrains requested by the SUT block the server inline —
   the "CPU overheads of retraining a model" that §V-D2 says should
   visibly dent throughput.
+
+Fault injection:
+
+When the scenario carries a :class:`~repro.faults.FaultPlan`, the driver
+wraps it in a :class:`~repro.faults.FaultClock`. Window faults perturb
+service times keyed on arrival time (identical elementwise kernel in
+both paths); point faults (stalls, crashes) are merged with the tick
+stream into one per-segment interrupt sequence, so they interleave with
+arrivals using the exact same fire-before-arrival semantics as ticks —
+which is what keeps the scalar and batched paths bit-identical under
+faults. A crash blocks every server for the recovery period, then calls
+``sut.on_crash``; a returned cold-retrain budget extends the outage and
+is recorded as a training event like any online retrain. With no plan
+set the fault machinery reduces to the original tick loop.
 """
 
 from __future__ import annotations
@@ -43,6 +57,8 @@ from repro.core.results import ColumnarRecorder, RunResult
 from repro.core.scenario import Scenario
 from repro.core.sut import SystemUnderTest
 from repro.errors import DriverError
+from repro.faults import FaultClock, StallFault
+from repro.faults.plan import PointFault
 from repro.observability import NULL_TRACER
 from repro.workloads.generators import KV_OPERATIONS, KVWorkload, QueryBatch
 
@@ -96,6 +112,48 @@ class DriverConfig:
         }
 
 
+class _InterruptStream:
+    """Merged tick + point-fault sequence for one segment.
+
+    Tick times are produced by the same repeated float addition the
+    original tick loops used (``t += tick_interval`` starting from the
+    segment start), so a fault-free stream is bit-identical to the
+    pre-faults driver. Point faults (already restricted to the segment's
+    ``[start, end)`` window, sorted by time) are interleaved by time;
+    when a fault coincides exactly with a tick, the tick fires first —
+    the tie-break is fixed so both driver paths agree.
+    """
+
+    __slots__ = ("_next_tick", "_interval", "_faults", "_idx")
+
+    def __init__(
+        self, seg_start: float, tick_interval: float, faults: List[PointFault]
+    ) -> None:
+        self._next_tick = seg_start
+        self._interval = tick_interval
+        self._faults = faults
+        self._idx = 0
+
+    def peek(self) -> float:
+        """Time of the next interrupt (ticks never run out)."""
+        if self._idx < len(self._faults):
+            at = self._faults[self._idx].at
+            if at < self._next_tick:
+                return at
+        return self._next_tick
+
+    def pop(self) -> Tuple[float, Optional[PointFault]]:
+        """Consume the next interrupt: ``(time, fault-or-None-for-tick)``."""
+        if self._idx < len(self._faults):
+            fault = self._faults[self._idx]
+            if fault.at < self._next_tick:
+                self._idx += 1
+                return fault.at, fault
+        t = self._next_tick
+        self._next_tick += self._interval
+        return t, None
+
+
 class VirtualClockDriver:
     """Runs a scenario against a SUT on a virtual clock.
 
@@ -115,6 +173,7 @@ class VirtualClockDriver:
     ) -> None:
         self.config = config or DriverConfig()
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self._fault_clock: Optional[FaultClock] = None
 
     def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
         """Execute ``scenario`` against ``sut`` and return the record."""
@@ -122,6 +181,10 @@ class VirtualClockDriver:
         recorder = ColumnarRecorder()
         tracer = self.tracer
         sut.attach_tracer(tracer)
+        # Per-run fault state; None keeps every fault branch untaken.
+        self._fault_clock = (
+            FaultClock(scenario.fault_plan) if scenario.fault_plan else None
+        )
 
         # Initial load + offline training happen before query time zero.
         with tracer.span("setup", phase="serve", sut=sut.name,
@@ -258,21 +321,27 @@ class VirtualClockDriver:
         training_events: List[TrainingEvent],
     ) -> List[float]:
         """Reference path: one query at a time through the server heap."""
-        next_tick = seg_start
+        stream = self._interrupts(seg_start, seg_end, scenario)
+        fault_clock = self._fault_clock
         for i in range(len(batch)):
             arrival = float(batch.arrivals[i])
-            # Fire any due ticks before this arrival.
-            while next_tick <= arrival:
-                server_free, event = self._tick(sut, next_tick, server_free)
-                if event is not None:
-                    training_events.append(event)
-                next_tick += scenario.tick_interval
+            # Fire any due interrupts (ticks + point faults) before this
+            # arrival.
+            while stream.peek() <= arrival:
+                server_free = self._fire_interrupt(
+                    sut, stream, server_free, training_events
+                )
             query = batch.query(i)
             free = heapq.heappop(server_free)
             start = max(arrival, free)
             service = max(
                 self.config.min_service_time, float(sut.execute(query, arrival))
             )
+            if fault_clock is not None:
+                service = max(
+                    self.config.min_service_time,
+                    fault_clock.perturb(service, arrival),
+                )
             completion = start + service
             heapq.heappush(server_free, completion)
             recorder.append(
@@ -282,12 +351,11 @@ class VirtualClockDriver:
                 recorder.intern_op(query.op.value),
                 segment_code,
             )
-        # Remaining ticks to the end of the segment.
-        while next_tick < seg_end:
-            server_free, event = self._tick(sut, next_tick, server_free)
-            if event is not None:
-                training_events.append(event)
-            next_tick += scenario.tick_interval
+        # Remaining interrupts to the end of the segment.
+        while stream.peek() < seg_end:
+            server_free = self._fire_interrupt(
+                sut, stream, server_free, training_events
+            )
         return server_free
 
     def _run_segment_batched(
@@ -305,19 +373,20 @@ class VirtualClockDriver:
     ) -> List[float]:
         """Batched path: tick-bounded slices through ``execute_batch``.
 
-        The scalar loop fires every tick with ``next_tick <= arrival``
-        before each arrival; slicing the arrival array at each tick with
-        ``searchsorted(..., side="left")`` reproduces that interleaving
-        exactly — queries strictly before the tick run first, then the
-        tick fires, and trailing ticks fill out to the segment end.
+        The scalar loop fires every interrupt (tick or point fault) with
+        ``time <= arrival`` before each arrival; slicing the arrival
+        array at each interrupt with ``searchsorted(..., side="left")``
+        reproduces that interleaving exactly — queries strictly before
+        the interrupt run first, then it fires, and trailing interrupts
+        fill out to the segment end.
         """
         arrivals = batch.arrivals
         n = len(batch)
-        next_tick = seg_start
+        stream = self._interrupts(seg_start, seg_end, scenario)
         idx = 0
-        while next_tick < seg_end:
+        while stream.peek() < seg_end:
             end = idx + int(
-                np.searchsorted(arrivals[idx:], next_tick, side="left")
+                np.searchsorted(arrivals[idx:], stream.peek(), side="left")
             )
             if end > idx:
                 server_free = self._process_batch_slice(
@@ -325,10 +394,9 @@ class VirtualClockDriver:
                     recorder, op_map,
                 )
                 idx = end
-            server_free, event = self._tick(sut, next_tick, server_free)
-            if event is not None:
-                training_events.append(event)
-            next_tick += scenario.tick_interval
+            server_free = self._fire_interrupt(
+                sut, stream, server_free, training_events
+            )
         if idx < n:
             server_free = self._process_batch_slice(
                 sut, batch, idx, n, segment_code, server_free, recorder, op_map
@@ -356,6 +424,11 @@ class VirtualClockDriver:
                 np.asarray(
                     sut.execute_batch(sub, float(sub.arrivals[0])), dtype=np.float64
                 ),
+            )
+        if self._fault_clock is not None and self._fault_clock.has_window_faults:
+            services = np.maximum(
+                self.config.min_service_time,
+                self._fault_clock.perturb_batch(services, sub.arrivals),
             )
         if self.config.servers == 1:
             starts, completions, new_free = fifo_single_server(
@@ -386,6 +459,87 @@ class VirtualClockDriver:
         return server_free
 
     # -- helpers ---------------------------------------------------------------------
+
+    def _interrupts(
+        self, seg_start: float, seg_end: float, scenario: Scenario
+    ) -> _InterruptStream:
+        """Build the segment's merged tick + point-fault stream."""
+        faults: List[PointFault] = []
+        if self._fault_clock is not None:
+            faults = self._fault_clock.point_faults_in(seg_start, seg_end)
+        return _InterruptStream(seg_start, scenario.tick_interval, faults)
+
+    def _fire_interrupt(
+        self,
+        sut: SystemUnderTest,
+        stream: _InterruptStream,
+        server_free: List[float],
+        training_events: List[TrainingEvent],
+    ) -> List[float]:
+        """Consume and apply the stream's next interrupt."""
+        now, fault = stream.pop()
+        if fault is None:
+            server_free, event = self._tick(sut, now, server_free)
+            if event is not None:
+                training_events.append(event)
+            return server_free
+        return self._fire_fault(sut, fault, server_free, training_events)
+
+    def _fire_fault(
+        self,
+        sut: SystemUnderTest,
+        fault: PointFault,
+        server_free: List[float],
+        training_events: List[TrainingEvent],
+    ) -> List[float]:
+        """Apply one point fault to the server pool.
+
+        Both stalls and crashes block *new* service on every server
+        until the outage ends; queries already in flight complete as
+        scheduled (the pause stops work from starting, not finishing).
+        A crash additionally fires ``sut.on_crash``; if the SUT reports
+        a cold retrain, it runs once the process is back up and the
+        busiest server has drained, extending the outage and landing in
+        ``training_events`` so the cost metrics price it.
+        """
+        self.tracer.counter("driver.faults")
+        if isinstance(fault, StallFault):
+            self.tracer.counter("driver.fault_stalls")
+            span = self.tracer.start_span(
+                "fault:stall", phase="fault", at=fault.at, duration=fault.duration
+            )
+            self.tracer.end_span()
+            resume = fault.at + fault.duration
+            blocked = [max(f, resume) for f in server_free]
+            heapq.heapify(blocked)
+            return blocked
+        self.tracer.counter("driver.fault_crashes")
+        span = self.tracer.start_span(
+            "fault:crash",
+            phase="fault",
+            at=fault.at,
+            recovery_seconds=fault.recovery_seconds,
+        )
+        try:
+            nominal = sut.on_crash(fault.at)
+        finally:
+            self.tracer.end_span()
+        resume = fault.at + fault.recovery_seconds
+        blocked = [max(f, resume) for f in server_free]
+        if nominal and nominal > 0:
+            event = make_event(
+                start=max(blocked),
+                nominal_seconds=float(nominal),
+                hardware=self.config.online_hardware,
+                online=True,
+                label="crash-retrain",
+            )
+            training_events.append(event)
+            if span is not None:
+                span.attrs["training_event"] = event_to_telemetry(event)
+            blocked = [max(f, event.end) for f in blocked]
+        heapq.heapify(blocked)
+        return blocked
 
     def _run_training_phase(
         self,

@@ -6,6 +6,12 @@ phase, between-segment retrains, and online retraining triggered by the
 SUT itself — as a :class:`TrainingEvent` carried in the run result, so
 the cost metrics (Fig 1d) can price it and the adaptability metrics
 (Fig 1b/1c) can see its interference with query processing.
+
+The fault subsystem reuses the same currency: when a
+:class:`~repro.faults.CrashFault` fires, the SUT's ``on_crash`` hook
+may report a cold-cache rebuild, which the driver records as an online
+``"crash-retrain"`` :class:`TrainingEvent` — so losing a model to a
+crash costs exactly what training it costs everywhere else.
 """
 
 from __future__ import annotations

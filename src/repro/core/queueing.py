@@ -10,6 +10,15 @@ completion, so completions are a prefix sum seeded with the server's
 free time — and ``np.cumsum`` accumulates left-to-right, matching the
 scalar addition order exactly). The kernel alternates between the two
 regimes with an adaptive chunk size.
+
+The kernel itself is oblivious to ticks and faults: the batched driver
+slices each segment's batch at every interrupt boundary (tick
+checkpoints and :mod:`repro.faults` point faults), so a single kernel
+call never spans an online retrain or an outage, and window-fault
+service perturbation happens *before* queueing (arrival-keyed, via
+:meth:`repro.faults.FaultClock.perturb_batch`). ``servers > 1``
+bypasses this module and keeps the per-query heap inside the batch
+loop.
 """
 
 from __future__ import annotations

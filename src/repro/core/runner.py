@@ -14,9 +14,26 @@ a time. This module is the orchestration layer on top of it:
   hash of the result-determining source modules. Re-running a figure
   script therefore only executes jobs whose inputs actually changed.
 * :class:`RunManifest` records per-job wall time, cache hit/miss, worker
-  pid, and failure details, so every matrix invocation leaves an
-  observable trace (and a crash in one job cannot sink the matrix —
-  the job is marked ``failed`` and the rest completes).
+  pid, attempt count, and failure details, so every matrix invocation
+  leaves an observable trace (and a crash in one job cannot sink the
+  matrix — the job is marked ``failed`` and the rest completes).
+
+Hardening (chaos-benchmark matrices run for hours, so the runner itself
+must survive misbehaving jobs and interrupted invocations):
+
+* **Per-job wall-clock timeouts** (``job_timeout``): each job runs in
+  its own process; a job that exceeds the deadline is killed and
+  consumes one attempt.
+* **Exponential-backoff retry budget** (``max_attempts`` ×
+  ``retry_backoff``): crashed, timed-out, *and* raising jobs are retried
+  with ``retry_backoff * 2**(attempt-1)`` seconds between attempts; the
+  final failure surfaces the worker's traceback tail and the attempt
+  count lands on the :class:`JobRecord`.
+* **Checkpoint/resume** (``checkpoint`` + ``resume``): the manifest is
+  atomically rewritten after every finished job; a resumed run reuses
+  the checkpoint's completed records verbatim (results served from the
+  result cache), so the final manifest is canonically identical to an
+  uninterrupted run's.
 
 The runner is the layer future scaling work (sharding, remote workers)
 builds on; see DESIGN.md §2.
@@ -32,10 +49,11 @@ import os
 import tempfile
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from multiprocessing import connection
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.driver import DriverConfig, VirtualClockDriver
 from repro.core.results import RunResult
@@ -57,14 +75,17 @@ def code_version() -> str:
     editing metrics/reporting (pure post-processing) does not.
     """
     import repro
-    from repro.core import driver, phases, results, scenario
+    from repro.core import driver, phases, queueing, results, scenario
+    from repro.faults import clock as fault_clock
+    from repro.faults import plan as fault_plan
     from repro.workloads import distributions, drift, generators, patterns
 
     digest = hashlib.sha256()
     digest.update(repro.__version__.encode())
     digest.update(str(CACHE_FORMAT).encode())
     for module in (
-        driver, phases, results, scenario,
+        driver, phases, queueing, results, scenario,
+        fault_plan, fault_clock,
         distributions, drift, generators, patterns,
     ):
         digest.update(inspect.getsource(module).encode())
@@ -137,6 +158,11 @@ class JobRecord:
     ``trace`` is the worker's serialized :class:`~repro.observability.Trace`
     (``Trace.to_dict`` payload) for executed jobs; cached and failed jobs
     carry ``None``.
+
+    ``attempts`` counts executions of the job (1 for a clean first run;
+    higher when crash/timeout/exception retries were consumed). The
+    field defaults to 1 so manifests written before it existed still
+    load.
     """
 
     label: str
@@ -147,6 +173,7 @@ class JobRecord:
     status: str
     wall_seconds: float = 0.0
     worker: int = 0
+    attempts: int = 1
     error: Optional[str] = None
     trace: Optional[Dict[str, Any]] = None
 
@@ -164,6 +191,7 @@ class JobRecord:
             "status": self.status,
             "wall_seconds": self.wall_seconds,
             "worker": self.worker,
+            "attempts": self.attempts,
             "error": self.error,
             "trace": self.trace,
         }
@@ -221,6 +249,25 @@ class RunManifest:
             "wall_seconds": self.wall_seconds,
             "telemetry": self.telemetry(),
             "jobs": [j.to_dict() for j in self.jobs],
+        }
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Execution-invariant view of the manifest.
+
+        Drops everything that legitimately varies between two equivalent
+        invocations — wall times, worker pids, traces, pool size, cache
+        location — and keeps what the matrix *computed*: per-job
+        identity, cache keys, statuses, attempt counts, and errors. A
+        checkpoint/resume run is correct iff its canonical dict equals
+        the uninterrupted run's.
+        """
+        volatile = {"wall_seconds", "worker", "trace"}
+        return {
+            "format": CACHE_FORMAT,
+            "jobs": [
+                {k: v for k, v in j.to_dict().items() if k not in volatile}
+                for j in self.jobs
+            ],
         }
 
     @classmethod
@@ -344,6 +391,27 @@ def _execute_job(
         return index, os.getpid(), wall, None, error, None
 
 
+def _job_worker(
+    conn,
+    index: int,
+    factory: Callable[[], SystemUnderTest],
+    scenario: Scenario,
+    config: DriverConfig,
+) -> None:
+    """Child-process entry point: run one job, ship the outcome home.
+
+    The parent detects a hard crash (segfault, OOM-kill, timeout kill)
+    as EOF on the pipe — the child only closes it after a successful
+    ``send``, so a readable-but-empty pipe always means the job never
+    finished.
+    """
+    outcome = _execute_job(index, factory, scenario, config)
+    try:
+        conn.send(outcome)
+    finally:
+        conn.close()
+
+
 @dataclass
 class MatrixOutcome:
     """What :meth:`MatrixRunner.run` returns.
@@ -383,8 +451,27 @@ class MatrixRunner:
         use_cache: Master switch (lets callers keep ``cache_dir``
             configured while forcing re-execution).
         max_attempts: Executions per job before it is marked failed.
-            Only pool-level breakage (a hard worker crash) consumes
-            attempts; ordinary exceptions fail the job immediately.
+            Hard worker crashes, timeouts, and in-worker exceptions all
+            consume attempts; the final failure records the last
+            attempt's error (a raising job's error includes the worker's
+            traceback tail).
+        job_timeout: Per-job wall-clock budget in seconds; a job still
+            running at its deadline is killed and the attempt counts as
+            failed. ``None`` disables timeouts. Enforcing a timeout
+            requires process isolation, so a single-job matrix with a
+            timeout still runs through the process scheduler.
+        retry_backoff: Base of the exponential backoff between attempts
+            (``retry_backoff * 2**(attempt-1)`` seconds).
+        checkpoint: Path where the manifest is atomically rewritten
+            after every finished job, so a killed invocation leaves a
+            loadable partial manifest.
+        resume: Reuse the checkpoint's completed records: a job whose
+            cache key matches a checkpointed ``ok``/``cached`` record
+            (and whose result the cache can still serve) is not
+            re-executed, and its record — wall time, worker, trace,
+            attempts — is preserved verbatim. Requires ``cache_dir``;
+            without a cache there is nothing to serve results from and
+            every job re-executes.
     """
 
     def __init__(
@@ -394,16 +481,31 @@ class MatrixRunner:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         max_attempts: int = 2,
+        job_timeout: Optional[float] = None,
+        retry_backoff: float = 0.25,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
         if workers is not None and workers < 1:
             raise RunnerError(f"workers must be >= 1, got {workers}")
         if max_attempts < 1:
             raise RunnerError(f"max_attempts must be >= 1, got {max_attempts}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise RunnerError(f"job_timeout must be > 0, got {job_timeout}")
+        if retry_backoff < 0:
+            raise RunnerError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if resume and checkpoint is None:
+            raise RunnerError("resume=True requires a checkpoint path")
         self.driver_config = driver_config or DriverConfig()
         self.workers = workers
         self.use_cache = use_cache and cache_dir is not None
         self.cache = ResultCache(cache_dir) if self.use_cache else None
         self.max_attempts = max_attempts
+        self.job_timeout = job_timeout
+        self.retry_backoff = retry_backoff
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self._checkpoint_workers = 1
 
     # -- public API ------------------------------------------------------------------
 
@@ -417,6 +519,7 @@ class MatrixRunner:
         records: List[Optional[JobRecord]] = [None] * len(jobs)
         results: List[Optional[RunResult]] = [None] * len(jobs)
         pending: List[int] = []
+        prior = self._load_checkpoint_records()
 
         for index, job in enumerate(jobs):
             try:
@@ -433,6 +536,16 @@ class MatrixRunner:
                 )
                 continue
             key = job_cache_key(job, self.driver_config, sut.describe())
+            if key in prior and self.use_cache:
+                # Resume: reuse the checkpointed record verbatim (wall
+                # time, worker, trace, attempts) when the cache can
+                # still serve the result — the manifest ends up
+                # canonically identical to an uninterrupted run's.
+                reusable = self.cache.load(key)
+                if reusable is not None:
+                    records[index] = replace(prior[key])
+                    results[index] = reusable
+                    continue
             record = JobRecord(
                 label=job.label or f"{sut.name}×{job.scenario.name}",
                 sut_name=sut.name,
@@ -450,8 +563,10 @@ class MatrixRunner:
                 pending.append(index)
 
         workers = self._worker_count(len(pending))
+        self._checkpoint_workers = workers
+        self._write_checkpoint(records)
         if pending:
-            if workers == 1:
+            if workers == 1 and self.job_timeout is None:
                 self._run_serial(jobs, pending, records, results)
             else:
                 self._run_pool(jobs, pending, records, results, workers)
@@ -480,12 +595,29 @@ class MatrixRunner:
         records: List[Optional[JobRecord]],
         results: List[Optional[RunResult]],
     ) -> None:
+        """In-process execution with the same attempt/backoff semantics.
+
+        Used only when there is nothing to isolate (one worker, no
+        timeout); a raising job still consumes ``max_attempts`` with
+        exponential backoff so serial and pooled matrices agree on the
+        manifest they produce.
+        """
         for index in pending:
             job = jobs[index]
-            outcome = _execute_job(
-                index, job.sut_factory, job.resolved_scenario(), self.driver_config
-            )
-            self._absorb(outcome, records, results)
+            record = records[index]
+            assert record is not None
+            for attempt in range(1, self.max_attempts + 1):
+                record.attempts = attempt
+                outcome = _execute_job(
+                    index, job.sut_factory, job.resolved_scenario(),
+                    self.driver_config,
+                )
+                if outcome[4] is None or attempt >= self.max_attempts:
+                    self._absorb(outcome, records, results)
+                    break
+                if self.retry_backoff > 0:
+                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            self._write_checkpoint(records)
 
     def _run_pool(
         self,
@@ -495,75 +627,226 @@ class MatrixRunner:
         results: List[Optional[RunResult]],
         workers: int,
     ) -> None:
-        """Fan pending jobs across a pool; survive hard worker crashes.
+        """Fan pending jobs across worker processes; survive bad jobs.
 
-        A worker that raises returns a structured error (``_execute_job``
-        never raises), so the pool only breaks on a *hard* crash
-        (segfault, OOM-kill). When that happens every in-flight future
-        fails with the pool; each affected job gets re-submitted to a
-        fresh pool until it exhausts ``max_attempts`` — so one poisonous
-        job is eventually marked failed while the rest complete.
+        Each job runs in its own :class:`multiprocessing.Process` with a
+        one-shot pipe back to the parent; ``connection.wait`` multiplexes
+        completions, so the scheduler notices a finished job immediately
+        and a *hard* crash (segfault, OOM-kill) as EOF on the job's pipe.
+        Crashes, timeouts, and structured in-worker errors all feed the
+        same retry budget: the job re-queues with exponential backoff
+        until ``max_attempts`` is spent, then its record is marked
+        ``failed`` — one poisonous job can never sink the matrix.
         """
-        attempts = {index: 0 for index in pending}
-        queue = list(pending)
         context = self._mp_context()
-        while queue:
-            for index in queue:
-                attempts[index] += 1
-            retry: List[int] = []
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(queue)), mp_context=context
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _execute_job,
-                        index,
-                        jobs[index].sut_factory,
-                        jobs[index].resolved_scenario(),
-                        self.driver_config,
-                    ): index
-                    for index in queue
-                }
-                not_done = set(futures)
-                broken = False
-                while not_done and not broken:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index = futures[future]
-                        error = future.exception()
-                        if error is None:
-                            self._absorb(future.result(), records, results)
-                        else:
-                            # Pool-level breakage: the whole executor is
-                            # dead; triage every unfinished job.
-                            broken = True
-                            self._crashed(index, error, attempts, retry, records)
-                for future in not_done:
-                    index = futures[future]
-                    self._crashed(
-                        index,
-                        RuntimeError("aborted: worker pool broke"),
-                        attempts,
-                        retry,
-                        records,
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        ready_at: Dict[int, float] = {index: 0.0 for index in pending}
+        queue: Deque[int] = deque(pending)
+        # conn -> (job index, process, kill deadline or None)
+        running: Dict[Any, Tuple[int, Any, Optional[float]]] = {}
+        try:
+            while queue or running:
+                while len(running) < workers:
+                    index = self._next_ready(queue, ready_at)
+                    if index is None:
+                        break
+                    attempts[index] += 1
+                    record = records[index]
+                    assert record is not None
+                    record.attempts = attempts[index]
+                    parent_end, child_end = context.Pipe(duplex=False)
+                    proc = context.Process(
+                        target=_job_worker,
+                        args=(
+                            child_end,
+                            index,
+                            jobs[index].sut_factory,
+                            jobs[index].resolved_scenario(),
+                            self.driver_config,
+                        ),
                     )
-            queue = retry
+                    proc.start()
+                    child_end.close()  # child owns the write end now
+                    deadline = (
+                        time.monotonic() + self.job_timeout
+                        if self.job_timeout is not None
+                        else None
+                    )
+                    running[parent_end] = (index, proc, deadline)
 
-    def _crashed(
+                if not running:
+                    # Everything left is backing off; sleep to the
+                    # earliest retry gate.
+                    gate = min(ready_at[i] for i in queue)
+                    delay = gate - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+
+                readable = connection.wait(
+                    list(running),
+                    timeout=self._wait_timeout(running, queue, ready_at, workers),
+                )
+                progressed = False
+                for conn in readable:
+                    index, proc, _deadline = running.pop(conn)
+                    try:
+                        outcome = conn.recv()
+                    except EOFError:
+                        # The child only closes the pipe after a
+                        # successful send, so EOF == hard crash.
+                        outcome = None
+                    conn.close()
+                    proc.join()
+                    progressed = True
+                    if outcome is None:
+                        self._retry_or_fail(
+                            index,
+                            f"worker crashed (exit code {proc.exitcode})",
+                            attempts, queue, ready_at, records,
+                            worker=proc.pid or 0,
+                        )
+                    elif outcome[4] is not None:
+                        self._retry_or_fail(
+                            index, outcome[4], attempts, queue, ready_at,
+                            records, wall=outcome[2], worker=outcome[1],
+                        )
+                    else:
+                        self._absorb(outcome, records, results)
+                now = time.monotonic()
+                for conn, (index, proc, deadline) in list(running.items()):
+                    if deadline is not None and now >= deadline:
+                        del running[conn]
+                        self._kill(proc)
+                        conn.close()
+                        progressed = True
+                        self._retry_or_fail(
+                            index,
+                            f"TimeoutError: job exceeded the "
+                            f"{self.job_timeout}s wall-clock budget "
+                            f"(killed)",
+                            attempts, queue, ready_at, records,
+                            wall=self.job_timeout or 0.0,
+                            worker=proc.pid or 0,
+                        )
+                if progressed:
+                    self._write_checkpoint(records)
+        finally:
+            # Interrupted (KeyboardInterrupt, test failure, …): never
+            # leak worker processes.
+            for conn, (_index, proc, _deadline) in running.items():
+                self._kill(proc)
+                conn.close()
+
+    def _retry_or_fail(
         self,
         index: int,
-        error: BaseException,
+        error: str,
         attempts: Dict[int, int],
-        retry: List[int],
+        queue: Deque[int],
+        ready_at: Dict[int, float],
         records: List[Optional[JobRecord]],
+        wall: float = 0.0,
+        worker: int = 0,
     ) -> None:
+        """Re-queue a failed attempt with backoff, or mark the job failed."""
         record = records[index]
         assert record is not None
         if attempts[index] < self.max_attempts:
-            retry.append(index)
+            ready_at[index] = time.monotonic() + (
+                self.retry_backoff * (2 ** (attempts[index] - 1))
+            )
+            queue.append(index)
         else:
             record.status = "failed"
-            record.error = f"{type(error).__name__}: {error}"
+            record.error = error
+            record.wall_seconds = wall
+            record.worker = worker
+
+    @staticmethod
+    def _next_ready(
+        queue: Deque[int], ready_at: Dict[int, float]
+    ) -> Optional[int]:
+        """Pop the first queued job whose backoff gate has opened."""
+        now = time.monotonic()
+        for _ in range(len(queue)):
+            index = queue.popleft()
+            if ready_at.get(index, 0.0) <= now:
+                return index
+            queue.append(index)
+        return None
+
+    def _wait_timeout(
+        self,
+        running: Dict[Any, Tuple[int, Any, Optional[float]]],
+        queue: Deque[int],
+        ready_at: Dict[int, float],
+        workers: int,
+    ) -> Optional[float]:
+        """How long ``connection.wait`` may block.
+
+        Bounded by the earliest kill deadline and — when a worker slot is
+        free — the earliest retry gate; ``None`` (block until a job
+        finishes) when neither applies.
+        """
+        bounds = [
+            deadline
+            for (_i, _p, deadline) in running.values()
+            if deadline is not None
+        ]
+        if queue and len(running) < workers:
+            bounds.extend(ready_at.get(i, 0.0) for i in queue)
+        if not bounds:
+            return None
+        return max(0.0, min(bounds) - time.monotonic())
+
+    @staticmethod
+    def _kill(proc: Any) -> None:
+        """Terminate a worker, escalating to SIGKILL if it lingers."""
+        proc.terminate()
+        proc.join(1.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def _load_checkpoint_records(self) -> Dict[str, JobRecord]:
+        """Completed records from the resume checkpoint, by cache key."""
+        if not self.resume or self.checkpoint is None:
+            return {}
+        try:
+            manifest = RunManifest.load(self.checkpoint)
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, TypeError):
+            # A missing or torn checkpoint just means a cold start.
+            return {}
+        return {
+            rec.cache_key: rec
+            for rec in manifest.jobs
+            if rec.status in ("ok", "cached") and rec.cache_key
+        }
+
+    def _write_checkpoint(
+        self, records: Sequence[Optional[JobRecord]]
+    ) -> None:
+        """Atomically rewrite the checkpoint manifest (if configured)."""
+        if self.checkpoint is None:
+            return
+        manifest = RunManifest(
+            jobs=[r for r in records if r is not None],
+            workers=self._checkpoint_workers,
+            cache_dir=self.cache.root if self.cache else None,
+        )
+        directory = os.path.dirname(os.path.abspath(self.checkpoint))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(manifest.to_dict(), handle, indent=2)
+            os.replace(tmp, self.checkpoint)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
 
     def _absorb(
         self,
@@ -615,6 +898,11 @@ def run_matrix(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    max_attempts: int = 2,
+    job_timeout: Optional[float] = None,
+    retry_backoff: float = 0.25,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> MatrixOutcome:
     """One-call convenience wrapper around :class:`MatrixRunner`."""
     runner = MatrixRunner(
@@ -622,5 +910,10 @@ def run_matrix(
         workers=workers,
         cache_dir=cache_dir,
         use_cache=use_cache,
+        max_attempts=max_attempts,
+        job_timeout=job_timeout,
+        retry_backoff=retry_backoff,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     return runner.run(list(jobs))

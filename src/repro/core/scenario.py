@@ -10,6 +10,12 @@ single segment's spec using :class:`~repro.workloads.drift.GradualDrift`)
 A segment may also inject new data at its start (``data_injection``),
 modeling bulk loads / dataset-distribution changes that are not part of
 the query stream.
+
+A scenario may additionally carry a
+:class:`~repro.faults.FaultPlan` (``fault_plan``): a deterministic
+schedule of environmental perturbations — latency windows, stalls,
+crash/restart — that the drivers inject during serving. Fault times are
+in query-time coordinates (the same clock as segment boundaries).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from repro.core.phases import TrainingPhase
 from repro.errors import ScenarioError
+from repro.faults import FaultPlan
 from repro.workloads.generators import WorkloadSpec
 
 
@@ -66,6 +73,8 @@ class Scenario:
             (``None`` = start empty).
         tick_interval: Virtual seconds between SUT ``on_tick`` hooks.
         seed: Seed for the scenario's query streams.
+        fault_plan: Optional deterministic fault schedule injected by
+            the driver during serving (``None`` = fault-free run).
     """
 
     name: str
@@ -74,12 +83,15 @@ class Scenario:
     initial_keys: Optional[np.ndarray] = None
     tick_interval: float = 1.0
     seed: int = 0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not self.segments:
             raise ScenarioError("scenario needs at least one segment")
         if self.tick_interval <= 0:
             raise ScenarioError("tick_interval must be > 0")
+        if self.fault_plan is not None and not self.fault_plan:
+            self.fault_plan = None  # an empty plan is a fault-free run
 
     @property
     def total_duration(self) -> float:
@@ -101,8 +113,13 @@ class Scenario:
         return out
 
     def describe(self) -> dict:
-        """JSON-friendly description of the scenario."""
-        return {
+        """JSON-friendly description of the scenario.
+
+        The ``faults`` key is present only when a fault plan is set, so
+        fingerprints (and every cache key derived from them) of
+        fault-free scenarios are unchanged by the faults subsystem.
+        """
+        out = {
             "name": self.name,
             "tick_interval": self.tick_interval,
             "seed": self.seed,
@@ -129,6 +146,9 @@ class Scenario:
                 for s in self.segments
             ],
         }
+        if self.fault_plan is not None:
+            out["faults"] = self.fault_plan.describe()
+        return out
 
     def fingerprint(self) -> str:
         """Stable content hash (used to seal hold-out scenarios)."""

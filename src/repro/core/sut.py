@@ -120,6 +120,19 @@ class SystemUnderTest(ABC):
         charge now, or ``None``/0 for no training. Default: none."""
         return None
 
+    def on_crash(self, now: float) -> Optional[float]:
+        """Crash/restart hook fired by a :class:`~repro.faults.CrashFault`.
+
+        The process has just restarted at virtual time ``now``: the SUT
+        should discard warm state that would not survive a restart
+        (caches, access history, drift-detector windows). Durable data
+        (the stored key/value pairs) survives. Return nominal seconds of
+        cold retraining to charge as blocking server time, or
+        ``None``/0 if the SUT restarts without retraining. Default: no
+        warm state, no retrain (traditional systems).
+        """
+        return None
+
     def teardown(self) -> None:
         """Release resources (default: nothing)."""
 

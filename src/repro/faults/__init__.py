@@ -1,0 +1,44 @@
+"""Deterministic fault injection: chaos benchmarking for learned systems.
+
+The paper's dynamic metrics (Fig 1b/1c) measure how fast a learned
+system recovers after a *change*. Distribution drift is one kind of
+change; this package supplies the other kind — environmental
+perturbations: latency spikes, stop-the-world stalls, throughput
+degradation windows, and process crash/restart with a cold-cache
+retrain. A :class:`FaultPlan` is composed into a
+:class:`~repro.core.scenario.Scenario` and applied inside the drivers by
+a :class:`FaultClock`, deterministically and bit-identically in the
+scalar and batched execution paths, so every resilience number is
+reproducible from ``(scenario, seed)`` alone.
+
+Public surface:
+
+* :class:`LatencyFault` / :class:`DegradationFault` — window faults that
+  perturb per-query service times (multiplicative / additive).
+* :class:`StallFault` / :class:`CrashFault` — point faults that block
+  every server; a crash additionally invalidates the SUT's warm state
+  via :meth:`~repro.core.sut.SystemUnderTest.on_crash`.
+* :class:`FaultPlan` — the validated, serializable schedule.
+* :class:`FaultClock` — the driver-side applicator.
+
+Scoring lives in :mod:`repro.metrics.resilience`; the recipe is
+documented end to end in ``docs/chaos-tutorial.md``.
+"""
+
+from repro.faults.clock import FaultClock
+from repro.faults.plan import (
+    CrashFault,
+    DegradationFault,
+    FaultPlan,
+    LatencyFault,
+    StallFault,
+)
+
+__all__ = [
+    "CrashFault",
+    "DegradationFault",
+    "FaultClock",
+    "FaultPlan",
+    "LatencyFault",
+    "StallFault",
+]

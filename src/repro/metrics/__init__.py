@@ -12,6 +12,9 @@
   adjustment-speed metric.
 * :mod:`~repro.metrics.cost` — Fig 1d: training/execution cost breakdown,
   the DBA step function, and training-cost-to-outperform.
+* :mod:`~repro.metrics.resilience` — Fig 1b/1c machinery applied to
+  injected faults: per-fault recovery time, degraded-window SLA mass,
+  area lost to faults.
 """
 
 from repro.metrics.adaptability import (
@@ -44,6 +47,14 @@ from repro.metrics.sla import (
     calibrate_sla,
     latency_bands,
     multi_latency_bands,
+)
+from repro.metrics.resilience import (
+    FaultImpact,
+    ResilienceReport,
+    area_lost_to_faults,
+    degraded_sla_mass,
+    fault_recovery_times,
+    resilience_report,
 )
 from repro.metrics.specialization import (
     SegmentPerformance,
@@ -80,4 +91,10 @@ __all__ = [
     "TCOModel",
     "cost_breakdown",
     "training_cost_to_outperform",
+    "FaultImpact",
+    "ResilienceReport",
+    "fault_recovery_times",
+    "degraded_sla_mass",
+    "area_lost_to_faults",
+    "resilience_report",
 ]

@@ -1,0 +1,220 @@
+"""Resilience metrics: scoring runs under injected faults.
+
+The paper's dynamic metric families (Fig 1b's area differences, Fig 1c's
+SLA bands) quantify behavior around *distribution* changes; these
+kernels apply the same machinery to the *environmental* changes injected
+by a :class:`~repro.faults.FaultPlan`:
+
+* :func:`fault_recovery_times` — Fig 1b recovery time measured at each
+  fault's onset instead of a segment boundary.
+* :func:`degraded_sla_mass` — Fig 1c's adjustment-speed idea restricted
+  to queries that arrived inside a fault's degraded window: the total
+  over-SLA latency attributable to faults.
+* :func:`area_lost_to_faults` — Fig 1b's area-between-systems applied
+  to a faulted run vs. its fault-free twin (same scenario, seed, and
+  driver config, no plan): query·seconds of progress the faults cost.
+
+All kernels reuse the exact step-integration / searchsorted machinery
+from :mod:`repro.metrics.adaptability`, so resilience numbers are
+directly comparable with the drift-driven adaptability numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
+from repro.metrics.adaptability import area_between_systems, recovery_time
+
+__all__ = [
+    "FaultImpact",
+    "ResilienceReport",
+    "fault_recovery_times",
+    "degraded_sla_mass",
+    "area_lost_to_faults",
+    "resilience_report",
+]
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """Recovery scoring for one injected fault.
+
+    Attributes:
+        kind: Fault kind ("latency", "degradation", "stall", "crash").
+        at: Fault onset in virtual seconds.
+        recovery_seconds: Throughput recovery time after the onset
+            (:func:`repro.metrics.adaptability.recovery_time` semantics),
+            or ``None`` when the run ended before recovering or the
+            pre-fault window was idle.
+    """
+
+    kind: str
+    at: float
+    recovery_seconds: Optional[float]
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Single-value resilience summary for one faulted run.
+
+    Attributes:
+        sut_name: The run's SUT.
+        impacts: Per-fault recovery scoring, in onset order.
+        degraded_sla_mass: Over-SLA latency seconds of queries arriving
+            in degraded windows (``None`` when no SLA was supplied).
+        area_lost: Query·seconds lost vs. the fault-free twin run
+            (``None`` when no baseline was supplied).
+    """
+
+    sut_name: str
+    impacts: Tuple[FaultImpact, ...]
+    degraded_sla_mass: Optional[float]
+    area_lost: Optional[float]
+
+    @property
+    def recovered_faults(self) -> int:
+        """Faults the system recovered from before the run ended."""
+        return sum(1 for i in self.impacts if i.recovery_seconds is not None)
+
+    @property
+    def worst_recovery_seconds(self) -> Optional[float]:
+        """Slowest measured recovery (``None`` if nothing recovered)."""
+        measured = [
+            i.recovery_seconds
+            for i in self.impacts
+            if i.recovery_seconds is not None
+        ]
+        return max(measured) if measured else None
+
+
+def _plan_for(result: RunResult, plan: Optional[FaultPlan]) -> FaultPlan:
+    """Resolve the fault plan: explicit, or from the run's own record."""
+    if plan is not None:
+        return plan
+    described = (result.scenario_description or {}).get("faults")
+    if not described:
+        raise ConfigurationError(
+            "run records no fault plan; pass one explicitly via plan="
+        )
+    return FaultPlan.from_dict(described)
+
+
+def fault_recovery_times(
+    result: RunResult,
+    plan: Optional[FaultPlan] = None,
+    window: float = 5.0,
+    recovery_fraction: float = 0.9,
+) -> List[FaultImpact]:
+    """Throughput recovery time at each fault onset.
+
+    Applies :func:`repro.metrics.adaptability.recovery_time` at every
+    fault's onset time (window fault start / point fault firing time),
+    so a fault the system shrugged off scores near zero and an outage
+    with a long queue drain scores its true recovery span.
+
+    Args:
+        plan: The injected plan; defaults to the one recorded in the
+            run's scenario description.
+        window: Throughput comparison window (seconds).
+        recovery_fraction: Fraction of pre-fault throughput that counts
+            as recovered.
+    """
+    resolved = _plan_for(result, plan)
+    impacts = []
+    for start, _end, kind in resolved.degraded_windows():
+        impacts.append(
+            FaultImpact(
+                kind=kind,
+                at=start,
+                recovery_seconds=recovery_time(
+                    result,
+                    start,
+                    window=window,
+                    recovery_fraction=recovery_fraction,
+                ),
+            )
+        )
+    return impacts
+
+
+def degraded_sla_mass(
+    result: RunResult,
+    sla: float,
+    plan: Optional[FaultPlan] = None,
+) -> float:
+    """Total over-SLA latency of queries arriving in degraded windows.
+
+    A query is attributed to a fault when its *arrival* falls in the
+    fault's degraded interval (window faults: ``[start, end)``; stalls:
+    ``[at, at + duration)``; crashes: ``[at, at + recovery_seconds)``).
+    The mass is the sum of ``max(0, latency - sla)`` over attributed
+    queries — the same units as Fig 1c's adjustment speed, so the two
+    can be compared side by side. Overlapping windows count each query
+    once. Units: seconds.
+    """
+    if sla <= 0:
+        raise ConfigurationError("sla must be > 0")
+    resolved = _plan_for(result, plan)
+    cols = result.columns
+    if cols.size == 0:
+        return 0.0
+    arrivals = cols.arrivals
+    mask = np.zeros(arrivals.size, dtype=bool)
+    for start, end, _kind in resolved.degraded_windows():
+        mask |= (arrivals >= start) & (arrivals < end)
+    if not mask.any():
+        return 0.0
+    over = np.maximum(0.0, cols.latencies[mask] - sla)
+    return float(over.sum())
+
+
+def area_lost_to_faults(faulted: RunResult, baseline: RunResult) -> float:
+    """Query·seconds of progress lost to faults vs. the fault-free twin.
+
+    ``baseline`` must be the same (SUT, scenario, seed, driver config)
+    run without the fault plan; the drivers' determinism guarantees the
+    two runs differ only by the injected faults, so the exact
+    area-between-curves (baseline minus faulted) is entirely
+    fault-attributable. Positive = the faults cost progress.
+    """
+    return area_between_systems(baseline, faulted)
+
+
+def resilience_report(
+    result: RunResult,
+    plan: Optional[FaultPlan] = None,
+    sla: Optional[float] = None,
+    baseline: Optional[RunResult] = None,
+    window: float = 5.0,
+    recovery_fraction: float = 0.9,
+) -> ResilienceReport:
+    """Compute the full resilience summary for one faulted run.
+
+    Args:
+        plan: Injected plan (default: recorded in the run).
+        sla: SLA threshold for :func:`degraded_sla_mass` (skipped when
+            ``None``; calibrate with
+            :func:`repro.metrics.sla.calibrate_sla` on a fault-free
+            baseline).
+        baseline: Fault-free twin run for :func:`area_lost_to_faults`
+            (skipped when ``None``).
+    """
+    impacts = fault_recovery_times(
+        result, plan, window=window, recovery_fraction=recovery_fraction
+    )
+    return ResilienceReport(
+        sut_name=result.sut_name,
+        impacts=tuple(impacts),
+        degraded_sla_mass=(
+            degraded_sla_mass(result, sla, plan) if sla is not None else None
+        ),
+        area_lost=(
+            area_lost_to_faults(result, baseline) if baseline is not None else None
+        ),
+    )

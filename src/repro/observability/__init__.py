@@ -14,8 +14,16 @@ Public surface:
   round-trippable and mergeable across matrix workers.
 * :class:`CounterRegistry` — named monotonic counters with associative
   merges.
-* :data:`PHASES` — the four benchmark phases
-  (``train | adapt | serve | report``).
+* :data:`PHASES` — the five benchmark phases
+  (``train | adapt | serve | report | fault``).
+
+The ``fault`` phase was added with the fault-injection subsystem
+(:mod:`repro.faults`): drivers open a ``fault:<kind>`` span for every
+fired point fault and bump ``driver.faults`` counters, so
+:meth:`Trace.phase_seconds` decomposes a chaos run's virtual time into
+productive work vs. injected outage. Phase accounting is self-time
+based, so a serve-phase segment span containing a fault span never
+double-counts.
 """
 
 from repro.observability.counters import CounterRegistry

@@ -1,9 +1,9 @@
 """Phase-aware tracing: spans, traces, and the no-op default.
 
 The paper's metrics need to know *where time and work go* — training vs.
-adaptation vs. serving vs. reporting — so every instrumented layer wraps
-its work in a :class:`Span` tagged with one of the four benchmark phases
-(:data:`PHASES`). Spans nest; a finished run yields a :class:`Trace`
+adaptation vs. serving vs. reporting, plus injected fault handling — so
+every instrumented layer wraps its work in a :class:`Span` tagged with
+one of the benchmark phases (:data:`PHASES`). Spans nest; a finished run yields a :class:`Trace`
 holding the span forest plus the run's monotonic counters, and the trace
 is a JSON-exchangeable artifact like every other benchmark record.
 
@@ -32,8 +32,9 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from repro.errors import ConfigurationError
 from repro.observability.counters import CounterRegistry
 
-#: The benchmark's execution phases, in pipeline order.
-PHASES = ("train", "adapt", "serve", "report")
+#: The benchmark's execution phases, in pipeline order; "fault" tags
+#: injected-fault handling (stalls, crash recovery) from repro.faults.
+PHASES = ("train", "adapt", "serve", "report", "fault")
 
 _PHASE_SET = frozenset(PHASES)
 

@@ -28,6 +28,7 @@ from repro.core.phases import TrainingPhase
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario, Segment
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro.observability import Trace
 from repro.workloads.distributions import (
     Distribution,
@@ -227,6 +228,9 @@ def scenario_from_dict(
         training = TrainingPhase(
             budget_seconds=info["budget_seconds"], hardware=hardware
         )
+    fault_plan = None
+    if payload.get("faults"):
+        fault_plan = FaultPlan.from_dict(payload["faults"])
     return Scenario(
         name=payload["name"],
         segments=segments,
@@ -234,6 +238,7 @@ def scenario_from_dict(
         initial_keys=initial_keys,
         tick_interval=payload.get("tick_interval", 1.0),
         seed=payload.get("seed", 0),
+        fault_plan=fault_plan,
     )
 
 

@@ -30,6 +30,8 @@ from repro.engine.expressions import col
 from repro.engine.optimizer_base import CostBasedOptimizer
 from repro.engine.plans import Aggregate, Filter, Join, LogicalPlan, Scan
 from repro.errors import ConfigurationError
+from repro.faults import FaultClock, FaultPlan, StallFault
+from repro.faults.plan import PointFault
 from repro.learned.cardinality import HistogramEstimator, LearnedCardinalityEstimator
 from repro.learned.optimizer import BanditPlanSteering
 from repro.observability import NULL_TRACER
@@ -158,6 +160,15 @@ class AnalyticSUT:
             dtype=np.float64,
         )
 
+    def on_crash(self, now: float) -> Optional[float]:
+        """Crash/restart hook (see :class:`~repro.faults.CrashFault`).
+
+        Discard warm state that would not survive a process restart;
+        return nominal seconds of extra blocking recovery work, or
+        ``None``. Default: stateless restart.
+        """
+        return None
+
     def describe(self) -> dict:
         """JSON-friendly description."""
         return {"name": self.name, "class": type(self).__name__}
@@ -235,6 +246,7 @@ class LearnedOptimizerSUT(AnalyticSUT):
         )
         self.steering = BanditPlanSteering(self.histograms, seed=seed)
         self.plan_overhead_s = plan_overhead_s
+        self._seed = seed
         self._observed = 0
 
     def attach_tracer(self, tracer) -> None:
@@ -271,6 +283,27 @@ class LearnedOptimizerSUT(AnalyticSUT):
         self._observed += 1
         return self.plan_overhead_s + result.work * WORK_UNIT_SECONDS
 
+    def on_crash(self, now: float) -> Optional[float]:
+        """Cold restart: the online-learned state dies with the process.
+
+        The bandit's arm statistics and the learned cardinality model
+        are in-memory artifacts of the query stream, so a crash resets
+        both (and the warm-up counter); the histogram statistics are
+        treated as durable (rebuilt cheaply from the catalog). No extra
+        virtual recovery time is charged — the cost of the crash shows
+        up as renewed exploration, which is exactly what the Fig 1c
+        adaptability metrics measure.
+        """
+        self._observed = 0
+        self.learned_cards = LearnedCardinalityEstimator(
+            tracked_columns=[("orders", "amount")]
+        )
+        self.learned_cards.bind_statistics(self.catalog)
+        self.steering = BanditPlanSteering(self.histograms, seed=self._seed)
+        self.steering.tracer = self.tracer
+        self.tracer.counter("optimizer.crash_resets")
+        return None
+
     def describe(self) -> dict:
         out = super().describe()
         out.update(
@@ -299,14 +332,27 @@ class AnalyticDriver:
             :data:`~repro.observability.NULL_TRACER`); spans are emitted
             per segment, never per query, so tracing stays off the
             batched hot path.
+        fault_plan: Optional :class:`~repro.faults.FaultPlan` applied
+            during the run. Window faults perturb service times via the
+            shared :class:`~repro.faults.FaultClock` kernel; point
+            faults block the single server (a crash also fires
+            ``sut.on_crash``, and any returned nominal recovery seconds
+            extend the outage directly — this driver has no hardware
+            scaling). Both paths split execution at fault times, so
+            results stay bit-identical at a fixed seed.
     """
 
     def __init__(
-        self, seed: int = 0, use_batching: bool = True, tracer=None
+        self,
+        seed: int = 0,
+        use_batching: bool = True,
+        tracer=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.seed = seed
         self.use_batching = use_batching
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self._fault_clock = FaultClock(fault_plan) if fault_plan else None
 
     def run(
         self,
@@ -347,6 +393,12 @@ class AnalyticDriver:
                 queries = workload.next_batch(arrivals)
                 tracer.counter("driver.segments")
                 tracer.counter("driver.queries", arrivals.size)
+                fault_clock = self._fault_clock
+                seg_faults: List[PointFault] = (
+                    fault_clock.point_faults_in(seg_start, seg_start + duration)
+                    if fault_clock is not None
+                    else []
+                )
                 if self.use_batching:
                     tracer.counter("driver.batches")
                     tracer.counter("driver.batched_queries", arrivals.size)
@@ -358,9 +410,38 @@ class AnalyticDriver:
                                 dtype=np.float64,
                             ),
                         )
-                    starts, completions, server_free = fifo_single_server(
-                        arrivals, services, server_free
-                    )
+                    if fault_clock is not None and fault_clock.has_window_faults:
+                        services = np.maximum(
+                            1e-9, fault_clock.perturb_batch(services, arrivals)
+                        )
+                    # Split the segment batch at point-fault times so the
+                    # FIFO kernel sees the same server-blocking sequence
+                    # as the scalar loop (fault fires before any query
+                    # with arrival >= fault time).
+                    n = arrivals.size
+                    starts = np.empty(n, dtype=np.float64)
+                    completions = np.empty(n, dtype=np.float64)
+                    pos = 0
+                    for fault in seg_faults:
+                        cut = int(np.searchsorted(arrivals, fault.at, side="left"))
+                        if cut > pos:
+                            (
+                                starts[pos:cut],
+                                completions[pos:cut],
+                                server_free,
+                            ) = fifo_single_server(
+                                arrivals[pos:cut], services[pos:cut], server_free
+                            )
+                            pos = cut
+                        server_free = self._fire_fault(sut, fault, server_free)
+                    if pos < n:
+                        (
+                            starts[pos:],
+                            completions[pos:],
+                            server_free,
+                        ) = fifo_single_server(
+                            arrivals[pos:], services[pos:], server_free
+                        )
                     op_codes = np.asarray(
                         [recorder.intern_op(q.kind) for q in queries],
                         dtype=np.int32,
@@ -369,10 +450,20 @@ class AnalyticDriver:
                         arrivals, starts, completions, op_codes, segment_code
                     )
                 else:
+                    fi = 0
                     for i, query in enumerate(queries):
                         arrival = float(arrivals[i])
+                        while fi < len(seg_faults) and seg_faults[fi].at <= arrival:
+                            server_free = self._fire_fault(
+                                sut, seg_faults[fi], server_free
+                            )
+                            fi += 1
                         start = max(arrival, server_free)
                         service = max(1e-9, sut.execute(query, arrival))
+                        if fault_clock is not None:
+                            service = max(
+                                1e-9, fault_clock.perturb(service, arrival)
+                            )
                         completion = start + service
                         server_free = completion
                         recorder.append(
@@ -382,6 +473,11 @@ class AnalyticDriver:
                             recorder.intern_op(query.kind),
                             segment_code,
                         )
+                    while fi < len(seg_faults):
+                        server_free = self._fire_fault(
+                            sut, seg_faults[fi], server_free
+                        )
+                        fi += 1
                 boundaries.append((label, seg_start, seg_start + duration))
                 seg_start += duration
         with tracer.span("collect-result", phase="report"):
@@ -393,6 +489,39 @@ class AnalyticDriver:
                 training_events=[],
                 sut_description=sut.describe(),
             )
+
+    def _fire_fault(
+        self, sut: AnalyticSUT, fault: PointFault, server_free: float
+    ) -> float:
+        """Apply one point fault to the single server; return its free time.
+
+        New service is blocked until the outage ends; a crash fires
+        ``sut.on_crash`` and any returned nominal recovery seconds extend
+        the outage directly (this driver charges nominal == wall).
+        """
+        self.tracer.counter("driver.faults")
+        if isinstance(fault, StallFault):
+            self.tracer.counter("driver.fault_stalls")
+            self.tracer.start_span(
+                "fault:stall", phase="fault", at=fault.at, duration=fault.duration
+            )
+            self.tracer.end_span()
+            return max(server_free, fault.at + fault.duration)
+        self.tracer.counter("driver.fault_crashes")
+        self.tracer.start_span(
+            "fault:crash",
+            phase="fault",
+            at=fault.at,
+            recovery_seconds=fault.recovery_seconds,
+        )
+        try:
+            nominal = sut.on_crash(fault.at)
+        finally:
+            self.tracer.end_span()
+        resume = max(server_free, fault.at + fault.recovery_seconds)
+        if nominal and nominal > 0:
+            resume += float(nominal)
+        return resume
 
 
 def build_analytic_catalog(

@@ -190,6 +190,30 @@ class LearnedKVStore(KVStoreBase):
         self.training.add(nominal)
         return nominal
 
+    def on_crash(self, now: float) -> Optional[float]:
+        """Cold restart after a :class:`~repro.faults.CrashFault`.
+
+        Warm state dies with the process: the recent-access reservoir
+        and the drift detector's windows are cleared (durable key/value
+        data survives). The store then rebuilds its RMI from scratch —
+        with no observed accesses left, :meth:`_retrain` falls back to
+        the operator's expected sample or an unspecialized index — and
+        the cold rebuild's nominal time is returned for the driver to
+        charge as outage-extending training.
+        """
+        self._recent_accesses.clear()
+        self._detector.reset_reference(None)
+        self._retrain_requested = False
+        self._last_retrain_at = now
+        fanout = self._trained_fanout if self._trained_fanout > 1 else self.max_fanout
+        nominal = self._full_budget() * (fanout / self.max_fanout)
+        with self.tracer.span("kv.crash-retrain", phase="fault", fanout=fanout):
+            self._retrain(fanout)
+        self.tracer.counter("kv.retrains")
+        self.tracer.counter("kv.crash_retrains")
+        self.training.add(nominal)
+        return nominal
+
     def describe(self) -> dict:
         out = super().describe()
         out.update(

@@ -1,0 +1,121 @@
+"""Docs-site validity checks runnable without mkdocs installed.
+
+CI's docs lane runs ``mkdocs build --strict``, which fails on nav
+entries pointing at missing files and on broken intra-docs links. These
+tests pin the same properties with stdlib + pyyaml so a broken docs
+change fails in the fast lane too, and run the docstring-coverage gate
+(``tools/check_docstrings.py``) the docs lane enforces.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+import yaml
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+MKDOCS_YML = os.path.join(REPO_ROOT, "mkdocs.yml")
+
+#: Markdown inline links: [text](target). Images and autolinks excluded.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _nav_files(nav) -> list:
+    """Flatten mkdocs nav (list of {title: target-or-sublist}) to paths."""
+    files = []
+    for entry in nav:
+        if isinstance(entry, str):
+            files.append(entry)
+            continue
+        for _title, target in entry.items():
+            if isinstance(target, list):
+                files.extend(_nav_files(target))
+            else:
+                files.append(target)
+    return files
+
+
+@pytest.fixture(scope="module")
+def config():
+    with open(MKDOCS_YML) as handle:
+        return yaml.safe_load(handle)
+
+
+class TestMkdocsConfig:
+    def test_strict_mode_is_on(self, config):
+        assert config["strict"] is True
+
+    def test_theme_is_bundled(self, config):
+        # The docs CI lane installs only `mkdocs`; any non-bundled theme
+        # would break `mkdocs build` there.
+        assert config["theme"]["name"] in ("mkdocs", "readthedocs")
+
+    def test_every_nav_entry_exists(self, config):
+        for target in _nav_files(config["nav"]):
+            assert os.path.isfile(os.path.join(DOCS_DIR, target)), (
+                f"mkdocs.yml nav references docs/{target}, which does "
+                "not exist (mkdocs build --strict would fail)"
+            )
+
+    def test_every_docs_page_is_in_nav(self, config):
+        in_nav = set(_nav_files(config["nav"]))
+        on_disk = {
+            name for name in os.listdir(DOCS_DIR) if name.endswith(".md")
+        }
+        assert on_disk == in_nav, (
+            "docs/ pages and mkdocs.yml nav disagree "
+            f"(only on disk: {sorted(on_disk - in_nav)}, "
+            f"only in nav: {sorted(in_nav - on_disk)})"
+        )
+
+
+class TestDocsLinks:
+    def test_intra_docs_links_resolve(self, config):
+        """Every relative .md link in a docs page targets a real page."""
+        broken = []
+        for page in _nav_files(config["nav"]):
+            path = os.path.join(DOCS_DIR, page)
+            with open(path) as handle:
+                text = handle.read()
+            for target in _LINK_RE.findall(text):
+                if target.startswith(("http://", "https://", "#", "mailto:")):
+                    continue
+                target_file = target.split("#", 1)[0]
+                if not target_file.endswith(".md"):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target_file)
+                )
+                if not os.path.isfile(resolved):
+                    broken.append(f"{page} -> {target}")
+        assert not broken, f"broken intra-docs links: {broken}"
+
+    def test_tutorial_cross_links_example(self):
+        """The chaos tutorial and its runnable example reference each other."""
+        with open(os.path.join(DOCS_DIR, "chaos-tutorial.md")) as handle:
+            tutorial = handle.read()
+        assert "examples/chaos_recovery.py" in tutorial
+        example = os.path.join(REPO_ROOT, "examples", "chaos_recovery.py")
+        with open(example) as handle:
+            assert "chaos-tutorial.md" in handle.read()
+
+
+class TestDocstringGate:
+    def test_faults_and_metrics_fully_documented(self):
+        """The gate CI enforces passes: 100% public-symbol coverage."""
+        proc = subprocess.run(
+            [
+                sys.executable,
+                os.path.join(REPO_ROOT, "tools", "check_docstrings.py"),
+                os.path.join(REPO_ROOT, "src", "repro", "faults"),
+                os.path.join(REPO_ROOT, "src", "repro", "metrics"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

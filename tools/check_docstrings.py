@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate (stdlib only; CI's ``docs`` lane runs it).
+
+Walks the given files/directories and requires a docstring on every
+public module, class, and function — "public" meaning the name has no
+leading underscore and, for functions, the definition is not nested
+inside another function. Private helpers, dunders other than
+``__init__`` on public classes, and test files are exempt.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/faults src/repro/metrics
+
+Exit status 0 when coverage is 100%, 1 with a per-symbol listing
+otherwise. This is deliberately a small ast walk rather than a third
+party tool so the gate runs anywhere the interpreter does.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+
+def _python_files(paths: List[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, _dirs, files in os.walk(path):
+            for name in sorted(files):
+                if name.endswith(".py") and not name.startswith("test_"):
+                    yield os.path.join(root, name)
+
+
+def _public_defs(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (qualified name, node) for every public def/class.
+
+    Walks only module and class bodies: functions nested inside
+    functions are implementation details, not API surface.
+    """
+    def walk(body, prefix):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = node.name
+                if name.startswith("_") and name != "__init__":
+                    continue
+                if name == "__init__" and not prefix:
+                    continue  # module-level __init__ would be bizarre
+                yield f"{prefix}{name}", node
+            elif isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                yield f"{prefix}{node.name}", node
+                yield from walk(node.body, f"{prefix}{node.name}.")
+
+    yield from walk(tree.body, "")
+
+
+def check_file(path: str) -> List[str]:
+    """Return the undocumented public symbols in ``path``."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path}: module docstring")
+    for name, node in _public_defs(tree):
+        if ast.get_docstring(node) is None:
+            missing.append(f"{path}:{node.lineno}: {name}")
+    return missing
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_docstrings.py <path> [<path> ...]",
+              file=sys.stderr)
+        return 2
+    missing: List[str] = []
+    checked = 0
+    for path in _python_files(argv):
+        checked += 1
+        missing.extend(check_file(path))
+    if missing:
+        print(f"{len(missing)} undocumented public symbol(s) "
+              f"across {checked} file(s):")
+        for entry in missing:
+            print(f"  {entry}")
+        return 1
+    print(f"docstring coverage OK: {checked} file(s), all public "
+          f"symbols documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
