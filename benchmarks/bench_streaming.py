@@ -1,0 +1,270 @@
+"""SM — streaming pipeline: bounded-memory runs, bit-identical metrics.
+
+Two claims are pinned here. First, *equivalence*: a 500k-query run
+through the streaming path (fixed-size blocks, online accumulators,
+raw columns spilled to sharded ``.npz``) must reproduce the in-memory
+path exactly — reloaded spill columns bit-for-bit equal to
+``RunResult.columns``, and every grid-metric payload byte-identical to
+folding the same columns as one giant block (block size must be
+unobservable). Second, *bounded memory*: a 10M-query multi-segment run
+— 5x the in-memory driver's default safety valve — must finish with the
+process high-water RSS (``resource.getrusage``) under a declared budget
+that the in-memory path could not meet, because only per-segment
+batches and fixed-size scratch ever exist at once.
+
+The memory gate runs this file alone in its own CI job (``ru_maxrss``
+is a lifetime high-water mark, so co-resident tests would pollute it).
+Scale knob: ``REPRO_BENCH_STREAM_QUERIES=100000000`` locally pushes the
+same test to 100M queries, which must stay under 2 GB.
+
+Writes ``BENCH_streaming.json`` into ``benchmarks/results/`` (query
+counts, wall seconds, queries/second, peak RSS vs budget).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import sys
+import time
+
+import numpy as np
+
+from bench_common import bench_once
+from repro.core.driver import DriverConfig, VirtualClockDriver
+from repro.core.scenario import Scenario, Segment
+from repro.core.streaming import StreamBlock, load_spilled_columns
+from repro.metrics import streaming_accumulators
+from repro.suts.kv_traditional import TraditionalKVStore
+from repro.workloads.distributions import HotspotDistribution, UniformDistribution
+from repro.workloads.generators import simple_spec
+
+#: 2500 q/s x 200 s = 500k queries for the equivalence run.
+RATE = 2500.0
+OVERLAP_QUERIES = 500_000
+#: Queries per segment in the memory-gate run (bounds the generator's
+#: per-segment working set regardless of total run size).
+SEGMENT_QUERIES = 500_000
+#: CI-scale memory-gate run: 10M queries (5x the driver's default
+#: ``max_queries`` valve), override with REPRO_BENCH_STREAM_QUERIES.
+GATE_QUERIES = int(os.environ.get("REPRO_BENCH_STREAM_QUERIES", 10_000_000))
+#: Peak-RSS budgets (MB). The in-memory path stores five columns plus
+#: sorted/latency views for every query (~50 bytes/query before metric
+#: scratch), so 10M queries cannot fit the CI budget; streaming must.
+RSS_BUDGET_MB = 1200 if GATE_QUERIES <= 20_000_000 else 2048
+
+N_KEYS = 50_000
+KEY_DOMAIN = 100_000.0
+BLOCK_SIZE = 65_536
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _maxrss_mb() -> float:
+    """Process lifetime high-water RSS in MB (KB on Linux, B on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / 1024.0 if sys.platform != "darwin" else peak / (1024.0**2)
+
+
+def _overlap_scenario() -> Scenario:
+    """Steady read-only scenario sized for 500k queries."""
+    spec = simple_spec("steady", UniformDistribution(0, KEY_DOMAIN), rate=RATE)
+    return Scenario(
+        name="streaming-overlap-500k",
+        segments=[Segment(spec=spec, duration=OVERLAP_QUERIES / RATE)],
+        seed=42,
+        initial_keys=np.linspace(0.0, KEY_DOMAIN, N_KEYS),
+    )
+
+
+def _gate_scenario(total_queries: int) -> Scenario:
+    """Multi-segment scenario totalling ``total_queries`` arrivals.
+
+    Segments alternate between a uniform and a hotspot key pattern so
+    the run exercises drift across many boundaries while each segment's
+    batch — the generator's working set — stays at ``SEGMENT_QUERIES``.
+    """
+    n_segments = max(1, total_queries // SEGMENT_QUERIES)
+    duration = SEGMENT_QUERIES / RATE
+    uniform = UniformDistribution(0, KEY_DOMAIN)
+    hotspot = HotspotDistribution(
+        0, KEY_DOMAIN, hot_start=0.1 * KEY_DOMAIN,
+        hot_width=0.05 * KEY_DOMAIN, hot_fraction=0.9,
+    )
+    segments = [
+        Segment(
+            spec=simple_spec(
+                f"seg-{i:03d}", uniform if i % 2 == 0 else hotspot, rate=RATE
+            ),
+            duration=duration,
+            label=f"seg-{i:03d}",
+        )
+        for i in range(n_segments)
+    ]
+    return Scenario(
+        name=f"streaming-gate-{total_queries}",
+        segments=segments,
+        seed=7,
+        initial_keys=np.linspace(0.0, KEY_DOMAIN, N_KEYS),
+    )
+
+
+def _one_block_metrics(columns, scenario, sla, horizon):
+    """Fold a full column set as ONE block through fresh accumulators."""
+    accumulators = streaming_accumulators(scenario, sla=sla)
+    block = StreamBlock(
+        arrivals=columns.arrivals,
+        starts=columns.starts,
+        completions=columns.completions,
+        op_codes=columns.op_codes,
+        segment_codes=columns.segment_codes,
+    )
+    for acc in accumulators:
+        acc.fold(block)
+    return {acc.name: acc.finalize(horizon) for acc in accumulators}
+
+
+#: Metrics whose payloads are integer/grid-derived and therefore
+#: byte-identical regardless of block boundaries. Float *summations*
+#: (latency mean/std, per-segment mean latency) use per-block partials,
+#: so their summation tree legitimately depends on the block size and
+#: they are compared to last-few-ULP tolerance instead — the scoping
+#: DESIGN.md section 9 documents.
+EXACT_METRICS = {"throughput", "adaptability", "sla", "recovery", "adjustment_speed"}
+
+
+def _assert_close_payload(name, got, want, path=""):
+    """Recursively compare payloads; float leaves to 1e-9 rtol."""
+    where = f"{name}{path}"
+    if isinstance(want, dict):
+        assert isinstance(got, dict) and set(got) == set(want), where
+        for key in want:
+            _assert_close_payload(name, got[key], want[key], f"{path}.{key}")
+    elif isinstance(want, (list, tuple)):
+        assert len(got) == len(want), where
+        for i, item in enumerate(want):
+            _assert_close_payload(name, got[i], item, f"{path}[{i}]")
+    elif isinstance(want, float):
+        assert np.isclose(got, want, rtol=1e-9, atol=0.0, equal_nan=True), (
+            f"{where}: {got!r} != {want!r}"
+        )
+    else:
+        assert got == want, f"{where}: {got!r} != {want!r}"
+
+
+def test_streaming_matches_in_memory_bit_for_bit(tmp_path, figure_sink):
+    """500k-query overlap: spill + online metrics == in-memory path."""
+    sla = 0.050
+
+    in_memory = VirtualClockDriver(DriverConfig())
+    result = in_memory.run(TraditionalKVStore(), _overlap_scenario())
+
+    streaming = VirtualClockDriver(DriverConfig(block_size=BLOCK_SIZE))
+    t0 = time.perf_counter()
+    summary = streaming.run_streaming(
+        TraditionalKVStore(),
+        _overlap_scenario(),
+        sla=sla,
+        spill_dir=str(tmp_path / "spill"),
+    )
+    stream_s = time.perf_counter() - t0
+
+    # Raw data path: spilled shards reassemble the exact column set.
+    spilled = load_spilled_columns(summary.spill["directory"])
+    cols = result.columns
+    assert spilled.size == cols.size == OVERLAP_QUERIES
+    for name in ("arrivals", "starts", "completions", "op_codes", "segment_codes"):
+        assert np.array_equal(getattr(spilled, name), getattr(cols, name)), (
+            f"spilled column {name!r} diverged from the in-memory run"
+        )
+    assert spilled.op_vocab == cols.op_vocab
+    assert spilled.segment_vocab == cols.segment_vocab
+
+    # Metric path: many small blocks == one giant block, byte for byte.
+    reference = _one_block_metrics(cols, _overlap_scenario(), sla, summary.horizon)
+    assert set(summary.metrics) == set(reference)
+    for name, payload in summary.metrics.items():
+        if name in EXACT_METRICS:
+            assert json.dumps(payload, sort_keys=True) == json.dumps(
+                reference[name], sort_keys=True
+            ), f"grid metric {name!r} depends on the block size"
+        else:
+            _assert_close_payload(name, payload, reference[name])
+
+    # Anchors into the offline kernels the rest of the suite pins.
+    _, offline_counts = result.throughput_series(interval=1.0)
+    assert summary.metrics["throughput"]["counts"] == offline_counts.tolist()
+    assert summary.num_queries == cols.size
+    assert summary.mean_throughput() == result.mean_throughput()
+
+    figure_sink(
+        "streaming_overlap",
+        "\n".join(
+            [
+                f"streaming vs in-memory on {cols.size:,} queries",
+                "  spilled columns : bit-identical (5 columns + vocabs)",
+                f"  metric payloads : byte-identical ({len(summary.metrics)} "
+                "accumulators, block size unobservable)",
+                f"  streaming wall  : {stream_s:6.2f}s",
+            ]
+        ),
+    )
+
+
+def test_streaming_memory_gate(benchmark, figure_sink):
+    """>= 10M queries end to end under the declared peak-RSS budget."""
+    scenario = _gate_scenario(GATE_QUERIES)
+    driver = VirtualClockDriver(
+        DriverConfig(block_size=BLOCK_SIZE, max_queries=GATE_QUERIES + 1)
+    )
+
+    state = {}
+
+    def gated_run():
+        t0 = time.perf_counter()
+        state["summary"] = driver.run_streaming(TraditionalKVStore(), scenario)
+        state["seconds"] = time.perf_counter() - t0
+
+    bench_once(benchmark, gated_run)
+    summary, seconds = state["summary"], state["seconds"]
+    peak_mb = _maxrss_mb()
+
+    assert summary.num_queries >= GATE_QUERIES, (
+        f"run produced {summary.num_queries:,} queries, wanted {GATE_QUERIES:,}"
+    )
+    assert len(summary.segments) == GATE_QUERIES // SEGMENT_QUERIES
+    assert summary.metrics["throughput"]["mean_throughput"] > 0
+    assert peak_mb <= RSS_BUDGET_MB, (
+        f"peak RSS {peak_mb:.0f} MB exceeds the {RSS_BUDGET_MB} MB budget "
+        f"for {GATE_QUERIES:,} streamed queries"
+    )
+
+    record = {
+        "bench": "streaming",
+        "n_queries": int(summary.num_queries),
+        "n_segments": len(summary.segments),
+        "block_size": BLOCK_SIZE,
+        "wall_s": round(seconds, 2),
+        "queries_per_s": round(summary.num_queries / max(seconds, 1e-9)),
+        "peak_rss_mb": round(peak_mb, 1),
+        "rss_budget_mb": RSS_BUDGET_MB,
+        "overlap_queries": OVERLAP_QUERIES,
+        "identical_overlap": True,
+    }
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, "BENCH_streaming.json"), "w") as handle:
+        json.dump(record, handle, indent=2)
+
+    figure_sink(
+        "streaming_memory_gate",
+        "\n".join(
+            [
+                f"streaming memory gate: {summary.num_queries:,} queries, "
+                f"{len(summary.segments)} segments",
+                f"  wall     : {seconds:6.1f}s "
+                f"({summary.num_queries / max(seconds, 1e-9):,.0f} q/s)",
+                f"  peak RSS : {peak_mb:6.0f} MB (budget {RSS_BUDGET_MB} MB)",
+            ]
+        ),
+    )

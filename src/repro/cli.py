@@ -120,7 +120,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote scenario definition to {args.save_scenario}\n")
     sample = expected_access_sample(scenario)
     factories = _sut_factories(sample)
-    bench = Benchmark(BenchmarkConfig(servers=args.servers))
+    bench = Benchmark(
+        BenchmarkConfig(servers=args.servers, block_size=args.block_size)
+    )
 
     sla: Optional[float] = None
     if args.sla_baseline:
@@ -134,6 +136,32 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"unknown SUT {name!r}; try: {', '.join(sorted(factories))}",
                   file=sys.stderr)
             return 2
+        if args.stream:
+            spill_dir = (
+                f"{args.spill_dir}/{name}" if args.spill_dir else None
+            )
+            summary = bench.run_streaming(
+                factories[name](), scenario, sla=sla, spill_dir=spill_dir
+            )
+            print(f"== {summary.sut_name} on {summary.scenario_name} "
+                  "(streaming) ==")
+            print(f"queries: {summary.num_queries}, "
+                  f"horizon: {summary.horizon:.3f}s, "
+                  f"mean throughput: {summary.mean_throughput():.1f} q/s")
+            for metric_name in sorted(summary.metrics):
+                payload = summary.metrics[metric_name]
+                keys = ", ".join(sorted(payload)) if isinstance(
+                    payload, dict) else str(payload)
+                print(f"  {metric_name}: {keys}")
+            if spill_dir:
+                print(f"  spilled columns: {spill_dir}")
+            if args.export_prefix:
+                spath = f"{args.export_prefix}-{name}-streaming.json"
+                with open(spath, "w") as handle:
+                    json.dump(summary.to_dict(), handle)
+                print(f"exported {spath}")
+            print()
+            continue
         result = bench.run(factories[name](), scenario)
         report = build_report(result, scenario, sla=sla)
         print(report.render())
@@ -415,6 +443,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "(overrides --scenario)")
     run.add_argument("--save-scenario", default=None,
                      help="write the scenario definition to this JSON file")
+    run.add_argument("--stream", action="store_true",
+                     help="run the bounded-memory streaming pipeline and "
+                          "print the online-metric summary instead of the "
+                          "full report")
+    run.add_argument("--block-size", type=int, default=None,
+                     help="cap queries per execution block (bit-identical "
+                          "results at any size; bounds working-set memory)")
+    run.add_argument("--spill-dir", default=None,
+                     help="with --stream: spill raw query columns to "
+                          "sharded files under <dir>/<sut>")
     run.set_defaults(func=cmd_run)
 
     mat = sub.add_parser(

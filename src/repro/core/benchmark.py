@@ -28,12 +28,16 @@ class BenchmarkConfig:
         jitter_arrivals: Randomize sub-second arrival offsets.
         max_queries: Per-run query-count safety valve.
         servers: Parallel service slots (concurrency level).
+        block_size: Cap on queries per batched execution block (see
+            :class:`~repro.core.driver.DriverConfig`); ``None`` keeps
+            whole tick-bounded slices.
     """
 
     online_hardware: HardwareProfile = CPU
     jitter_arrivals: bool = True
     max_queries: int = 2_000_000
     servers: int = 1
+    block_size: Optional[int] = None
 
     def driver_config(self) -> DriverConfig:
         """Translate to the driver's configuration object."""
@@ -42,6 +46,7 @@ class BenchmarkConfig:
             jitter_arrivals=self.jitter_arrivals,
             max_queries=self.max_queries,
             servers=self.servers,
+            block_size=self.block_size,
         )
 
 
@@ -58,12 +63,37 @@ class Benchmark:
     def __init__(
         self, config: Optional[BenchmarkConfig] = None, tracer=None
     ) -> None:
+        """Build the facade and its underlying driver."""
         self.config = config or BenchmarkConfig()
         self._driver = VirtualClockDriver(self.config.driver_config(), tracer=tracer)
 
     def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
         """Run one SUT through ``scenario``."""
         return self._driver.run(sut, scenario)
+
+    def run_streaming(
+        self,
+        sut: SystemUnderTest,
+        scenario: Scenario,
+        accumulators=None,
+        sla: Optional[float] = None,
+        spill_dir=None,
+        spill_format: str = "npz",
+    ):
+        """Run one SUT through ``scenario`` in bounded memory.
+
+        Passthrough to
+        :meth:`~repro.core.driver.VirtualClockDriver.run_streaming`;
+        returns a :class:`~repro.core.streaming.StreamingRunSummary`.
+        """
+        return self._driver.run_streaming(
+            sut,
+            scenario,
+            accumulators=accumulators,
+            sla=sla,
+            spill_dir=spill_dir,
+            spill_format=spill_format,
+        )
 
     def compare(
         self,

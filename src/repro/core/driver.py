@@ -85,6 +85,14 @@ class DriverConfig:
             both produce bit-identical results at a fixed seed.
         truncate_max_queries: When True, a run that would exceed
             ``max_queries`` is truncated mid-segment instead of raising.
+        block_size: Cap on queries per batched execution block. ``None``
+            (the default) keeps whole tick-bounded slices; setting it
+            chops each slice into fixed-size sub-blocks before
+            ``execute_batch``, bounding per-call working-set size for
+            the streaming pipeline. Results are bit-identical at any
+            block size (the FIFO kernel carries queue state across
+            calls and fault perturbation is keyed on arrival times);
+            only tracer batch counters differ.
     """
 
     online_hardware: HardwareProfile = CPU
@@ -94,14 +102,25 @@ class DriverConfig:
     servers: int = 1
     use_batching: bool = True
     truncate_max_queries: bool = False
+    block_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.servers < 1:
             raise DriverError(f"servers must be >= 1, got {self.servers}")
+        if self.block_size is not None and self.block_size < 1:
+            raise DriverError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
 
     def describe(self) -> dict:
-        """JSON-friendly description (part of the runner's cache key)."""
-        return {
+        """JSON-friendly description (part of the runner's cache key).
+
+        ``block_size`` appears only when set, so cache keys and golden
+        manifests from default-config runs are unchanged by the
+        streaming subsystem (mirroring the scenario's conditional
+        ``faults`` key).
+        """
+        out = {
             "online_hardware": self.online_hardware.name,
             "max_queries": self.max_queries,
             "jitter_arrivals": self.jitter_arrivals,
@@ -110,6 +129,9 @@ class DriverConfig:
             "use_batching": self.use_batching,
             "truncate_max_queries": self.truncate_max_queries,
         }
+        if self.block_size is not None:
+            out["block_size"] = self.block_size
+        return out
 
 
 class _InterruptStream:
@@ -171,14 +193,120 @@ class VirtualClockDriver:
     def __init__(
         self, config: Optional[DriverConfig] = None, tracer=None
     ) -> None:
+        """Bind the driver to ``config`` and an optional tracer."""
         self.config = config or DriverConfig()
         self.tracer = NULL_TRACER if tracer is None else tracer
         self._fault_clock: Optional[FaultClock] = None
 
     def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
         """Execute ``scenario`` against ``sut`` and return the record."""
-        training_events: List[TrainingEvent] = []
         recorder = ColumnarRecorder()
+        training_events = self._execute(sut, scenario, recorder)
+        with self.tracer.span("collect-result", phase="report"):
+            return RunResult(
+                sut_name=sut.name,
+                scenario_name=scenario.name,
+                columns=recorder.build(),
+                segments=scenario.segment_boundaries(),
+                training_events=training_events,
+                scenario_description=scenario.describe(),
+                sut_description=sut.describe(),
+            )
+
+    def run_streaming(
+        self,
+        sut: SystemUnderTest,
+        scenario: Scenario,
+        accumulators=None,
+        sla: Optional[float] = None,
+        spill_dir=None,
+        spill_format: str = "npz",
+    ):
+        """Execute ``scenario`` in bounded memory; return the summary.
+
+        Same execution as :meth:`run` — same kernels, same RNG streams,
+        same fault and training semantics — but completed blocks fold
+        into online metric accumulators instead of accumulating in a
+        result buffer, so resident memory is bounded by the largest
+        segment's arrival arrays plus O(block) scratch, not the run
+        length. Set ``config.block_size`` to bound the execution blocks
+        themselves.
+
+        Args:
+            accumulators: Metric accumulators to fold (objects with
+                ``name`` / ``fold(block)`` / ``finalize(horizon)``);
+                default: :func:`repro.metrics.streaming_accumulators`
+                for the scenario (with ``sla``, and the scenario's
+                fault plan when set).
+            sla: SLA threshold handed to the default accumulator set.
+            spill_dir: When set, spill raw query columns to sharded
+                files in this directory (see
+                :class:`~repro.core.streaming.ColumnSpiller`).
+            spill_format: ``"npz"`` (default) or ``"parquet"``
+                (requires pyarrow).
+
+        Returns:
+            :class:`~repro.core.streaming.StreamingRunSummary` with
+            every accumulator's finalized payload under ``metrics``.
+        """
+        from repro.core.streaming import (
+            ColumnSpiller,
+            StreamingRecorder,
+            StreamingRunSummary,
+        )
+
+        if accumulators is None:
+            from repro.metrics import streaming_accumulators
+
+            accumulators = streaming_accumulators(
+                scenario, sla=sla, plan=scenario.fault_plan
+            )
+        spiller = (
+            ColumnSpiller(spill_dir, fmt=spill_format)
+            if spill_dir is not None
+            else None
+        )
+        recorder = StreamingRecorder(accumulators=accumulators, spiller=spiller)
+        training_events = self._execute(sut, scenario, recorder)
+        recorder.flush()
+        with self.tracer.span("collect-result", phase="report"):
+            boundaries = scenario.segment_boundaries()
+            duration = boundaries[-1][2] if boundaries else 0.0
+            horizon = max(duration, recorder.max_completion)
+            metrics = {
+                acc.name: acc.finalize(horizon) for acc in recorder.accumulators
+            }
+            spill = (
+                spiller.finish(recorder.op_vocab, recorder.segment_vocab)
+                if spiller is not None
+                else None
+            )
+            return StreamingRunSummary(
+                sut_name=sut.name,
+                scenario_name=scenario.name,
+                segments=boundaries,
+                training_events=training_events,
+                scenario_description=scenario.describe(),
+                sut_description=sut.describe(),
+                num_queries=recorder.count,
+                max_completion=recorder.max_completion,
+                op_counts=recorder.op_counts(),
+                segment_counts=recorder.segment_counts(),
+                metrics=metrics,
+                spill=spill,
+            )
+
+    def _execute(
+        self, sut: SystemUnderTest, scenario: Scenario, recorder
+    ) -> List[TrainingEvent]:
+        """Drive ``scenario`` against ``sut``, appending into ``recorder``.
+
+        The recorder-agnostic core shared by :meth:`run` (columnar,
+        retain-everything) and :meth:`run_streaming` (bounded-memory
+        folds): any object with the :class:`ColumnarRecorder` append
+        interface works. Returns the run's training events.
+        """
+        training_events: List[TrainingEvent] = []
         tracer = self.tracer
         sut.attach_tracer(tracer)
         # Per-run fault state; None keeps every fault branch untaken.
@@ -295,16 +423,7 @@ class VirtualClockDriver:
             seg_start = seg_end
 
         sut.teardown()
-        with tracer.span("collect-result", phase="report"):
-            return RunResult(
-                sut_name=sut.name,
-                scenario_name=scenario.name,
-                columns=recorder.build(),
-                segments=scenario.segment_boundaries(),
-                training_events=training_events,
-                scenario_description=scenario.describe(),
-                sut_description=sut.describe(),
-            )
+        return training_events
 
     # -- segment execution -------------------------------------------------------------
 
@@ -414,7 +533,44 @@ class VirtualClockDriver:
         recorder: ColumnarRecorder,
         op_map: np.ndarray,
     ) -> List[float]:
-        """Execute one tick-free slice and append it as a block."""
+        """Execute one tick-free slice in ``block_size``-bounded blocks.
+
+        Sub-slicing is exact: the FIFO kernel threads its free-time
+        state through consecutive calls and every per-query computation
+        (service execution, fault perturbation, op interning) depends
+        only on that query's own inputs, so any block boundary yields
+        the same timestamps.
+        """
+        block = self.config.block_size
+        if block is None or b - a <= block:
+            return self._process_block(
+                sut, batch, a, b, segment_code, server_free, recorder, op_map
+            )
+        for lo in range(a, b, block):
+            server_free = self._process_block(
+                sut,
+                batch,
+                lo,
+                min(lo + block, b),
+                segment_code,
+                server_free,
+                recorder,
+                op_map,
+            )
+        return server_free
+
+    def _process_block(
+        self,
+        sut: SystemUnderTest,
+        batch: QueryBatch,
+        a: int,
+        b: int,
+        segment_code: int,
+        server_free: List[float],
+        recorder: ColumnarRecorder,
+        op_map: np.ndarray,
+    ) -> List[float]:
+        """Execute one contiguous block and append it to the recorder."""
         self.tracer.counter("driver.batches")
         self.tracer.counter("driver.batched_queries", b - a)
         sub = batch.slice(a, b)

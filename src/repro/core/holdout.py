@@ -23,6 +23,7 @@ class HoldoutRegistry:
     """Holds sealed scenarios; enforces single-shot evaluation."""
 
     def __init__(self) -> None:
+        """Start with no sealed scenarios and no consumed pairs."""
         self._scenarios: Dict[str, Scenario] = {}
         self._consumed: Set[Tuple[str, str]] = set()
 

@@ -172,6 +172,7 @@ class ColumnarRecorder:
     """
 
     def __init__(self, capacity: int = 1024) -> None:
+        """Preallocate all five columns at ``capacity`` rows."""
         capacity = max(1, int(capacity))
         self._arrivals = np.empty(capacity, dtype=np.float64)
         self._starts = np.empty(capacity, dtype=np.float64)
@@ -183,6 +184,7 @@ class ColumnarRecorder:
         self._op_vocab: List[str] = []
         self._segment_index: Dict[str, int] = {}
         self._segment_vocab: List[str] = []
+        self.reallocations = 0
 
     def __len__(self) -> int:
         return self._n
@@ -213,7 +215,11 @@ class ColumnarRecorder:
         capacity = self._arrivals.size
         if needed <= capacity:
             return
+        # Geometric doubling keeps appends amortized O(1): n appends cost
+        # at most O(log2(n / initial_capacity)) reallocations, which the
+        # public ``reallocations`` counter exposes for regression tests.
         new_cap = max(needed, capacity * 2)
+        self.reallocations += 1
         for name in (
             "_arrivals",
             "_starts",
@@ -312,6 +318,7 @@ class RunResult:
         sut_description: Optional[dict] = None,
         columns: Optional[QueryColumns] = None,
     ) -> None:
+        """Assemble a result from either ``queries`` or ``columns``."""
         if queries is None and columns is None:
             raise ReproError("RunResult needs either queries or columns")
         if queries is not None and columns is not None:

@@ -179,9 +179,11 @@ class JobRecord:
 
     @property
     def cache_hit(self) -> bool:
+        """Whether this job was served from the result cache."""
         return self.status == "cached"
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (inverse of :meth:`from_dict`)."""
         return {
             "label": self.label,
             "sut_name": self.sut_name,
@@ -198,6 +200,7 @@ class JobRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
         return cls(**data)
 
 
@@ -212,14 +215,17 @@ class RunManifest:
 
     @property
     def hits(self) -> int:
+        """Number of jobs served from cache."""
         return sum(1 for j in self.jobs if j.status == "cached")
 
     @property
     def executed(self) -> int:
+        """Number of jobs actually run to completion."""
         return sum(1 for j in self.jobs if j.status == "ok")
 
     @property
     def failures(self) -> List[JobRecord]:
+        """Jobs that exhausted their attempts without a result."""
         return [j for j in self.jobs if j.status == "failed"]
 
     def telemetry(self) -> Dict[str, Any]:
@@ -242,6 +248,7 @@ class RunManifest:
         }
 
     def to_dict(self) -> Dict[str, Any]:
+        """Full JSON payload, including volatile timing/telemetry."""
         return {
             "format": CACHE_FORMAT,
             "workers": self.workers,
@@ -272,6 +279,7 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output."""
         return cls(
             jobs=[JobRecord.from_dict(j) for j in data.get("jobs", [])],
             workers=data.get("workers", 1),
@@ -286,6 +294,7 @@ class RunManifest:
 
     @classmethod
     def load(cls, path: str) -> "RunManifest":
+        """Read a manifest previously written by :meth:`save`."""
         with open(path) as handle:
             return cls.from_dict(json.load(handle))
 
@@ -302,10 +311,12 @@ class ResultCache:
     """Content-addressed on-disk store of :class:`RunResult` payloads."""
 
     def __init__(self, root: str) -> None:
+        """Open (creating if needed) the cache directory ``root``."""
         self.root = root
         os.makedirs(root, exist_ok=True)
 
     def path(self, key: str) -> str:
+        """On-disk location for cache entry ``key``."""
         return os.path.join(self.root, f"{key}.json")
 
     def load(self, key: str) -> Optional[RunResult]:
@@ -486,6 +497,7 @@ class MatrixRunner:
         checkpoint: Optional[str] = None,
         resume: bool = False,
     ) -> None:
+        """Validate and store the runner knobs (see class docstring)."""
         if workers is not None and workers < 1:
             raise RunnerError(f"workers must be >= 1, got {workers}")
         if max_attempts < 1:

@@ -55,6 +55,7 @@ class BenchmarkService:
         registry: Optional[HoldoutRegistry] = None,
         config: Optional[BenchmarkConfig] = None,
     ) -> None:
+        """Wire the service to a registry and benchmark config."""
         self.registry = registry or HoldoutRegistry()
         self._benchmark = Benchmark(config)
         self._raw_results: Dict[tuple, RunResult] = {}

@@ -1,0 +1,551 @@
+"""Bounded-memory streaming pipeline: blocks in, metrics out.
+
+The classic pipeline retains every query in a :class:`ColumnarRecorder`
+and hands the finished :class:`~repro.core.results.RunResult` to the
+metric kernels — simple, but memory grows with run length. This module
+is the other half of the tentpole: the driver streams fixed-size blocks
+of completed queries through a :class:`StreamingRecorder`, which folds
+them into online metric accumulators (see the ``Online*`` classes in
+:mod:`repro.metrics`) and optionally spills the raw columns to sharded
+files, never holding more than one segment's arrivals plus O(block)
+state in memory.
+
+Equivalence contract (pinned by ``benchmarks/bench_streaming.py`` and
+the property tests): on the same scenario/seed/config, the streaming
+path's integer-count metrics — throughput series, cumulative curve,
+latency bands, recovery/adjustment, per-segment throughput boxes — are
+*bit-identical* to the in-memory kernels; float mass/mean summaries
+(``fsum`` over per-block partials) agree to tolerance. Spilled columns
+reload into a :class:`~repro.core.results.QueryColumns` equal to the
+in-memory one, element for element.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.phases import TrainingEvent
+from repro.core.results import QueryColumns
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "StreamBlock",
+    "StreamingRecorder",
+    "ColumnSpiller",
+    "StreamingRunSummary",
+    "load_spilled_columns",
+]
+
+
+class StreamBlock:
+    """One block of completed queries, in driver append (arrival) order.
+
+    The unit of work the streaming pipeline passes to accumulators and
+    the spiller. ``completions_sorted`` and ``latencies`` are derived
+    once here so every accumulator shares them.
+    """
+
+    __slots__ = (
+        "arrivals",
+        "starts",
+        "completions",
+        "completions_sorted",
+        "latencies",
+        "op_codes",
+        "segment_codes",
+    )
+
+    def __init__(
+        self,
+        arrivals: np.ndarray,
+        starts: np.ndarray,
+        completions: np.ndarray,
+        op_codes: np.ndarray,
+        segment_codes: np.ndarray,
+    ) -> None:
+        """Wrap the five columns; derives sorted completions/latencies."""
+        self.arrivals = arrivals
+        self.starts = starts
+        self.completions = completions
+        self.completions_sorted = np.sort(completions)
+        self.latencies = completions - arrivals
+        self.op_codes = op_codes
+        self.segment_codes = segment_codes
+
+    def __len__(self) -> int:
+        return int(self.arrivals.size)
+
+
+class ColumnSpiller:
+    """Spills query columns to sharded files instead of keeping them.
+
+    Blocks buffer up to ``shard_rows`` rows, then flush as one shard:
+    ``shard-00000.npz`` (NumPy, always available) or
+    ``shard-00000.parquet`` (requires ``pyarrow``; gated with a
+    :class:`~repro.errors.ConfigurationError` when missing so the core
+    pipeline stays dependency-free). :meth:`finish` writes
+    ``manifest.json`` with the shard list and label vocabularies;
+    :func:`load_spilled_columns` reassembles the full
+    :class:`~repro.core.results.QueryColumns` from it.
+    """
+
+    def __init__(
+        self,
+        directory,
+        fmt: str = "npz",
+        shard_rows: int = 262_144,
+    ) -> None:
+        """Spill to ``directory`` in ``fmt`` shards of ``shard_rows``."""
+        if fmt not in ("npz", "parquet"):
+            raise ConfigurationError(f"unknown spill format {fmt!r}")
+        if fmt == "parquet":
+            try:
+                import pyarrow  # noqa: F401
+                import pyarrow.parquet  # noqa: F401
+            except ImportError as exc:
+                raise ConfigurationError(
+                    "parquet spill requires pyarrow; use fmt='npz'"
+                ) from exc
+        if shard_rows < 1:
+            raise ConfigurationError("shard_rows must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fmt = fmt
+        self.shard_rows = int(shard_rows)
+        self._pending: List[Tuple[np.ndarray, ...]] = []
+        self._pending_rows = 0
+        self._shards: List[str] = []
+        self._rows = 0
+        self._finished = False
+
+    def write(self, block: StreamBlock) -> None:
+        """Buffer one block, flushing full shards as they fill up."""
+        if self._finished:
+            raise ConfigurationError("spiller already finished")
+        if len(block) == 0:
+            return
+        self._pending.append(
+            (
+                np.array(block.arrivals, dtype=np.float64),
+                np.array(block.starts, dtype=np.float64),
+                np.array(block.completions, dtype=np.float64),
+                np.array(block.op_codes, dtype=np.int32),
+                np.array(block.segment_codes, dtype=np.int32),
+            )
+        )
+        self._pending_rows += len(block)
+        while self._pending_rows >= self.shard_rows:
+            self._flush_shard(self.shard_rows)
+
+    def _take(self, rows: int) -> Tuple[np.ndarray, ...]:
+        """Pop exactly ``rows`` buffered rows as one column tuple."""
+        taken: List[Tuple[np.ndarray, ...]] = []
+        needed = rows
+        while needed > 0:
+            head = self._pending[0]
+            size = int(head[0].size)
+            if size <= needed:
+                taken.append(self._pending.pop(0))
+                needed -= size
+            else:
+                taken.append(tuple(col[:needed] for col in head))
+                self._pending[0] = tuple(col[needed:] for col in head)
+                needed = 0
+        self._pending_rows -= rows
+        if len(taken) == 1:
+            return taken[0]
+        return tuple(
+            np.concatenate([part[i] for part in taken]) for i in range(5)
+        )
+
+    def _flush_shard(self, rows: int) -> None:
+        arrivals, starts, completions, op_codes, segment_codes = self._take(rows)
+        name = f"shard-{len(self._shards):05d}.{self.fmt}"
+        path = self.directory / name
+        if self.fmt == "npz":
+            np.savez_compressed(
+                path,
+                arrivals=arrivals,
+                starts=starts,
+                completions=completions,
+                op_codes=op_codes,
+                segment_codes=segment_codes,
+            )
+        else:
+            import pyarrow as pa
+            import pyarrow.parquet as pq
+
+            table = pa.table(
+                {
+                    "arrivals": arrivals,
+                    "starts": starts,
+                    "completions": completions,
+                    "op_codes": op_codes,
+                    "segment_codes": segment_codes,
+                }
+            )
+            pq.write_table(table, path)
+        self._shards.append(name)
+        self._rows += rows
+
+    def finish(
+        self,
+        op_vocab: Sequence[str],
+        segment_vocab: Sequence[str],
+    ) -> dict:
+        """Flush the tail shard and write ``manifest.json``."""
+        if not self._finished:
+            if self._pending_rows:
+                self._flush_shard(self._pending_rows)
+            self._finished = True
+        manifest = {
+            "format": self.fmt,
+            "rows": self._rows,
+            "shards": list(self._shards),
+            "op_vocab": list(op_vocab),
+            "segment_vocab": list(segment_vocab),
+            "directory": str(self.directory),
+        }
+        with open(self.directory / "manifest.json", "w") as fh:
+            json.dump(manifest, fh)
+        return manifest
+
+
+def load_spilled_columns(directory) -> QueryColumns:
+    """Reassemble a :class:`QueryColumns` from a spill directory."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise ConfigurationError(f"no spill manifest in {directory}")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    columns: Dict[str, List[np.ndarray]] = {
+        "arrivals": [],
+        "starts": [],
+        "completions": [],
+        "op_codes": [],
+        "segment_codes": [],
+    }
+    for name in manifest["shards"]:
+        path = directory / name
+        if manifest["format"] == "npz":
+            with np.load(path) as shard:
+                for key in columns:
+                    columns[key].append(shard[key])
+        else:
+            try:
+                import pyarrow.parquet as pq
+            except ImportError as exc:
+                raise ConfigurationError(
+                    "reading a parquet spill requires pyarrow"
+                ) from exc
+            table = pq.read_table(path)
+            for key in columns:
+                columns[key].append(table.column(key).to_numpy())
+
+    def _cat(key: str, dtype) -> np.ndarray:
+        parts = columns[key]
+        if not parts:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(parts).astype(dtype, copy=False)
+
+    return QueryColumns(
+        arrivals=_cat("arrivals", np.float64),
+        starts=_cat("starts", np.float64),
+        completions=_cat("completions", np.float64),
+        op_codes=_cat("op_codes", np.int32),
+        op_vocab=tuple(manifest["op_vocab"]),
+        segment_codes=_cat("segment_codes", np.int32),
+        segment_vocab=tuple(manifest["segment_vocab"]),
+    )
+
+
+class StreamingRecorder:
+    """Drop-in recorder that folds blocks instead of retaining them.
+
+    Presents the same interface the driver hot loops use on
+    :class:`~repro.core.results.ColumnarRecorder` — ``intern_op`` /
+    ``intern_segment`` / ``reserve`` / ``append`` / ``append_block`` —
+    but holds only a fixed-size scratch buffer: scalar appends fill the
+    scratch and flush when full; block appends flush the scratch (to
+    preserve record order for the spiller) and fold directly. Each
+    flushed :class:`StreamBlock` goes to every accumulator's ``fold``
+    and, when configured, the :class:`ColumnSpiller`.
+
+    Call :meth:`flush` once after the run so the scratch tail reaches
+    the accumulators.
+    """
+
+    def __init__(
+        self,
+        accumulators: Sequence[Any] = (),
+        spiller: Optional[ColumnSpiller] = None,
+        scratch_capacity: int = 65_536,
+    ) -> None:
+        """Create the fixed-size scratch and wire the consumers."""
+        self.accumulators = list(accumulators)
+        self.spiller = spiller
+        capacity = max(1, int(scratch_capacity))
+        self._arrivals = np.empty(capacity, dtype=np.float64)
+        self._starts = np.empty(capacity, dtype=np.float64)
+        self._completions = np.empty(capacity, dtype=np.float64)
+        self._op_codes = np.empty(capacity, dtype=np.int32)
+        self._segment_codes = np.empty(capacity, dtype=np.int32)
+        self._n = 0
+        self._count = 0
+        self._max_completion = 0.0
+        self._op_index: Dict[str, int] = {}
+        self._op_vocab: List[str] = []
+        self._op_counts: List[int] = []
+        self._segment_index: Dict[str, int] = {}
+        self._segment_vocab: List[str] = []
+        self._segment_counts: List[int] = []
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        """Total queries recorded (scratch included)."""
+        return self._count
+
+    @property
+    def max_completion(self) -> float:
+        """Largest completion timestamp seen (0.0 before any query)."""
+        return self._max_completion
+
+    @property
+    def op_vocab(self) -> Tuple[str, ...]:
+        """Operation names in intern order."""
+        return tuple(self._op_vocab)
+
+    @property
+    def segment_vocab(self) -> Tuple[str, ...]:
+        """Segment labels in intern order."""
+        return tuple(self._segment_vocab)
+
+    def op_counts(self) -> Dict[str, int]:
+        """Per-operation completed-query counts (flushed or not)."""
+        self.flush()
+        return dict(zip(self._op_vocab, self._op_counts))
+
+    def segment_counts(self) -> Dict[str, int]:
+        """Per-segment completed-query counts (flushed or not)."""
+        self.flush()
+        return dict(zip(self._segment_vocab, self._segment_counts))
+
+    def intern_op(self, op: str) -> int:
+        """Code for an operation name (added on first sight)."""
+        code = self._op_index.get(op)
+        if code is None:
+            code = len(self._op_vocab)
+            self._op_index[op] = code
+            self._op_vocab.append(op)
+            self._op_counts.append(0)
+        return code
+
+    def intern_segment(self, label: str) -> int:
+        """Code for a segment label (added on first sight)."""
+        code = self._segment_index.get(label)
+        if code is None:
+            code = len(self._segment_vocab)
+            self._segment_index[label] = code
+            self._segment_vocab.append(label)
+            self._segment_counts.append(0)
+        return code
+
+    def reserve(self, extra: int) -> None:
+        """No-op: streaming never allocates per-run storage."""
+
+    def append(
+        self,
+        arrival: float,
+        start: float,
+        completion: float,
+        op_code: int,
+        segment_code: int,
+    ) -> None:
+        """Record one completed query into the scratch buffer."""
+        i = self._n
+        self._arrivals[i] = arrival
+        self._starts[i] = start
+        self._completions[i] = completion
+        self._op_codes[i] = op_code
+        self._segment_codes[i] = segment_code
+        self._n = i + 1
+        if self._n >= self._arrivals.size:
+            self.flush()
+
+    def append_block(
+        self,
+        arrivals: np.ndarray,
+        starts: np.ndarray,
+        completions: np.ndarray,
+        op_codes: np.ndarray,
+        segment_code: int,
+    ) -> None:
+        """Record a whole driver block: flush scratch, fold directly."""
+        m = int(arrivals.size)
+        if m == 0:
+            return
+        self.flush()
+        segment_codes = np.full(m, segment_code, dtype=np.int32)
+        self._fold(
+            StreamBlock(
+                np.asarray(arrivals, dtype=np.float64),
+                np.asarray(starts, dtype=np.float64),
+                np.asarray(completions, dtype=np.float64),
+                np.asarray(op_codes, dtype=np.int32),
+                segment_codes,
+            )
+        )
+
+    def flush(self) -> None:
+        """Fold whatever sits in the scratch buffer (no-op when empty)."""
+        n = self._n
+        if n == 0:
+            return
+        block = StreamBlock(
+            self._arrivals[:n].copy(),
+            self._starts[:n].copy(),
+            self._completions[:n].copy(),
+            self._op_codes[:n].copy(),
+            self._segment_codes[:n].copy(),
+        )
+        self._n = 0
+        self._fold(block)
+
+    def _fold(self, block: StreamBlock) -> None:
+        """Feed one block to the counters, accumulators, and spiller."""
+        self._count += len(block)
+        last = float(block.completions_sorted[-1])
+        if last > self._max_completion:
+            self._max_completion = last
+        op_hist = np.bincount(block.op_codes, minlength=len(self._op_counts))
+        for code, hits in enumerate(op_hist.tolist()):
+            if hits:
+                self._op_counts[code] += hits
+        seg_hist = np.bincount(
+            block.segment_codes, minlength=len(self._segment_counts)
+        )
+        for code, hits in enumerate(seg_hist.tolist()):
+            if hits:
+                self._segment_counts[code] += hits
+        if self.spiller is not None:
+            self.spiller.write(block)
+        for accumulator in self.accumulators:
+            accumulator.fold(block)
+
+
+@dataclass
+class StreamingRunSummary:
+    """Everything a streaming run keeps: metrics, counts, provenance.
+
+    The streaming counterpart of :class:`~repro.core.results.RunResult`:
+    raw per-query columns are gone (unless spilled), but every finalized
+    accumulator payload, the per-op/per-segment counts, and the run's
+    provenance survive in a JSON-ready form.
+
+    Attributes:
+        sut_name / scenario_name: Run identity.
+        segments: ``(label, start, end)`` boundaries in query time.
+        training_events: All training work performed.
+        scenario_description / sut_description: ``describe()`` payloads.
+        num_queries: Total completed queries.
+        max_completion: Largest completion timestamp.
+        op_counts / segment_counts: Completed queries per label.
+        metrics: Finalized accumulator payloads keyed by ``name``.
+        spill: The spill manifest, when columns were spilled.
+    """
+
+    sut_name: str
+    scenario_name: str
+    segments: List[Tuple[str, float, float]]
+    training_events: List[TrainingEvent] = field(default_factory=list)
+    scenario_description: dict = field(default_factory=dict)
+    sut_description: dict = field(default_factory=dict)
+    num_queries: int = 0
+    max_completion: float = 0.0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    segment_counts: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, dict] = field(default_factory=dict)
+    spill: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        """Query-time horizon of the run (end of the last segment)."""
+        return self.segments[-1][2] if self.segments else 0.0
+
+    @property
+    def horizon(self) -> float:
+        """Analysis horizon: max of segment end and last completion."""
+        return max(self.duration, self.max_completion)
+
+    def mean_throughput(self) -> float:
+        """Completed queries per second over the run horizon."""
+        horizon = self.horizon
+        if horizon <= 0:
+            return 0.0
+        return self.num_queries / horizon
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (the summary's wire format)."""
+        return {
+            "sut_name": self.sut_name,
+            "scenario_name": self.scenario_name,
+            "segments": [list(s) for s in self.segments],
+            "scenario_description": self.scenario_description,
+            "sut_description": self.sut_description,
+            "training_events": [
+                {
+                    "start": e.start,
+                    "duration": e.duration,
+                    "nominal_seconds": e.nominal_seconds,
+                    "hardware_name": e.hardware_name,
+                    "cost": e.cost,
+                    "online": e.online,
+                    "label": e.label,
+                }
+                for e in self.training_events
+            ],
+            "num_queries": self.num_queries,
+            "max_completion": self.max_completion,
+            "op_counts": dict(self.op_counts),
+            "segment_counts": dict(self.segment_counts),
+            "metrics": self.metrics,
+            "spill": self.spill,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StreamingRunSummary":
+        """Reconstruct a summary from :meth:`to_dict` output."""
+        return cls(
+            sut_name=data["sut_name"],
+            scenario_name=data["scenario_name"],
+            segments=[tuple(s) for s in data["segments"]],
+            training_events=[
+                TrainingEvent(
+                    start=e["start"],
+                    duration=e["duration"],
+                    nominal_seconds=e["nominal_seconds"],
+                    hardware_name=e["hardware_name"],
+                    cost=e["cost"],
+                    online=e["online"],
+                    label=e.get("label", ""),
+                )
+                for e in data.get("training_events", [])
+            ],
+            scenario_description=data.get("scenario_description", {}),
+            sut_description=data.get("sut_description", {}),
+            num_queries=data.get("num_queries", 0),
+            max_completion=data.get("max_completion", 0.0),
+            op_counts=dict(data.get("op_counts", {})),
+            segment_counts=dict(data.get("segment_counts", {})),
+            metrics=dict(data.get("metrics", {})),
+            spill=data.get("spill"),
+        )

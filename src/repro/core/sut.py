@@ -51,6 +51,7 @@ class SystemUnderTest(ABC):
     """Lifecycle contract between the benchmark driver and a system."""
 
     def __init__(self, name: str) -> None:
+        """Register the system under ``name`` with fresh bookkeeping."""
         self._name = name
         self.training = TrainingSummary()
         self.tracer = NULL_TRACER

@@ -17,8 +17,13 @@
   area lost to faults.
 """
 
+from typing import List, Optional
+
 from repro.metrics.adaptability import (
     AdaptabilityReport,
+    OnlineCumulativeCurve,
+    OnlineRecovery,
+    OnlineThroughput,
     adaptability_report,
     area_between_systems,
     area_vs_ideal,
@@ -33,7 +38,13 @@ from repro.metrics.cost import (
     cost_breakdown,
     training_cost_to_outperform,
 )
-from repro.metrics.descriptive import BoxStats, box_stats, percentile
+from repro.metrics.descriptive import (
+    BoxStats,
+    OnlineLatencyStats,
+    RunningStats,
+    box_stats,
+    percentile,
+)
 from repro.metrics.similarity import (
     data_phi,
     jaccard_similarity,
@@ -43,6 +54,8 @@ from repro.metrics.similarity import (
 )
 from repro.metrics.sla import (
     LatencyBand,
+    OnlineAdjustmentSpeed,
+    OnlineLatencyBands,
     adjustment_speed,
     calibrate_sla,
     latency_bands,
@@ -50,6 +63,7 @@ from repro.metrics.sla import (
 )
 from repro.metrics.resilience import (
     FaultImpact,
+    OnlineResilience,
     ResilienceReport,
     area_lost_to_faults,
     degraded_sla_mass,
@@ -57,15 +71,96 @@ from repro.metrics.resilience import (
     resilience_report,
 )
 from repro.metrics.specialization import (
+    OnlineSegmentStats,
     SegmentPerformance,
     SpecializationReport,
+    online_specialization_report,
     specialization_report,
 )
 
+
+def streaming_accumulators(
+    scenario,
+    sla: Optional[float] = None,
+    interval: float = 1.0,
+    resolution: float = 1.0,
+    change_time: Optional[float] = None,
+    adjustment_queries: int = 1000,
+    plan=None,
+    window: float = 5.0,
+    recovery_fraction: float = 0.9,
+) -> List[object]:
+    """The default accumulator set for a streaming run of ``scenario``.
+
+    Always includes throughput, the Fig 1b cumulative curve, latency
+    summary stats, and per-segment stats. A recovery probe (and, with an
+    SLA, adjustment speed) is added at ``change_time`` — defaulting to
+    the first segment boundary when the scenario has several segments.
+    An SLA adds Fig 1c latency bands; a fault ``plan`` adds resilience.
+
+    Args:
+        scenario: The scenario the run executes.
+        sla: SLA threshold in seconds (enables band + adjustment/mass
+            accumulators).
+        interval: Bucket width for throughput/band/segment grids.
+        resolution: Sample spacing for the cumulative curve.
+        change_time: Distribution-change instant for recovery and
+            adjustment speed; ``None`` picks the first segment boundary
+            (skipped entirely for single-segment scenarios).
+        adjustment_queries: N for the adjustment-speed window.
+        plan: Optional :class:`~repro.faults.FaultPlan` to score.
+        window: Recovery-probe window width in seconds.
+        recovery_fraction: Fraction of pre-change throughput that counts
+            as recovered.
+    """
+    accumulators: List[object] = [
+        OnlineThroughput(interval=interval),
+        OnlineCumulativeCurve(resolution=resolution),
+        OnlineLatencyStats(),
+        OnlineSegmentStats(scenario, interval=interval),
+    ]
+    if change_time is None:
+        boundaries = scenario.segment_boundaries()
+        if len(boundaries) > 1:
+            change_time = float(boundaries[1][1])
+    if change_time is not None:
+        accumulators.append(
+            OnlineRecovery(
+                change_time, window=window, recovery_fraction=recovery_fraction
+            )
+        )
+    if sla is not None:
+        accumulators.append(OnlineLatencyBands(sla, interval=interval))
+        if change_time is not None:
+            accumulators.append(
+                OnlineAdjustmentSpeed(change_time, adjustment_queries, sla)
+            )
+    if plan is not None:
+        accumulators.append(
+            OnlineResilience(
+                plan,
+                sla=sla,
+                window=window,
+                recovery_fraction=recovery_fraction,
+            )
+        )
+    return accumulators
+
 __all__ = [
     "BoxStats",
+    "RunningStats",
     "box_stats",
     "percentile",
+    "OnlineThroughput",
+    "OnlineCumulativeCurve",
+    "OnlineRecovery",
+    "OnlineLatencyStats",
+    "OnlineLatencyBands",
+    "OnlineAdjustmentSpeed",
+    "OnlineSegmentStats",
+    "OnlineResilience",
+    "online_specialization_report",
+    "streaming_accumulators",
     "jaccard_similarity",
     "ks_statistic",
     "mmd_rbf",

@@ -49,3 +49,133 @@ def bucket_index(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
     """
     idx = np.searchsorted(edges, values, side="right") - 1
     return np.clip(idx, 0, max(edges.size - 2, 0))
+
+
+class GridCounts:
+    """Single-pass value counts on the shared edge grid.
+
+    The streaming engine behind every online timeline metric: fold
+    sorted blocks of values one at a time and, at the end, read back the
+    exact numbers the batch kernels compute from the full array —
+    ``np.histogram`` bucket counts and ``searchsorted(..., 'right')``
+    cumulative counts — on the :func:`time_edges` / :func:`span_edges`
+    grid, *bit for bit*.
+
+    The trick is that ``np.histogram``'s internals are additive over
+    sorted blocks: for array bins it accumulates, per edge, the count of
+    values strictly below the edge (and at-or-below for the final edge),
+    then differences. This class maintains exactly those two per-edge
+    counters (``# < e_i`` and ``# <= e_i``) on a grid that grows with
+    the data: every edge is materialized as ``start + i * interval``
+    with the same float expressions ``np.arange`` uses, so the grid
+    matches the offline edge arrays bitwise, and a new edge (always
+    beyond every value seen so far) starts at the current fold count.
+
+    Blocks must arrive sorted ascending and (for exactness vs. the batch
+    kernels) within ``[start, last-edge]`` of the final grid — true by
+    construction for completion timestamps on the run's time grid.
+    """
+
+    __slots__ = ("interval", "start", "_lt", "_le", "_k", "_n", "_max")
+
+    def __init__(self, interval: float, start: float = 0.0) -> None:
+        """Anchor the grid at ``start`` with ``interval`` spacing."""
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.interval = float(interval)
+        self.start = float(start)
+        # Per-edge counters for the first _k grid edges: _lt[i] counts
+        # folded values < edge i, _le[i] counts values <= edge i.
+        self._lt = np.zeros(1, dtype=np.int64)
+        self._le = np.zeros(1, dtype=np.int64)
+        self._k = 1
+        self._n = 0
+        self._max = -np.inf
+
+    @property
+    def count(self) -> int:
+        """Total values folded so far."""
+        return self._n
+
+    @property
+    def max_value(self) -> float:
+        """Largest value folded so far (``-inf`` before the first fold)."""
+        return self._max
+
+    def _edge_values(self, k: int) -> np.ndarray:
+        # Element i is start + i*interval via the same double ops
+        # np.arange's fill loop uses, so edges match time_edges bitwise.
+        return self.start + np.arange(k, dtype=np.float64) * self.interval
+
+    def _cover(self, vmax: float) -> None:
+        """Grow the grid until its last edge is at or beyond ``vmax``."""
+        if float(self._edge_values(self._k)[-1]) >= vmax:
+            return
+        k = max(
+            int(np.ceil((vmax - self.start) / self.interval)) + 1, self._k + 1
+        )
+        while float(self._edge_values(k)[-1]) < vmax:  # ceil rounding slack
+            k += 1
+        # Every new edge lies strictly beyond the current coverage
+        # (hence beyond every folded value), so it starts at _n.
+        if k > self._lt.size:
+            for name in ("_lt", "_le"):
+                old = getattr(self, name)
+                new = np.full(max(k, old.size * 2), self._n, dtype=np.int64)
+                new[: self._k] = old[: self._k]
+                setattr(self, name, new)
+        else:
+            self._lt[self._k : k] = self._n
+            self._le[self._k : k] = self._n
+        self._k = k
+
+    def fold_sorted(self, values: np.ndarray) -> None:
+        """Fold one block of ascending values into the counters."""
+        if values.size == 0:
+            return
+        vmax = float(values[-1])
+        self._cover(vmax)
+        edges = self._edge_values(self._k)
+        self._lt[: self._k] += np.searchsorted(values, edges, side="left")
+        self._le[: self._k] += np.searchsorted(values, edges, side="right")
+        self._n += int(values.size)
+        if vmax > self._max:
+            self._max = vmax
+
+    def fold(self, values: np.ndarray) -> None:
+        """Fold one block of values in any order (sorts a copy)."""
+        self.fold_sorted(np.sort(np.asarray(values, dtype=np.float64)))
+
+    def _lt_on(self, k: int) -> np.ndarray:
+        """``# < edge`` for the first ``k`` final-grid edges (padded)."""
+        out = np.full(k, self._n, dtype=np.int64)
+        m = min(k, self._k)
+        out[:m] = self._lt[:m]
+        return out
+
+    def counts_on(self, edges: np.ndarray) -> np.ndarray:
+        """``np.histogram(all values, bins=edges)`` counts, bit-identical.
+
+        ``edges`` must be the final grid from :func:`time_edges` /
+        :func:`span_edges` with this accumulator's start and interval
+        (any edges beyond the folded coverage count as empty buckets).
+        """
+        k = int(edges.size)
+        if k < 2:
+            return np.zeros(0, dtype=np.int64)
+        cum = self._lt_on(k)
+        # np.histogram closes the last bin: its boundary count is <=.
+        cum[k - 1] = self._le[k - 1] if k <= self._k else self._n
+        return np.diff(cum)
+
+    def cumulative_on(self, edges: np.ndarray) -> np.ndarray:
+        """``searchsorted(sorted values, edges, 'right')``, bit-identical.
+
+        This is the cumulative-completions view the Fig 1b curve needs:
+        the count of values at or below each edge, int64.
+        """
+        k = int(edges.size)
+        out = np.full(k, self._n, dtype=np.int64)
+        m = min(k, self._k)
+        out[:m] = self._le[:m]
+        return out

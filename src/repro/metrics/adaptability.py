@@ -14,13 +14,13 @@ log and share their bucket grid with every other timeline metric via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
-from repro.metrics._buckets import bucket_index, time_edges
+from repro.metrics._buckets import GridCounts, bucket_index, time_edges
 
 
 def cumulative_curve(
@@ -37,6 +37,23 @@ def cumulative_curve(
     times = time_edges(result.horizon, resolution)
     cum = np.searchsorted(completions, times, side="right").astype(np.float64)
     return times, cum
+
+
+def _area_from_curve(
+    times: np.ndarray, cum: np.ndarray, ideal_rate: Optional[float] = None
+) -> float:
+    """Area-vs-ideal from an already-sampled cumulative curve.
+
+    Shared by the offline kernel and the streaming accumulator so both
+    paths run the identical float expressions on the identical curve.
+    """
+    if times.size == 0 or cum[-1] == 0:
+        return 0.0
+    horizon = times[-1]
+    if ideal_rate is None:
+        ideal_rate = cum[-1] / horizon if horizon > 0 else 0.0
+    ideal = np.minimum(ideal_rate * times, cum[-1])
+    return float(np.trapezoid(ideal - cum, times))
 
 
 def area_vs_ideal(
@@ -58,13 +75,7 @@ def area_vs_ideal(
         resolution: Integration step.
     """
     times, cum = cumulative_curve(result, resolution)
-    if times.size == 0 or cum[-1] == 0:
-        return 0.0
-    horizon = times[-1]
-    if ideal_rate is None:
-        ideal_rate = cum[-1] / horizon if horizon > 0 else 0.0
-    ideal = np.minimum(ideal_rate * times, cum[-1])
-    return float(np.trapezoid(ideal - cum, times))
+    return _area_from_curve(times, cum, ideal_rate)
 
 
 def area_between_systems(
@@ -238,3 +249,194 @@ def adaptability_report(
         recovery_seconds=recovery,
         throughput_cv=cv,
     )
+
+
+# -- streaming accumulators ----------------------------------------------------------
+#
+# Single-pass versions of the kernels above for the bounded-memory
+# pipeline (DESIGN.md §9). Each folds the driver's completed blocks as
+# they stream past and, given the final horizon, reproduces the batch
+# kernel's output bit for bit — the integer machinery (grid counts,
+# window counts) is exactly additive over sorted blocks, and the float
+# finishing expressions are shared with the offline code.
+
+
+class OnlineThroughput:
+    """Streaming ``RunResult.throughput_series`` plus mean/CV summary.
+
+    Folds completion timestamps into a :class:`GridCounts`; finalize
+    reproduces the per-interval counts (and the coefficient of variation
+    :func:`adaptability_report` derives from them) bit-identically.
+    """
+
+    name = "throughput"
+
+    def __init__(self, interval: float = 1.0) -> None:
+        """Bucket completions into ``interval``-second grid cells."""
+        if interval <= 0:
+            raise ConfigurationError("interval must be > 0")
+        self.interval = float(interval)
+        self._grid = GridCounts(self.interval)
+
+    def fold(self, block) -> None:
+        """Fold one completed block (uses its sorted completions)."""
+        self._grid.fold_sorted(block.completions_sorted)
+
+    def finalize(self, horizon: float) -> dict:
+        """JSON-ready payload: times, counts, mean q/s, and CV."""
+        edges = time_edges(horizon, self.interval)
+        counts = self._grid.counts_on(edges).astype(np.float64)
+        mean = counts.mean() if counts.size else 0.0
+        cv = float(counts.std() / mean) if mean > 0 else 0.0
+        mean_throughput = self._grid.count / horizon if horizon > 0 else 0.0
+        return {
+            "interval": self.interval,
+            "times": edges[: max(edges.size - 1, 0)].tolist(),
+            "counts": counts.tolist(),
+            "mean_throughput": mean_throughput,
+            "cv": cv,
+        }
+
+
+class OnlineCumulativeCurve:
+    """Streaming Fig 1b: cumulative curve and area-vs-ideal.
+
+    Bit-identical to :func:`cumulative_curve` / :func:`area_vs_ideal`
+    on the same run: the per-edge cumulative counts are exact integers
+    and the area runs the shared :func:`_area_from_curve` expressions.
+    """
+
+    name = "adaptability"
+
+    def __init__(
+        self, resolution: float = 1.0, ideal_rate: Optional[float] = None
+    ) -> None:
+        """Sample the curve every ``resolution`` virtual seconds."""
+        if resolution <= 0:
+            raise ConfigurationError("resolution must be > 0")
+        self.resolution = float(resolution)
+        self.ideal_rate = ideal_rate
+        self._grid = GridCounts(self.resolution)
+
+    def fold(self, block) -> None:
+        """Fold one completed block (uses its sorted completions)."""
+        self._grid.fold_sorted(block.completions_sorted)
+
+    def curve(self, horizon: float) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, cumulative) — :func:`cumulative_curve`'s output."""
+        times = time_edges(horizon, self.resolution)
+        return times, self._grid.cumulative_on(times).astype(np.float64)
+
+    def finalize(self, horizon: float) -> dict:
+        """JSON-ready payload: the sampled curve and its area metric."""
+        times, cum = self.curve(horizon)
+        return {
+            "resolution": self.resolution,
+            "times": times.tolist(),
+            "cumulative": cum.tolist(),
+            "area_vs_ideal": _area_from_curve(times, cum, self.ideal_rate),
+        }
+
+
+class OnlineRecovery:
+    """Streaming :func:`recovery_time` for one change point.
+
+    Maintains, for the pre-change window and every post-change window
+    probe, the exact count of completions strictly below the probe time.
+    Window probes are materialized lazily as completions advance — each
+    new probe lies beyond every completion seen, so it starts at the
+    current fold count — with the same ``change + window * k`` float
+    expressions the offline kernel's ``np.arange`` construction uses, so
+    the finalized recovery time is bit-identical.
+    """
+
+    name = "recovery"
+
+    def __init__(
+        self,
+        change_time: float,
+        window: float = 5.0,
+        recovery_fraction: float = 0.9,
+    ) -> None:
+        """Probe recovery after ``change_time`` in ``window`` strides."""
+        if window <= 0:
+            raise ConfigurationError("window must be > 0")
+        self.change_time = float(change_time)
+        self.window = float(window)
+        self.recovery_fraction = float(recovery_fraction)
+        self._lo_lt = 0  # completions < change - window
+        self._hi_lt = 0  # completions < change
+        self._starts_lt: List[int] = []  # per-k: completions < change + w*k
+        self._ends_lt: List[int] = []  # per-k: completions < (change + w*k) + w
+        self._n = 0
+        self._max = -np.inf
+
+    def _start_value(self, k: int) -> float:
+        # Same double ops as change_time + window * np.arange(n)[k].
+        return self.change_time + self.window * float(k)
+
+    def fold(self, block) -> None:
+        """Fold one completed block (uses its sorted completions)."""
+        completions = block.completions_sorted
+        if completions.size == 0:
+            return
+        bmax = float(completions[-1])
+        # Materialize every window probe up to the block's max first:
+        # each is strictly beyond all previously folded completions.
+        k = len(self._starts_lt)
+        while self._start_value(k) <= bmax:
+            self._starts_lt.append(self._n)
+            self._ends_lt.append(self._n)
+            k += 1
+        self._lo_lt += int(
+            np.searchsorted(
+                completions, self.change_time - self.window, side="left"
+            )
+        )
+        self._hi_lt += int(
+            np.searchsorted(completions, self.change_time, side="left")
+        )
+        if self._starts_lt:
+            ks = np.arange(len(self._starts_lt), dtype=np.float64)
+            starts = self.change_time + self.window * ks
+            below_starts = np.searchsorted(completions, starts, side="left")
+            below_ends = np.searchsorted(completions, starts + self.window, side="left")
+            for i in range(len(self._starts_lt)):
+                self._starts_lt[i] += int(below_starts[i])
+                self._ends_lt[i] += int(below_ends[i])
+        self._n += int(completions.size)
+        if bmax > self._max:
+            self._max = bmax
+
+    def recovery_seconds(self, horizon: float) -> Optional[float]:
+        """:func:`recovery_time`'s answer for the folded stream."""
+        if self._n == 0:
+            return None
+        before = self._hi_lt - self._lo_lt
+        if before == 0:
+            return None
+        target = self.recovery_fraction * before
+        n_windows = (
+            int(np.floor((horizon - self.change_time) / self.window)) + 1
+        )
+        if n_windows <= 0:
+            return None
+        counts = np.zeros(n_windows, dtype=np.int64)
+        m = min(n_windows, len(self._starts_lt))
+        for i in range(m):
+            counts[i] = self._ends_lt[i] - self._starts_lt[i]
+        # Probes never materialized lie beyond every completion: empty.
+        recovered = counts >= target
+        if not recovered.any():
+            return None
+        starts = self.change_time + self.window * np.arange(n_windows)
+        return float(starts[int(np.argmax(recovered))] - self.change_time)
+
+    def finalize(self, horizon: float) -> dict:
+        """JSON-ready payload: the change point and its recovery time."""
+        return {
+            "change_time": self.change_time,
+            "window": self.window,
+            "recovery_fraction": self.recovery_fraction,
+            "recovery_seconds": self.recovery_seconds(horizon),
+        }

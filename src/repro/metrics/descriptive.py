@@ -75,6 +75,87 @@ class BoxStats:
         }
 
 
+class RunningStats:
+    """Single-pass count/mean/variance/min/max (Chan-Welford merging).
+
+    The streaming pipeline's descriptive summary: folds value blocks
+    without retaining them. Counts, minima, and maxima are exact; the
+    mean and variance use the numerically stable parallel-merge update,
+    so they are deterministic for a given block sequence and agree with
+    the batch ``np.mean`` / ``np.std`` to float tolerance (the summation
+    trees differ — see DESIGN.md §9).
+    """
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        """Start empty (count 0, infinite extremes)."""
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = np.inf
+        self.maximum = -np.inf
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one block of values."""
+        values = np.asarray(values, dtype=np.float64)
+        n = int(values.size)
+        if n == 0:
+            return
+        b_mean = float(values.mean())
+        b_m2 = float(((values - b_mean) ** 2).sum())
+        if self.count == 0:
+            self.count, self.mean, self._m2 = n, b_mean, b_m2
+        else:
+            total = self.count + n
+            delta = b_mean - self.mean
+            self.mean += delta * n / total
+            self._m2 += b_m2 + delta * delta * self.count * n / total
+            self.count = total
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+
+    @property
+    def variance(self) -> float:
+        """Population variance of everything folded (0 when empty)."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0 when empty)."""
+        return float(np.sqrt(self.variance))
+
+    def summary(self) -> dict:
+        """JSON-ready summary row."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class OnlineLatencyStats:
+    """Streaming latency summary over a run's completed blocks."""
+
+    name = "latency"
+
+    def __init__(self) -> None:
+        """Start with empty running stats."""
+        self._stats = RunningStats()
+
+    def fold(self, block) -> None:
+        """Fold one completed block's latencies."""
+        self._stats.update(block.latencies)
+
+    def finalize(self, horizon: float) -> dict:
+        """JSON-ready payload: the :class:`RunningStats` summary."""
+        return self._stats.summary()
+
+
 def box_stats(values: Sequence[float]) -> BoxStats:
     """Compute :class:`BoxStats` for ``values``.
 

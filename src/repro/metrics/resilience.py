@@ -21,6 +21,7 @@ directly comparable with the drift-driven adaptability numbers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -29,10 +30,15 @@ import numpy as np
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan
-from repro.metrics.adaptability import area_between_systems, recovery_time
+from repro.metrics.adaptability import (
+    OnlineRecovery,
+    area_between_systems,
+    recovery_time,
+)
 
 __all__ = [
     "FaultImpact",
+    "OnlineResilience",
     "ResilienceReport",
     "fault_recovery_times",
     "degraded_sla_mass",
@@ -218,3 +224,101 @@ def resilience_report(
             area_lost_to_faults(result, baseline) if baseline is not None else None
         ),
     )
+
+
+# -- streaming accumulators ----------------------------------------------------------
+
+
+class OnlineResilience:
+    """Streaming :func:`fault_recovery_times` + :func:`degraded_sla_mass`.
+
+    One :class:`~repro.metrics.adaptability.OnlineRecovery` per degraded
+    window onset (bit-identical recovery times) plus, when an SLA is
+    supplied, per-block over-SLA partial sums over queries arriving in
+    degraded windows, combined with ``math.fsum`` (float tolerance vs.
+    the offline pairwise sum — see DESIGN.md §9).
+    ``area_lost_to_faults`` needs a second full run, so it stays offline.
+    """
+
+    name = "resilience"
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sla: Optional[float] = None,
+        window: float = 5.0,
+        recovery_fraction: float = 0.9,
+    ) -> None:
+        """Track every degraded window of ``plan`` (SLA optional)."""
+        if sla is not None and sla <= 0:
+            raise ConfigurationError("sla must be > 0")
+        self.sla = float(sla) if sla is not None else None
+        self.window = float(window)
+        self.recovery_fraction = float(recovery_fraction)
+        self.windows: List[Tuple[float, float, str]] = list(
+            plan.degraded_windows()
+        )
+        self._recoveries = [
+            OnlineRecovery(start, window=window, recovery_fraction=recovery_fraction)
+            for start, _end, _kind in self.windows
+        ]
+        self._mass_parts: List[float] = []
+
+    def fold(self, block) -> None:
+        """Fold one completed block into every fault's counters."""
+        for recovery in self._recoveries:
+            recovery.fold(block)
+        if self.sla is None or not self.windows:
+            return
+        arrivals = block.arrivals
+        mask = np.zeros(arrivals.size, dtype=bool)
+        for start, end, _kind in self.windows:
+            mask |= (arrivals >= start) & (arrivals < end)
+        if mask.any():
+            over = np.maximum(0.0, block.latencies[mask] - self.sla)
+            self._mass_parts.append(float(np.sum(over)))
+
+    def impacts(self, horizon: float) -> List[FaultImpact]:
+        """:func:`fault_recovery_times`'s rows for the folded stream."""
+        return [
+            FaultImpact(
+                kind=kind,
+                at=start,
+                recovery_seconds=recovery.recovery_seconds(horizon),
+            )
+            for (start, _end, kind), recovery in zip(
+                self.windows, self._recoveries
+            )
+        ]
+
+    def degraded_mass(self) -> Optional[float]:
+        """Over-SLA mass in degraded windows (``None`` without an SLA)."""
+        if self.sla is None:
+            return None
+        return math.fsum(self._mass_parts)
+
+    def report(self, horizon: float, sut_name: str) -> ResilienceReport:
+        """:func:`resilience_report`'s summary (minus ``area_lost``)."""
+        return ResilienceReport(
+            sut_name=sut_name,
+            impacts=tuple(self.impacts(horizon)),
+            degraded_sla_mass=self.degraded_mass(),
+            area_lost=None,
+        )
+
+    def finalize(self, horizon: float) -> dict:
+        """JSON-ready payload: per-fault impacts and the SLA mass."""
+        return {
+            "sla": self.sla,
+            "window": self.window,
+            "recovery_fraction": self.recovery_fraction,
+            "impacts": [
+                {
+                    "kind": impact.kind,
+                    "at": impact.at,
+                    "recovery_seconds": impact.recovery_seconds,
+                }
+                for impact in self.impacts(horizon)
+            ],
+            "degraded_sla_mass": self.degraded_mass(),
+        }

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
-from repro.metrics._buckets import time_edges
+from repro.metrics._buckets import GridCounts, time_edges
 
 
 @dataclass(frozen=True)
@@ -141,3 +141,115 @@ def adjustment_speed(
     selected = order[first : first + n_queries]
     over = np.maximum(0.0, cols.latencies[selected] - sla)
     return float(over.sum())
+
+
+# -- streaming accumulators ----------------------------------------------------------
+
+
+class OnlineLatencyBands:
+    """Streaming :func:`latency_bands` (Fig 1c) — bit-identical.
+
+    Two :class:`~repro.metrics._buckets.GridCounts` on the shared edge
+    grid: one folds every completion, the other only the over-SLA ones;
+    finalize reproduces the offline bands' integer counts exactly.
+    """
+
+    name = "sla"
+
+    def __init__(self, sla: float, interval: float = 1.0) -> None:
+        """Split ``interval``-second bands at the ``sla`` threshold."""
+        if interval <= 0:
+            raise ConfigurationError("interval must be > 0")
+        if sla <= 0:
+            raise ConfigurationError("sla must be > 0")
+        self.sla = float(sla)
+        self.interval = float(interval)
+        self._total = GridCounts(self.interval)
+        self._over = GridCounts(self.interval)
+
+    def fold(self, block) -> None:
+        """Fold one completed block (completions + latencies)."""
+        self._total.fold_sorted(block.completions_sorted)
+        violated = block.completions[block.latencies > self.sla]
+        if violated.size:
+            self._over.fold_sorted(np.sort(violated))
+
+    def bands(self, horizon: float) -> List[LatencyBand]:
+        """:func:`latency_bands`'s output for the folded stream."""
+        edges = time_edges(horizon, self.interval)
+        if edges.size < 2:
+            return []
+        total = self._total.counts_on(edges)
+        over = self._over.counts_on(edges)
+        return [
+            LatencyBand(start=start, within_sla=int(n - v), violated=int(v))
+            for start, n, v in zip(edges[:-1].tolist(), total, over)
+        ]
+
+    def finalize(self, horizon: float) -> dict:
+        """JSON-ready payload: ``[start, within, violated]`` rows."""
+        return {
+            "sla": self.sla,
+            "interval": self.interval,
+            "bands": [
+                [band.start, band.within_sla, band.violated]
+                for band in self.bands(horizon)
+            ],
+        }
+
+
+class OnlineAdjustmentSpeed:
+    """Streaming :func:`adjustment_speed` — bit-identical.
+
+    Buffers the latencies of the first ``n_queries`` arrivals at or
+    after the change (blocks stream past in arrival order, so the
+    selection matches the offline stable argsort exactly) and runs the
+    same ``max(0, latency - sla).sum()`` on the identical array. The
+    buffer is bounded by ``n_queries`` — a user parameter, not the run
+    length — so memory stays constant.
+    """
+
+    name = "adjustment_speed"
+
+    def __init__(self, change_time: float, n_queries: int, sla: float) -> None:
+        """Watch the first ``n_queries`` arrivals after ``change_time``."""
+        if n_queries < 1:
+            raise ConfigurationError("n_queries must be >= 1")
+        self.change_time = float(change_time)
+        self.n_queries = int(n_queries)
+        self.sla = float(sla)
+        self._chunks: List[np.ndarray] = []
+        self._remaining = self.n_queries
+
+    def fold(self, block) -> None:
+        """Fold one completed block (arrivals + latencies, in order)."""
+        if self._remaining <= 0:
+            return
+        arrivals = block.arrivals
+        first = int(np.searchsorted(arrivals, self.change_time, side="left"))
+        if first >= arrivals.size:
+            return
+        take = block.latencies[first : first + self._remaining]
+        self._chunks.append(np.array(take, dtype=np.float64))
+        self._remaining -= int(take.size)
+
+    def value(self) -> float:
+        """:func:`adjustment_speed`'s answer for the folded stream."""
+        if not self._chunks:
+            return 0.0
+        latencies = (
+            self._chunks[0]
+            if len(self._chunks) == 1
+            else np.concatenate(self._chunks)
+        )
+        over = np.maximum(0.0, latencies - self.sla)
+        return float(over.sum())
+
+    def finalize(self, horizon: float) -> dict:
+        """JSON-ready payload: parameters and the summed over-SLA mass."""
+        return {
+            "change_time": self.change_time,
+            "n_queries": self.n_queries,
+            "sla": self.sla,
+            "value": self.value(),
+        }

@@ -10,15 +10,16 @@ comparison.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario
 from repro.errors import ConfigurationError
-from repro.metrics._buckets import span_edges
+from repro.metrics._buckets import GridCounts, span_edges
 from repro.metrics.descriptive import BoxStats, box_stats
 from repro.metrics.similarity import data_phi, workload_phi
 
@@ -86,6 +87,41 @@ def _segment_throughputs(
     return counts / interval
 
 
+def _segment_table(scenario: Scenario) -> Dict[str, tuple]:
+    """``label -> (segment, lo, hi)`` (duplicate labels: last wins)."""
+    by_label: Dict[str, tuple] = {}
+    for segment, (label, lo, hi) in zip(
+        scenario.segments, scenario.segment_boundaries()
+    ):
+        by_label[label] = (segment, lo, hi)
+    return by_label
+
+
+def _phi_pairs(
+    by_label: Dict[str, tuple],
+    baseline_label: str,
+    phi_sample_size: int,
+    phi_seed: int,
+) -> Iterator[Tuple[float, float]]:
+    """Per-segment ``(phi_workload, phi_data)`` in ``by_label`` order.
+
+    One RNG, one draw order — shared by the batch and streaming report
+    builders so their Φ estimates are bit-identical.
+    """
+    rng = np.random.default_rng(phi_seed)
+    base_segment, base_lo, base_hi = by_label[baseline_label]
+    base_mid = (base_lo + base_hi) / 2.0
+    base_sample = base_segment.spec.key_drift.at(base_mid - base_lo).sample(
+        rng, phi_sample_size
+    )
+    for segment, lo, hi in by_label.values():
+        mid_local = (hi - lo) / 2.0
+        sample = segment.spec.key_drift.at(mid_local).sample(rng, phi_sample_size)
+        phi_w = workload_phi(base_segment.spec, segment.spec, at_time=mid_local)
+        phi_d = data_phi(base_sample, sample, method="ks")
+        yield phi_w, phi_d
+
+
 def specialization_report(
     result: RunResult,
     scenario: Scenario,
@@ -114,27 +150,15 @@ def specialization_report(
     """
     if interval <= 0:
         raise ConfigurationError("interval must be > 0")
-    by_label = {}
-    for segment, (label, lo, hi) in zip(scenario.segments, scenario.segment_boundaries()):
-        by_label[label] = (segment, lo, hi)
+    by_label = _segment_table(scenario)
     if baseline_label is None:
         baseline_label = scenario.segments[0].label
     if baseline_label not in by_label:
         raise ConfigurationError(f"unknown baseline segment {baseline_label!r}")
 
-    rng = np.random.default_rng(phi_seed)
-    base_segment, base_lo, base_hi = by_label[baseline_label]
-    base_mid = (base_lo + base_hi) / 2.0
-    base_sample = base_segment.spec.key_drift.at(base_mid - base_lo).sample(
-        rng, phi_sample_size
-    )
-
     rows: List[SegmentPerformance] = []
-    for label, (segment, lo, hi) in by_label.items():
-        mid_local = (hi - lo) / 2.0
-        sample = segment.spec.key_drift.at(mid_local).sample(rng, phi_sample_size)
-        phi_w = workload_phi(base_segment.spec, segment.spec, at_time=mid_local)
-        phi_d = data_phi(base_sample, sample, method="ks")
+    phis = _phi_pairs(by_label, baseline_label, phi_sample_size, phi_seed)
+    for (label, (segment, lo, hi)), (phi_w, phi_d) in zip(by_label.items(), phis):
         throughputs = _segment_throughputs(result, label, lo, hi, interval)
         if throughputs.size == 0:
             throughputs = np.zeros(1)
@@ -157,4 +181,133 @@ def specialization_report(
     rows.sort(key=lambda s: s.phi)
     return SpecializationReport(
         sut_name=result.sut_name, baseline_label=baseline_label, segments=rows
+    )
+
+
+# -- streaming accumulators ----------------------------------------------------------
+
+
+class OnlineSegmentStats:
+    """Streaming per-segment throughput and latency statistics.
+
+    One :class:`~repro.metrics._buckets.GridCounts` per scenario segment,
+    anchored at the segment's start edge, fed the block completions that
+    land inside ``[lo, hi)``. The reconstructed per-interval throughput
+    arrays match :func:`_segment_throughputs` bit for bit; per-segment
+    mean latency accumulates ``np.sum`` partials combined with
+    ``math.fsum``, matching the offline mean to float tolerance (the
+    summation trees differ — see DESIGN.md §9).
+    """
+
+    name = "segments"
+
+    def __init__(self, scenario: Scenario, interval: float = 1.0) -> None:
+        """Build one grid per segment of ``scenario``."""
+        if interval <= 0:
+            raise ConfigurationError("interval must be > 0")
+        self.interval = float(interval)
+        self.boundaries: List[Tuple[str, float, float]] = list(
+            scenario.segment_boundaries()
+        )
+        self._grids = [
+            GridCounts(self.interval, start=lo) for _, lo, _ in self.boundaries
+        ]
+        self._latency_parts: List[List[float]] = [[] for _ in self.boundaries]
+        self._latency_counts: List[int] = [0 for _ in self.boundaries]
+
+    def fold(self, block) -> None:
+        """Fold one completed block into every segment's counters."""
+        completions = block.completions_sorted
+        for i, (_label, lo, hi) in enumerate(self.boundaries):
+            first, last = np.searchsorted(completions, (lo, hi), side="left")
+            if last > first:
+                self._grids[i].fold_sorted(completions[first:last])
+            in_segment = (block.arrivals >= lo) & (block.arrivals < hi)
+            hits = int(np.count_nonzero(in_segment))
+            if hits:
+                self._latency_parts[i].append(
+                    float(np.sum(block.latencies[in_segment]))
+                )
+                self._latency_counts[i] += hits
+
+    def throughputs(self, index: int) -> np.ndarray:
+        """:func:`_segment_throughputs`'s array for segment ``index``."""
+        _label, lo, hi = self.boundaries[index]
+        edges = span_edges(lo, hi, self.interval)
+        if edges.size < 2:
+            return np.zeros(0)
+        return self._grids[index].counts_on(edges) / self.interval
+
+    def mean_latency(self, index: int) -> float:
+        """Mean latency of queries arriving in segment ``index``."""
+        n = self._latency_counts[index]
+        return math.fsum(self._latency_parts[index]) / n if n else 0.0
+
+    def finalize(self, horizon: float) -> dict:
+        """JSON-ready payload: per-segment throughput box rows."""
+        segments = []
+        for i, (label, lo, hi) in enumerate(self.boundaries):
+            throughputs = self.throughputs(i)
+            if throughputs.size == 0:
+                throughputs = np.zeros(1)
+            segments.append(
+                {
+                    "label": label,
+                    "start": lo,
+                    "end": hi,
+                    "mean_latency": self.mean_latency(i),
+                    "throughput": box_stats(throughputs).row(),
+                }
+            )
+        return {"interval": self.interval, "segments": segments}
+
+
+def online_specialization_report(
+    accumulator: OnlineSegmentStats,
+    scenario: Scenario,
+    sut_name: str,
+    baseline_label: Optional[str] = None,
+    phi_sample_size: int = 2000,
+    holdout_labels: Tuple[str, ...] = (),
+    phi_seed: int = 0,
+) -> SpecializationReport:
+    """Build the Fig 1a report from a folded :class:`OnlineSegmentStats`.
+
+    Matches :func:`specialization_report` on the same run: Φ comes from
+    the shared :func:`_phi_pairs` draw order, throughput boxes from the
+    accumulator's bit-identical per-interval arrays, and the mean
+    latencies from its ``fsum`` partials (float tolerance).
+    """
+    by_label = _segment_table(scenario)
+    if baseline_label is None:
+        baseline_label = scenario.segments[0].label
+    if baseline_label not in by_label:
+        raise ConfigurationError(f"unknown baseline segment {baseline_label!r}")
+    # Duplicate labels collapse last-wins offline; mirror by indexing the
+    # accumulator at each label's final boundary entry.
+    last_index = {
+        label: i for i, (label, _lo, _hi) in enumerate(accumulator.boundaries)
+    }
+
+    rows: List[SegmentPerformance] = []
+    phis = _phi_pairs(by_label, baseline_label, phi_sample_size, phi_seed)
+    for (label, _entry), (phi_w, phi_d) in zip(by_label.items(), phis):
+        index = last_index[label]
+        throughputs = accumulator.throughputs(index)
+        if throughputs.size == 0:
+            throughputs = np.zeros(1)
+        rows.append(
+            SegmentPerformance(
+                label=label,
+                phi=(phi_w + phi_d) / 2.0,
+                phi_workload=phi_w,
+                phi_data=phi_d,
+                throughput=box_stats(throughputs),
+                mean_latency=accumulator.mean_latency(index),
+                holdout=label in holdout_labels,
+            )
+        )
+    rows.sort(key=lambda s: s.phi)
+    return SpecializationReport(
+        sut_name=sut_name, baseline_label=baseline_label, segments=rows
     )

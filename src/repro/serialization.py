@@ -27,6 +27,7 @@ from repro.core.hardware import CPU, GPU, TPU
 from repro.core.phases import TrainingPhase
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario, Segment
+from repro.core.streaming import StreamingRunSummary
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan
 from repro.observability import Trace
@@ -278,7 +279,18 @@ def driver_config_from_dict(payload: Dict[str, Any]) -> DriverConfig:
         servers=payload.get("servers", 1),
         use_batching=payload.get("use_batching", True),
         truncate_max_queries=payload.get("truncate_max_queries", False),
+        block_size=payload.get("block_size"),
     )
+
+
+def streaming_summary_to_dict(summary: StreamingRunSummary) -> Dict[str, Any]:
+    """Serialize a streaming summary (``StreamingRunSummary.to_dict``)."""
+    return summary.to_dict()
+
+
+def streaming_summary_from_dict(payload: Dict[str, Any]) -> StreamingRunSummary:
+    """Rebuild a summary from :func:`streaming_summary_to_dict` output."""
+    return StreamingRunSummary.from_dict(payload)
 
 
 def trace_to_dict(trace: Trace) -> Dict[str, Any]:

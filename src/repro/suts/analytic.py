@@ -368,12 +368,113 @@ class AnalyticDriver:
                 once when its segment starts (e.g., to inject data into
                 the catalog mid-run — the stale-statistics scenario).
         """
+        recorder = ColumnarRecorder()
+        boundaries = self._execute(sut, segments, segment_hooks, recorder)
+        with self.tracer.span("collect-result", phase="report"):
+            return RunResult(
+                sut_name=sut.name,
+                scenario_name=scenario_name,
+                columns=recorder.build(),
+                segments=boundaries,
+                training_events=[],
+                sut_description=sut.describe(),
+            )
+
+    def run_streaming(
+        self,
+        sut: AnalyticSUT,
+        segments: List[Tuple[str, AnalyticWorkload, float, float]],
+        scenario_name: str = "analytic",
+        segment_hooks: Optional[dict] = None,
+        accumulators=None,
+        sla: Optional[float] = None,
+        spill_dir=None,
+        spill_format: str = "npz",
+    ):
+        """Run the schedule in bounded memory; return the summary.
+
+        Same execution as :meth:`run` (same RNG streams and fault
+        semantics), but completed blocks fold into online metric
+        accumulators instead of a result buffer. Analytic schedules
+        carry no :class:`~repro.core.scenario.Scenario`, so the default
+        accumulator set is the scenario-free subset: throughput, the
+        cumulative curve, latency stats, plus SLA bands when ``sla`` is
+        given and a recovery probe at the first segment boundary when
+        the schedule has several segments.
+        """
+        from repro.core.streaming import (
+            ColumnSpiller,
+            StreamingRecorder,
+            StreamingRunSummary,
+        )
+
+        if accumulators is None:
+            from repro.metrics import (
+                OnlineCumulativeCurve,
+                OnlineLatencyBands,
+                OnlineLatencyStats,
+                OnlineRecovery,
+                OnlineThroughput,
+            )
+
+            accumulators = [
+                OnlineThroughput(),
+                OnlineCumulativeCurve(),
+                OnlineLatencyStats(),
+            ]
+            if len(segments) > 1:
+                accumulators.append(OnlineRecovery(float(segments[0][2])))
+            if sla is not None:
+                accumulators.append(OnlineLatencyBands(sla))
+        spiller = (
+            ColumnSpiller(spill_dir, fmt=spill_format)
+            if spill_dir is not None
+            else None
+        )
+        recorder = StreamingRecorder(accumulators=accumulators, spiller=spiller)
+        boundaries = self._execute(sut, segments, segment_hooks, recorder)
+        recorder.flush()
+        with self.tracer.span("collect-result", phase="report"):
+            duration = boundaries[-1][2] if boundaries else 0.0
+            horizon = max(duration, recorder.max_completion)
+            return StreamingRunSummary(
+                sut_name=sut.name,
+                scenario_name=scenario_name,
+                segments=boundaries,
+                training_events=[],
+                sut_description=sut.describe(),
+                num_queries=recorder.count,
+                max_completion=recorder.max_completion,
+                op_counts=recorder.op_counts(),
+                segment_counts=recorder.segment_counts(),
+                metrics={
+                    acc.name: acc.finalize(horizon)
+                    for acc in recorder.accumulators
+                },
+                spill=(
+                    spiller.finish(recorder.op_vocab, recorder.segment_vocab)
+                    if spiller is not None
+                    else None
+                ),
+            )
+
+    def _execute(
+        self,
+        sut: AnalyticSUT,
+        segments: List[Tuple[str, AnalyticWorkload, float, float]],
+        segment_hooks: Optional[dict],
+        recorder,
+    ) -> List[Tuple[str, float, float]]:
+        """Drive the schedule, appending into ``recorder``.
+
+        Recorder-agnostic core shared by :meth:`run` and
+        :meth:`run_streaming`; returns the segment boundaries.
+        """
         tracer = self.tracer
         sut.attach_tracer(tracer)
         with tracer.span("setup", phase="serve", sut=sut.name):
             sut.setup()
         rng = np.random.default_rng(self.seed)
-        recorder = ColumnarRecorder()
         boundaries: List[Tuple[str, float, float]] = []
         server_free = 0.0
         seg_start = 0.0
@@ -480,15 +581,7 @@ class AnalyticDriver:
                         fi += 1
                 boundaries.append((label, seg_start, seg_start + duration))
                 seg_start += duration
-        with tracer.span("collect-result", phase="report"):
-            return RunResult(
-                sut_name=sut.name,
-                scenario_name=scenario_name,
-                columns=recorder.build(),
-                segments=boundaries,
-                training_events=[],
-                sut_description=sut.describe(),
-            )
+        return boundaries
 
     def _fire_fault(
         self, sut: AnalyticSUT, fault: PointFault, server_free: float

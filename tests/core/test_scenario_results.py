@@ -120,3 +120,40 @@ class TestRunResult:
         assert restored.queries[3].completion == result.queries[3].completion
         assert restored.segments == result.segments
         assert restored.training_events[0].cost == pytest.approx(0.01)
+
+
+class TestRecorderAmortization:
+    """`ColumnarRecorder._grow` must stay geometric (amortized O(1) appends)."""
+
+    def test_appends_reallocate_logarithmically(self):
+        from repro.core.results import ColumnarRecorder
+
+        recorder = ColumnarRecorder(capacity=1024)
+        n = 100_000
+        for i in range(n):
+            recorder.append(float(i), float(i), float(i) + 0.5, 0, 0)
+        # Doubling from 1024 to >= 100k takes ceil(log2(n/1024)) = 7 grows;
+        # allow a little slack but fail hard on accidental linear growth.
+        assert recorder.reallocations <= int(np.ceil(np.log2(n / 1024))) + 2
+        assert len(recorder) == n
+
+    def test_reserve_avoids_reallocation_during_appends(self):
+        from repro.core.results import ColumnarRecorder
+
+        recorder = ColumnarRecorder(capacity=1024)
+        recorder.reserve(50_000)
+        grows_after_reserve = recorder.reallocations
+        assert grows_after_reserve <= 1
+        for i in range(50_000):
+            recorder.append(float(i), float(i), float(i) + 0.5, 0, 0)
+        assert recorder.reallocations == grows_after_reserve
+
+    def test_block_append_counts_reallocations(self):
+        from repro.core.results import ColumnarRecorder
+
+        recorder = ColumnarRecorder(capacity=8)
+        block = np.arange(16, dtype=np.float64)
+        for _ in range(64):
+            recorder.append_block(block, block, block + 0.5, np.zeros(16, np.int32), 0)
+        assert len(recorder) == 1024
+        assert recorder.reallocations <= 8  # log2(1024/8) + slack

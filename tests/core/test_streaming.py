@@ -1,0 +1,239 @@
+"""Streaming pipeline mechanics: recorder, spiller, summary, driver knob."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.driver import DriverConfig, VirtualClockDriver
+from repro.core.scenario import Scenario, Segment
+from repro.core.streaming import (
+    ColumnSpiller,
+    StreamBlock,
+    StreamingRecorder,
+    StreamingRunSummary,
+    load_spilled_columns,
+)
+from repro.errors import ConfigurationError, DriverError
+from repro.serialization import (
+    streaming_summary_from_dict,
+    streaming_summary_to_dict,
+)
+from repro.suts.kv_traditional import TraditionalKVStore
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import simple_spec
+
+
+class _CollectingAccumulator:
+    """Test double: records every folded block verbatim."""
+
+    name = "collector"
+
+    def __init__(self):
+        self.blocks = []
+
+    def fold(self, block):
+        self.blocks.append(block)
+
+    def finalize(self, horizon):
+        return {"n": sum(len(b) for b in self.blocks), "horizon": horizon}
+
+
+def _block(n, offset=0.0, op=0, segment=0):
+    arrivals = np.arange(n, dtype=np.float64) + offset
+    return StreamBlock(
+        arrivals=arrivals,
+        starts=arrivals + 0.1,
+        completions=arrivals + 0.5,
+        op_codes=np.full(n, op, dtype=np.int32),
+        segment_codes=np.full(n, segment, dtype=np.int32),
+    )
+
+
+class TestStreamBlock:
+    def test_derives_sorted_completions_and_latencies(self):
+        arrivals = np.array([0.0, 1.0, 2.0])
+        completions = np.array([5.0, 1.5, 2.5])
+        block = StreamBlock(
+            arrivals=arrivals,
+            starts=arrivals,
+            completions=completions,
+            op_codes=np.zeros(3, np.int32),
+            segment_codes=np.zeros(3, np.int32),
+        )
+        assert np.array_equal(block.completions_sorted, [1.5, 2.5, 5.0])
+        assert np.array_equal(block.latencies, [5.0, 0.5, 0.5])
+        assert len(block) == 3
+
+
+class TestStreamingRecorder:
+    def test_scalar_appends_flush_on_scratch_full(self):
+        acc = _CollectingAccumulator()
+        recorder = StreamingRecorder(accumulators=[acc], scratch_capacity=4)
+        code = recorder.intern_op("read")
+        seg = recorder.intern_segment("a")
+        for i in range(10):
+            recorder.append(float(i), float(i), float(i) + 0.5, code, seg)
+        # Two full scratches auto-flushed; two rows still buffered.
+        assert sum(len(b) for b in acc.blocks) == 8
+        recorder.flush()
+        assert sum(len(b) for b in acc.blocks) == 10
+        assert recorder.count == len(recorder) == 10
+        assert recorder.max_completion == pytest.approx(9.5)
+        assert recorder.op_counts() == {"read": 10}
+        assert recorder.segment_counts() == {"a": 10}
+
+    def test_append_block_flushes_scratch_first(self):
+        acc = _CollectingAccumulator()
+        recorder = StreamingRecorder(accumulators=[acc], scratch_capacity=16)
+        code = recorder.intern_op("read")
+        seg = recorder.intern_segment("a")
+        recorder.append(0.0, 0.0, 0.5, code, seg)
+        arrivals = np.array([1.0, 2.0])
+        recorder.append_block(
+            arrivals, arrivals, arrivals + 0.5, np.full(2, code, np.int32), seg
+        )
+        # Scratch row must have been folded BEFORE the block to keep
+        # the stream in driver append order.
+        assert [len(b) for b in acc.blocks] == [1, 2]
+        assert recorder.count == 3
+
+    def test_vocab_interning_is_stable(self):
+        recorder = StreamingRecorder()
+        assert recorder.intern_op("read") == 0
+        assert recorder.intern_op("write") == 1
+        assert recorder.intern_op("read") == 0
+        assert recorder.op_vocab == ("read", "write")
+        assert recorder.intern_segment("a") == 0
+        assert recorder.segment_vocab == ("a",)
+
+    def test_empty_block_append_is_a_no_op(self):
+        acc = _CollectingAccumulator()
+        recorder = StreamingRecorder(accumulators=[acc])
+        empty = np.zeros(0, dtype=np.float64)
+        recorder.append_block(empty, empty, empty, np.zeros(0, np.int32), 0)
+        assert acc.blocks == []
+        assert recorder.count == 0
+
+
+class TestColumnSpiller:
+    def test_shards_split_and_round_trip(self, tmp_path):
+        spiller = ColumnSpiller(tmp_path / "spill", shard_rows=64)
+        recorder = StreamingRecorder(spiller=spiller)
+        code = recorder.intern_op("read")
+        seg = recorder.intern_segment("a")
+        # 3 blocks of 50 rows: shard boundaries fall inside blocks.
+        for k in range(3):
+            arrivals = np.arange(50, dtype=np.float64) + 50 * k
+            recorder.append_block(
+                arrivals, arrivals, arrivals + 0.5, np.full(50, code, np.int32), seg
+            )
+        recorder.flush()
+        manifest = spiller.finish(recorder.op_vocab, recorder.segment_vocab)
+        assert manifest["rows"] == 150
+        assert len(manifest["shards"]) == 3  # 64 + 64 + 22 tail
+        cols = load_spilled_columns(tmp_path / "spill")
+        assert cols.size == 150
+        assert np.array_equal(cols.arrivals, np.arange(150, dtype=np.float64))
+        assert np.array_equal(cols.completions, cols.arrivals + 0.5)
+        assert cols.op_vocab == ("read",)
+        assert cols.segment_vocab == ("a",)
+
+    def test_manifest_written_to_disk(self, tmp_path):
+        spiller = ColumnSpiller(tmp_path / "s", shard_rows=16)
+        spiller.write(_block(4))
+        spiller.finish(["read"], ["a"])
+        with open(tmp_path / "s" / "manifest.json") as fh:
+            manifest = json.load(fh)
+        assert manifest["format"] == "npz"
+        assert manifest["rows"] == 4
+        assert manifest["op_vocab"] == ["read"]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ColumnSpiller(tmp_path, fmt="csv")
+
+    def test_parquet_gated_on_pyarrow(self, tmp_path):
+        try:
+            import pyarrow  # noqa: F401
+        except ImportError:
+            with pytest.raises(ConfigurationError):
+                ColumnSpiller(tmp_path, fmt="parquet")
+        else:
+            spiller = ColumnSpiller(tmp_path / "pq", fmt="parquet", shard_rows=8)
+            spiller.write(_block(10))
+            spiller.finish(["read"], ["a"])
+            cols = load_spilled_columns(tmp_path / "pq")
+            assert cols.size == 10
+
+
+class TestDriverStreaming:
+    def _scenario(self):
+        spec = simple_spec("steady", UniformDistribution(0, 1000), rate=150.0)
+        return Scenario(
+            name="stream-smoke",
+            segments=[
+                Segment(spec=spec, duration=2.0, label="a"),
+                Segment(spec=spec, duration=2.0, label="b"),
+            ],
+            seed=3,
+            initial_keys=np.linspace(0.0, 1000.0, 500),
+        )
+
+    def test_block_size_validation(self):
+        with pytest.raises(DriverError):
+            DriverConfig(block_size=0)
+
+    def test_block_size_describe_key_is_conditional(self):
+        # Absent by default so existing runner cache keys stay stable.
+        assert "block_size" not in DriverConfig().describe()
+        assert DriverConfig(block_size=64).describe()["block_size"] == 64
+
+    def test_run_columns_invariant_under_block_size(self):
+        reference = VirtualClockDriver(DriverConfig()).run(
+            TraditionalKVStore(), self._scenario()
+        )
+        for block_size in (1, 7, 64):
+            result = VirtualClockDriver(DriverConfig(block_size=block_size)).run(
+                TraditionalKVStore(), self._scenario()
+            )
+            for name in (
+                "arrivals", "starts", "completions", "op_codes", "segment_codes",
+            ):
+                assert np.array_equal(
+                    getattr(result.columns, name),
+                    getattr(reference.columns, name),
+                ), f"column {name!r} changed under block_size={block_size}"
+
+    def test_run_streaming_summary_and_spill(self, tmp_path):
+        driver = VirtualClockDriver(DriverConfig(block_size=64))
+        summary = driver.run_streaming(
+            TraditionalKVStore(),
+            self._scenario(),
+            sla=0.05,
+            spill_dir=str(tmp_path / "spill"),
+        )
+        reference = VirtualClockDriver(DriverConfig()).run(
+            TraditionalKVStore(), self._scenario()
+        )
+        assert summary.num_queries == reference.columns.size
+        assert summary.mean_throughput() == reference.mean_throughput()
+        assert {"throughput", "adaptability", "latency", "segments", "sla"} <= set(
+            summary.metrics
+        )
+        spilled = load_spilled_columns(summary.spill["directory"])
+        assert np.array_equal(spilled.arrivals, reference.columns.arrivals)
+        assert np.array_equal(spilled.completions, reference.columns.completions)
+
+    def test_summary_round_trip(self, tmp_path):
+        driver = VirtualClockDriver(DriverConfig(block_size=32))
+        summary = driver.run_streaming(TraditionalKVStore(), self._scenario())
+        payload = streaming_summary_to_dict(summary)
+        restored = streaming_summary_from_dict(json.loads(json.dumps(payload)))
+        assert isinstance(restored, StreamingRunSummary)
+        assert restored.num_queries == summary.num_queries
+        assert restored.metrics == summary.metrics
+        assert restored.segments == summary.segments
+        assert restored.op_counts == summary.op_counts

@@ -1,0 +1,203 @@
+"""Online accumulators == offline kernels, for every block size.
+
+The streaming pipeline's contract is that block boundaries are
+unobservable: a run chopped into blocks of 1, 7, 4096, or more than the
+whole run — with faults on or off, tracing on or off — must produce the
+same metric payloads and the same spill manifests as the in-memory
+path. Integer/grid metrics must match *byte for byte*; float
+summations (latency mean/std, per-segment mean latency, degraded SLA
+mass) use per-block partials whose summation tree legitimately depends
+on the blocking, so they are held to last-few-ULP tolerance instead
+(the scoping DESIGN.md section 9 documents).
+
+Driver runs are cached per (faults, tracer) configuration; the
+hypothesis tests then fold the *same* column set under randomized block
+partitions, so examples are cheap while boundaries are adversarial.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import DriverConfig, VirtualClockDriver
+from repro.core.scenario import Scenario, Segment
+from repro.core.streaming import StreamBlock, load_spilled_columns
+from repro.faults import FaultPlan, LatencyFault, StallFault
+from repro.metrics import streaming_accumulators
+from repro.observability import Tracer
+from repro.suts.kv_traditional import TraditionalKVStore
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import simple_spec
+
+BLOCK_SIZES = (1, 7, 4096, 10**9)
+SLA = 0.050
+
+#: Payloads that must be byte-identical across blockings (grid/integer
+#: derived). Everything else carries float-sum partials -> ULP tolerance.
+EXACT_METRICS = {"throughput", "adaptability", "sla", "recovery", "adjustment_speed"}
+
+
+def _scenario(faults: bool) -> Scenario:
+    spec = simple_spec("steady", UniformDistribution(0, 1000), rate=150.0)
+    plan = None
+    if faults:
+        plan = FaultPlan([
+            LatencyFault(start=1.0, end=2.0, multiplier=25.0),
+            StallFault(at=3.0, duration=0.5),
+        ])
+    return Scenario(
+        name=f"online-eq-{'faulted' if faults else 'clean'}",
+        segments=[
+            Segment(spec=spec, duration=2.5, label="a"),
+            Segment(spec=spec, duration=2.5, label="b"),
+        ],
+        seed=11,
+        initial_keys=np.linspace(0.0, 1000.0, 500),
+        fault_plan=plan,
+    )
+
+
+_RUN_CACHE: dict = {}
+
+
+def _reference_run(faults: bool):
+    """In-memory run (cached): the ground truth column set."""
+    if faults not in _RUN_CACHE:
+        driver = VirtualClockDriver(DriverConfig())
+        _RUN_CACHE[faults] = driver.run(TraditionalKVStore(), _scenario(faults))
+    return _RUN_CACHE[faults]
+
+
+def _one_block_metrics(columns, faults: bool, horizon: float) -> dict:
+    """Fold the full column set as ONE block: the blocking-free answer."""
+    scenario = _scenario(faults)
+    accumulators = streaming_accumulators(
+        scenario, sla=SLA, plan=scenario.fault_plan
+    )
+    block = StreamBlock(
+        arrivals=columns.arrivals,
+        starts=columns.starts,
+        completions=columns.completions,
+        op_codes=columns.op_codes,
+        segment_codes=columns.segment_codes,
+    )
+    for acc in accumulators:
+        acc.fold(block)
+    return {acc.name: acc.finalize(horizon) for acc in accumulators}
+
+
+def _assert_payloads_match(got: dict, want: dict) -> None:
+    assert set(got) == set(want)
+    for name, payload in got.items():
+        if name in EXACT_METRICS:
+            assert json.dumps(payload, sort_keys=True) == json.dumps(
+                want[name], sort_keys=True
+            ), f"grid metric {name!r} observed the block boundaries"
+        else:
+            _assert_close(name, payload, want[name])
+
+
+def _assert_close(name, got, want, path=""):
+    where = f"{name}{path}"
+    if isinstance(want, dict):
+        assert isinstance(got, dict) and set(got) == set(want), where
+        for key in want:
+            _assert_close(name, got[key], want[key], f"{path}.{key}")
+    elif isinstance(want, (list, tuple)):
+        assert len(got) == len(want), where
+        for i, item in enumerate(want):
+            _assert_close(name, got[i], item, f"{path}[{i}]")
+    elif isinstance(want, float):
+        assert np.isclose(got, want, rtol=1e-9, atol=0.0, equal_nan=True), (
+            f"{where}: {got!r} != {want!r}"
+        )
+    else:
+        assert got == want, f"{where}: {got!r} != {want!r}"
+
+
+class TestStreamingDriverEquivalence:
+    @pytest.mark.parametrize("faults", [False, True], ids=["clean", "faulted"])
+    @pytest.mark.parametrize("tracer", [False, True], ids=["untraced", "traced"])
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_metrics_and_manifest_identical(
+        self, faults, tracer, block_size, tmp_path
+    ):
+        reference = _reference_run(faults)
+        driver = VirtualClockDriver(
+            DriverConfig(block_size=block_size),
+            tracer=Tracer() if tracer else None,
+        )
+        summary = driver.run_streaming(
+            TraditionalKVStore(),
+            _scenario(faults),
+            sla=SLA,
+            spill_dir=str(tmp_path / "spill"),
+        )
+
+        cols = reference.columns
+        assert summary.num_queries == cols.size
+        want = _one_block_metrics(cols, faults, summary.horizon)
+        _assert_payloads_match(summary.metrics, want)
+
+        # The spill manifest is blocking-invariant (shards are cut by
+        # shard_rows, not by driver block), and the bytes round-trip.
+        manifest = summary.spill
+        assert manifest["rows"] == cols.size
+        assert tuple(manifest["op_vocab"]) == cols.op_vocab
+        assert tuple(manifest["segment_vocab"]) == cols.segment_vocab
+        spilled = load_spilled_columns(manifest["directory"])
+        for name in (
+            "arrivals", "starts", "completions", "op_codes", "segment_codes",
+        ):
+            assert np.array_equal(getattr(spilled, name), getattr(cols, name)), (
+                f"spilled column {name!r} diverged at block_size={block_size}"
+            )
+
+
+@st.composite
+def block_partitions(draw, n):
+    """Random cut points partitioning ``range(n)`` into blocks."""
+    k = draw(st.integers(min_value=0, max_value=min(24, n - 1)))
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    return [0, *sorted(cuts), n]
+
+
+class TestRandomPartitionInvariance:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    @pytest.mark.parametrize("faults", [False, True], ids=["clean", "faulted"])
+    def test_grid_metrics_blind_to_partition(self, faults, data):
+        reference = _reference_run(faults)
+        cols = reference.columns
+        horizon = max(reference.segments[-1][2], float(cols.completions.max()))
+        want = _one_block_metrics(cols, faults, horizon)
+
+        bounds = data.draw(block_partitions(cols.size))
+        scenario = _scenario(faults)
+        accumulators = streaming_accumulators(
+            scenario, sla=SLA, plan=scenario.fault_plan
+        )
+        for lo, hi in zip(bounds, bounds[1:]):
+            block = StreamBlock(
+                arrivals=cols.arrivals[lo:hi],
+                starts=cols.starts[lo:hi],
+                completions=cols.completions[lo:hi],
+                op_codes=cols.op_codes[lo:hi],
+                segment_codes=cols.segment_codes[lo:hi],
+            )
+            for acc in accumulators:
+                acc.fold(block)
+        got = {acc.name: acc.finalize(horizon) for acc in accumulators}
+        _assert_payloads_match(got, want)

@@ -112,3 +112,39 @@ class TestAnalyticDriver:
         early = np.mean(services[:40])
         late = np.mean(services[-40:])
         assert late <= early * 1.5
+
+
+class TestAnalyticDriverStreaming:
+    def test_streaming_matches_in_memory(self, catalog, tmp_path):
+        from repro.core.streaming import load_spilled_columns
+
+        def schedule():
+            # The workload draws from its own RNG, so each run needs a
+            # fresh instance for the two paths to see identical streams.
+            workload = AnalyticWorkload(
+                threshold_drift=NoDrift(UniformDistribution(0.0, 300.0)),
+                window=50.0,
+                join_fraction=0.5,
+                seed=9,
+            )
+            return [("a", workload, 3.0, 10.0), ("b", workload, 3.0, 10.0)]
+
+        reference = AnalyticDriver(seed=1).run(
+            TraditionalOptimizerSUT(catalog), schedule()
+        )
+        summary = AnalyticDriver(seed=1).run_streaming(
+            TraditionalOptimizerSUT(catalog),
+            schedule(),
+            sla=0.5,
+            spill_dir=str(tmp_path / "spill"),
+        )
+        cols = reference.columns
+        assert summary.num_queries == cols.size
+        assert summary.mean_throughput() == reference.mean_throughput()
+        assert {"throughput", "adaptability", "latency", "sla"} <= set(
+            summary.metrics
+        )
+        spilled = load_spilled_columns(summary.spill["directory"])
+        for name in ("arrivals", "starts", "completions", "op_codes"):
+            assert np.array_equal(getattr(spilled, name), getattr(cols, name))
+        assert spilled.segment_vocab == cols.segment_vocab

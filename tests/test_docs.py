@@ -106,12 +106,13 @@ class TestDocsLinks:
 
 
 class TestDocstringGate:
-    def test_faults_and_metrics_fully_documented(self):
+    def test_core_faults_and_metrics_fully_documented(self):
         """The gate CI enforces passes: 100% public-symbol coverage."""
         proc = subprocess.run(
             [
                 sys.executable,
                 os.path.join(REPO_ROOT, "tools", "check_docstrings.py"),
+                os.path.join(REPO_ROOT, "src", "repro", "core"),
                 os.path.join(REPO_ROOT, "src", "repro", "faults"),
                 os.path.join(REPO_ROOT, "src", "repro", "metrics"),
             ],
