@@ -30,6 +30,7 @@ import argparse
 import json
 import sys
 from functools import partial
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
@@ -90,6 +91,18 @@ def _sut_factories(sample) -> Dict[str, Callable[[], SystemUnderTest]]:
     }
 
 
+def _export_path(prefix: str, sut_name: str, suffix: str) -> Path:
+    """Build ``<prefix>-<sut>-<suffix>`` with parent directories created.
+
+    The prefix may carry directory components (``out/run1``); joining
+    with pathlib and pre-creating the parent keeps exports from failing
+    on a fresh output tree.
+    """
+    path = Path(f"{prefix}-{sut_name}-{suffix}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """``repro list``: show datasets, scenarios, and SUTs."""
     print("datasets:   " + ", ".join(dataset_names()))
@@ -137,14 +150,25 @@ def cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         if args.stream:
-            spill_dir = (
-                f"{args.spill_dir}/{name}" if args.spill_dir else None
-            )
-            summary = bench.run_streaming(
-                factories[name](), scenario, sla=sla, spill_dir=spill_dir
-            )
+            spill_dir = None
+            if args.spill_dir:
+                spill_dir = Path(args.spill_dir) / name
+                spill_dir.mkdir(parents=True, exist_ok=True)
+            if args.shards > 1:
+                summary = bench.run_sharded_streaming(
+                    factories[name], scenario, shards=args.shards,
+                    sla=sla, spill_dir=spill_dir,
+                )
+            else:
+                summary = bench.run_streaming(
+                    factories[name](), scenario, sla=sla, spill_dir=spill_dir
+                )
             print(f"== {summary.sut_name} on {summary.scenario_name} "
                   "(streaming) ==")
+            if summary.sharding:
+                print(f"shards: {summary.sharding['shards']}, "
+                      f"boundaries drained: "
+                      f"{summary.sharding['boundaries_drained']}")
             print(f"queries: {summary.num_queries}, "
                   f"horizon: {summary.horizon:.3f}s, "
                   f"mean throughput: {summary.mean_throughput():.1f} q/s")
@@ -156,7 +180,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             if spill_dir:
                 print(f"  spilled columns: {spill_dir}")
             if args.export_prefix:
-                spath = f"{args.export_prefix}-{name}-streaming.json"
+                spath = _export_path(args.export_prefix, name,
+                                     "streaming.json")
                 with open(spath, "w") as handle:
                     json.dump(summary.to_dict(), handle)
                 print(f"exported {spath}")
@@ -167,8 +192,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(report.render())
         print()
         if args.export_prefix:
-            qpath = f"{args.export_prefix}-{name}-queries.csv"
-            tpath = f"{args.export_prefix}-{name}-throughput.csv"
+            qpath = _export_path(args.export_prefix, name, "queries.csv")
+            tpath = _export_path(args.export_prefix, name, "throughput.csv")
             with open(qpath, "w") as handle:
                 handle.write(queries_csv(result))
             with open(tpath, "w") as handle:
@@ -453,6 +478,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--spill-dir", default=None,
                      help="with --stream: spill raw query columns to "
                           "sharded files under <dir>/<sut>")
+    run.add_argument("--shards", type=int, default=1,
+                     help="with --stream: fan the run out over this many "
+                          "worker processes and merge their accumulators "
+                          "(1 = in-process, no workers)")
     run.set_defaults(func=cmd_run)
 
     mat = sub.add_parser(

@@ -24,9 +24,29 @@ from repro.core.runner import (
 )
 from repro.core.scenario import Scenario, Segment
 from repro.core.service import BenchmarkService, HoldoutReport
+from repro.core.sharded import (
+    ShardedStreamingExecutor,
+    plan_shards,
+    run_sharded_streaming,
+)
+from repro.core.streaming import (
+    ColumnSpiller,
+    ShardSpec,
+    StreamingRecorder,
+    StreamingRunSummary,
+    load_spilled_columns,
+)
 from repro.core.sut import SystemUnderTest, TrainingSummary
 
 __all__ = [
+    "ShardedStreamingExecutor",
+    "ShardSpec",
+    "StreamingRecorder",
+    "StreamingRunSummary",
+    "ColumnSpiller",
+    "load_spilled_columns",
+    "plan_shards",
+    "run_sharded_streaming",
     "HardwareProfile",
     "CPU",
     "GPU",

@@ -95,6 +95,44 @@ class Benchmark:
             spill_format=spill_format,
         )
 
+    def run_sharded_streaming(
+        self,
+        sut_factory: Callable[[], SystemUnderTest],
+        scenario: Scenario,
+        shards: int = 2,
+        accumulator_factory=None,
+        sla: Optional[float] = None,
+        spill_dir=None,
+        spill_format: str = "npz",
+        max_attempts: int = 2,
+        shard_timeout: Optional[float] = None,
+    ):
+        """Run one SUT through ``scenario`` across shard processes.
+
+        Takes a factory rather than an instance — each shard process
+        builds its own SUT from it, so the factory must be picklable.
+        Returns the merged
+        :class:`~repro.core.streaming.StreamingRunSummary` (see
+        :class:`~repro.core.sharded.ShardedStreamingExecutor` for the
+        equivalence contract and hardening knobs).
+        """
+        from repro.core.sharded import ShardedStreamingExecutor
+
+        executor = ShardedStreamingExecutor(
+            config=self.config.driver_config(),
+            n_shards=shards,
+            max_attempts=max_attempts,
+            shard_timeout=shard_timeout,
+        )
+        return executor.run(
+            sut_factory,
+            scenario,
+            accumulator_factory=accumulator_factory,
+            sla=sla,
+            spill_dir=spill_dir,
+            spill_format=spill_format,
+        )
+
     def compare(
         self,
         sut_factories: Sequence[Callable[[], SystemUnderTest]],

@@ -201,7 +201,7 @@ class VirtualClockDriver:
     def run(self, sut: SystemUnderTest, scenario: Scenario) -> RunResult:
         """Execute ``scenario`` against ``sut`` and return the record."""
         recorder = ColumnarRecorder()
-        training_events = self._execute(sut, scenario, recorder)
+        training_events, _ = self._execute(sut, scenario, recorder)
         with self.tracer.span("collect-result", phase="report"):
             return RunResult(
                 sut_name=sut.name,
@@ -267,7 +267,7 @@ class VirtualClockDriver:
             else None
         )
         recorder = StreamingRecorder(accumulators=accumulators, spiller=spiller)
-        training_events = self._execute(sut, scenario, recorder)
+        training_events, _ = self._execute(sut, scenario, recorder)
         recorder.flush()
         with self.tracer.span("collect-result", phase="report"):
             boundaries = scenario.segment_boundaries()
@@ -296,15 +296,105 @@ class VirtualClockDriver:
                 spill=spill,
             )
 
+    def run_streaming_shard(
+        self,
+        sut: SystemUnderTest,
+        scenario: Scenario,
+        shard,
+        accumulators,
+        spiller=None,
+    ) -> dict:
+        """Execute one shard of ``scenario``; return its mergeable payload.
+
+        The worker half of sharded streaming (see
+        :class:`~repro.core.sharded.ShardedStreamingExecutor`): runs the
+        shard's slice through the normal streaming machinery, but
+        instead of finalizing, snapshots every accumulator's
+        ``state_dict()`` so the parent can merge shard states and
+        finalize once.
+
+        Args:
+            shard: The :class:`~repro.core.streaming.ShardSpec` naming
+                this worker's segment (and optional arrival) range.
+            accumulators: Accumulators built from the *full* scenario —
+                grids, change points, and segment boundaries must anchor
+                identically across shards for states to merge.
+            spiller: Optional shard-local
+                :class:`~repro.core.streaming.ColumnSpiller`.
+
+        Returns:
+            A picklable dict with the shard's counts, vocab-ordered
+            ``op_counts`` / ``segment_counts``, training events,
+            ``(name, state_dict)`` pairs per accumulator, the shard's
+            spill manifest, plus ``first_arrival`` / ``final_busy``
+            timestamps for the executor's drain check.
+        """
+        from repro.core.streaming import StreamingRecorder
+
+        recorder = StreamingRecorder(
+            accumulators=list(accumulators), spiller=spiller
+        )
+        training_events, server_free = self._execute(
+            sut, scenario, recorder, shard=shard
+        )
+        recorder.flush()
+        manifest = (
+            spiller.finish(recorder.op_vocab, recorder.segment_vocab)
+            if spiller is not None
+            else None
+        )
+        return {
+            "index": shard.index,
+            "sut_name": sut.name,
+            "sut_description": sut.describe(),
+            "num_queries": recorder.count,
+            "max_completion": recorder.max_completion,
+            "first_arrival": recorder.first_arrival,
+            "final_busy": max(server_free) if server_free else 0.0,
+            "op_counts": recorder.op_counts(),
+            "segment_counts": recorder.segment_counts(),
+            "training_events": training_events,
+            "states": [
+                (acc.name, acc.state_dict()) for acc in recorder.accumulators
+            ],
+            "spill": manifest,
+        }
+
+    def _replay_segment_state(
+        self, sut: SystemUnderTest, segment, seg_start: float
+    ) -> None:
+        """Apply a pre-shard segment's SUT state changes, queries skipped.
+
+        Shards replay the segments before their range so the SUT enters
+        the shard with the same trained model and injected data as the
+        unsharded run; the training event is discarded (the owning shard
+        records it) and no queries execute. Tick-driven adaptation inside
+        skipped segments is *not* replayed — exact for SUTs whose service
+        times ignore tick state, a documented approximation otherwise
+        (DESIGN.md §10).
+        """
+        if segment.training_before is not None:
+            self._run_training_phase(
+                sut, segment.training_before, start_at=seg_start
+            )
+        if segment.data_injection is not None and segment.data_injection.size:
+            sut.inject([(float(k), None) for k in segment.data_injection])
+
     def _execute(
-        self, sut: SystemUnderTest, scenario: Scenario, recorder
-    ) -> List[TrainingEvent]:
+        self, sut: SystemUnderTest, scenario: Scenario, recorder, shard=None
+    ) -> Tuple[List[TrainingEvent], List[float]]:
         """Drive ``scenario`` against ``sut``, appending into ``recorder``.
 
         The recorder-agnostic core shared by :meth:`run` (columnar,
         retain-everything) and :meth:`run_streaming` (bounded-memory
         folds): any object with the :class:`ColumnarRecorder` append
-        interface works. Returns the run's training events.
+        interface works. With a :class:`~repro.core.streaming.ShardSpec`
+        in ``shard``, only that slice of the scenario executes: earlier
+        segments are replayed for SUT state, later ones skipped, and an
+        arrival range slices the single executed segment's batch without
+        touching the workload RNG stream. Returns the run's training
+        events plus the final per-server busy times (sharded runs use
+        the latter to verify queue drain at shard boundaries).
         """
         training_events: List[TrainingEvent] = []
         tracer = self.tracer
@@ -326,7 +416,9 @@ class VirtualClockDriver:
             event = self._run_training_phase(
                 sut, scenario.initial_training, start_at=None
             )
-            if event is not None:
+            # Every shard trains (SUT state), only shard 0 records the
+            # event — the merged timeline must list it exactly once.
+            if event is not None and (shard is None or shard.index == 0):
                 training_events.append(event)
 
         # Min-heap of per-server next-free times (k parallel workers).
@@ -340,6 +432,18 @@ class VirtualClockDriver:
         op_map = np.full(len(KV_OPERATIONS), -1, dtype=np.int32)
         for seg_index, segment in enumerate(scenario.segments):
             seg_end = seg_start + segment.duration
+            if shard is not None:
+                if seg_index >= shard.segment_hi:
+                    break
+                if seg_index < shard.segment_lo:
+                    with tracer.span(
+                        f"segment-replay:{segment.label}",
+                        phase="serve",
+                        index=seg_index,
+                    ):
+                        self._replay_segment_state(sut, segment, seg_start)
+                    seg_start = seg_end
+                    continue
             with tracer.span(
                 f"segment:{segment.label}", phase="serve", index=seg_index
             ):
@@ -381,17 +485,27 @@ class VirtualClockDriver:
                     jitter=self.config.jitter_arrivals,
                 )
                 arrivals = local + seg_start
-                if (
-                    self.config.truncate_max_queries
-                    and total_queries + arrivals.size > self.config.max_queries
-                ):
-                    arrivals = arrivals[
-                        : max(0, self.config.max_queries - total_queries)
-                    ]
+                if shard is not None and shard.arrival_lo is not None:
+                    # Generate the full segment batch so the workload RNG
+                    # stream matches the unsharded run bitwise, then
+                    # execute only this shard's arrival-index slice (a
+                    # zero-copy view).
+                    batch = workload.next_batch(arrivals).slice(
+                        shard.arrival_lo, shard.arrival_hi
+                    )
+                    arrivals = batch.arrivals
+                else:
+                    if (
+                        self.config.truncate_max_queries
+                        and total_queries + arrivals.size > self.config.max_queries
+                    ):
+                        arrivals = arrivals[
+                            : max(0, self.config.max_queries - total_queries)
+                        ]
+                    batch = workload.next_batch(arrivals)
                 total_queries += arrivals.size
                 recorder.reserve(arrivals.size)
                 segment_code = recorder.intern_segment(segment.label)
-                batch = workload.next_batch(arrivals)
                 tracer.counter("driver.segments")
                 tracer.counter("driver.queries", arrivals.size)
 
@@ -423,7 +537,7 @@ class VirtualClockDriver:
             seg_start = seg_end
 
         sut.teardown()
-        return training_events
+        return training_events, server_free
 
     # -- segment execution -------------------------------------------------------------
 

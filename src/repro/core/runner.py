@@ -815,11 +815,7 @@ class MatrixRunner:
     @staticmethod
     def _kill(proc: Any) -> None:
         """Terminate a worker, escalating to SIGKILL if it lingers."""
-        proc.terminate()
-        proc.join(1.0)
-        if proc.is_alive():
-            proc.kill()
-            proc.join()
+        kill_process(proc)
 
     # -- checkpointing ---------------------------------------------------------------
 
@@ -898,10 +894,29 @@ class MatrixRunner:
     @staticmethod
     def _mp_context():
         """Prefer ``fork`` so factories defined in scripts stay picklable."""
-        try:
-            return multiprocessing.get_context("fork")
-        except ValueError:
-            return multiprocessing.get_context()
+        return mp_context()
+
+
+def mp_context():
+    """The multiprocessing context shared by every process pool here.
+
+    Prefers ``fork`` so factories defined in scripts stay picklable;
+    falls back to the platform default where fork is unavailable. Also
+    used by :class:`~repro.core.sharded.ShardedStreamingExecutor`.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def kill_process(proc: Any) -> None:
+    """Terminate a worker process, escalating to SIGKILL if it lingers."""
+    proc.terminate()
+    proc.join(1.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
 
 
 def run_matrix(

@@ -37,9 +37,69 @@ __all__ = [
     "StreamBlock",
     "StreamingRecorder",
     "ColumnSpiller",
+    "ShardSpec",
     "StreamingRunSummary",
     "load_spilled_columns",
+    "write_sharded_manifest",
 ]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's slice of a scenario for sharded streaming.
+
+    Segment sharding assigns the contiguous segment range
+    ``[segment_lo, segment_hi)``; segments before the range are replayed
+    for SUT state (training, data injection) without executing queries,
+    segments after it are skipped entirely. For single-segment
+    scenarios, ``arrival_lo``/``arrival_hi`` additionally slice the
+    segment's arrival indices ``[arrival_lo, arrival_hi)`` — the worker
+    still generates the full segment batch so the workload RNG stream
+    is untouched, then executes only its slice.
+
+    Attributes:
+        index: Shard position in stream order (0-based).
+        n_shards: Total shards in the plan.
+        segment_lo / segment_hi: Executed segment range (half-open).
+        arrival_lo / arrival_hi: Optional arrival-index range within the
+            single executed segment (half-open; ``None`` = all).
+    """
+
+    index: int
+    n_shards: int
+    segment_lo: int
+    segment_hi: int
+    arrival_lo: Optional[int] = None
+    arrival_hi: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the sharding-plan wire format)."""
+        payload: Dict[str, Any] = {
+            "index": self.index,
+            "n_shards": self.n_shards,
+            "segment_lo": self.segment_lo,
+            "segment_hi": self.segment_hi,
+        }
+        if self.arrival_lo is not None:
+            payload["arrival_lo"] = self.arrival_lo
+            payload["arrival_hi"] = self.arrival_hi
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardSpec":
+        """Reconstruct a spec from :meth:`to_dict` output."""
+        return cls(
+            index=int(data["index"]),
+            n_shards=int(data["n_shards"]),
+            segment_lo=int(data["segment_lo"]),
+            segment_hi=int(data["segment_hi"]),
+            arrival_lo=(
+                int(data["arrival_lo"]) if "arrival_lo" in data else None
+            ),
+            arrival_hi=(
+                int(data["arrival_hi"]) if "arrival_hi" in data else None
+            ),
+        )
 
 
 class StreamBlock:
@@ -122,6 +182,7 @@ class ColumnSpiller:
         self._shards: List[str] = []
         self._rows = 0
         self._finished = False
+        self._manifest: Optional[dict] = None
 
     def write(self, block: StreamBlock) -> None:
         """Buffer one block, flushing full shards as they fill up."""
@@ -198,11 +259,26 @@ class ColumnSpiller:
         op_vocab: Sequence[str],
         segment_vocab: Sequence[str],
     ) -> dict:
-        """Flush the tail shard and write ``manifest.json``."""
-        if not self._finished:
-            if self._pending_rows:
-                self._flush_shard(self._pending_rows)
-            self._finished = True
+        """Flush the tail shard and write ``manifest.json``.
+
+        Idempotent: the first call fixes the manifest; repeat calls
+        (e.g. a retried shard's cleanup path) return the cached copy
+        without rewriting the file, and raise
+        :class:`~repro.errors.ConfigurationError` when handed different
+        vocabularies than the first call.
+        """
+        if self._manifest is not None:
+            if (
+                list(op_vocab) != self._manifest["op_vocab"]
+                or list(segment_vocab) != self._manifest["segment_vocab"]
+            ):
+                raise ConfigurationError(
+                    "spiller already finished with different vocabularies"
+                )
+            return self._manifest
+        if self._pending_rows:
+            self._flush_shard(self._pending_rows)
+        self._finished = True
         manifest = {
             "format": self.fmt,
             "rows": self._rows,
@@ -213,17 +289,123 @@ class ColumnSpiller:
         }
         with open(self.directory / "manifest.json", "w") as fh:
             json.dump(manifest, fh)
+        self._manifest = manifest
         return manifest
 
 
+def write_sharded_manifest(
+    directory,
+    shard_manifests: Sequence[dict],
+    op_vocab: Sequence[str],
+    segment_vocab: Sequence[str],
+) -> dict:
+    """Stitch per-shard spill directories under one merged manifest.
+
+    ``shard_manifests`` are the flat manifests the shard workers'
+    spillers produced (in stream order), each living in a subdirectory
+    of ``directory``. The merged manifest records, per shard, the
+    subdirectory plus code remaps from the shard-local vocabularies into
+    the merged ``op_vocab`` / ``segment_vocab``, so
+    :func:`load_spilled_columns` can reassemble the columns in arrival
+    order with globally consistent codes.
+    """
+    directory = Path(directory)
+    op_index = {name: i for i, name in enumerate(op_vocab)}
+    segment_index = {name: i for i, name in enumerate(segment_vocab)}
+    shards = []
+    rows = 0
+    for shard_manifest in shard_manifests:
+        shard_dir = Path(shard_manifest["directory"])
+        try:
+            relative = str(shard_dir.relative_to(directory))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"shard spill {shard_dir} is not under {directory}"
+            ) from exc
+        shards.append(
+            {
+                "directory": relative,
+                "rows": shard_manifest["rows"],
+                "op_map": [
+                    op_index[name] for name in shard_manifest["op_vocab"]
+                ],
+                "segment_map": [
+                    segment_index[name]
+                    for name in shard_manifest["segment_vocab"]
+                ],
+            }
+        )
+        rows += int(shard_manifest["rows"])
+    manifest = {
+        "format": shard_manifests[0]["format"] if shard_manifests else "npz",
+        "sharded": True,
+        "rows": rows,
+        "shards": shards,
+        "op_vocab": list(op_vocab),
+        "segment_vocab": list(segment_vocab),
+        "directory": str(directory),
+    }
+    with open(directory / "manifest.json", "w") as fh:
+        json.dump(manifest, fh)
+    return manifest
+
+
+def _load_sharded_columns(directory: Path, manifest: dict) -> QueryColumns:
+    """Reassemble a sharded spill: per-shard load + code remap + concat."""
+    parts: List[QueryColumns] = []
+    op_codes: List[np.ndarray] = []
+    segment_codes: List[np.ndarray] = []
+    for entry in manifest["shards"]:
+        shard = load_spilled_columns(directory / entry["directory"])
+        if shard.size != int(entry["rows"]):
+            raise ConfigurationError(
+                f"shard {entry['directory']!r} has {shard.size} rows, "
+                f"manifest says {entry['rows']}"
+            )
+        parts.append(shard)
+        op_map = np.asarray(entry["op_map"], dtype=np.int32)
+        segment_map = np.asarray(entry["segment_map"], dtype=np.int32)
+        op_codes.append(
+            op_map[shard.op_codes] if shard.size else shard.op_codes
+        )
+        segment_codes.append(
+            segment_map[shard.segment_codes]
+            if shard.size
+            else shard.segment_codes
+        )
+
+    def _cat(arrays: List[np.ndarray], dtype) -> np.ndarray:
+        if not arrays:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(arrays).astype(dtype, copy=False)
+
+    return QueryColumns(
+        arrivals=_cat([p.arrivals for p in parts], np.float64),
+        starts=_cat([p.starts for p in parts], np.float64),
+        completions=_cat([p.completions for p in parts], np.float64),
+        op_codes=_cat(op_codes, np.int32),
+        op_vocab=tuple(manifest["op_vocab"]),
+        segment_codes=_cat(segment_codes, np.int32),
+        segment_vocab=tuple(manifest["segment_vocab"]),
+    )
+
+
 def load_spilled_columns(directory) -> QueryColumns:
-    """Reassemble a :class:`QueryColumns` from a spill directory."""
+    """Reassemble a :class:`QueryColumns` from a spill directory.
+
+    Accepts both flat manifests (one :class:`ColumnSpiller`) and merged
+    sharded manifests (:func:`write_sharded_manifest`), reassembling the
+    latter's subdirectories in stream order with shard-local codes
+    remapped into the merged vocabularies.
+    """
     directory = Path(directory)
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():
         raise ConfigurationError(f"no spill manifest in {directory}")
     with open(manifest_path) as fh:
         manifest = json.load(fh)
+    if manifest.get("sharded"):
+        return _load_sharded_columns(directory, manifest)
     columns: Dict[str, List[np.ndarray]] = {
         "arrivals": [],
         "starts": [],
@@ -299,6 +481,7 @@ class StreamingRecorder:
         self._n = 0
         self._count = 0
         self._max_completion = 0.0
+        self._first_arrival: Optional[float] = None
         self._op_index: Dict[str, int] = {}
         self._op_vocab: List[str] = []
         self._op_counts: List[int] = []
@@ -320,6 +503,18 @@ class StreamingRecorder:
         return self._max_completion
 
     @property
+    def first_arrival(self) -> Optional[float]:
+        """Arrival time of the first recorded query (``None`` if none).
+
+        Blocks stream past in arrival order, so this is simply the first
+        appended arrival — sharded runs use it to check that the
+        previous shard's queue drained before this shard's stream began.
+        """
+        if self._first_arrival is None and self._n:
+            return float(self._arrivals[0])
+        return self._first_arrival
+
+    @property
     def op_vocab(self) -> Tuple[str, ...]:
         """Operation names in intern order."""
         return tuple(self._op_vocab)
@@ -329,15 +524,40 @@ class StreamingRecorder:
         """Segment labels in intern order."""
         return tuple(self._segment_vocab)
 
+    def _pending_counts(self, codes: np.ndarray, size: int) -> np.ndarray:
+        """Histogram of un-flushed scratch codes (read-only)."""
+        if self._n == 0:
+            return np.zeros(size, dtype=np.int64)
+        return np.bincount(codes[: self._n], minlength=size)
+
     def op_counts(self) -> Dict[str, int]:
-        """Per-operation completed-query counts (flushed or not)."""
-        self.flush()
-        return dict(zip(self._op_vocab, self._op_counts))
+        """Per-operation completed-query counts (flushed or not).
+
+        A pure read: scratch rows are counted in place, never flushed,
+        so calling this mid-run cannot move block boundaries.
+        """
+        pending = self._pending_counts(self._op_codes, len(self._op_counts))
+        return {
+            op: count + int(pending[code])
+            for code, (op, count) in enumerate(
+                zip(self._op_vocab, self._op_counts)
+            )
+        }
 
     def segment_counts(self) -> Dict[str, int]:
-        """Per-segment completed-query counts (flushed or not)."""
-        self.flush()
-        return dict(zip(self._segment_vocab, self._segment_counts))
+        """Per-segment completed-query counts (flushed or not).
+
+        A pure read, like :meth:`op_counts`: no flush side effect.
+        """
+        pending = self._pending_counts(
+            self._segment_codes, len(self._segment_counts)
+        )
+        return {
+            label: count + int(pending[code])
+            for code, (label, count) in enumerate(
+                zip(self._segment_vocab, self._segment_counts)
+            )
+        }
 
     def intern_op(self, op: str) -> int:
         """Code for an operation name (added on first sight)."""
@@ -423,6 +643,8 @@ class StreamingRecorder:
     def _fold(self, block: StreamBlock) -> None:
         """Feed one block to the counters, accumulators, and spiller."""
         self._count += len(block)
+        if self._first_arrival is None:
+            self._first_arrival = float(block.arrivals[0])
         last = float(block.completions_sorted[-1])
         if last > self._max_completion:
             self._max_completion = last
@@ -461,6 +683,10 @@ class StreamingRunSummary:
         op_counts / segment_counts: Completed queries per label.
         metrics: Finalized accumulator payloads keyed by ``name``.
         spill: The spill manifest, when columns were spilled.
+        sharding: Shard plan and per-shard provenance when the run was
+            produced by ``run_sharded_streaming`` (``None`` otherwise;
+            absent from the wire format for unsharded runs so existing
+            payloads are unchanged).
     """
 
     sut_name: str
@@ -475,6 +701,7 @@ class StreamingRunSummary:
     segment_counts: Dict[str, int] = field(default_factory=dict)
     metrics: Dict[str, dict] = field(default_factory=dict)
     spill: Optional[dict] = None
+    sharding: Optional[dict] = None
 
     @property
     def duration(self) -> float:
@@ -494,8 +721,12 @@ class StreamingRunSummary:
         return self.num_queries / horizon
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready dict (the summary's wire format)."""
-        return {
+        """JSON-ready dict (the summary's wire format).
+
+        The ``sharding`` key appears only for sharded runs, keeping
+        unsharded payloads byte-compatible with earlier versions.
+        """
+        payload = {
             "sut_name": self.sut_name,
             "scenario_name": self.scenario_name,
             "segments": [list(s) for s in self.segments],
@@ -520,6 +751,9 @@ class StreamingRunSummary:
             "metrics": self.metrics,
             "spill": self.spill,
         }
+        if self.sharding is not None:
+            payload["sharding"] = self.sharding
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "StreamingRunSummary":
@@ -548,4 +782,5 @@ class StreamingRunSummary:
             segment_counts=dict(data.get("segment_counts", {})),
             metrics=dict(data.get("metrics", {})),
             spill=data.get("spill"),
+            sharding=data.get("sharding"),
         )

@@ -146,7 +146,44 @@ def streaming_accumulators(
         )
     return accumulators
 
+
+#: Streaming accumulator classes keyed by their ``name`` attribute —
+#: the registry :func:`accumulator_from_state` uses to rebuild merged
+#: accumulators from shard wire payloads.
+STREAMING_ACCUMULATOR_TYPES = {
+    cls.name: cls
+    for cls in (
+        OnlineThroughput,
+        OnlineCumulativeCurve,
+        OnlineRecovery,
+        OnlineLatencyStats,
+        OnlineLatencyBands,
+        OnlineAdjustmentSpeed,
+        OnlineSegmentStats,
+        OnlineResilience,
+    )
+}
+
+
+def accumulator_from_state(name: str, state: dict) -> object:
+    """Rebuild a streaming accumulator from a ``(name, state)`` pair.
+
+    ``name`` is the accumulator's ``name`` attribute as carried in a
+    shard payload; ``state`` is its ``state_dict()``. Raises
+    :class:`~repro.errors.ConfigurationError` for unregistered names
+    (custom accumulators must be reconstructed by their own factory).
+    """
+    from repro.errors import ConfigurationError
+
+    cls = STREAMING_ACCUMULATOR_TYPES.get(name)
+    if cls is None:
+        raise ConfigurationError(f"unknown streaming accumulator {name!r}")
+    return cls.from_state(state)
+
+
 __all__ = [
+    "STREAMING_ACCUMULATOR_TYPES",
+    "accumulator_from_state",
     "BoxStats",
     "RunningStats",
     "box_stats",

@@ -71,9 +71,22 @@ class GridCounts:
     matches the offline edge arrays bitwise, and a new edge (always
     beyond every value seen so far) starts at the current fold count.
 
-    Blocks must arrive sorted ascending and (for exactness vs. the batch
-    kernels) within ``[start, last-edge]`` of the final grid — true by
-    construction for completion timestamps on the run's time grid.
+    Blocks must arrive sorted ascending. Values outside the final grid
+    need no precondition: a value below ``start`` sorts before edge 0
+    and therefore before every later edge, so it never lands in any
+    ``counts_on`` bucket — exactly how ``np.histogram`` drops
+    below-range values — while still counting toward every
+    ``cumulative_on`` edge, matching ``searchsorted(..., 'right')``.
+    Values beyond the current coverage grow the grid via ``_cover``
+    before folding. Both cases are pinned by regression tests
+    (``tests/metrics/test_accumulator_merge.py``).
+
+    Two instances on the same ``(start, interval)`` grid are additive:
+    :meth:`merge` sums the per-edge counters after aligning coverage,
+    and :meth:`state_dict` / :meth:`from_state` provide the JSON wire
+    form that carries the counters across a process boundary, so
+    sharded runs can fold disjoint value streams independently and
+    still read back bit-identical counts.
     """
 
     __slots__ = ("interval", "start", "_lt", "_le", "_k", "_n", "_max")
@@ -107,17 +120,14 @@ class GridCounts:
         # np.arange's fill loop uses, so edges match time_edges bitwise.
         return self.start + np.arange(k, dtype=np.float64) * self.interval
 
-    def _cover(self, vmax: float) -> None:
-        """Grow the grid until its last edge is at or beyond ``vmax``."""
-        if float(self._edge_values(self._k)[-1]) >= vmax:
+    def _grow_to(self, k: int) -> None:
+        """Materialize edges up to index ``k-1``, seeding them at ``_n``.
+
+        Every new edge lies strictly beyond the current coverage (hence
+        beyond every folded value), so its counters start at ``_n``.
+        """
+        if k <= self._k:
             return
-        k = max(
-            int(np.ceil((vmax - self.start) / self.interval)) + 1, self._k + 1
-        )
-        while float(self._edge_values(k)[-1]) < vmax:  # ceil rounding slack
-            k += 1
-        # Every new edge lies strictly beyond the current coverage
-        # (hence beyond every folded value), so it starts at _n.
         if k > self._lt.size:
             for name in ("_lt", "_le"):
                 old = getattr(self, name)
@@ -128,6 +138,17 @@ class GridCounts:
             self._lt[self._k : k] = self._n
             self._le[self._k : k] = self._n
         self._k = k
+
+    def _cover(self, vmax: float) -> None:
+        """Grow the grid until its last edge is at or beyond ``vmax``."""
+        if float(self._edge_values(self._k)[-1]) >= vmax:
+            return
+        k = max(
+            int(np.ceil((vmax - self.start) / self.interval)) + 1, self._k + 1
+        )
+        while float(self._edge_values(k)[-1]) < vmax:  # ceil rounding slack
+            k += 1
+        self._grow_to(k)
 
     def fold_sorted(self, values: np.ndarray) -> None:
         """Fold one block of ascending values into the counters."""
@@ -145,6 +166,55 @@ class GridCounts:
     def fold(self, values: np.ndarray) -> None:
         """Fold one block of values in any order (sorts a copy)."""
         self.fold_sorted(np.sort(np.asarray(values, dtype=np.float64)))
+
+    def merge(self, other: "GridCounts") -> "GridCounts":
+        """Absorb another accumulator folded on the same grid.
+
+        Per-edge counters are additive: after growing to the wider
+        coverage, ``other``'s counters are padded with ``other.count``
+        beyond its own coverage (every edge there exceeds its max folded
+        value) and summed in. The merged state is bit-identical to
+        folding both value streams into one instance, in any order.
+        """
+        if other.interval != self.interval or other.start != self.start:
+            raise ValueError(
+                "cannot merge GridCounts on different grids: "
+                f"({self.start}, {self.interval}) vs "
+                f"({other.start}, {other.interval})"
+            )
+        self._grow_to(other._k)
+        k = self._k
+        for name in ("_lt", "_le"):
+            theirs = np.full(k, other._n, dtype=np.int64)
+            theirs[: other._k] = getattr(other, name)[: other._k]
+            getattr(self, name)[:k] += theirs
+        self._n += other._n
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of the counters (see :meth:`from_state`)."""
+        return {
+            "interval": self.interval,
+            "start": self.start,
+            "lt": self._lt[: self._k].tolist(),
+            "le": self._le[: self._k].tolist(),
+            "count": self._n,
+            "max_value": None if np.isinf(self._max) else float(self._max),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GridCounts":
+        """Rebuild an accumulator from a :meth:`state_dict` payload."""
+        grid = cls(state["interval"], start=state["start"])
+        grid._lt = np.asarray(state["lt"], dtype=np.int64).copy()
+        grid._le = np.asarray(state["le"], dtype=np.int64).copy()
+        grid._k = int(grid._lt.size)
+        grid._n = int(state["count"])
+        max_value = state.get("max_value")
+        grid._max = -np.inf if max_value is None else float(max_value)
+        return grid
 
     def _lt_on(self, k: int) -> np.ndarray:
         """``# < edge`` for the first ``k`` final-grid edges (padded)."""

@@ -282,6 +282,26 @@ class OnlineThroughput:
         """Fold one completed block (uses its sorted completions)."""
         self._grid.fold_sorted(block.completions_sorted)
 
+    def merge(self, other: "OnlineThroughput") -> "OnlineThroughput":
+        """Absorb another shard's grid counts (bit-exact)."""
+        if other.interval != self.interval:
+            raise ConfigurationError(
+                "cannot merge OnlineThroughput with different intervals"
+            )
+        self._grid.merge(other._grid)
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        return {"interval": self.interval, "grid": self._grid.state_dict()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineThroughput":
+        """Rebuild the accumulator from a :meth:`state_dict` payload."""
+        accumulator = cls(interval=state["interval"])
+        accumulator._grid = GridCounts.from_state(state["grid"])
+        return accumulator
+
     def finalize(self, horizon: float) -> dict:
         """JSON-ready payload: times, counts, mean q/s, and CV."""
         edges = time_edges(horizon, self.interval)
@@ -321,6 +341,35 @@ class OnlineCumulativeCurve:
     def fold(self, block) -> None:
         """Fold one completed block (uses its sorted completions)."""
         self._grid.fold_sorted(block.completions_sorted)
+
+    def merge(self, other: "OnlineCumulativeCurve") -> "OnlineCumulativeCurve":
+        """Absorb another shard's grid counts (bit-exact)."""
+        if (
+            other.resolution != self.resolution
+            or other.ideal_rate != self.ideal_rate
+        ):
+            raise ConfigurationError(
+                "cannot merge OnlineCumulativeCurve with different parameters"
+            )
+        self._grid.merge(other._grid)
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        return {
+            "resolution": self.resolution,
+            "ideal_rate": self.ideal_rate,
+            "grid": self._grid.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineCumulativeCurve":
+        """Rebuild the accumulator from a :meth:`state_dict` payload."""
+        accumulator = cls(
+            resolution=state["resolution"], ideal_rate=state.get("ideal_rate")
+        )
+        accumulator._grid = GridCounts.from_state(state["grid"])
+        return accumulator
 
     def curve(self, horizon: float) -> Tuple[np.ndarray, np.ndarray]:
         """(times, cumulative) — :func:`cumulative_curve`'s output."""
@@ -407,6 +456,73 @@ class OnlineRecovery:
         self._n += int(completions.size)
         if bmax > self._max:
             self._max = bmax
+
+    def merge(self, other: "OnlineRecovery") -> "OnlineRecovery":
+        """Absorb another shard's window counters (bit-exact).
+
+        A probe one side never materialized lies strictly beyond every
+        completion that side folded, so its implicit counter is that
+        side's total fold count — the same rule ``fold`` applies when it
+        materializes a probe lazily.
+        """
+        if (
+            other.change_time != self.change_time
+            or other.window != self.window
+            or other.recovery_fraction != self.recovery_fraction
+        ):
+            raise ConfigurationError(
+                "cannot merge OnlineRecovery with different parameters"
+            )
+        k = max(len(self._starts_lt), len(other._starts_lt))
+
+        def _at(values: List[int], j: int, total: int) -> int:
+            return values[j] if j < len(values) else total
+
+        self._starts_lt = [
+            _at(self._starts_lt, j, self._n) + _at(other._starts_lt, j, other._n)
+            for j in range(k)
+        ]
+        self._ends_lt = [
+            _at(self._ends_lt, j, self._n) + _at(other._ends_lt, j, other._n)
+            for j in range(k)
+        ]
+        self._lo_lt += other._lo_lt
+        self._hi_lt += other._hi_lt
+        self._n += other._n
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        return {
+            "change_time": self.change_time,
+            "window": self.window,
+            "recovery_fraction": self.recovery_fraction,
+            "lo_lt": self._lo_lt,
+            "hi_lt": self._hi_lt,
+            "starts_lt": list(self._starts_lt),
+            "ends_lt": list(self._ends_lt),
+            "count": self._n,
+            "max_value": None if np.isinf(self._max) else float(self._max),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineRecovery":
+        """Rebuild the accumulator from a :meth:`state_dict` payload."""
+        accumulator = cls(
+            state["change_time"],
+            window=state["window"],
+            recovery_fraction=state["recovery_fraction"],
+        )
+        accumulator._lo_lt = int(state["lo_lt"])
+        accumulator._hi_lt = int(state["hi_lt"])
+        accumulator._starts_lt = [int(v) for v in state["starts_lt"]]
+        accumulator._ends_lt = [int(v) for v in state["ends_lt"]]
+        accumulator._n = int(state["count"])
+        max_value = state.get("max_value")
+        accumulator._max = -np.inf if max_value is None else float(max_value)
+        return accumulator
 
     def recovery_seconds(self, horizon: float) -> Optional[float]:
         """:func:`recovery_time`'s answer for the folded stream."""

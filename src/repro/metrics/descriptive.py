@@ -115,6 +115,52 @@ class RunningStats:
         self.minimum = min(self.minimum, float(values.min()))
         self.maximum = max(self.maximum, float(values.max()))
 
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Absorb another instance (Chan parallel combine).
+
+        Counts and extremes stay exact; mean/variance combine with the
+        same stable update :meth:`update` uses, so a sharded merge is
+        deterministic and agrees with the sequential fold to float
+        tolerance (the combination trees differ).
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+        else:
+            total = self.count + other.count
+            delta = other.mean - self.mean
+            self.mean += delta * other.count / total
+            self._m2 += (
+                other._m2 + delta * delta * self.count * other.count / total
+            )
+            self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningStats":
+        """Rebuild running stats from a :meth:`state_dict` payload."""
+        stats = cls()
+        stats.count = int(state["count"])
+        stats.mean = float(state["mean"])
+        stats._m2 = float(state["m2"])
+        if state.get("min") is not None:
+            stats.minimum = float(state["min"])
+            stats.maximum = float(state["max"])
+        return stats
+
     @property
     def variance(self) -> float:
         """Population variance of everything folded (0 when empty)."""
@@ -150,6 +196,22 @@ class OnlineLatencyStats:
     def fold(self, block) -> None:
         """Fold one completed block's latencies."""
         self._stats.update(block.latencies)
+
+    def merge(self, other: "OnlineLatencyStats") -> "OnlineLatencyStats":
+        """Absorb another shard's latency stats (Chan combine)."""
+        self._stats.merge(other._stats)
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        return {"stats": self._stats.state_dict()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineLatencyStats":
+        """Rebuild the accumulator from a :meth:`state_dict` payload."""
+        accumulator = cls()
+        accumulator._stats = RunningStats.from_state(state["stats"])
+        return accumulator
 
     def finalize(self, horizon: float) -> dict:
         """JSON-ready payload: the :class:`RunningStats` summary."""

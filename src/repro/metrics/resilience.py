@@ -278,6 +278,62 @@ class OnlineResilience:
             over = np.maximum(0.0, block.latencies[mask] - self.sla)
             self._mass_parts.append(float(np.sum(over)))
 
+    def merge(self, other: "OnlineResilience") -> "OnlineResilience":
+        """Absorb another shard's fault counters.
+
+        Recovery window counts merge bit-exactly; the over-SLA mass
+        partials concatenate in stream order (merge shards in order),
+        matching the unsharded ``fsum`` bit-for-bit when shard
+        boundaries coincide with block boundaries.
+        """
+        if (
+            other.sla != self.sla
+            or other.window != self.window
+            or other.recovery_fraction != self.recovery_fraction
+            or other.windows != self.windows
+        ):
+            raise ConfigurationError(
+                "cannot merge OnlineResilience with different parameters"
+            )
+        for mine, theirs in zip(self._recoveries, other._recoveries):
+            mine.merge(theirs)
+        self._mass_parts.extend(other._mass_parts)
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        return {
+            "sla": self.sla,
+            "window": self.window,
+            "recovery_fraction": self.recovery_fraction,
+            "windows": [list(w) for w in self.windows],
+            "recoveries": [r.state_dict() for r in self._recoveries],
+            "mass_parts": list(self._mass_parts),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineResilience":
+        """Rebuild the accumulator from a :meth:`state_dict` payload.
+
+        Bypasses ``__init__`` (which wants a live fault plan): the
+        stored degraded windows carry everything the accumulator needs.
+        """
+        accumulator = cls.__new__(cls)
+        accumulator.sla = (
+            float(state["sla"]) if state.get("sla") is not None else None
+        )
+        accumulator.window = float(state["window"])
+        accumulator.recovery_fraction = float(state["recovery_fraction"])
+        accumulator.windows = [
+            (float(start), float(end), str(kind))
+            for start, end, kind in state["windows"]
+        ]
+        accumulator._recoveries = [
+            OnlineRecovery.from_state(r) for r in state["recoveries"]
+        ]
+        accumulator._mass_parts = [float(p) for p in state["mass_parts"]]
+        return accumulator
+
     def impacts(self, horizon: float) -> List[FaultImpact]:
         """:func:`fault_recovery_times`'s rows for the folded stream."""
         return [

@@ -174,6 +174,33 @@ class OnlineLatencyBands:
         if violated.size:
             self._over.fold_sorted(np.sort(violated))
 
+    def merge(self, other: "OnlineLatencyBands") -> "OnlineLatencyBands":
+        """Absorb another shard's band counters (bit-exact)."""
+        if other.sla != self.sla or other.interval != self.interval:
+            raise ConfigurationError(
+                "cannot merge OnlineLatencyBands with different parameters"
+            )
+        self._total.merge(other._total)
+        self._over.merge(other._over)
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        return {
+            "sla": self.sla,
+            "interval": self.interval,
+            "total": self._total.state_dict(),
+            "over": self._over.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineLatencyBands":
+        """Rebuild the accumulator from a :meth:`state_dict` payload."""
+        accumulator = cls(state["sla"], interval=state["interval"])
+        accumulator._total = GridCounts.from_state(state["total"])
+        accumulator._over = GridCounts.from_state(state["over"])
+        return accumulator
+
     def bands(self, horizon: float) -> List[LatencyBand]:
         """:func:`latency_bands`'s output for the folded stream."""
         edges = time_edges(horizon, self.interval)
@@ -232,6 +259,54 @@ class OnlineAdjustmentSpeed:
         take = block.latencies[first : first + self._remaining]
         self._chunks.append(np.array(take, dtype=np.float64))
         self._remaining -= int(take.size)
+
+    def merge(self, other: "OnlineAdjustmentSpeed") -> "OnlineAdjustmentSpeed":
+        """Absorb a later shard's buffered latencies (bit-exact).
+
+        Shards must merge in stream (arrival) order: the combined
+        buffer is then the same first-``n_queries`` selection the
+        unsharded fold makes, truncated identically.
+        """
+        if (
+            other.change_time != self.change_time
+            or other.n_queries != self.n_queries
+            or other.sla != self.sla
+        ):
+            raise ConfigurationError(
+                "cannot merge OnlineAdjustmentSpeed with different parameters"
+            )
+        for chunk in other._chunks:
+            if self._remaining <= 0:
+                break
+            take = np.asarray(chunk[: self._remaining], dtype=np.float64)
+            if take.size:
+                self._chunks.append(np.array(take))
+                self._remaining -= int(take.size)
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        latencies = (
+            np.concatenate(self._chunks).tolist() if self._chunks else []
+        )
+        return {
+            "change_time": self.change_time,
+            "n_queries": self.n_queries,
+            "sla": self.sla,
+            "latencies": latencies,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineAdjustmentSpeed":
+        """Rebuild the accumulator from a :meth:`state_dict` payload."""
+        accumulator = cls(
+            state["change_time"], state["n_queries"], state["sla"]
+        )
+        latencies = np.asarray(state["latencies"], dtype=np.float64)
+        if latencies.size:
+            accumulator._chunks.append(latencies)
+            accumulator._remaining -= int(latencies.size)
+        return accumulator
 
     def value(self) -> float:
         """:func:`adjustment_speed`'s answer for the folded stream."""

@@ -230,6 +230,63 @@ class OnlineSegmentStats:
                 )
                 self._latency_counts[i] += hits
 
+    def merge(self, other: "OnlineSegmentStats") -> "OnlineSegmentStats":
+        """Absorb another shard's per-segment counters.
+
+        Shards must merge in stream order so the ``fsum`` partial lists
+        concatenate in the order a sequential fold would have appended
+        them. Grid counts stay bit-exact; mean latency matches the
+        unsharded fold bit-for-bit when shard boundaries coincide with
+        block boundaries, to float tolerance otherwise.
+        """
+        if (
+            other.interval != self.interval
+            or other.boundaries != self.boundaries
+        ):
+            raise ConfigurationError(
+                "cannot merge OnlineSegmentStats with different parameters"
+            )
+        for mine, theirs in zip(self._grids, other._grids):
+            mine.merge(theirs)
+        for i, parts in enumerate(other._latency_parts):
+            self._latency_parts[i].extend(parts)
+            self._latency_counts[i] += other._latency_counts[i]
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (see :meth:`from_state`)."""
+        return {
+            "interval": self.interval,
+            "boundaries": [list(b) for b in self.boundaries],
+            "grids": [grid.state_dict() for grid in self._grids],
+            "latency_parts": [list(parts) for parts in self._latency_parts],
+            "latency_counts": list(self._latency_counts),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineSegmentStats":
+        """Rebuild the accumulator from a :meth:`state_dict` payload.
+
+        Bypasses ``__init__`` (which wants a live scenario): the stored
+        boundaries carry everything the accumulator needs.
+        """
+        accumulator = cls.__new__(cls)
+        accumulator.interval = float(state["interval"])
+        accumulator.boundaries = [
+            (str(label), float(lo), float(hi))
+            for label, lo, hi in state["boundaries"]
+        ]
+        accumulator._grids = [
+            GridCounts.from_state(g) for g in state["grids"]
+        ]
+        accumulator._latency_parts = [
+            [float(p) for p in parts] for parts in state["latency_parts"]
+        ]
+        accumulator._latency_counts = [
+            int(c) for c in state["latency_counts"]
+        ]
+        return accumulator
+
     def throughputs(self, index: int) -> np.ndarray:
         """:func:`_segment_throughputs`'s array for segment ``index``."""
         _label, lo, hi = self.boundaries[index]

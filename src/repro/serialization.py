@@ -27,7 +27,7 @@ from repro.core.hardware import CPU, GPU, TPU
 from repro.core.phases import TrainingPhase
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario, Segment
-from repro.core.streaming import StreamingRunSummary
+from repro.core.streaming import ShardSpec, StreamingRunSummary
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan
 from repro.observability import Trace
@@ -291,6 +291,42 @@ def streaming_summary_to_dict(summary: StreamingRunSummary) -> Dict[str, Any]:
 def streaming_summary_from_dict(payload: Dict[str, Any]) -> StreamingRunSummary:
     """Rebuild a summary from :func:`streaming_summary_to_dict` output."""
     return StreamingRunSummary.from_dict(payload)
+
+
+def shard_spec_to_dict(spec: ShardSpec) -> Dict[str, Any]:
+    """Serialize a shard spec (``ShardSpec.to_dict``)."""
+    return spec.to_dict()
+
+
+def shard_spec_from_dict(payload: Dict[str, Any]) -> ShardSpec:
+    """Rebuild a :class:`~repro.core.streaming.ShardSpec` from its payload."""
+    return ShardSpec.from_dict(payload)
+
+
+def accumulator_states_to_dict(accumulators) -> List[Dict[str, Any]]:
+    """Serialize streaming accumulators as ``{"name", "state"}`` rows.
+
+    The wire form sharded workers send across the process boundary;
+    round-trips through :func:`accumulator_states_from_dict`.
+    """
+    return [
+        {"name": accumulator.name, "state": accumulator.state_dict()}
+        for accumulator in accumulators
+    ]
+
+
+def accumulator_states_from_dict(payload: List[Dict[str, Any]]) -> List[Any]:
+    """Rebuild registered accumulators from their wire rows.
+
+    Uses the :data:`repro.metrics.STREAMING_ACCUMULATOR_TYPES` registry;
+    unregistered names raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    from repro.metrics import accumulator_from_state
+
+    return [
+        accumulator_from_state(row["name"], row["state"]) for row in payload
+    ]
 
 
 def trace_to_dict(trace: Trace) -> Dict[str, Any]:

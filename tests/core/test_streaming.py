@@ -117,6 +117,43 @@ class TestStreamingRecorder:
         assert acc.blocks == []
         assert recorder.count == 0
 
+    def test_count_reads_do_not_flush_scratch(self):
+        # Regression: op_counts()/segment_counts() used to flush the
+        # scratch, moving block boundaries when read mid-run.
+        acc = _CollectingAccumulator()
+        recorder = StreamingRecorder(accumulators=[acc])
+        read = recorder.intern_op("read")
+        write = recorder.intern_op("write")
+        seg = recorder.intern_segment("a")
+        recorder.append(0.0, 0.0, 0.1, read, seg)
+        recorder.append(0.2, 0.2, 0.3, write, seg)
+        assert recorder.op_counts() == {"read": 1, "write": 1}
+        assert recorder.segment_counts() == {"a": 2}
+        assert acc.blocks == []  # scratch untouched — no fold happened
+        recorder.append(0.4, 0.4, 0.5, read, seg)
+        recorder.flush()
+        assert [len(b) for b in acc.blocks] == [3]
+        assert recorder.op_counts() == {"read": 2, "write": 1}
+
+    def test_count_reads_merge_flushed_and_pending(self):
+        recorder = StreamingRecorder(accumulators=[], scratch_capacity=2)
+        read = recorder.intern_op("read")
+        seg = recorder.intern_segment("a")
+        for i in range(3):  # capacity 2 → one auto-flush + one pending
+            recorder.append(float(i), float(i), float(i) + 0.1, read, seg)
+        assert recorder.op_counts() == {"read": 3}
+        assert recorder.segment_counts() == {"a": 3}
+
+    def test_first_arrival_tracks_scratch_and_flushed(self):
+        recorder = StreamingRecorder()
+        assert recorder.first_arrival is None
+        code = recorder.intern_op("read")
+        seg = recorder.intern_segment("a")
+        recorder.append(1.5, 1.5, 1.6, code, seg)
+        assert recorder.first_arrival == 1.5  # still in scratch
+        recorder.flush()
+        assert recorder.first_arrival == 1.5  # survives the fold
+
 
 class TestColumnSpiller:
     def test_shards_split_and_round_trip(self, tmp_path):
@@ -150,6 +187,25 @@ class TestColumnSpiller:
         assert manifest["format"] == "npz"
         assert manifest["rows"] == 4
         assert manifest["op_vocab"] == ["read"]
+
+    def test_finish_is_idempotent(self, tmp_path):
+        # Regression: a second finish() used to append a duplicate tail
+        # shard and rewrite the manifest with doubled row counts.
+        spiller = ColumnSpiller(tmp_path / "s", shard_rows=16)
+        spiller.write(_block(4))
+        first = spiller.finish(["read"], ["a"])
+        again = spiller.finish(["read"], ["a"])
+        assert again is first
+        assert first["rows"] == 4
+        cols = load_spilled_columns(tmp_path / "s")
+        assert cols.size == 4
+
+    def test_finish_rejects_conflicting_vocabularies(self, tmp_path):
+        spiller = ColumnSpiller(tmp_path / "s", shard_rows=16)
+        spiller.write(_block(4))
+        spiller.finish(["read"], ["a"])
+        with pytest.raises(ConfigurationError, match="different vocab"):
+            spiller.finish(["read", "write"], ["a"])
 
     def test_unknown_format_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
