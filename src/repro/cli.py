@@ -10,6 +10,10 @@
   Hardening flags: ``--timeout`` (per-job kill), ``--max-attempts`` /
   ``--retry-backoff`` (retry budget), ``--checkpoint`` + ``--resume``
   (survive interrupted invocations).
+* ``serve`` — multi-tenant benchmark service: admit N concurrent
+  tenants (token-bucket admission control), stream each tenant's
+  (SUT, scenario, seed) session on the shared worker pool, and print
+  per-tenant SLA reports plus the service ledger.
 * ``faults`` — chaos benchmark: inject a fault plan (stalls, crashes,
   latency/throughput degradation windows) into a scenario, run it next
   to its fault-free twin, and print the resilience report.
@@ -260,6 +264,76 @@ def cmd_run_matrix(args: argparse.Namespace) -> int:
         manifest.save(args.manifest)
         print(f"wrote manifest to {args.manifest}")
     return 1 if manifest.failures else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run a multi-tenant serving window.
+
+    Fans ``--tenants`` sessions out over the SUT list (round-robin,
+    seeds ``--seed-base + i``), admits them through a token bucket, and
+    multiplexes every admitted tenant's shards onto one shared worker
+    pool. Prints one row per tenant plus the service ledger; exits
+    non-zero if any admitted tenant was dropped or failed.
+    """
+    from repro.core.tenancy import AdmissionPolicy, BenchmarkServer, TenantSpec
+
+    dataset = build_dataset(args.dataset, n=args.keys, seed=args.seed)
+    scenario = SCENARIOS[args.scenario](dataset, args.rate, args.duration)
+    sample = expected_access_sample(scenario)
+    factories = _sut_factories(sample)
+    unknown = [name for name in args.sut if name not in factories]
+    if unknown:
+        print(f"unknown SUT(s) {', '.join(unknown)}; "
+              f"try: {', '.join(sorted(factories))}", file=sys.stderr)
+        return 2
+    tenants = []
+    for i in range(args.tenants):
+        sut_name = args.sut[i % len(args.sut)]
+        tenants.append(TenantSpec(
+            name=f"tenant-{i:02d}-{sut_name}",
+            sut_factory=factories[sut_name],
+            scenario=scenario,
+            seed=args.seed_base + i,
+            shards=args.shards,
+            arrival_time=i * args.arrival_spacing,
+        ))
+    server = BenchmarkServer(
+        config=BenchmarkConfig(servers=args.servers),
+        workers=args.workers,
+        admission=AdmissionPolicy(burst=args.admit_burst,
+                                  refill_rate=args.admit_rate),
+        max_attempts=args.max_attempts,
+        tenant_timeout=args.timeout,
+    )
+    report = server.serve(tenants, sla=args.sla)
+
+    width = max(len(t.tenant) for t in report.tenants)
+    print(f"  {'tenant':<{width}}  {'status':<9}  {'queries':>8}  "
+          f"{'q/s':>9}  {'sla':>5}  {'wall':>8}")
+    for tenant in report.tenants:
+        if tenant.ok:
+            sla_cell = "-"
+            if tenant.sla_report and "meets_sla" in tenant.sla_report:
+                sla_cell = "ok" if tenant.sla_report["meets_sla"] else "VIOL"
+            print(f"  {tenant.tenant:<{width}}  {tenant.status:<9}  "
+                  f"{tenant.summary.num_queries:>8}  "
+                  f"{tenant.sla_report['mean_throughput']:>9.1f}  "
+                  f"{sla_cell:>5}  {tenant.wall_seconds:>7.2f}s")
+        else:
+            print(f"  {tenant.tenant:<{width}}  {tenant.status:<9}  "
+                  f"{tenant.error}")
+    print(f"\noffered {report.offered}, admitted {report.admitted}, "
+          f"rejected {report.rejected}, completed {report.completed}, "
+          f"failed {report.failed}, violations {report.violations}, "
+          f"dropped {report.dropped} "
+          f"({report.workers} workers, {report.wall_seconds:.2f}s)")
+    if args.export:
+        path = Path(args.export)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote service report to {path}")
+    return 0 if report.dropped == 0 and report.failed == 0 else 1
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -526,6 +600,48 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reuse completed jobs from --checkpoint "
                           "(results served from the cache)")
     mat.set_defaults(func=cmd_run_matrix)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run a multi-tenant serving window with admission control",
+    )
+    srv.add_argument("--scenario", choices=sorted(SCENARIOS),
+                     default="abrupt-shift")
+    srv.add_argument("--sut", nargs="+", default=["learned-kv", "btree-kv"],
+                     help="SUT pool; tenants cycle through it round-robin")
+    srv.add_argument("--tenants", type=int, default=8,
+                     help="number of tenant sessions to offer")
+    srv.add_argument("--dataset", choices=dataset_names(), default="osm")
+    srv.add_argument("--keys", type=int, default=50_000)
+    srv.add_argument("--rate", type=float, default=3200.0)
+    srv.add_argument("--duration", type=float, default=30.0)
+    srv.add_argument("--servers", type=int, default=1)
+    srv.add_argument("--seed", type=int, default=7,
+                     help="dataset seed (tenant seeds come from --seed-base)")
+    srv.add_argument("--seed-base", type=int, default=100,
+                     help="tenant i runs with scenario seed seed-base + i")
+    srv.add_argument("--shards", type=int, default=1,
+                     help="shards per tenant session")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="shared worker-pool size (default: CPU-bound)")
+    srv.add_argument("--arrival-spacing", type=float, default=0.0,
+                     help="virtual seconds between tenant arrivals (feeds "
+                          "admission-control refill)")
+    srv.add_argument("--admit-burst", type=int, default=8,
+                     help="token-bucket capacity (tenants admitted "
+                          "back-to-back)")
+    srv.add_argument("--admit-rate", type=float, default=1.0,
+                     help="token refill per virtual second")
+    srv.add_argument("--sla", type=float, default=None,
+                     help="SLA threshold in seconds for per-tenant "
+                          "accounting")
+    srv.add_argument("--max-attempts", type=int, default=2,
+                     help="per-shard attempt budget")
+    srv.add_argument("--timeout", type=float, default=None,
+                     help="per-attempt wall-clock kill deadline (seconds)")
+    srv.add_argument("--export", default=None,
+                     help="write the service report (JSON) to this path")
+    srv.set_defaults(func=cmd_serve)
 
     fl = sub.add_parser(
         "faults",

@@ -37,8 +37,24 @@ from repro.core.streaming import (
     load_spilled_columns,
 )
 from repro.core.sut import SystemUnderTest, TrainingSummary
+from repro.core.tenancy import (
+    AdmissionPolicy,
+    BenchmarkServer,
+    ServiceReport,
+    TenantReport,
+    TenantSpec,
+)
+from repro.core.workers import WorkerOutcome, WorkerPool, WorkerTask
 
 __all__ = [
+    "AdmissionPolicy",
+    "BenchmarkServer",
+    "ServiceReport",
+    "TenantReport",
+    "TenantSpec",
+    "WorkerOutcome",
+    "WorkerPool",
+    "WorkerTask",
     "ShardedStreamingExecutor",
     "ShardSpec",
     "StreamingRecorder",

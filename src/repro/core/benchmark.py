@@ -133,6 +133,38 @@ class Benchmark:
             spill_format=spill_format,
         )
 
+    def serve(
+        self,
+        tenants,
+        workers: Optional[int] = None,
+        admission=None,
+        registry=None,
+        sla: Optional[float] = None,
+        spill_dir=None,
+        max_attempts: int = 2,
+        tenant_timeout: Optional[float] = None,
+    ):
+        """Run a multi-tenant serving window over this configuration.
+
+        Builds a :class:`~repro.core.tenancy.BenchmarkServer` sharing
+        this facade's config and serves the given
+        :class:`~repro.core.tenancy.TenantSpec` list; returns the
+        :class:`~repro.core.tenancy.ServiceReport` ledger. See the
+        tenancy module for admission control, fair-share scheduling,
+        and hold-out vault semantics.
+        """
+        from repro.core.tenancy import BenchmarkServer
+
+        server = BenchmarkServer(
+            config=self.config,
+            workers=workers,
+            admission=admission,
+            registry=registry,
+            max_attempts=max_attempts,
+            tenant_timeout=tenant_timeout,
+        )
+        return server.serve(tenants, sla=sla, spill_dir=spill_dir)
+
     def compare(
         self,
         sut_factories: Sequence[Callable[[], SystemUnderTest]],

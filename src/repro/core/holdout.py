@@ -67,6 +67,16 @@ class HoldoutRegistry:
         self._consumed.add(key)
         return self._scenarios[name]
 
+    def release(self, name: str, sut_name: str) -> None:
+        """Refund a checkout that never produced a result.
+
+        The service layer calls this when an evaluation fails before the
+        SUT observed the scenario (worker crash, mid-submission abort):
+        the single-shot budget only burns on runs that could have leaked
+        information, so an unconsumed checkout is returned to the vault.
+        """
+        self._consumed.discard((name, sut_name))
+
     def has_run(self, name: str, sut_name: str) -> bool:
         """Whether ``sut_name`` already consumed hold-out ``name``."""
         return (name, sut_name) in self._consumed

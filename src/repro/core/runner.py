@@ -35,8 +35,11 @@ must survive misbehaving jobs and interrupted invocations):
   result cache), so the final manifest is canonically identical to an
   uninterrupted run's.
 
-The runner is the layer future scaling work (sharding, remote workers)
-builds on; see DESIGN.md §2.
+The process transport, deadlines, retry budget, and crash isolation all
+live in the shared :class:`~repro.core.workers.WorkerPool` layer — the
+same pool :class:`~repro.core.sharded.ShardedStreamingExecutor` and the
+multi-tenant service run on; this module only keeps the matrix-specific
+bookkeeping (cache keys, manifests, checkpoints). See DESIGN.md §2/§11.
 """
 
 from __future__ import annotations
@@ -44,23 +47,26 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
-import multiprocessing
 import os
 import tempfile
 import time
-import traceback
-from collections import deque
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
-from multiprocessing import connection
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.driver import DriverConfig, VirtualClockDriver
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario
 from repro.core.sut import SystemUnderTest
+from repro.core.workers import (  # noqa: F401 — re-exported for compat
+    WorkerOutcome,
+    WorkerPool,
+    WorkerTask,
+    kill_process,
+    mp_context,
+)
 from repro.errors import RunnerError
-from repro.observability import Trace, Tracer
+from repro.observability import Trace
 
 #: Manifest/cache schema version (bump to invalidate old cache entries).
 CACHE_FORMAT = 1
@@ -367,60 +373,23 @@ def job_cache_key(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _execute_job(
-    index: int,
+def _matrix_job_body(
     factory: Callable[[], SystemUnderTest],
     scenario: Scenario,
     config: DriverConfig,
-) -> Tuple[
-    int, int, float, Optional[Dict[str, Any]], Optional[str],
-    Optional[Dict[str, Any]],
-]:
-    """Worker entry point: run one job, never raise.
+    tracer,
+) -> Dict[str, Any]:
+    """The pool task body: run one matrix job, return its result dict.
 
-    Returns ``(index, worker_pid, wall_seconds, result_dict, error,
-    trace_dict)``. Results travel as :meth:`RunResult.to_dict` payloads
-    so transport is identical to the cache format (and cheap to pickle);
-    the trace travels as :meth:`~repro.observability.Trace.to_dict` and
-    lands on the job's manifest record.
+    Results travel as :meth:`RunResult.to_dict` payloads so transport is
+    identical to the cache format (and cheap to pickle). The pool
+    threads the per-attempt ``tracer`` in (``WorkerTask.traced``); its
+    finished trace lands on the job's manifest record.
     """
-    start = time.perf_counter()
-    tracer = Tracer()
-    try:
-        sut = factory()
-        result = VirtualClockDriver(config, tracer=tracer).run(sut, scenario)
-        with tracer.span("serialize-result", phase="report"):
-            payload = result.to_dict()
-        wall = time.perf_counter() - start
-        return index, os.getpid(), wall, payload, None, tracer.finish().to_dict()
-    except Exception as exc:  # structured failure: the pool survives
-        wall = time.perf_counter() - start
-        tail = "".join(traceback.format_tb(exc.__traceback__)[-3:]).rstrip()
-        error = f"{type(exc).__name__}: {exc}\n{tail}" if tail else (
-            f"{type(exc).__name__}: {exc}"
-        )
-        return index, os.getpid(), wall, None, error, None
-
-
-def _job_worker(
-    conn,
-    index: int,
-    factory: Callable[[], SystemUnderTest],
-    scenario: Scenario,
-    config: DriverConfig,
-) -> None:
-    """Child-process entry point: run one job, ship the outcome home.
-
-    The parent detects a hard crash (segfault, OOM-kill, timeout kill)
-    as EOF on the pipe — the child only closes it after a successful
-    ``send``, so a readable-but-empty pipe always means the job never
-    finished.
-    """
-    outcome = _execute_job(index, factory, scenario, config)
-    try:
-        conn.send(outcome)
-    finally:
-        conn.close()
+    sut = factory()
+    result = VirtualClockDriver(config, tracer=tracer).run(sut, scenario)
+    with tracer.span("serialize-result", phase="report"):
+        return result.to_dict()
 
 
 @dataclass
@@ -578,10 +547,7 @@ class MatrixRunner:
         self._checkpoint_workers = workers
         self._write_checkpoint(records)
         if pending:
-            if workers == 1 and self.job_timeout is None:
-                self._run_serial(jobs, pending, records, results)
-            else:
-                self._run_pool(jobs, pending, records, results, workers)
+            self._execute_pending(jobs, pending, records, results, workers)
 
         manifest = RunManifest(
             jobs=[r for r in records if r is not None],
@@ -600,222 +566,55 @@ class MatrixRunner:
             return min(self.workers, n_pending)
         return min(os.cpu_count() or 1, n_pending)
 
-    def _run_serial(
+    def _execute_pending(
         self,
         jobs: Sequence[MatrixJob],
         pending: List[int],
         records: List[Optional[JobRecord]],
         results: List[Optional[RunResult]],
+        workers: int,
     ) -> None:
-        """In-process execution with the same attempt/backoff semantics.
+        """Run the pending jobs on the shared :class:`WorkerPool`.
 
-        Used only when there is nothing to isolate (one worker, no
-        timeout); a raising job still consumes ``max_attempts`` with
-        exponential backoff so serial and pooled matrices agree on the
-        manifest they produce.
+        The pool owns transport, deadlines, the retry budget, and crash
+        isolation (see :mod:`repro.core.workers`); this method only maps
+        pool events onto the matrix bookkeeping — attempt counts land on
+        the :class:`JobRecord` as they happen, and every finished job
+        is absorbed (result + cache + checkpoint) in completion order.
+        One poisonous job can never sink the matrix: its record is
+        marked ``failed`` and the rest completes.
         """
+        pool = WorkerPool(
+            workers=workers,
+            max_attempts=self.max_attempts,
+            timeout=self.job_timeout,
+            retry_backoff=self.retry_backoff,
+        )
+        tasks = []
         for index in pending:
-            job = jobs[index]
             record = records[index]
             assert record is not None
-            for attempt in range(1, self.max_attempts + 1):
-                record.attempts = attempt
-                outcome = _execute_job(
-                    index, job.sut_factory, job.resolved_scenario(),
+            tasks.append(WorkerTask(
+                fn=_matrix_job_body,
+                args=(
+                    jobs[index].sut_factory,
+                    jobs[index].resolved_scenario(),
                     self.driver_config,
-                )
-                if outcome[4] is None or attempt >= self.max_attempts:
-                    self._absorb(outcome, records, results)
-                    break
-                if self.retry_backoff > 0:
-                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                ),
+                label=record.label,
+                traced=True,
+            ))
+
+        def on_attempt(task_index: int, attempt: int) -> None:
+            record = records[pending[task_index]]
+            assert record is not None
+            record.attempts = attempt
+
+        def on_outcome(outcome: WorkerOutcome) -> None:
+            self._absorb(pending[outcome.index], outcome, records, results)
             self._write_checkpoint(records)
 
-    def _run_pool(
-        self,
-        jobs: Sequence[MatrixJob],
-        pending: List[int],
-        records: List[Optional[JobRecord]],
-        results: List[Optional[RunResult]],
-        workers: int,
-    ) -> None:
-        """Fan pending jobs across worker processes; survive bad jobs.
-
-        Each job runs in its own :class:`multiprocessing.Process` with a
-        one-shot pipe back to the parent; ``connection.wait`` multiplexes
-        completions, so the scheduler notices a finished job immediately
-        and a *hard* crash (segfault, OOM-kill) as EOF on the job's pipe.
-        Crashes, timeouts, and structured in-worker errors all feed the
-        same retry budget: the job re-queues with exponential backoff
-        until ``max_attempts`` is spent, then its record is marked
-        ``failed`` — one poisonous job can never sink the matrix.
-        """
-        context = self._mp_context()
-        attempts: Dict[int, int] = {index: 0 for index in pending}
-        ready_at: Dict[int, float] = {index: 0.0 for index in pending}
-        queue: Deque[int] = deque(pending)
-        # conn -> (job index, process, kill deadline or None)
-        running: Dict[Any, Tuple[int, Any, Optional[float]]] = {}
-        try:
-            while queue or running:
-                while len(running) < workers:
-                    index = self._next_ready(queue, ready_at)
-                    if index is None:
-                        break
-                    attempts[index] += 1
-                    record = records[index]
-                    assert record is not None
-                    record.attempts = attempts[index]
-                    parent_end, child_end = context.Pipe(duplex=False)
-                    proc = context.Process(
-                        target=_job_worker,
-                        args=(
-                            child_end,
-                            index,
-                            jobs[index].sut_factory,
-                            jobs[index].resolved_scenario(),
-                            self.driver_config,
-                        ),
-                    )
-                    proc.start()
-                    child_end.close()  # child owns the write end now
-                    deadline = (
-                        time.monotonic() + self.job_timeout
-                        if self.job_timeout is not None
-                        else None
-                    )
-                    running[parent_end] = (index, proc, deadline)
-
-                if not running:
-                    # Everything left is backing off; sleep to the
-                    # earliest retry gate.
-                    gate = min(ready_at[i] for i in queue)
-                    delay = gate - time.monotonic()
-                    if delay > 0:
-                        time.sleep(delay)
-                    continue
-
-                readable = connection.wait(
-                    list(running),
-                    timeout=self._wait_timeout(running, queue, ready_at, workers),
-                )
-                progressed = False
-                for conn in readable:
-                    index, proc, _deadline = running.pop(conn)
-                    try:
-                        outcome = conn.recv()
-                    except EOFError:
-                        # The child only closes the pipe after a
-                        # successful send, so EOF == hard crash.
-                        outcome = None
-                    conn.close()
-                    proc.join()
-                    progressed = True
-                    if outcome is None:
-                        self._retry_or_fail(
-                            index,
-                            f"worker crashed (exit code {proc.exitcode})",
-                            attempts, queue, ready_at, records,
-                            worker=proc.pid or 0,
-                        )
-                    elif outcome[4] is not None:
-                        self._retry_or_fail(
-                            index, outcome[4], attempts, queue, ready_at,
-                            records, wall=outcome[2], worker=outcome[1],
-                        )
-                    else:
-                        self._absorb(outcome, records, results)
-                now = time.monotonic()
-                for conn, (index, proc, deadline) in list(running.items()):
-                    if deadline is not None and now >= deadline:
-                        del running[conn]
-                        self._kill(proc)
-                        conn.close()
-                        progressed = True
-                        self._retry_or_fail(
-                            index,
-                            f"TimeoutError: job exceeded the "
-                            f"{self.job_timeout}s wall-clock budget "
-                            f"(killed)",
-                            attempts, queue, ready_at, records,
-                            wall=self.job_timeout or 0.0,
-                            worker=proc.pid or 0,
-                        )
-                if progressed:
-                    self._write_checkpoint(records)
-        finally:
-            # Interrupted (KeyboardInterrupt, test failure, …): never
-            # leak worker processes.
-            for conn, (_index, proc, _deadline) in running.items():
-                self._kill(proc)
-                conn.close()
-
-    def _retry_or_fail(
-        self,
-        index: int,
-        error: str,
-        attempts: Dict[int, int],
-        queue: Deque[int],
-        ready_at: Dict[int, float],
-        records: List[Optional[JobRecord]],
-        wall: float = 0.0,
-        worker: int = 0,
-    ) -> None:
-        """Re-queue a failed attempt with backoff, or mark the job failed."""
-        record = records[index]
-        assert record is not None
-        if attempts[index] < self.max_attempts:
-            ready_at[index] = time.monotonic() + (
-                self.retry_backoff * (2 ** (attempts[index] - 1))
-            )
-            queue.append(index)
-        else:
-            record.status = "failed"
-            record.error = error
-            record.wall_seconds = wall
-            record.worker = worker
-
-    @staticmethod
-    def _next_ready(
-        queue: Deque[int], ready_at: Dict[int, float]
-    ) -> Optional[int]:
-        """Pop the first queued job whose backoff gate has opened."""
-        now = time.monotonic()
-        for _ in range(len(queue)):
-            index = queue.popleft()
-            if ready_at.get(index, 0.0) <= now:
-                return index
-            queue.append(index)
-        return None
-
-    def _wait_timeout(
-        self,
-        running: Dict[Any, Tuple[int, Any, Optional[float]]],
-        queue: Deque[int],
-        ready_at: Dict[int, float],
-        workers: int,
-    ) -> Optional[float]:
-        """How long ``connection.wait`` may block.
-
-        Bounded by the earliest kill deadline and — when a worker slot is
-        free — the earliest retry gate; ``None`` (block until a job
-        finishes) when neither applies.
-        """
-        bounds = [
-            deadline
-            for (_i, _p, deadline) in running.values()
-            if deadline is not None
-        ]
-        if queue and len(running) < workers:
-            bounds.extend(ready_at.get(i, 0.0) for i in queue)
-        if not bounds:
-            return None
-        return max(0.0, min(bounds) - time.monotonic())
-
-    @staticmethod
-    def _kill(proc: Any) -> None:
-        """Terminate a worker, escalating to SIGKILL if it lingers."""
-        kill_process(proc)
+        pool.run(tasks, on_attempt=on_attempt, on_outcome=on_outcome)
 
     # -- checkpointing ---------------------------------------------------------------
 
@@ -858,24 +657,22 @@ class MatrixRunner:
 
     def _absorb(
         self,
-        outcome: Tuple[
-            int, int, float, Optional[Dict[str, Any]], Optional[str],
-            Optional[Dict[str, Any]],
-        ],
+        index: int,
+        outcome: WorkerOutcome,
         records: List[Optional[JobRecord]],
         results: List[Optional[RunResult]],
     ) -> None:
-        index, worker, wall, payload, error, trace = outcome
+        """Land a finished pool outcome on job ``index``'s record."""
         record = records[index]
         assert record is not None
-        record.wall_seconds = wall
-        record.worker = worker
-        record.trace = trace
-        if error is not None:
+        record.wall_seconds = outcome.wall_seconds
+        record.worker = outcome.worker
+        record.trace = outcome.trace
+        if outcome.error is not None:
             record.status = "failed"
-            record.error = error
+            record.error = outcome.error
             return
-        result = RunResult.from_dict(payload)
+        result = RunResult.from_dict(outcome.payload)
         record.status = "ok"
         results[index] = result
         if self.cache is not None:
@@ -887,36 +684,9 @@ class MatrixRunner:
                     "sut": record.sut_name,
                     "scenario": record.scenario_name,
                     "seed": record.seed,
-                    "wall_seconds": wall,
+                    "wall_seconds": outcome.wall_seconds,
                 },
             )
-
-    @staticmethod
-    def _mp_context():
-        """Prefer ``fork`` so factories defined in scripts stay picklable."""
-        return mp_context()
-
-
-def mp_context():
-    """The multiprocessing context shared by every process pool here.
-
-    Prefers ``fork`` so factories defined in scripts stay picklable;
-    falls back to the platform default where fork is unavailable. Also
-    used by :class:`~repro.core.sharded.ShardedStreamingExecutor`.
-    """
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:
-        return multiprocessing.get_context()
-
-
-def kill_process(proc: Any) -> None:
-    """Terminate a worker process, escalating to SIGKILL if it lingers."""
-    proc.terminate()
-    proc.join(1.0)
-    if proc.is_alive():
-        proc.kill()
-        proc.join()
 
 
 def run_matrix(

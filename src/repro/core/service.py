@@ -11,18 +11,39 @@ user's behalf and returns only aggregate results (never the scenarios
 themselves). Combined with :class:`~repro.core.holdout.HoldoutRegistry`'s
 single-shot rule, a SUT cannot iterate against the hold-out — the
 anti-overfitting mechanism the paper asks for.
+
+Since the tenancy refactor, each hold-out evaluation is one tenant
+session on :class:`~repro.core.tenancy.BenchmarkServer` (inline worker
+mode, so non-picklable SUT factories keep working): the run streams in
+bounded memory, spills its per-query columns, and the service rebuilds
+the full :class:`~repro.core.results.RunResult` from the spill for the
+operator API. Batch submission and the live ``repro serve`` mode are
+therefore the same code path.
+
+Failure accounting: a hold-out run that fails (SUT raise, worker crash)
+no longer burns the single-shot budget silently — the checkout is
+refunded via :meth:`~repro.core.holdout.HoldoutRegistry.release` and the
+returned :class:`HoldoutReport` carries the error, so the submitter can
+fix the SUT and resubmit.
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.benchmark import Benchmark, BenchmarkConfig
+import numpy as np
+
+from repro.core.benchmark import BenchmarkConfig
 from repro.core.holdout import HoldoutRegistry
 from repro.core.results import RunResult
 from repro.core.scenario import Scenario
+from repro.core.streaming import load_spilled_columns
 from repro.core.sut import SystemUnderTest
+from repro.core.tenancy import BenchmarkServer, TenantSpec
+from repro.errors import HoldoutViolationError, ReproError
 
 
 @dataclass(frozen=True)
@@ -37,6 +58,9 @@ class HoldoutReport:
         p99_latency: 99th-percentile query latency.
         total_training_cost: Dollars of training the SUT performed.
         query_count: Completed queries.
+        error: ``None`` for a successful evaluation; otherwise the
+            failure detail — the run's hold-out checkout was refunded,
+            so resubmitting after a fix is allowed.
     """
 
     holdout_name: str
@@ -45,6 +69,7 @@ class HoldoutReport:
     p99_latency: float
     total_training_cost: float
     query_count: int
+    error: Optional[str] = None
 
 
 class BenchmarkService:
@@ -57,7 +82,10 @@ class BenchmarkService:
     ) -> None:
         """Wire the service to a registry and benchmark config."""
         self.registry = registry or HoldoutRegistry()
-        self._benchmark = Benchmark(config)
+        self.config = config or BenchmarkConfig()
+        self._server = BenchmarkServer(
+            config=self.config, workers=1, registry=self.registry
+        )
         self._raw_results: Dict[tuple, RunResult] = {}
 
     def publish_holdout(self, scenario: Scenario) -> str:
@@ -69,22 +97,75 @@ class BenchmarkService:
     ) -> List[HoldoutReport]:
         """User API: evaluate a system on every sealed hold-out.
 
-        A fresh SUT instance is built per hold-out. Each hold-out runs at
-        most once per SUT name — a second submission with the same name
-        raises on the already-consumed hold-outs.
+        A fresh SUT instance is built per hold-out. Each hold-out runs
+        at most once per SUT name — a second submission with the same
+        name raises :class:`~repro.errors.HoldoutViolationError` before
+        consuming *any* budget (checkouts made earlier in the same call
+        are rolled back). A hold-out whose run fails is refunded and
+        reported with its error instead of a result, so one bad run
+        cannot silently burn the remaining single-shot budget.
         """
+        sut_name = sut_factory().name
+        checked = self._checkout_all(sut_name)
+        tenants = [
+            TenantSpec(name=name, sut_factory=sut_factory, scenario=scenario)
+            for name, scenario in checked
+        ]
         reports: List[HoldoutReport] = []
-        for name in self.registry.names():
-            sut = sut_factory()
-            scenario = self.registry.checkout(name, sut.name)
-            result = self._benchmark.run(sut, scenario)
-            self._raw_results[(name, sut.name)] = result
-            reports.append(self._summarize(name, result))
+        with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+            service_report = self._server.serve(tenants, spill_dir=tmp)
+            for (name, scenario), tenant in zip(
+                checked, service_report.tenants
+            ):
+                if not tenant.ok:
+                    # Refund: the SUT never produced a result, so the
+                    # single-shot budget survives for a fixed resubmit.
+                    self.registry.release(name, sut_name)
+                    reports.append(
+                        HoldoutReport(
+                            holdout_name=name,
+                            fingerprint=self.registry.fingerprint(name),
+                            mean_throughput=0.0,
+                            p99_latency=0.0,
+                            total_training_cost=0.0,
+                            query_count=0,
+                            error=tenant.error or tenant.status,
+                        )
+                    )
+                    continue
+                summary = tenant.summary
+                result = RunResult(
+                    sut_name=sut_name,
+                    scenario_name=scenario.name,
+                    columns=load_spilled_columns(Path(tmp) / name),
+                    segments=summary.segments,
+                    training_events=summary.training_events,
+                    scenario_description=summary.scenario_description,
+                    sut_description=summary.sut_description,
+                )
+                self._raw_results[(name, sut_name)] = result
+                reports.append(self._summarize(name, result))
         return reports
 
-    def _summarize(self, holdout_name: str, result: RunResult) -> HoldoutReport:
-        import numpy as np
+    def _checkout_all(self, sut_name: str) -> List[Tuple[str, Scenario]]:
+        """Check out every hold-out up front, atomically.
 
+        A violation part-way through rolls back the checkouts this call
+        already made and re-raises — a doomed submission must not leave
+        some hold-outs consumed and others not.
+        """
+        checked: List[Tuple[str, Scenario]] = []
+        try:
+            for name in self.registry.names():
+                checked.append((name, self.registry.checkout(name, sut_name)))
+        except HoldoutViolationError:
+            for name, _scenario in checked:
+                self.registry.release(name, sut_name)
+            raise
+        return checked
+
+    def _summarize(self, holdout_name: str, result: RunResult) -> HoldoutReport:
+        """Distill a raw run into the aggregate the submitter may see."""
         latencies = result.latencies()
         p99 = float(np.percentile(latencies, 99)) if latencies.size else 0.0
         return HoldoutReport(
@@ -100,7 +181,10 @@ class BenchmarkService:
         """Operator API: full run record (not exposed to submitters)."""
         key = (holdout_name, sut_name)
         if key not in self._raw_results:
-            from repro.errors import ReproError
-
-            raise ReproError(f"no stored result for {key}")
+            stored = sorted(self._raw_results.keys())
+            raise ReproError(
+                f"no stored result for hold-out {holdout_name!r} and SUT "
+                f"{sut_name!r}; stored results: {stored}; registered "
+                f"hold-outs: {self.registry.names()}"
+            )
         return self._raw_results[key]

@@ -22,25 +22,19 @@ arrival slicing (block boundaries differ, so the ``np.sum`` partials
 differ). The executor records the drain check's verdict in the
 summary's ``sharding["boundaries_drained"]`` field rather than guessing.
 
-Process hardening mirrors :class:`~repro.core.runner.MatrixRunner`: a
-fork-server-free ``fork`` context, one duplex-free pipe per worker, a
-kill deadline per shard, and an exponential-backoff retry budget so a
+Process hardening is the shared :class:`~repro.core.workers.WorkerPool`
+layer — the same transport, kill deadlines, and exponential-backoff
+retry budget :class:`~repro.core.runner.MatrixRunner` runs on — so a
 crashed or wedged shard re-runs without poisoning the merge.
 """
 
 from __future__ import annotations
 
 import shutil
-import time
-import traceback
-from collections import deque
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
-
-from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.driver import DriverConfig, VirtualClockDriver
-from repro.core.runner import kill_process, mp_context
 from repro.core.scenario import Scenario
 from repro.core.streaming import (
     ColumnSpiller,
@@ -49,10 +43,13 @@ from repro.core.streaming import (
     write_sharded_manifest,
 )
 from repro.core.sut import SystemUnderTest
+from repro.core.workers import WorkerPool, WorkerTask
 from repro.errors import ConfigurationError, RunnerError
 
 __all__ = [
     "ShardedStreamingExecutor",
+    "ensure_merge_protocol",
+    "merge_shard_payloads",
     "plan_shards",
     "run_sharded_streaming",
     "shard_spill_directory",
@@ -163,40 +160,26 @@ def _run_shard(
     )
 
 
-def _shard_worker(
-    conn,
-    sut_factory,
-    scenario,
-    config,
-    shard,
-    accumulator_factory,
-    sla,
-    spill_dir,
-    spill_format,
-) -> None:
-    """Process entry point: run one shard, pipe back the payload.
+def ensure_merge_protocol(accumulators: Sequence[Any]) -> None:
+    """Reject accumulators that cannot merge across processes.
 
-    Structured failures travel as ``(index, None, error)`` so the parent
-    can retry; a hard crash surfaces as ``EOFError`` on the parent's
-    ``recv`` instead.
+    Every accumulator whose state crosses a process boundary must
+    implement ``state_dict()`` / ``merge()`` (instance) and
+    ``from_state()`` (class); raising up front beats a cryptic failure
+    after the shards have already burned their CPU time.
     """
-    try:
-        payload = _run_shard(
-            sut_factory,
-            scenario,
-            config,
-            shard,
-            accumulator_factory,
-            sla,
-            spill_dir,
-            spill_format,
-        )
-        conn.send((shard.index, payload, None))
-    except Exception as exc:  # noqa: BLE001 — pipe the failure to the parent
-        tail = traceback.format_exc(limit=8)
-        conn.send((shard.index, None, f"{type(exc).__name__}: {exc}\n{tail}"))
-    finally:
-        conn.close()
+    for accumulator in accumulators:
+        for method in ("state_dict", "merge"):
+            if not hasattr(accumulator, method):
+                raise ConfigurationError(
+                    f"accumulator {accumulator.name!r} lacks {method}(); "
+                    "sharded streaming needs the merge protocol"
+                )
+        if not hasattr(type(accumulator), "from_state"):
+            raise ConfigurationError(
+                f"accumulator {accumulator.name!r} lacks from_state(); "
+                "sharded streaming needs the merge protocol"
+            )
 
 
 class ShardedStreamingExecutor:
@@ -269,18 +252,7 @@ class ShardedStreamingExecutor:
             spill_format: ``"npz"`` (default) or ``"parquet"``.
         """
         template = _build_accumulators(scenario, accumulator_factory, sla)
-        for accumulator in template:
-            for method in ("state_dict", "merge"):
-                if not hasattr(accumulator, method):
-                    raise ConfigurationError(
-                        f"accumulator {accumulator.name!r} lacks {method}(); "
-                        "sharded streaming needs the merge protocol"
-                    )
-            if not hasattr(type(accumulator), "from_state"):
-                raise ConfigurationError(
-                    f"accumulator {accumulator.name!r} lacks from_state(); "
-                    "sharded streaming needs the merge protocol"
-                )
+        ensure_merge_protocol(template)
         shards = plan_shards(scenario, self.n_shards)
         if spill_dir is not None:
             Path(spill_dir).mkdir(parents=True, exist_ok=True)
@@ -308,7 +280,7 @@ class ShardedStreamingExecutor:
                 spill_dir,
                 spill_format,
             )
-        return self._merge(
+        return merge_shard_payloads(
             scenario, shards, payloads, attempts, template, spill_dir
         )
 
@@ -323,234 +295,162 @@ class ShardedStreamingExecutor:
         sla,
         spill_dir,
         spill_format,
-    ) -> Tuple[List[dict], List[int]]:
-        """Run every shard in its own process with retries and deadlines."""
-        context = mp_context()
-        pending = deque(range(len(shards)))
-        attempts = [0] * len(shards)
-        ready_at: Dict[int, float] = {}
-        payloads: List[Optional[dict]] = [None] * len(shards)
-        running: Dict[Any, Tuple[int, Any, Optional[float]]] = {}
-        try:
-            while pending or running:
-                while pending:
-                    idx = pending.popleft()
-                    delay = ready_at.get(idx, 0.0) - time.monotonic()
-                    if delay > 0:
-                        time.sleep(delay)
-                    attempts[idx] += 1
-                    if attempts[idx] > 1 and spill_dir is not None:
-                        # A failed attempt may have left partial shard
-                        # files; the retry rebuilds the directory.
-                        shutil.rmtree(
-                            shard_spill_directory(
-                                spill_dir, shards[idx].index
-                            ),
-                            ignore_errors=True,
-                        )
-                    parent_end, child_end = context.Pipe(duplex=False)
-                    proc = context.Process(
-                        target=_shard_worker,
-                        args=(
-                            child_end,
-                            sut_factory,
-                            scenario,
-                            self.config,
-                            shards[idx],
-                            accumulator_factory,
-                            sla,
-                            spill_dir,
-                            spill_format,
-                        ),
-                    )
-                    proc.start()
-                    child_end.close()
-                    deadline = (
-                        time.monotonic() + self.shard_timeout
-                        if self.shard_timeout is not None
-                        else None
-                    )
-                    running[parent_end] = (idx, proc, deadline)
-                if not running:
-                    continue
-                ready = connection.wait(
-                    list(running), timeout=self._wait_timeout(running)
+    ):
+        """Run every shard on the shared :class:`WorkerPool`, fail-fast.
+
+        One worker slot per shard (shards are the unit of scale-out);
+        retry-time spill cleanup rides the ``on_attempt`` hook, and an
+        exhausted budget raises :class:`~repro.errors.RunnerError`
+        through the ``on_outcome`` hook — the pool kills the surviving
+        shard processes on the way out.
+        """
+        tasks = [
+            WorkerTask(
+                fn=_run_shard,
+                args=(
+                    sut_factory,
+                    scenario,
+                    self.config,
+                    shard,
+                    accumulator_factory,
+                    sla,
+                    spill_dir,
+                    spill_format,
+                ),
+                label=f"shard-{shard.index}",
+            )
+            for shard in shards
+        ]
+        pool = WorkerPool(
+            workers=len(tasks),
+            max_attempts=self.max_attempts,
+            timeout=self.shard_timeout,
+            retry_backoff=self.retry_backoff,
+        )
+
+        def on_attempt(index: int, attempt: int) -> None:
+            if attempt > 1 and spill_dir is not None:
+                # A failed attempt may have left partial shard files;
+                # the retry rebuilds the directory.
+                shutil.rmtree(
+                    shard_spill_directory(spill_dir, shards[index].index),
+                    ignore_errors=True,
                 )
-                for conn in ready:
-                    idx, proc, _deadline = running.pop(conn)
-                    try:
-                        message = conn.recv()
-                    except EOFError:
-                        message = None
-                    conn.close()
-                    proc.join()
-                    if message is None:
-                        self._handle_failure(
-                            idx,
-                            f"worker crashed (exit code {proc.exitcode})",
-                            attempts,
-                            pending,
-                            ready_at,
-                        )
-                        continue
-                    _shard_index, payload, error = message
-                    if error is not None:
-                        self._handle_failure(
-                            idx, error, attempts, pending, ready_at
-                        )
-                    else:
-                        payloads[idx] = payload
-                now = time.monotonic()
-                for conn, (idx, proc, deadline) in list(running.items()):
-                    if deadline is not None and now >= deadline:
-                        del running[conn]
-                        kill_process(proc)
-                        conn.close()
-                        self._handle_failure(
-                            idx,
-                            f"timed out after {self.shard_timeout}s",
-                            attempts,
-                            pending,
-                            ready_at,
-                        )
-        finally:
-            for conn, (_idx, proc, _deadline) in running.items():
-                kill_process(proc)
-                conn.close()
+
+        def on_outcome(outcome) -> None:
+            if outcome.error is not None:
+                raise RunnerError(
+                    f"shard {outcome.index} failed after "
+                    f"{outcome.attempts} attempts: {outcome.error}"
+                )
+
+        outcomes = pool.run(tasks, on_attempt=on_attempt, on_outcome=on_outcome)
+        payloads = [outcome.payload for outcome in outcomes]
+        attempts = [outcome.attempts for outcome in outcomes]
         missing = [i for i, payload in enumerate(payloads) if payload is None]
-        if missing:  # pragma: no cover — _handle_failure raises first
+        if missing:  # pragma: no cover — on_outcome raises first
             raise RunnerError(f"shards {missing} produced no payload")
         return payloads, attempts
 
-    def _wait_timeout(
-        self, running: Dict[Any, Tuple[int, Any, Optional[float]]]
-    ) -> Optional[float]:
-        """Wait bound: the earliest kill deadline, or block when none."""
-        deadlines = [
-            deadline
-            for (_idx, _proc, deadline) in running.values()
-            if deadline is not None
-        ]
-        if not deadlines:
-            return None
-        return max(0.0, min(deadlines) - time.monotonic())
 
-    def _handle_failure(
-        self,
-        idx: int,
-        error: str,
-        attempts: List[int],
-        pending: deque,
-        ready_at: Dict[int, float],
-    ) -> None:
-        """Re-queue a failed shard with backoff, or give up loudly."""
-        if attempts[idx] >= self.max_attempts:
+def merge_shard_payloads(
+    scenario: Scenario,
+    shards: List[ShardSpec],
+    payloads: List[dict],
+    attempts: List[int],
+    template: List[Any],
+    spill_dir=None,
+) -> StreamingRunSummary:
+    """Fold shard payloads into one finalized summary.
+
+    Shards merge in stream order — accumulator merges, count dict
+    insertion order (which fixes the merged vocabularies), training
+    events, and spill manifests all rely on it. Shared by
+    :class:`ShardedStreamingExecutor` and the multi-tenant
+    :class:`~repro.core.tenancy.BenchmarkServer` (each tenant session is
+    a shard set merged exactly this way).
+    """
+    names = [accumulator.name for accumulator in template]
+    merged: Optional[List[Any]] = None
+    for payload in payloads:
+        if [name for name, _state in payload["states"]] != names:
             raise RunnerError(
-                f"shard {idx} failed after {attempts[idx]} attempts: {error}"
+                "shard accumulator sets diverged: expected "
+                f"{names}, shard {payload['index']} sent "
+                f"{[name for name, _state in payload['states']]}"
             )
-        ready_at[idx] = time.monotonic() + self.retry_backoff * (
-            2 ** (attempts[idx] - 1)
-        )
-        pending.append(idx)
-
-    # -- merging ---------------------------------------------------------------------
-
-    def _merge(
-        self,
-        scenario: Scenario,
-        shards: List[ShardSpec],
-        payloads: List[dict],
-        attempts: List[int],
-        template: List[Any],
-        spill_dir,
-    ) -> StreamingRunSummary:
-        """Fold shard payloads into one finalized summary.
-
-        Shards merge in stream order — accumulator merges, count dict
-        insertion order (which fixes the merged vocabularies), training
-        events, and spill manifests all rely on it.
-        """
-        names = [accumulator.name for accumulator in template]
-        merged: Optional[List[Any]] = None
-        for payload in payloads:
-            if [name for name, _state in payload["states"]] != names:
-                raise RunnerError(
-                    "shard accumulator sets diverged: expected "
-                    f"{names}, shard {payload['index']} sent "
-                    f"{[name for name, _state in payload['states']]}"
-                )
-            rebuilt = [
-                type(accumulator).from_state(state)
-                for accumulator, (_name, state) in zip(
-                    template, payload["states"]
-                )
-            ]
-            if merged is None:
-                merged = rebuilt
-            else:
-                for mine, theirs in zip(merged, rebuilt):
-                    mine.merge(theirs)
-        assert merged is not None
-
-        op_counts: Dict[str, int] = {}
-        segment_counts: Dict[str, int] = {}
-        training_events = []
-        num_queries = 0
-        max_completion = 0.0
-        for payload in payloads:
-            for op, count in payload["op_counts"].items():
-                op_counts[op] = op_counts.get(op, 0) + count
-            for label, count in payload["segment_counts"].items():
-                segment_counts[label] = segment_counts.get(label, 0) + count
-            training_events.extend(payload["training_events"])
-            num_queries += payload["num_queries"]
-            if payload["max_completion"] > max_completion:
-                max_completion = payload["max_completion"]
-
-        drained = True
-        for previous, following in zip(payloads, payloads[1:]):
-            first = following["first_arrival"]
-            if first is not None and previous["final_busy"] > first:
-                drained = False
-        sharding = {
-            "shards": len(shards),
-            "plan": [shard.to_dict() for shard in shards],
-            "attempts": list(attempts),
-            "shard_queries": [payload["num_queries"] for payload in payloads],
-            "boundaries_drained": drained,
-        }
-
-        spill = None
-        if spill_dir is not None:
-            spill = write_sharded_manifest(
-                spill_dir,
-                [payload["spill"] for payload in payloads],
-                list(op_counts.keys()),
-                list(segment_counts.keys()),
+        rebuilt = [
+            type(accumulator).from_state(state)
+            for accumulator, (_name, state) in zip(
+                template, payload["states"]
             )
+        ]
+        if merged is None:
+            merged = rebuilt
+        else:
+            for mine, theirs in zip(merged, rebuilt):
+                mine.merge(theirs)
+    assert merged is not None
 
-        boundaries = scenario.segment_boundaries()
-        duration = boundaries[-1][2] if boundaries else 0.0
-        horizon = max(duration, max_completion)
-        metrics = {
-            accumulator.name: accumulator.finalize(horizon)
-            for accumulator in merged
-        }
-        return StreamingRunSummary(
-            sut_name=payloads[0]["sut_name"],
-            scenario_name=scenario.name,
-            segments=boundaries,
-            training_events=training_events,
-            scenario_description=scenario.describe(),
-            sut_description=payloads[0]["sut_description"],
-            num_queries=num_queries,
-            max_completion=max_completion,
-            op_counts=op_counts,
-            segment_counts=segment_counts,
-            metrics=metrics,
-            spill=spill,
-            sharding=sharding,
+    op_counts: Dict[str, int] = {}
+    segment_counts: Dict[str, int] = {}
+    training_events = []
+    num_queries = 0
+    max_completion = 0.0
+    for payload in payloads:
+        for op, count in payload["op_counts"].items():
+            op_counts[op] = op_counts.get(op, 0) + count
+        for label, count in payload["segment_counts"].items():
+            segment_counts[label] = segment_counts.get(label, 0) + count
+        training_events.extend(payload["training_events"])
+        num_queries += payload["num_queries"]
+        if payload["max_completion"] > max_completion:
+            max_completion = payload["max_completion"]
+
+    drained = True
+    for previous, following in zip(payloads, payloads[1:]):
+        first = following["first_arrival"]
+        if first is not None and previous["final_busy"] > first:
+            drained = False
+    sharding = {
+        "shards": len(shards),
+        "plan": [shard.to_dict() for shard in shards],
+        "attempts": list(attempts),
+        "shard_queries": [payload["num_queries"] for payload in payloads],
+        "boundaries_drained": drained,
+    }
+
+    spill = None
+    if spill_dir is not None:
+        spill = write_sharded_manifest(
+            spill_dir,
+            [payload["spill"] for payload in payloads],
+            list(op_counts.keys()),
+            list(segment_counts.keys()),
         )
+
+    boundaries = scenario.segment_boundaries()
+    duration = boundaries[-1][2] if boundaries else 0.0
+    horizon = max(duration, max_completion)
+    metrics = {
+        accumulator.name: accumulator.finalize(horizon)
+        for accumulator in merged
+    }
+    return StreamingRunSummary(
+        sut_name=payloads[0]["sut_name"],
+        scenario_name=scenario.name,
+        segments=boundaries,
+        training_events=training_events,
+        scenario_description=scenario.describe(),
+        sut_description=payloads[0]["sut_description"],
+        num_queries=num_queries,
+        max_completion=max_completion,
+        op_counts=op_counts,
+        segment_counts=segment_counts,
+        metrics=metrics,
+        spill=spill,
+        sharding=sharding,
+    )
 
 
 def run_sharded_streaming(

@@ -1,0 +1,734 @@
+"""Multi-tenant benchmark serving (§V-A, long-running mode).
+
+The paper proposes deploying the benchmark as a cloud service that
+evaluates systems on behalf of users. :class:`BenchmarkServer` is the
+scheduler for that mode: each *tenant* is one (SUT, scenario, seed)
+streaming session, and a single ``serve()`` call multiplexes every
+admitted tenant's shards onto one shared
+:class:`~repro.core.workers.WorkerPool` — the same hardened process
+layer the matrix runner and sharded executor use.
+
+The serving pipeline, in order:
+
+1. **Admission control.** Tenants pass a deterministic token bucket
+   keyed on their *virtual* ``arrival_time`` (no wall clock — replaying
+   the same tenant list yields the same admit/reject split). Rejected
+   tenants never touch the hold-out vault or the pool.
+2. **Hold-out vault.** A tenant naming a sealed ``holdout`` checks it
+   out of the :class:`~repro.core.holdout.HoldoutRegistry`; the
+   single-shot rule surfaces as a ``"violation"`` tenant status rather
+   than aborting the other tenants.
+3. **Fair-share scheduling.** Every tenant's shard plan is interleaved
+   round-robin — shard 0 of every tenant, then shard 1, … — so one
+   large tenant cannot starve the rest of the pool.
+4. **SLA accounting.** Each completed session's merged
+   :class:`~repro.core.streaming.StreamingRunSummary` is distilled into
+   a per-tenant SLA report (:func:`sla_accounting`), reusing the
+   streaming ``sla``/``latency``/``throughput``/``resilience``
+   accumulator payloads from :mod:`repro.metrics`.
+
+Per-tenant results are deterministic at fixed seeds: each shard runs on
+the virtual clock in its own process, so the concurrency level changes
+wall time but never a summary (pinned by ``tests/core/test_tenancy.py``).
+:class:`~repro.core.service.BenchmarkService` runs its batch hold-out
+evaluations on these same tenant sessions, so the live service and the
+one-shot API are one code path.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.benchmark import BenchmarkConfig
+from repro.core.holdout import HoldoutRegistry
+from repro.core.scenario import Scenario
+from repro.core.sharded import (
+    _build_accumulators,
+    _run_shard,
+    ensure_merge_protocol,
+    merge_shard_payloads,
+    plan_shards,
+    shard_spill_directory,
+)
+from repro.core.streaming import ShardSpec, StreamingRunSummary
+from repro.core.sut import SystemUnderTest
+from repro.core.workers import WorkerOutcome, WorkerPool, WorkerTask
+from repro.errors import HoldoutViolationError, TenancyError
+from repro.observability import NULL_TRACER
+
+__all__ = [
+    "AdmissionPolicy",
+    "BenchmarkServer",
+    "ServiceReport",
+    "TenantReport",
+    "TenantSpec",
+    "TokenBucket",
+    "sla_accounting",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Token-bucket admission knobs for a serving window.
+
+    Attributes:
+        burst: Bucket capacity — tenants admitted back-to-back before
+            the bucket must refill.
+        refill_rate: Tokens regained per second of *virtual* arrival
+            time. ``0`` makes ``burst`` a hard cap on the window.
+    """
+
+    burst: int = 8
+    refill_rate: float = 1.0
+
+
+class TokenBucket:
+    """Deterministic token bucket over virtual arrival times.
+
+    Admission decisions depend only on the tenants' declared
+    ``arrival_time`` values, never the wall clock, so a serve call is
+    replayable: the same tenant list always yields the same
+    admit/reject split.
+    """
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        """Validate the policy and start with a full bucket."""
+        if policy.burst < 1:
+            raise TenancyError(f"burst must be >= 1, got {policy.burst}")
+        if policy.refill_rate < 0:
+            raise TenancyError(
+                f"refill_rate must be >= 0, got {policy.refill_rate}"
+            )
+        self.policy = policy
+        self._tokens = float(policy.burst)
+        self._last = 0.0
+
+    def admit(self, now: float) -> bool:
+        """Spend one token at virtual time ``now`` if one is available.
+
+        ``now`` values must be non-decreasing across calls (the server
+        sorts tenants by arrival time before admitting).
+        """
+        if now < self._last:
+            raise TenancyError(
+                f"arrival times must be non-decreasing; got {now} after "
+                f"{self._last}"
+            )
+        self._tokens = min(
+            float(self.policy.burst),
+            self._tokens + (now - self._last) * self.policy.refill_rate,
+        )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class TenantSpec:
+    """One tenant: a (SUT, scenario, seed) streaming session request.
+
+    Attributes:
+        name: Unique tenant name within a serve call (also the tenant's
+            spill subdirectory when spilling is on).
+        sut_factory: Zero-argument callable building a fresh SUT; each
+            shard process builds its own instance.
+        scenario: The scenario to stream. Exactly one of ``scenario``
+            and ``holdout`` must be set.
+        holdout: Name of a sealed hold-out in the server's registry;
+            checked out single-shot per SUT name.
+        seed: Optional seed override applied to ``scenario`` (forbidden
+            for hold-out tenants — sealed contents are immutable).
+        sla: Per-tenant SLA threshold; falls back to the serve-call SLA.
+        shards: Shard count for this tenant's session (see
+            :func:`~repro.core.sharded.plan_shards`).
+        arrival_time: Virtual submission time used by admission control
+            and nothing else.
+    """
+
+    name: str
+    sut_factory: Callable[[], SystemUnderTest]
+    scenario: Optional[Scenario] = None
+    holdout: Optional[str] = None
+    seed: Optional[int] = None
+    sla: Optional[float] = None
+    shards: int = 1
+    arrival_time: float = 0.0
+
+
+@dataclass
+class TenantReport:
+    """Outcome of one tenant's session.
+
+    Attributes:
+        tenant: The tenant's name.
+        sut_name: Name of the SUT evaluated (empty for rejected tenants
+            — the factory is never invoked for them).
+        scenario_name: Name of the scenario streamed ("" if the tenant
+            never reached one).
+        seed: The effective scenario seed, when a scenario was resolved.
+        status: ``"completed"``, ``"failed"`` (a shard exhausted its
+            retry budget), ``"rejected"`` (admission control), or
+            ``"violation"`` (hold-out single-shot rule).
+        error: Failure detail for non-completed tenants.
+        attempts: Per-shard attempt counts, in shard order.
+        shards: Number of shards the session planned.
+        wall_seconds: Summed wall time of the resolving attempts.
+        fingerprint: The scenario's content hash (verifiable
+            provenance; always published for hold-out tenants).
+        summary: The merged streaming summary for completed sessions.
+        sla_report: :func:`sla_accounting` distillation for completed
+            sessions.
+    """
+
+    tenant: str
+    sut_name: str = ""
+    scenario_name: str = ""
+    seed: Optional[int] = None
+    status: str = "completed"
+    error: Optional[str] = None
+    attempts: List[int] = field(default_factory=list)
+    shards: int = 0
+    wall_seconds: float = 0.0
+    fingerprint: Optional[str] = None
+    summary: Optional[StreamingRunSummary] = None
+    sla_report: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the session completed and produced a summary."""
+        return self.status == "completed"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (the report's wire format)."""
+        return {
+            "tenant": self.tenant,
+            "sut_name": self.sut_name,
+            "scenario_name": self.scenario_name,
+            "seed": self.seed,
+            "status": self.status,
+            "error": self.error,
+            "attempts": list(self.attempts),
+            "shards": self.shards,
+            "wall_seconds": self.wall_seconds,
+            "fingerprint": self.fingerprint,
+            "summary": self.summary.to_dict() if self.summary else None,
+            "sla_report": self.sla_report,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TenantReport":
+        """Reconstruct a report from :meth:`to_dict` output."""
+        summary = data.get("summary")
+        return cls(
+            tenant=data["tenant"],
+            sut_name=data.get("sut_name", ""),
+            scenario_name=data.get("scenario_name", ""),
+            seed=data.get("seed"),
+            status=data.get("status", "completed"),
+            error=data.get("error"),
+            attempts=list(data.get("attempts", [])),
+            shards=data.get("shards", 0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            fingerprint=data.get("fingerprint"),
+            summary=(
+                StreamingRunSummary.from_dict(summary) if summary else None
+            ),
+            sla_report=data.get("sla_report"),
+        )
+
+
+@dataclass
+class ServiceReport:
+    """One serve call's outcome: per-tenant reports plus the ledger.
+
+    The counters must reconcile: ``offered == admitted + rejected`` and
+    ``admitted == completed + failed + violations + dropped``, with
+    ``dropped`` (admitted tenants that produced no outcome) pinned to
+    zero by the smoke benchmark.
+    """
+
+    tenants: List[TenantReport] = field(default_factory=list)
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    violations: int = 0
+    completed: int = 0
+    failed: int = 0
+    dropped: int = 0
+    workers: int = 0
+    wall_seconds: float = 0.0
+
+    def tenant(self, name: str) -> TenantReport:
+        """Look up one tenant's report by name."""
+        for report in self.tenants:
+            if report.tenant == name:
+                return report
+        raise TenancyError(
+            f"no tenant {name!r} in report; tenants: "
+            f"{[r.tenant for r in self.tenants]}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (the report's wire format)."""
+        return {
+            "tenants": [report.to_dict() for report in self.tenants],
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "violations": self.violations,
+            "completed": self.completed,
+            "failed": self.failed,
+            "dropped": self.dropped,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceReport":
+        """Reconstruct a report from :meth:`to_dict` output."""
+        return cls(
+            tenants=[
+                TenantReport.from_dict(entry)
+                for entry in data.get("tenants", [])
+            ],
+            offered=data.get("offered", 0),
+            admitted=data.get("admitted", 0),
+            rejected=data.get("rejected", 0),
+            violations=data.get("violations", 0),
+            completed=data.get("completed", 0),
+            failed=data.get("failed", 0),
+            dropped=data.get("dropped", 0),
+            workers=data.get("workers", 0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
+
+
+def sla_accounting(
+    summary: StreamingRunSummary, sla: Optional[float]
+) -> Dict[str, Any]:
+    """Distill a session summary into a per-tenant SLA report.
+
+    Reuses the streaming accumulator payloads already in
+    ``summary.metrics`` — ``throughput``, ``latency``, ``sla`` bands,
+    and the :mod:`repro.metrics.resilience` rollup when the scenario
+    carried a fault plan — so serving adds zero extra passes over the
+    stream.
+    """
+    report: Dict[str, Any] = {
+        "sla": sla,
+        "queries": summary.num_queries,
+        "mean_throughput": summary.mean_throughput(),
+    }
+    throughput = summary.metrics.get("throughput")
+    if throughput is not None:
+        report["mean_throughput"] = throughput.get(
+            "mean_throughput", report["mean_throughput"]
+        )
+        report["throughput_cv"] = throughput.get("cv", 0.0)
+    latency = summary.metrics.get("latency")
+    if latency is not None:
+        report["latency_mean"] = latency.get("mean", 0.0)
+        report["latency_max"] = latency.get("max", 0.0)
+    bands = summary.metrics.get("sla")
+    if bands is not None:
+        within = sum(int(row[1]) for row in bands.get("bands", []))
+        violated = sum(int(row[2]) for row in bands.get("bands", []))
+        total = within + violated
+        report["within_sla"] = within
+        report["violated_sla"] = violated
+        report["violation_fraction"] = violated / total if total else 0.0
+        report["meets_sla"] = violated == 0
+    resilience = summary.metrics.get("resilience")
+    if resilience is not None:
+        impacts = resilience.get("impacts", [])
+        recoveries = [
+            impact["recovery_seconds"]
+            for impact in impacts
+            if impact.get("recovery_seconds") is not None
+        ]
+        report["faults"] = len(impacts)
+        report["recovered_faults"] = len(recoveries)
+        report["worst_recovery_seconds"] = (
+            max(recoveries) if recoveries else None
+        )
+        report["degraded_sla_mass"] = resilience.get("degraded_sla_mass")
+    return report
+
+
+@dataclass
+class _Session:
+    """Parent-side state for one admitted tenant session."""
+
+    index: int
+    spec: TenantSpec
+    sut_name: str
+    scenario: Scenario
+    plan: List[ShardSpec]
+    template: List[Any]
+    sla: Optional[float]
+    fingerprint: str
+    spill_dir: Optional[Path] = None
+    accumulator_factory: Optional[Callable[..., Any]] = None
+    outcomes: Dict[int, WorkerOutcome] = field(default_factory=dict)
+
+
+class BenchmarkServer:
+    """Long-running multi-tenant scheduler over the shared worker pool.
+
+    Args:
+        config: Benchmark knobs shared by every tenant session.
+        workers: Concurrent worker-process slots for the shared pool;
+            ``None`` sizes to ``min(cpu_count, total shards)``. ``1``
+            (with no ``tenant_timeout``) runs sessions inline, which
+            keeps non-picklable SUT factories working — the mode
+            :class:`~repro.core.service.BenchmarkService` uses.
+        admission: Token-bucket admission policy; ``None`` disables
+            admission control (every tenant is admitted).
+        registry: The hold-out vault tenants may check scenarios out
+            of; a fresh empty registry by default.
+        max_attempts: Per-shard attempt budget (crashes, raises, and
+            timeouts all consume it).
+        tenant_timeout: Per-attempt wall-clock kill deadline in seconds.
+        retry_backoff: Base of the exponential retry backoff.
+        tracer: Optional :class:`~repro.observability.Tracer`; the
+            server emits ``service.*`` counters and per-phase spans.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BenchmarkConfig] = None,
+        workers: Optional[int] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        registry: Optional[HoldoutRegistry] = None,
+        max_attempts: int = 2,
+        tenant_timeout: Optional[float] = None,
+        retry_backoff: float = 0.25,
+        tracer=None,
+    ) -> None:
+        """Validate the knobs and wire the vault + tracer."""
+        if workers is not None and workers < 1:
+            raise TenancyError(f"workers must be >= 1, got {workers}")
+        self.config = config or BenchmarkConfig()
+        self.workers = workers
+        self.admission = admission
+        self.registry = registry or HoldoutRegistry()
+        self.max_attempts = int(max_attempts)
+        self.tenant_timeout = tenant_timeout
+        self.retry_backoff = float(retry_backoff)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def publish_holdout(self, scenario: Scenario) -> str:
+        """Operator API: seal a scenario into the server's vault."""
+        return self.registry.register(scenario)
+
+    def serve(
+        self,
+        tenants: Sequence[TenantSpec],
+        sla: Optional[float] = None,
+        spill_dir=None,
+        accumulator_factory=None,
+        spill_format: str = "npz",
+    ) -> ServiceReport:
+        """Run every tenant session; return the full service ledger.
+
+        Tenant isolation is the contract: one tenant failing (or being
+        rejected, or violating the hold-out rule) never aborts the
+        others, and every offered tenant comes back with exactly one
+        :class:`TenantReport`.
+
+        Args:
+            tenants: The serving window's tenant specs (unique names).
+            sla: Default SLA threshold for tenants that set none.
+            spill_dir: When set, each tenant spills per-query columns
+                under ``spill_dir/<tenant name>``.
+            accumulator_factory: Optional picklable
+                ``scenario -> accumulators`` override shared by all
+                tenants.
+            spill_format: ``"npz"`` (default) or ``"parquet"``.
+        """
+        specs = list(tenants)
+        self._validate(specs)
+        start = time.perf_counter()
+        reports: List[Optional[TenantReport]] = [None] * len(specs)
+        with self._tracer.span("serve", phase="serve", tenants=len(specs)):
+            sessions = self._admit(
+                specs, reports, sla, spill_dir, accumulator_factory
+            )
+            entries = _fair_share(sessions)
+            workers = self._pool_size(entries)
+            self._execute(entries, workers, spill_format)
+            for session in sessions:
+                reports[session.index] = self._resolve(session)
+        ledger = [report for report in reports if report is not None]
+        assert len(ledger) == len(specs)
+        counts = {"rejected": 0, "violation": 0, "completed": 0, "failed": 0}
+        for report in ledger:
+            counts[report.status] = counts.get(report.status, 0) + 1
+        admitted = len(specs) - counts["rejected"]
+        return ServiceReport(
+            tenants=ledger,
+            offered=len(specs),
+            admitted=admitted,
+            rejected=counts["rejected"],
+            violations=counts["violation"],
+            completed=counts["completed"],
+            failed=counts["failed"],
+            dropped=admitted
+            - counts["completed"]
+            - counts["failed"]
+            - counts["violation"],
+            workers=workers,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    # -- request validation ------------------------------------------------------------
+
+    def _validate(self, specs: List[TenantSpec]) -> None:
+        """Reject malformed windows before any tenant spends anything."""
+        seen = set()
+        for spec in specs:
+            if spec.name in seen:
+                raise TenancyError(f"duplicate tenant name {spec.name!r}")
+            seen.add(spec.name)
+            if (spec.scenario is None) == (spec.holdout is None):
+                raise TenancyError(
+                    f"tenant {spec.name!r} must set exactly one of "
+                    "scenario and holdout"
+                )
+            if spec.holdout is not None:
+                if spec.holdout not in self.registry.names():
+                    raise TenancyError(
+                        f"tenant {spec.name!r} names unknown hold-out "
+                        f"{spec.holdout!r}; registered: "
+                        f"{self.registry.names()}"
+                    )
+                if spec.seed is not None:
+                    raise TenancyError(
+                        f"tenant {spec.name!r} cannot override the seed "
+                        "of a sealed hold-out"
+                    )
+            if spec.shards < 1:
+                raise TenancyError(
+                    f"tenant {spec.name!r}: shards must be >= 1, got "
+                    f"{spec.shards}"
+                )
+            if spec.arrival_time < 0:
+                raise TenancyError(
+                    f"tenant {spec.name!r}: arrival_time must be >= 0, "
+                    f"got {spec.arrival_time}"
+                )
+
+    # -- admission + session planning --------------------------------------------------
+
+    def _admit(
+        self,
+        specs: List[TenantSpec],
+        reports: List[Optional[TenantReport]],
+        sla: Optional[float],
+        spill_dir,
+        accumulator_factory,
+    ) -> List[_Session]:
+        """Admit tenants in arrival order; plan a session for each.
+
+        Rejected tenants get their report here and never touch the
+        hold-out vault; hold-out violations get theirs without aborting
+        the window.
+        """
+        bucket = TokenBucket(self.admission) if self.admission else None
+        sessions: List[_Session] = []
+        order = sorted(
+            range(len(specs)), key=lambda i: (specs[i].arrival_time, i)
+        )
+        for i in order:
+            spec = specs[i]
+            if bucket is not None and not bucket.admit(spec.arrival_time):
+                self._tracer.counter("service.rejected")
+                reports[i] = TenantReport(
+                    tenant=spec.name,
+                    status="rejected",
+                    error=(
+                        "admission control: token bucket empty "
+                        f"(burst={self.admission.burst}, "
+                        f"refill_rate={self.admission.refill_rate}/s)"
+                    ),
+                )
+                continue
+            self._tracer.counter("service.admitted")
+            sut_name = spec.sut_factory().name
+            if spec.holdout is not None:
+                try:
+                    scenario = self.registry.checkout(spec.holdout, sut_name)
+                except HoldoutViolationError as exc:
+                    self._tracer.counter("service.violations")
+                    reports[i] = TenantReport(
+                        tenant=spec.name,
+                        sut_name=sut_name,
+                        scenario_name=spec.holdout,
+                        status="violation",
+                        error=str(exc),
+                        fingerprint=self.registry.fingerprint(spec.holdout),
+                    )
+                    continue
+            else:
+                scenario = spec.scenario
+                if spec.seed is not None and spec.seed != scenario.seed:
+                    scenario = replace(scenario, seed=spec.seed)
+            tenant_sla = spec.sla if spec.sla is not None else sla
+            template = _build_accumulators(
+                scenario, accumulator_factory, tenant_sla
+            )
+            ensure_merge_protocol(template)
+            tenant_spill = (
+                Path(spill_dir) / spec.name if spill_dir is not None else None
+            )
+            if tenant_spill is not None:
+                tenant_spill.mkdir(parents=True, exist_ok=True)
+            sessions.append(
+                _Session(
+                    index=i,
+                    spec=spec,
+                    sut_name=sut_name,
+                    scenario=scenario,
+                    plan=plan_shards(scenario, spec.shards),
+                    template=template,
+                    sla=tenant_sla,
+                    fingerprint=scenario.fingerprint(),
+                    spill_dir=tenant_spill,
+                    accumulator_factory=accumulator_factory,
+                )
+            )
+        return sessions
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _pool_size(self, entries: List[Tuple[_Session, ShardSpec]]) -> int:
+        """Worker slots: the explicit setting, else cpu-vs-load bound."""
+        if self.workers is not None:
+            return self.workers
+        return max(1, min(os.cpu_count() or 1, len(entries)))
+
+    def _execute(
+        self,
+        entries: List[Tuple[_Session, ShardSpec]],
+        workers: int,
+        spill_format: str,
+    ) -> None:
+        """Run the interleaved shard entries on one shared pool.
+
+        Outcomes land on ``session.outcomes`` keyed by shard index; a
+        failed entry only fails its own tenant (no fail-fast hook).
+        """
+        if not entries:
+            return
+        tasks = [
+            WorkerTask(
+                fn=_run_shard,
+                args=(
+                    session.spec.sut_factory,
+                    session.scenario,
+                    self.config.driver_config(),
+                    shard,
+                    session.accumulator_factory,
+                    session.sla,
+                    session.spill_dir,
+                    spill_format,
+                ),
+                label=f"{session.spec.name}/shard-{shard.index}",
+            )
+            for session, shard in entries
+        ]
+        pool = WorkerPool(
+            workers=workers,
+            max_attempts=self.max_attempts,
+            timeout=self.tenant_timeout,
+            retry_backoff=self.retry_backoff,
+        )
+
+        def on_attempt(index: int, attempt: int) -> None:
+            session, shard = entries[index]
+            if attempt > 1 and session.spill_dir is not None:
+                shutil.rmtree(
+                    shard_spill_directory(session.spill_dir, shard.index),
+                    ignore_errors=True,
+                )
+
+        outcomes = pool.run(tasks, on_attempt=on_attempt)
+        for outcome, (session, shard) in zip(outcomes, entries):
+            session.outcomes[shard.index] = outcome
+
+    def _resolve(self, session: _Session) -> TenantReport:
+        """Merge one session's shard outcomes into its tenant report."""
+        spec = session.spec
+        ordered: List[WorkerOutcome] = [
+            session.outcomes[shard.index] for shard in session.plan
+        ]
+        attempts = [outcome.attempts for outcome in ordered]
+        wall = sum(outcome.wall_seconds for outcome in ordered)
+        base = dict(
+            tenant=spec.name,
+            sut_name=session.sut_name,
+            scenario_name=session.scenario.name,
+            seed=session.scenario.seed,
+            attempts=attempts,
+            shards=len(session.plan),
+            wall_seconds=wall,
+            fingerprint=session.fingerprint,
+        )
+        failures = [
+            (shard, outcome)
+            for shard, outcome in zip(session.plan, ordered)
+            if outcome.error is not None
+        ]
+        if failures:
+            self._tracer.counter("service.failed")
+            shard, outcome = failures[0]
+            return TenantReport(
+                status="failed",
+                error=(
+                    f"shard {shard.index} failed after {outcome.attempts} "
+                    f"attempts: {outcome.error}"
+                ),
+                **base,
+            )
+        self._tracer.counter("service.completed")
+        with self._tracer.span(f"merge:{spec.name}", phase="report"):
+            summary = merge_shard_payloads(
+                session.scenario,
+                session.plan,
+                [outcome.payload for outcome in ordered],
+                attempts,
+                session.template,
+                session.spill_dir,
+            )
+        return TenantReport(
+            status="completed",
+            summary=summary,
+            sla_report=sla_accounting(summary, session.sla),
+            **base,
+        )
+
+
+def _fair_share(
+    sessions: List[_Session],
+) -> List[Tuple[_Session, ShardSpec]]:
+    """Round-robin interleave of every session's shard plan.
+
+    Shard 0 of every tenant dispatches before any tenant's shard 1, so
+    pool slots rotate across tenants instead of draining one tenant's
+    whole plan first — fair share without a priority queue. (Execution
+    order never affects results; sessions are deterministic per shard.)
+    """
+    entries: List[Tuple[_Session, ShardSpec]] = []
+    width = max((len(session.plan) for session in sessions), default=0)
+    for position in range(width):
+        for session in sessions:
+            if position < len(session.plan):
+                entries.append((session, session.plan[position]))
+    return entries

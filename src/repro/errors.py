@@ -57,6 +57,16 @@ class HoldoutViolationError(ReproError):
     """
 
 
+class TenancyError(ReproError):
+    """A multi-tenant serve request was invalid or inconsistent.
+
+    Raised by :class:`~repro.core.tenancy.BenchmarkServer` for malformed
+    tenant specs (no scenario, unknown hold-out, bad admission knobs) —
+    the request-level failures that should surface before any tenant
+    burns CPU time or hold-out budget.
+    """
+
+
 class DriverError(ReproError):
     """The benchmark driver encountered an unrecoverable condition."""
 

@@ -329,6 +329,30 @@ def accumulator_states_from_dict(payload: List[Dict[str, Any]]) -> List[Any]:
     ]
 
 
+def tenant_report_to_dict(report) -> Dict[str, Any]:
+    """Serialize a tenant session record (``TenantReport.to_dict``)."""
+    return report.to_dict()
+
+
+def tenant_report_from_dict(payload: Dict[str, Any]):
+    """Rebuild a :class:`~repro.core.tenancy.TenantReport` from its payload."""
+    from repro.core.tenancy import TenantReport
+
+    return TenantReport.from_dict(payload)
+
+
+def service_report_to_dict(report) -> Dict[str, Any]:
+    """Serialize a serve-call ledger (``ServiceReport.to_dict``)."""
+    return report.to_dict()
+
+
+def service_report_from_dict(payload: Dict[str, Any]):
+    """Rebuild a :class:`~repro.core.tenancy.ServiceReport` from its payload."""
+    from repro.core.tenancy import ServiceReport
+
+    return ServiceReport.from_dict(payload)
+
+
 def trace_to_dict(trace: Trace) -> Dict[str, Any]:
     """Serialize a run trace (same payload as ``Trace.to_dict``)."""
     return trace.to_dict()

@@ -1,0 +1,399 @@
+"""Multi-tenant serving (`repro.core.tenancy`).
+
+Pins the serve contract: deterministic per-tenant results at fixed
+seeds regardless of concurrency, replayable token-bucket admission,
+hold-out single-shot enforcement through the service API, tenant
+failure isolation, and the ledger reconciliation the smoke benchmark
+gates on.
+"""
+
+import json
+
+import pytest
+
+from repro.core.benchmark import Benchmark, BenchmarkConfig
+from repro.core.scenario import Scenario, Segment
+from repro.core.streaming import load_spilled_columns
+from repro.core.sut import SystemUnderTest
+from repro.core.tenancy import (
+    AdmissionPolicy,
+    BenchmarkServer,
+    ServiceReport,
+    TenantSpec,
+    TokenBucket,
+    sla_accounting,
+)
+from repro.errors import TenancyError
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import simple_spec
+
+
+def _scenario(name="serve-1", rate=20.0, duration=2.0, seed=3):
+    return Scenario(
+        name=name,
+        segments=[
+            Segment(
+                spec=simple_spec("w", UniformDistribution(0, 100), rate=rate),
+                duration=duration,
+            )
+        ],
+        seed=seed,
+    )
+
+
+class TinySUT(SystemUnderTest):
+    def __init__(self, name="tiny"):
+        super().__init__(name)
+
+    def setup(self, pairs):
+        pass
+
+    def execute(self, query, now):
+        return 0.001
+
+
+class AngrySUT(SystemUnderTest):
+    """Raises on the first executed query — a doomed tenant."""
+
+    def __init__(self, name="angry"):
+        super().__init__(name)
+
+    def setup(self, pairs):
+        pass
+
+    def execute(self, query, now):
+        raise RuntimeError("db on fire")
+
+
+def _tenants(n, shards=1, seed_base=10, arrival_spacing=0.0):
+    return [
+        TenantSpec(
+            name=f"t{i}",
+            sut_factory=(lambda i=i: TinySUT(f"sut-{i}")),
+            scenario=_scenario(),
+            seed=seed_base + i,
+            shards=shards,
+            arrival_time=i * arrival_spacing,
+        )
+        for i in range(n)
+    ]
+
+
+class TestTokenBucket:
+    def test_burst_must_be_positive(self):
+        with pytest.raises(TenancyError):
+            TokenBucket(AdmissionPolicy(burst=0))
+
+    def test_refill_must_be_non_negative(self):
+        with pytest.raises(TenancyError):
+            TokenBucket(AdmissionPolicy(refill_rate=-1.0))
+
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(AdmissionPolicy(burst=2, refill_rate=0.0))
+        assert [bucket.admit(0.0) for _ in range(3)] == [True, True, False]
+
+    def test_refill_over_virtual_time(self):
+        bucket = TokenBucket(AdmissionPolicy(burst=1, refill_rate=1.0))
+        assert bucket.admit(0.0)
+        assert not bucket.admit(0.5)
+        assert bucket.admit(2.0)  # 1.5 virtual seconds refilled
+
+    def test_arrival_times_must_be_monotonic(self):
+        bucket = TokenBucket(AdmissionPolicy())
+        bucket.admit(5.0)
+        with pytest.raises(TenancyError):
+            bucket.admit(4.0)
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(TenancyError):
+            BenchmarkServer(workers=0)
+
+    def test_duplicate_tenant_names(self):
+        server = BenchmarkServer(workers=1)
+        spec = TenantSpec(name="t", sut_factory=TinySUT, scenario=_scenario())
+        with pytest.raises(TenancyError, match="duplicate"):
+            server.serve([spec, spec])
+
+    def test_exactly_one_of_scenario_and_holdout(self):
+        server = BenchmarkServer(workers=1)
+        with pytest.raises(TenancyError, match="exactly one"):
+            server.serve([TenantSpec(name="t", sut_factory=TinySUT)])
+
+    def test_unknown_holdout_named(self):
+        server = BenchmarkServer(workers=1)
+        with pytest.raises(TenancyError, match="unknown hold-out"):
+            server.serve(
+                [TenantSpec(name="t", sut_factory=TinySUT, holdout="nope")]
+            )
+
+    def test_holdout_seed_override_forbidden(self):
+        server = BenchmarkServer(workers=1)
+        server.publish_holdout(_scenario("sealed"))
+        with pytest.raises(TenancyError, match="seed"):
+            server.serve(
+                [
+                    TenantSpec(
+                        name="t",
+                        sut_factory=TinySUT,
+                        holdout="sealed",
+                        seed=9,
+                    )
+                ]
+            )
+
+    def test_shards_must_be_positive(self):
+        server = BenchmarkServer(workers=1)
+        with pytest.raises(TenancyError, match="shards"):
+            server.serve(
+                [
+                    TenantSpec(
+                        name="t",
+                        sut_factory=TinySUT,
+                        scenario=_scenario(),
+                        shards=0,
+                    )
+                ]
+            )
+
+    def test_arrival_time_must_be_non_negative(self):
+        server = BenchmarkServer(workers=1)
+        with pytest.raises(TenancyError, match="arrival_time"):
+            server.serve(
+                [
+                    TenantSpec(
+                        name="t",
+                        sut_factory=TinySUT,
+                        scenario=_scenario(),
+                        arrival_time=-1.0,
+                    )
+                ]
+            )
+
+
+class TestServeDeterminism:
+    def test_concurrent_matches_serial(self):
+        # The acceptance contract: per-tenant summaries depend only on
+        # (scenario, seed, config), never on the concurrency level.
+        serial = BenchmarkServer(workers=1).serve(
+            _tenants(4, shards=2), sla=0.01
+        )
+        concurrent = BenchmarkServer(workers=4).serve(
+            _tenants(4, shards=2), sla=0.01
+        )
+        assert serial.completed == concurrent.completed == 4
+        for a, b in zip(serial.tenants, concurrent.tenants):
+            assert a.summary.to_dict() == b.summary.to_dict()
+            assert a.sla_report == b.sla_report
+
+    def test_repeat_serve_is_identical(self):
+        first = BenchmarkServer(workers=2).serve(_tenants(3), sla=0.01)
+        second = BenchmarkServer(workers=2).serve(_tenants(3), sla=0.01)
+        for a, b in zip(first.tenants, second.tenants):
+            assert a.summary.to_dict() == b.summary.to_dict()
+
+    def test_distinct_seeds_distinct_streams(self):
+        report = BenchmarkServer(workers=1).serve(_tenants(2))
+        a, b = report.tenants
+        assert a.seed != b.seed
+        assert a.summary.to_dict() != b.summary.to_dict()
+
+
+class TestAdmission:
+    def test_burst_limits_admissions(self):
+        server = BenchmarkServer(
+            workers=1, admission=AdmissionPolicy(burst=2, refill_rate=0.0)
+        )
+        report = server.serve(_tenants(5))
+        assert report.offered == 5
+        assert report.admitted == 2
+        assert report.rejected == 3
+        assert report.completed == 2
+        assert report.dropped == 0
+        rejected = [t for t in report.tenants if t.status == "rejected"]
+        assert len(rejected) == 3
+        assert all(t.summary is None for t in rejected)
+        assert all("token bucket empty" in t.error for t in rejected)
+
+    def test_refill_admits_spaced_arrivals(self):
+        server = BenchmarkServer(
+            workers=1, admission=AdmissionPolicy(burst=1, refill_rate=1.0)
+        )
+        report = server.serve(_tenants(3, arrival_spacing=2.0))
+        assert report.admitted == 3
+        assert report.rejected == 0
+
+    def test_no_admission_policy_admits_everyone(self):
+        report = BenchmarkServer(workers=1).serve(_tenants(4))
+        assert report.admitted == 4 and report.rejected == 0
+
+
+class TestHoldoutVault:
+    def test_single_shot_through_service_api(self):
+        server = BenchmarkServer(workers=1)
+        fingerprint = server.publish_holdout(_scenario("sealed"))
+        first = server.serve(
+            [
+                TenantSpec(
+                    name="t1",
+                    sut_factory=lambda: TinySUT("same"),
+                    holdout="sealed",
+                )
+            ]
+        )
+        assert first.tenant("t1").ok
+        assert first.tenant("t1").fingerprint == fingerprint
+        second = server.serve(
+            [
+                TenantSpec(
+                    name="t2",
+                    sut_factory=lambda: TinySUT("same"),
+                    holdout="sealed",
+                )
+            ]
+        )
+        violation = second.tenant("t2")
+        assert violation.status == "violation"
+        assert "exactly once" in violation.error
+        assert violation.fingerprint == fingerprint
+        assert second.violations == 1 and second.dropped == 0
+
+    def test_other_suts_unaffected_by_violation(self):
+        server = BenchmarkServer(workers=1)
+        server.publish_holdout(_scenario("sealed"))
+        report = server.serve(
+            [
+                TenantSpec(
+                    name="t1",
+                    sut_factory=lambda: TinySUT("a"),
+                    holdout="sealed",
+                ),
+                TenantSpec(
+                    name="t2",
+                    sut_factory=lambda: TinySUT("a"),
+                    holdout="sealed",
+                ),
+                TenantSpec(
+                    name="t3",
+                    sut_factory=lambda: TinySUT("b"),
+                    holdout="sealed",
+                ),
+            ]
+        )
+        assert report.tenant("t1").ok
+        assert report.tenant("t2").status == "violation"
+        assert report.tenant("t3").ok
+        assert report.completed == 2 and report.violations == 1
+
+
+class TestFailureIsolation:
+    def test_failed_tenant_does_not_abort_others(self):
+        server = BenchmarkServer(workers=1, retry_backoff=0.0)
+        tenants = [
+            TenantSpec(
+                name="good",
+                sut_factory=lambda: TinySUT("good"),
+                scenario=_scenario(),
+            ),
+            TenantSpec(
+                name="bad",
+                sut_factory=lambda: AngrySUT("bad"),
+                scenario=_scenario(),
+            ),
+        ]
+        report = server.serve(tenants)
+        assert report.tenant("good").ok
+        bad = report.tenant("bad")
+        assert bad.status == "failed"
+        assert "failed after 2 attempts" in bad.error
+        assert "db on fire" in bad.error
+        assert report.completed == 1
+        assert report.failed == 1
+        assert report.dropped == 0
+
+    def test_failed_tenant_isolated_across_processes(self):
+        server = BenchmarkServer(workers=2, retry_backoff=0.0)
+        tenants = [
+            TenantSpec(
+                name="good",
+                sut_factory=lambda: TinySUT("good"),
+                scenario=_scenario(),
+            ),
+            TenantSpec(
+                name="bad",
+                sut_factory=lambda: AngrySUT("bad"),
+                scenario=_scenario(),
+            ),
+        ]
+        report = server.serve(tenants)
+        assert report.tenant("good").ok
+        assert report.tenant("bad").status == "failed"
+        assert report.dropped == 0
+
+
+class TestSlaReports:
+    def test_per_tenant_sla_report(self):
+        report = BenchmarkServer(workers=1).serve(_tenants(2), sla=0.01)
+        for tenant in report.tenants:
+            sla = tenant.sla_report
+            assert sla["sla"] == 0.01
+            assert sla["queries"] == tenant.summary.num_queries
+            assert sla["mean_throughput"] > 0
+            assert sla["within_sla"] + sla["violated_sla"] == sla["queries"]
+            assert sla["meets_sla"] is (sla["violated_sla"] == 0)
+
+    def test_tenant_sla_overrides_serve_sla(self):
+        tenants = _tenants(1)
+        tenants[0].sla = 0.5
+        report = BenchmarkServer(workers=1).serve(tenants, sla=0.001)
+        assert report.tenants[0].sla_report["sla"] == 0.5
+
+    def test_sla_accounting_without_sla(self):
+        report = BenchmarkServer(workers=1).serve(_tenants(1))
+        sla = report.tenants[0].sla_report
+        assert sla["sla"] is None
+        assert "within_sla" not in sla
+        assert sla["latency_mean"] > 0
+
+    def test_sla_accounting_is_pure(self):
+        report = BenchmarkServer(workers=1).serve(_tenants(1), sla=0.01)
+        tenant = report.tenants[0]
+        assert sla_accounting(tenant.summary, 0.01) == tenant.sla_report
+
+
+class TestReports:
+    def test_service_report_round_trip(self):
+        server = BenchmarkServer(
+            workers=1, admission=AdmissionPolicy(burst=2, refill_rate=0.0)
+        )
+        report = server.serve(_tenants(3), sla=0.01)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert ServiceReport.from_dict(payload).to_dict() == report.to_dict()
+
+    def test_tenant_accessor(self):
+        report = BenchmarkServer(workers=1).serve(_tenants(2))
+        assert report.tenant("t1").tenant == "t1"
+        with pytest.raises(TenancyError):
+            report.tenant("nope")
+
+    def test_empty_window(self):
+        report = BenchmarkServer(workers=1).serve([])
+        assert report.offered == 0
+        assert report.tenants == []
+
+
+class TestSpill:
+    def test_tenant_columns_spill_and_reload(self, tmp_path):
+        report = BenchmarkServer(workers=1).serve(
+            _tenants(2, shards=2), spill_dir=tmp_path
+        )
+        for tenant in report.tenants:
+            columns = load_spilled_columns(tmp_path / tenant.tenant)
+            assert columns.arrivals.size == tenant.summary.num_queries
+
+
+class TestBenchmarkFacade:
+    def test_serve_passthrough(self):
+        report = Benchmark(BenchmarkConfig()).serve(_tenants(2), workers=1)
+        assert report.completed == 2

@@ -1,0 +1,237 @@
+"""The shared process-worker layer (`repro.core.workers`).
+
+Pins the pool semantics both `MatrixRunner` and
+`ShardedStreamingExecutor` (and the multi-tenant server) rely on: the
+failure taxonomy, the retry budget, deadline kills, hook contracts, and
+the inline fast path.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.workers import (
+    WorkerOutcome,
+    WorkerPool,
+    WorkerTask,
+    format_task_error,
+    kill_process,
+    mp_context,
+)
+from repro.errors import ConfigurationError
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(message):
+    raise ValueError(message)
+
+
+def _hard_crash(code):
+    os._exit(code)
+
+
+def _sleepy(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
+def _flaky(flag_path):
+    """Fails the first attempt, succeeds afterwards (file as state)."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("1")
+        raise RuntimeError("first attempt fails")
+    return "recovered"
+
+
+def _traced_body(x, tracer):
+    tracer.counter("jobs")
+    with tracer.span("work", phase="serve"):
+        return x + 1
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(workers=0)
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(max_attempts=0)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(timeout=0)
+
+    def test_backoff_must_be_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(retry_backoff=-0.1)
+
+
+class TestFormatTaskError:
+    def test_head_and_traceback_tail(self):
+        try:
+            _boom("nope")
+        except ValueError as exc:
+            text = format_task_error(exc)
+        assert text.startswith("ValueError: nope")
+        assert "_boom" in text
+
+
+class TestInlineMode:
+    def test_empty_task_list(self):
+        assert WorkerPool().run([]) == []
+
+    def test_payloads_aligned_with_input(self):
+        pool = WorkerPool(workers=1)
+        outcomes = pool.run(
+            [WorkerTask(fn=_double, args=(i,)) for i in range(4)]
+        )
+        assert [o.payload for o in outcomes] == [0, 2, 4, 6]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_inline_runs_in_parent_process(self):
+        outcome = WorkerPool(workers=1).run([WorkerTask(fn=os.getpid)])[0]
+        assert outcome.payload == os.getpid()
+        assert outcome.worker == os.getpid()
+
+    def test_error_taxonomy(self):
+        pool = WorkerPool(workers=1, max_attempts=1)
+        outcome = pool.run([WorkerTask(fn=_boom, args=("bad",))])[0]
+        assert not outcome.ok
+        assert outcome.payload is None
+        assert outcome.error.startswith("ValueError: bad")
+
+    def test_retry_recovers(self, tmp_path):
+        flag = str(tmp_path / "flag")
+        pool = WorkerPool(workers=1, max_attempts=2, retry_backoff=0.0)
+        outcome = pool.run([WorkerTask(fn=_flaky, args=(flag,))])[0]
+        assert outcome.ok
+        assert outcome.payload == "recovered"
+        assert outcome.attempts == 2
+
+    def test_hooks_fire_in_order(self):
+        seen = []
+        pool = WorkerPool(workers=1, max_attempts=1)
+        pool.run(
+            [WorkerTask(fn=_double, args=(1,))],
+            on_attempt=lambda i, a: seen.append(("attempt", i, a)),
+            on_outcome=lambda o: seen.append(("outcome", o.index, o.ok)),
+        )
+        assert seen == [("attempt", 0, 1), ("outcome", 0, True)]
+
+    def test_traced_task_carries_trace(self):
+        outcome = WorkerPool().run(
+            [WorkerTask(fn=_traced_body, args=(41,), traced=True)]
+        )[0]
+        assert outcome.payload == 42
+        assert outcome.trace is not None
+        assert outcome.trace["counters"]["jobs"] == 1
+
+    def test_non_picklable_fn_works_inline(self):
+        outcome = WorkerPool(workers=1).run(
+            [WorkerTask(fn=lambda: "lambda-ok")]
+        )[0]
+        assert outcome.payload == "lambda-ok"
+
+
+class TestProcessMode:
+    def test_payload_round_trip(self):
+        pool = WorkerPool(workers=2)
+        outcomes = pool.run(
+            [WorkerTask(fn=_double, args=(i,)) for i in range(5)]
+        )
+        assert [o.payload for o in outcomes] == [0, 2, 4, 6, 8]
+
+    def test_runs_in_child_process(self):
+        outcome = WorkerPool(workers=2).run([WorkerTask(fn=os.getpid)])[0]
+        assert outcome.payload != os.getpid()
+        assert outcome.worker == outcome.payload
+
+    def test_crash_taxonomy_and_budget(self):
+        pool = WorkerPool(workers=2, max_attempts=2, retry_backoff=0.0)
+        outcome = pool.run([WorkerTask(fn=_hard_crash, args=(17,))])[0]
+        assert not outcome.ok
+        assert outcome.error == "worker crashed (exit code 17)"
+        assert outcome.attempts == 2
+
+    def test_timeout_taxonomy(self):
+        pool = WorkerPool(
+            workers=2, max_attempts=1, timeout=0.5, retry_backoff=0.0
+        )
+        outcome = pool.run([WorkerTask(fn=_sleepy, args=(30.0,))])[0]
+        assert not outcome.ok
+        assert outcome.error == (
+            "TimeoutError: job exceeded the 0.5s wall-clock budget (killed)"
+        )
+        assert outcome.wall_seconds == 0.5
+
+    def test_timeout_forces_isolation_with_one_worker(self):
+        # Enforcing a deadline needs a killable process, so workers=1
+        # with a timeout must still fork.
+        outcome = WorkerPool(workers=1, timeout=30.0).run(
+            [WorkerTask(fn=os.getpid)]
+        )[0]
+        assert outcome.payload != os.getpid()
+
+    def test_structured_error_from_child(self):
+        pool = WorkerPool(workers=2, max_attempts=1)
+        outcome = pool.run([WorkerTask(fn=_boom, args=("far away",))])[0]
+        assert outcome.error.startswith("ValueError: far away")
+
+    def test_retry_recovers_across_processes(self, tmp_path):
+        flag = str(tmp_path / "flag")
+        pool = WorkerPool(workers=2, max_attempts=3, retry_backoff=0.0)
+        outcome = pool.run([WorkerTask(fn=_flaky, args=(flag,))])[0]
+        assert outcome.ok
+        assert outcome.attempts == 2
+
+    def test_bad_task_does_not_poison_good_ones(self):
+        pool = WorkerPool(workers=2, max_attempts=1, retry_backoff=0.0)
+        outcomes = pool.run(
+            [
+                WorkerTask(fn=_double, args=(3,)),
+                WorkerTask(fn=_boom, args=("mid",)),
+                WorkerTask(fn=_double, args=(4,)),
+            ]
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].payload == 6 and outcomes[2].payload == 8
+
+    def test_on_outcome_raise_aborts_pool(self):
+        pool = WorkerPool(workers=2, max_attempts=1, retry_backoff=0.0)
+
+        def fail_fast(outcome: WorkerOutcome) -> None:
+            if not outcome.ok:
+                raise RuntimeError(f"task {outcome.index} died")
+
+        with pytest.raises(RuntimeError, match="died"):
+            pool.run(
+                [WorkerTask(fn=_boom, args=("x",)) for _ in range(3)],
+                on_outcome=fail_fast,
+            )
+
+    def test_traced_task_in_child(self):
+        outcome = WorkerPool(workers=2).run(
+            [WorkerTask(fn=_traced_body, args=(1,), traced=True)]
+        )[0]
+        assert outcome.payload == 2
+        assert outcome.trace["counters"]["jobs"] == 1
+
+
+class TestSharedHelpers:
+    def test_mp_context_prefers_fork(self):
+        context = mp_context()
+        assert context.get_start_method() in ("fork", "spawn", "forkserver")
+
+    def test_kill_process_terminates(self):
+        context = mp_context()
+        proc = context.Process(target=time.sleep, args=(60,))
+        proc.start()
+        kill_process(proc)
+        assert not proc.is_alive()
