@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Drift-factor sweep: performance against *measured* drift intensity.
+
+Dials the ``drift_factor`` knob from 0 (drifted segment identical to
+the trained-on base workload) to 1 (full shift: far hotspot plus a
+mixed read/update/insert/scan op mix), runs the adaptive learned store
+and the B+ tree at each point, and prints per factor:
+
+* Φ — the *computed* drift distance between the base and drifted
+  segments, measured from realized probe query streams (KS over keys +
+  total-variation over op mixes), not assumed from the knob;
+* the drifted-segment mean latency for both stores;
+* the learned store's Fig 1b adaptability numbers (area vs ideal,
+  recovery time).
+
+Run:
+    python examples/drift_axis_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Benchmark
+from repro.metrics.adaptability import adaptability_vs_drift
+from repro.metrics.specialization import drift_specialization_curve
+from repro.scenarios import default_dataset, drift_axis
+from repro.suts import LearnedKVStore, TraditionalKVStore
+
+FACTORS = (0.0, 0.25, 0.5, 0.75, 1.0)
+RATE = 3200.0
+SEG_DURATION = 20.0
+FANOUT = 160
+
+
+def main() -> None:
+    dataset = default_dataset(n=50_000)
+    bench = Benchmark()
+
+    print("sweeping the drift-factor axis…")
+    runs = {}
+    for factor in FACTORS:
+        scenario = drift_axis(
+            dataset, factor=factor, rate=RATE, segment_duration=SEG_DURATION
+        )
+        runs[factor] = {
+            "scenario": scenario,
+            "learned": bench.run(LearnedKVStore(max_fanout=FANOUT), scenario),
+            "btree": bench.run(TraditionalKVStore(), scenario),
+        }
+        print(f"  factor {factor:4.2f}: ran both stores")
+
+    def pairs(sut):
+        return [(runs[f]["scenario"], runs[f][sut]) for f in FACTORS]
+
+    learned_curve = drift_specialization_curve(pairs("learned"))
+    btree_curve = drift_specialization_curve(pairs("btree"))
+    learned_adapt = adaptability_vs_drift(pairs("learned"))
+
+    print()
+    print("factor    phi   phi_data  phi_mix   learned ms  btree ms  "
+          "area-vs-ideal  recovery s")
+    for i, factor in enumerate(FACTORS):
+        row, adapt = learned_curve[i], learned_adapt[i]
+        print(f"{factor:6.2f} {row['phi']:7.4f} {row['phi_data']:9.4f} "
+              f"{row['phi_workload']:8.4f} "
+              f"{row['mean_latency'] * 1000:11.3f} "
+              f"{btree_curve[i]['mean_latency'] * 1000:9.3f} "
+              f"{adapt['area_vs_ideal']:13.1f} "
+              f"{str(adapt['recovery_seconds']):>10s}")
+
+    print()
+    print("Φ is measured, monotone in the knob, and exactly 0 at factor 0 —")
+    print("the factor-0 stream is bit-identical to the unblended base run.")
+
+
+if __name__ == "__main__":
+    main()

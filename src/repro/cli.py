@@ -51,6 +51,7 @@ from repro.reporting.report import build_report
 from repro.scenarios import (
     abrupt_shift,
     bursty_diurnal,
+    drift_axis,
     expected_access_sample,
     gradual_shift,
     specialization_ladder,
@@ -73,6 +74,9 @@ SCENARIOS: Dict[str, Callable] = {
     )[0],
     "bursty-diurnal": lambda ds, rate, duration: bursty_diurnal(
         ds, base_rate=rate, duration=duration
+    ),
+    "drift-axis": lambda ds, rate, duration: drift_axis(
+        ds, factor=0.5, rate=rate, segment_duration=duration / 2
     ),
 }
 
@@ -212,12 +216,31 @@ def cmd_run_matrix(args: argparse.Namespace) -> int:
     Jobs fan out across a process pool; results land in a
     content-addressed cache so a re-run only executes jobs whose inputs
     changed. Prints one manifest row per job plus totals.
+
+    ``--drift-factors`` adds the drift-intensity axis: one
+    ``drift-axis@<f>`` scenario per factor joins the matrix, and every
+    cell's manifest row carries the *computed* Φ between its scenario's
+    first and last segments (measured from realized probe streams, not
+    assumed from labels).
     """
+    from repro.metrics.similarity import scenario_phi
+
     dataset = build_dataset(args.dataset, n=args.keys, seed=args.seed)
     scenarios = [
         SCENARIOS[name](dataset, args.rate, args.duration)
         for name in args.scenario
     ]
+    if args.drift_factors:
+        factors = sorted(set(args.drift_factors))
+        bad = [f for f in factors if not 0.0 <= f <= 1.0]
+        if bad:
+            print(f"drift factors must be in [0, 1]; got {bad}", file=sys.stderr)
+            return 2
+        scenarios.extend(
+            drift_axis(dataset, factor=f, rate=args.rate,
+                       segment_duration=args.duration / 2)
+            for f in factors
+        )
     sample = expected_access_sample(scenarios[0])
     factories = _sut_factories(sample)
     unknown = [name for name in args.sut if name not in factories]
@@ -247,6 +270,20 @@ def cmd_run_matrix(args: argparse.Namespace) -> int:
     outcome = runner.run(jobs)
     manifest = outcome.manifest
 
+    # Stamp every cell's computed Φ (deterministic per scenario × seed,
+    # so the same cell always reports the same value regardless of
+    # cache hits or worker assignment).
+    by_name = {scenario.name: scenario for scenario in scenarios}
+    phi_cache: Dict[tuple, Dict[str, float]] = {}
+    for record in manifest.jobs:
+        scenario = by_name.get(record.scenario_name)
+        if scenario is None:
+            continue
+        cell = (record.scenario_name, record.seed)
+        if cell not in phi_cache:
+            phi_cache[cell] = scenario_phi(scenario, seed=record.seed)
+        record.phi = dict(phi_cache[cell])
+
     width = max(len(j.label) for j in manifest.jobs)
     for record, result in zip(manifest.jobs, outcome.results):
         line = f"  {record.label:<{width}}  {record.status:<7}"
@@ -256,6 +293,8 @@ def cmd_run_matrix(args: argparse.Namespace) -> int:
             line += f"  {record.wall_seconds:7.2f}s"
             if result is not None:
                 line += f"  {result.mean_throughput():10.1f} q/s"
+            if record.phi is not None:
+                line += f"  phi={record.phi['phi']:.4f}"
         print(line)
     print(f"\n{manifest.summary()}")
     if not args.no_cache:
@@ -568,6 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
     mat.add_argument("--seeds", nargs="*", type=int, default=None,
                      help="seed overrides (one job per seed; default: "
                           "each scenario's own seed)")
+    mat.add_argument("--drift-factors", nargs="*", type=float, default=None,
+                     help="sweep the drift-intensity axis: add one "
+                          "drift-axis scenario per factor (each in "
+                          "[0, 1]; 0 = base workload, 1 = target)")
     mat.add_argument("--dataset", choices=dataset_names(), default="osm")
     mat.add_argument("--keys", type=int, default=50_000)
     mat.add_argument("--rate", type=float, default=3200.0)

@@ -169,6 +169,11 @@ class JobRecord:
     higher when crash/timeout/exception retries were consumed). The
     field defaults to 1 so manifests written before it existed still
     load.
+
+    ``phi`` is the computed drift distance of the job's scenario (the
+    :func:`repro.metrics.similarity.scenario_phi` payload), stamped by
+    drift-axis sweeps; ``None`` for jobs that don't measure it. Defaults
+    to ``None`` so manifests written before it existed still load.
     """
 
     label: str
@@ -182,6 +187,7 @@ class JobRecord:
     attempts: int = 1
     error: Optional[str] = None
     trace: Optional[Dict[str, Any]] = None
+    phi: Optional[Dict[str, Any]] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -202,6 +208,7 @@ class JobRecord:
             "attempts": self.attempts,
             "error": self.error,
             "trace": self.trace,
+            "phi": self.phi,
         }
 
     @classmethod

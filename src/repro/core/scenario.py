@@ -75,6 +75,11 @@ class Scenario:
         seed: Seed for the scenario's query streams.
         fault_plan: Optional deterministic fault schedule injected by
             the driver during serving (``None`` = fault-free run).
+        drift_factor: Optional drift intensity in [0, 1] the scenario was
+            built at (see :func:`repro.scenarios.drift_axis`). Purely
+            declarative — the blended specs carry the actual behavior —
+            but it enters :meth:`describe`/:meth:`fingerprint` so sweeps
+            over the factor produce distinct cache keys.
     """
 
     name: str
@@ -84,6 +89,7 @@ class Scenario:
     tick_interval: float = 1.0
     seed: int = 0
     fault_plan: Optional[FaultPlan] = None
+    drift_factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.segments:
@@ -92,6 +98,12 @@ class Scenario:
             raise ScenarioError("tick_interval must be > 0")
         if self.fault_plan is not None and not self.fault_plan:
             self.fault_plan = None  # an empty plan is a fault-free run
+        if self.drift_factor is not None:
+            self.drift_factor = float(self.drift_factor)
+            if not 0.0 <= self.drift_factor <= 1.0:
+                raise ScenarioError(
+                    f"drift_factor must be in [0, 1], got {self.drift_factor}"
+                )
 
     @property
     def total_duration(self) -> float:
@@ -118,6 +130,9 @@ class Scenario:
         The ``faults`` key is present only when a fault plan is set, so
         fingerprints (and every cache key derived from them) of
         fault-free scenarios are unchanged by the faults subsystem.
+        ``drift_factor`` follows the same pattern: it appears only when
+        set, so scenarios that never touch the drift axis keep their
+        pre-axis fingerprints byte-identical (no cache invalidation).
         """
         out = {
             "name": self.name,
@@ -148,6 +163,8 @@ class Scenario:
         }
         if self.fault_plan is not None:
             out["faults"] = self.fault_plan.describe()
+        if self.drift_factor is not None:
+            out["drift_factor"] = self.drift_factor
         return out
 
     def fingerprint(self) -> str:

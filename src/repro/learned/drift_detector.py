@@ -123,6 +123,23 @@ class DriftDetector:
                         drifted = True
         return drifted
 
+    def describe(self) -> dict:
+        """JSON-friendly description of the detector's configuration.
+
+        Exposes the detection ``window`` and ``threshold`` (plus the
+        live check/drift counters) so drift-factor sweeps can correlate
+        detection lag with drift intensity. Deliberately *not* folded
+        into any SUT's ``describe()`` — that would perturb existing
+        result-cache keys.
+        """
+        return {
+            "kind": "DriftDetector",
+            "window": self.window,
+            "threshold": self.threshold,
+            "checks": self._checks,
+            "drifts_detected": self._drifts,
+        }
+
     def last_window(self) -> np.ndarray:
         """A copy of the in-progress current window."""
         return np.asarray(self._current)

@@ -25,6 +25,7 @@ from repro.metrics.adaptability import (
     OnlineRecovery,
     OnlineThroughput,
     adaptability_report,
+    adaptability_vs_drift,
     area_between_systems,
     area_vs_ideal,
     cumulative_curve,
@@ -47,9 +48,14 @@ from repro.metrics.descriptive import (
 )
 from repro.metrics.similarity import (
     data_phi,
+    expected_spec_phi,
     jaccard_similarity,
     ks_statistic,
     mmd_rbf,
+    op_mix_distance,
+    realized_spec_phi,
+    realized_stream_phi,
+    scenario_phi,
     workload_phi,
 )
 from repro.metrics.sla import (
@@ -74,6 +80,7 @@ from repro.metrics.specialization import (
     OnlineSegmentStats,
     SegmentPerformance,
     SpecializationReport,
+    drift_specialization_curve,
     online_specialization_report,
     specialization_report,
 )
@@ -203,11 +210,18 @@ __all__ = [
     "mmd_rbf",
     "workload_phi",
     "data_phi",
+    "op_mix_distance",
+    "expected_spec_phi",
+    "realized_stream_phi",
+    "realized_spec_phi",
+    "scenario_phi",
     "SegmentPerformance",
     "SpecializationReport",
     "specialization_report",
+    "drift_specialization_curve",
     "AdaptabilityReport",
     "adaptability_report",
+    "adaptability_vs_drift",
     "cumulative_curve",
     "area_vs_ideal",
     "area_between_systems",

@@ -251,6 +251,47 @@ def adaptability_report(
     )
 
 
+def adaptability_vs_drift(
+    runs,
+    resolution: float = 1.0,
+    phi_probe_size: int = 4096,
+) -> List[dict]:
+    """Adaptability-vs-drift-rate surface rows for a drift-factor sweep.
+
+    Each entry of ``runs`` is a ``(scenario, result)`` pair from one
+    point of a :func:`repro.scenarios.drift_axis` sweep. Per point: the
+    computed Φ between base and drifted segments
+    (:func:`~repro.metrics.similarity.scenario_phi`), the Fig 1b
+    summary numbers (:func:`adaptability_report` with the change point
+    at the base→drifted boundary), sorted by drift factor ascending —
+    the surface no single-scenario benchmark can chart.
+    """
+    from repro.metrics.similarity import scenario_phi
+
+    rows: List[dict] = []
+    for scenario, result in runs:
+        if scenario.drift_factor is None:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} carries no drift_factor; "
+                "build sweep points with repro.scenarios.drift_axis"
+            )
+        phi = scenario_phi(scenario, n=phi_probe_size)
+        report = adaptability_report(result, resolution=resolution)
+        rows.append(
+            {
+                "drift_factor": scenario.drift_factor,
+                "phi": phi["phi"],
+                "phi_data": phi["phi_data"],
+                "phi_workload": phi["phi_workload"],
+                "area_vs_ideal": report.area_vs_ideal,
+                "recovery_seconds": report.recovery_seconds,
+                "throughput_cv": report.throughput_cv,
+            }
+        )
+    rows.sort(key=lambda r: r["drift_factor"])
+    return rows
+
+
 # -- streaming accumulators ----------------------------------------------------------
 #
 # Single-pass versions of the kernels above for the bounded-memory

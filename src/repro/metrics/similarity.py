@@ -14,12 +14,18 @@ sufficient to sort the results by Φ value".
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Set, Union
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.workloads.generators import WorkloadSpec
+from repro.workloads.generators import (
+    KV_OPERATIONS,
+    KVWorkload,
+    OperationMix,
+    QueryBatch,
+    WorkloadSpec,
+)
 
 
 def jaccard_similarity(a: Union[Set, FrozenSet], b: Union[Set, FrozenSet]) -> float:
@@ -129,3 +135,119 @@ def data_phi(
         value = mmd_rbf(sample_a, sample_b)
         return value / (1.0 + value)
     raise ConfigurationError(f"unknown method {method!r}; expected 'ks' or 'mmd'")
+
+
+# -- drift-axis Φ --------------------------------------------------------------------
+#
+# The drift-factor axis needs Φ *computed*, not assumed, at two levels:
+# analytically from the specs (exact, used by the property tests — the
+# blend construction makes it exactly linear in the factor) and from
+# realized query streams (what a manifest reports per matrix cell).
+
+
+def op_mix_distance(mix_a: OperationMix, mix_b: OperationMix) -> float:
+    """Total-variation distance between two operation mixes, in [0, 1].
+
+    ``0.5 * sum |p_a(op) - p_b(op)|`` over the full operation vocabulary
+    — linear in mixture weight, so blended mixes land exactly on the
+    line between their endpoints.
+    """
+    props_a = mix_a.proportions()
+    props_b = mix_b.proportions()
+    return 0.5 * sum(
+        abs(props_a.get(op, 0.0) - props_b.get(op, 0.0)) for op in KV_OPERATIONS
+    )
+
+
+def expected_spec_phi(
+    spec_a: WorkloadSpec,
+    spec_b: WorkloadSpec,
+    at_time: float = 0.0,
+    grid_points: int = 2048,
+) -> Dict[str, float]:
+    """Analytic Φ between two workload specs at one instant.
+
+    ``phi_data`` is the sup-CDF distance between the two active key
+    distributions, evaluated on a fixed ``grid_points``-point grid over
+    the union domain (a deterministic KS statistic — no sampling).
+    ``phi_workload`` is the total-variation distance between the active
+    operation mixes. ``phi`` is their mean. All three are in [0, 1]
+    with 0 = identical, matching this module's Φ convention.
+    """
+    if grid_points < 2:
+        raise ConfigurationError(f"grid_points must be >= 2, got {grid_points}")
+    dist_a = spec_a.key_drift.at(at_time)
+    dist_b = spec_b.key_drift.at(at_time)
+    grid = np.linspace(
+        min(dist_a.low, dist_b.low), max(dist_a.high, dist_b.high), grid_points
+    )
+    phi_data = float(np.abs(dist_a.cdf(grid) - dist_b.cdf(grid)).max())
+    phi_workload = op_mix_distance(spec_a.mix_at(at_time), spec_b.mix_at(at_time))
+    return {
+        "phi_data": phi_data,
+        "phi_workload": phi_workload,
+        "phi": 0.5 * (phi_data + phi_workload),
+    }
+
+
+def realized_stream_phi(
+    batch_a: QueryBatch, batch_b: QueryBatch
+) -> Dict[str, float]:
+    """Computed Φ between two *realized* query streams.
+
+    ``phi_data`` is the two-sample KS statistic over the streams' keys;
+    ``phi_workload`` is the total-variation distance between their
+    operation-code histograms; ``phi`` is the mean. This is the
+    measured counterpart of :func:`expected_spec_phi` — the Redbench
+    point that interpolation endpoints must be measurable distributions,
+    not labels.
+    """
+    phi_data = ks_statistic(batch_a.keys, batch_b.keys)
+    n_ops = len(KV_OPERATIONS)
+    hist_a = np.bincount(batch_a.ops.astype(np.int64), minlength=n_ops)
+    hist_b = np.bincount(batch_b.ops.astype(np.int64), minlength=n_ops)
+    phi_workload = 0.5 * float(
+        np.abs(hist_a / max(len(batch_a), 1) - hist_b / max(len(batch_b), 1)).sum()
+    )
+    return {
+        "phi_data": phi_data,
+        "phi_workload": phi_workload,
+        "phi": 0.5 * (phi_data + phi_workload),
+    }
+
+
+def realized_spec_phi(
+    spec_a: WorkloadSpec,
+    spec_b: WorkloadSpec,
+    n: int = 4096,
+    horizon: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Computed Φ between the streams two specs actually generate.
+
+    Each spec is driven through its own fresh
+    :class:`~repro.workloads.generators.KVWorkload` at the same ``seed``
+    over ``n`` probe arrivals evenly spaced in ``[0, horizon)``, and the
+    two realized streams are compared with :func:`realized_stream_phi`.
+    Deterministic for fixed ``(seed, n, horizon)`` — goldenable floats.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    times = np.linspace(0.0, float(horizon), n, endpoint=False)
+    batch_a = KVWorkload(spec_a, seed=seed).next_batch(times)
+    batch_b = KVWorkload(spec_b, seed=seed).next_batch(times)
+    return realized_stream_phi(batch_a, batch_b)
+
+
+def scenario_phi(scenario, n: int = 4096, seed: Optional[int] = None) -> Dict[str, float]:
+    """Computed Φ between a scenario's first and last segments.
+
+    The drift-axis manifest metric: how far the stream actually drifted,
+    measured from realized probe streams of the two segment specs
+    (:func:`realized_spec_phi` at the scenario's seed by default). For
+    single-segment scenarios both specs are the same object and Φ is 0.
+    """
+    base = scenario.segments[0].spec
+    last = scenario.segments[-1].spec
+    probe_seed = scenario.seed if seed is None else seed
+    return realized_spec_phi(base, last, n=n, seed=probe_seed)

@@ -21,7 +21,7 @@ from repro.core.scenario import Scenario
 from repro.errors import ConfigurationError
 from repro.metrics._buckets import GridCounts, span_edges
 from repro.metrics.descriptive import BoxStats, box_stats
-from repro.metrics.similarity import data_phi, workload_phi
+from repro.metrics.similarity import data_phi, scenario_phi, workload_phi
 
 
 @dataclass(frozen=True)
@@ -182,6 +182,60 @@ def specialization_report(
     return SpecializationReport(
         sut_name=result.sut_name, baseline_label=baseline_label, segments=rows
     )
+
+
+def drift_specialization_curve(
+    runs,
+    segment_label: str = "drifted",
+    interval: float = 1.0,
+    phi_probe_size: int = 4096,
+) -> List[dict]:
+    """Fig-1a-style curve of performance against the drift factor.
+
+    Each entry of ``runs`` is a ``(scenario, result)`` pair from one
+    point of a :func:`repro.scenarios.drift_axis` sweep (the scenario
+    must carry ``drift_factor``). For each point the row reports the
+    *computed* Φ between the scenario's base and drifted segments
+    (:func:`~repro.metrics.similarity.scenario_phi` over realized probe
+    streams) plus the drifted segment's throughput box stats and mean
+    latency — the drift-axis analogue of :func:`specialization_report`'s
+    per-segment rows, sorted by drift factor ascending.
+    """
+    if interval <= 0:
+        raise ConfigurationError("interval must be > 0")
+    rows: List[dict] = []
+    for scenario, result in runs:
+        if scenario.drift_factor is None:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} carries no drift_factor; "
+                "build sweep points with repro.scenarios.drift_axis"
+            )
+        by_label = _segment_table(scenario)
+        if segment_label not in by_label:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} has no segment {segment_label!r}"
+            )
+        _segment, lo, hi = by_label[segment_label]
+        throughputs = _segment_throughputs(result, segment_label, lo, hi, interval)
+        if throughputs.size == 0:
+            throughputs = np.zeros(1)
+        cols = result.columns
+        in_segment = (cols.arrivals >= lo) & (cols.arrivals < hi)
+        mean_latency = (
+            float(np.mean(cols.latencies[in_segment])) if in_segment.any() else 0.0
+        )
+        phi = scenario_phi(scenario, n=phi_probe_size)
+        row = {
+            "drift_factor": scenario.drift_factor,
+            "phi": phi["phi"],
+            "phi_data": phi["phi_data"],
+            "phi_workload": phi["phi_workload"],
+            "mean_latency": mean_latency,
+        }
+        row.update({f"tp_{k}": v for k, v in box_stats(throughputs).row().items()})
+        rows.append(row)
+    rows.sort(key=lambda r: r["drift_factor"])
+    return rows
 
 
 # -- streaming accumulators ----------------------------------------------------------

@@ -19,7 +19,13 @@ from repro.core.scenario import Scenario, Segment
 from repro.data.datasets import Dataset, build_dataset
 from repro.workloads.distributions import HotspotDistribution, ZipfDistribution
 from repro.workloads.drift import GradualDrift, NoDrift
-from repro.workloads.generators import OperationMix, WorkloadSpec, simple_spec
+from repro.workloads.generators import (
+    KVOperation,
+    OperationMix,
+    WorkloadSpec,
+    blend_specs,
+    simple_spec,
+)
 from repro.workloads.patterns import BurstyArrivals, ConstantArrivals
 
 
@@ -200,6 +206,102 @@ def bursty_diurnal(
     return Scenario(
         name="bursty-diurnal",
         segments=[Segment(spec=spec, duration=duration)],
+        initial_training=TrainingPhase(budget_seconds=train_budget),
+        initial_keys=dataset.keys,
+        seed=seed,
+    )
+
+
+def drift_axis_specs(
+    dataset: Dataset, rate: float = 3000.0
+) -> Tuple[WorkloadSpec, WorkloadSpec]:
+    """The (base, target) workload specs the drift-factor axis spans.
+
+    The base is the read-only hotspot workload every other scenario
+    trains against (hotspot at 0.1 of the key span); the target moves
+    the hotspot to 0.8 *and* changes the operation mix (writes + scans),
+    so a factor sweep exercises both the data and workload halves of Φ.
+    """
+    base = simple_spec("axis-base", hotspot(dataset, 0.1), rate=rate,
+                       read_fraction=1.0)
+    target = WorkloadSpec(
+        name="axis-target",
+        mix=OperationMix({
+            KVOperation.READ: 0.6,
+            KVOperation.UPDATE: 0.25,
+            KVOperation.INSERT: 0.1,
+            KVOperation.SCAN: 0.05,
+        }),
+        key_drift=NoDrift(hotspot(dataset, 0.8)),
+        arrivals=ConstantArrivals(rate),
+        scan_length_mean=8,
+    )
+    return base, target
+
+
+def drift_axis(
+    dataset: Dataset,
+    factor: float = 0.5,
+    rate: float = 3000.0,
+    segment_duration: float = 30.0,
+    train_budget: float = 10.0,
+    seed: int = 19,
+) -> Scenario:
+    """The drift-factor scenario: base segment, then a blended segment.
+
+    Segment 0 ("base") always runs the base workload (what the SUT
+    trains on); segment 1 ("drifted") runs
+    :func:`~repro.workloads.generators.blend_specs` of the base/target
+    pair at ``factor``. At ``factor`` 0/1 the drifted segment *is* the
+    base/target spec object, so the realized query columns are
+    bit-identical to :func:`drift_axis_reference`'s endpoints.
+
+    The factor is recorded on ``Scenario.drift_factor`` (and in the
+    scenario name), so every point of a sweep fingerprints — and
+    result-caches — distinctly.
+    """
+    base, target = drift_axis_specs(dataset, rate)
+    drifted = blend_specs(base, target, factor, name="axis-drifted")
+    return Scenario(
+        name=f"drift-axis@{float(factor):g}",
+        segments=[
+            Segment(spec=base, duration=segment_duration, label="base"),
+            Segment(spec=drifted, duration=segment_duration, label="drifted"),
+        ],
+        initial_training=TrainingPhase(budget_seconds=train_budget),
+        initial_keys=dataset.keys,
+        seed=seed,
+        drift_factor=float(factor),
+    )
+
+
+def drift_axis_reference(
+    dataset: Dataset,
+    endpoint: str = "base",
+    rate: float = 3000.0,
+    segment_duration: float = 30.0,
+    train_budget: float = 10.0,
+    seed: int = 19,
+) -> Scenario:
+    """The unblended twin of :func:`drift_axis` at one endpoint.
+
+    Same segment structure, labels, seed, and specs as ``drift_axis``
+    with factor 0 (``endpoint="base"``) or 1 (``endpoint="target"``) —
+    but with ``drift_factor`` left unset, the way a pre-axis scenario
+    would have been written. The endpoint bit-identity tests drive both
+    through the driver and compare query columns; the fingerprint tests
+    check the two differ *only* by the ``drift_factor`` key.
+    """
+    if endpoint not in ("base", "target"):
+        raise ValueError(f"endpoint must be 'base' or 'target', got {endpoint!r}")
+    base, target = drift_axis_specs(dataset, rate)
+    drifted = base if endpoint == "base" else target
+    return Scenario(
+        name=f"drift-axis-{endpoint}",
+        segments=[
+            Segment(spec=base, duration=segment_duration, label="base"),
+            Segment(spec=drifted, duration=segment_duration, label="drifted"),
+        ],
         initial_training=TrainingPhase(budget_seconds=train_budget),
         initial_keys=dataset.keys,
         seed=seed,

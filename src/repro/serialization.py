@@ -43,6 +43,7 @@ from repro.workloads.distributions import (
 )
 from repro.workloads.drift import (
     AbruptDrift,
+    DriftFactor,
     DriftModel,
     GradualDrift,
     GrowingSkewDrift,
@@ -128,6 +129,12 @@ def drift_from_dict(payload: Dict[str, Any]) -> DriftModel:
             theta_start=payload["theta_start"],
             theta_end=payload["theta_end"],
             duration=payload["duration"],
+        )
+    if kind == "DriftFactor":
+        return DriftFactor(
+            base=drift_from_dict(payload["base"]),
+            target=drift_from_dict(payload["target"]),
+            factor=payload["factor"],
         )
     raise ConfigurationError(f"unknown drift kind {kind!r}")
 
@@ -240,6 +247,7 @@ def scenario_from_dict(
         tick_interval=payload.get("tick_interval", 1.0),
         seed=payload.get("seed", 0),
         fault_plan=fault_plan,
+        drift_factor=payload.get("drift_factor"),
     )
 
 

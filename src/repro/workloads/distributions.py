@@ -24,6 +24,7 @@ class Distribution(ABC):
     """A distribution over keys in a fixed domain ``[low, high)``."""
 
     def __init__(self, low: float, high: float) -> None:
+        """Validate and store the key domain ``[low, high)``."""
         if not high > low:
             raise ConfigurationError(f"empty domain: [{low}, {high})")
         self.low = float(low)
@@ -55,9 +56,11 @@ class UniformDistribution(Distribution):
     the paper criticizes as unrealistically easy."""
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` uniform keys."""
         return rng.uniform(self.low, self.high, n)
 
     def cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Linear CDF over the domain."""
         return np.clip((np.asarray(xs) - self.low) / (self.high - self.low), 0.0, 1.0)
 
 
@@ -79,6 +82,7 @@ class ZipfDistribution(Distribution):
         n_items: int = 100_000,
         permute_seed: Optional[int] = 0,
     ) -> None:
+        """Precompute rank probabilities and the domain permutation."""
         super().__init__(low, high)
         if theta < 0:
             raise ConfigurationError(f"theta must be >= 0, got {theta}")
@@ -97,6 +101,7 @@ class ZipfDistribution(Distribution):
             self._perm = np.random.default_rng(permute_seed).permutation(self.n_items)
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` keys: inverse-CDF ranks scattered over the domain."""
         u = rng.uniform(0.0, 1.0, n)
         ranks = np.searchsorted(self._cum, u)
         slots = self._perm[np.minimum(ranks, self.n_items - 1)]
@@ -105,6 +110,7 @@ class ZipfDistribution(Distribution):
         return self._clip(self.low + slots * width + jitter)
 
     def cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Exact CDF over the permuted rank slots (piecewise linear)."""
         xs = np.asarray(xs, dtype=np.float64)
         width = (self.high - self.low) / self.n_items
         slots = np.clip(((xs - self.low) / width).astype(np.int64), 0, self.n_items - 1)
@@ -118,6 +124,7 @@ class ZipfDistribution(Distribution):
         return out
 
     def describe(self) -> dict:
+        """JSON-friendly description including skew parameters."""
         out = super().describe()
         out.update(theta=self.theta, n_items=self.n_items)
         return out
@@ -127,6 +134,7 @@ class NormalDistribution(Distribution):
     """Truncated normal over the key domain."""
 
     def __init__(self, low: float, high: float, mean: float, std: float) -> None:
+        """Store the (untruncated) mean and standard deviation."""
         super().__init__(low, high)
         if std <= 0:
             raise ConfigurationError(f"std must be > 0, got {std}")
@@ -134,9 +142,11 @@ class NormalDistribution(Distribution):
         self.std = float(std)
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` normal keys, clipped to the domain."""
         return self._clip(rng.normal(self.mean, self.std, n))
 
     def cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Truncated-normal CDF (renormalized over the domain)."""
         from scipy.stats import norm
 
         xs = np.asarray(xs, dtype=np.float64)
@@ -147,6 +157,7 @@ class NormalDistribution(Distribution):
         return np.clip((raw - lo) / span, 0.0, 1.0)
 
     def describe(self) -> dict:
+        """JSON-friendly description including mean/std."""
         out = super().describe()
         out.update(mean=self.mean, std=self.std)
         return out
@@ -156,6 +167,7 @@ class LognormalDistribution(Distribution):
     """Lognormal keys shifted to start at ``low`` (heavy right tail)."""
 
     def __init__(self, low: float, high: float, mu: float = 0.0, sigma: float = 1.0) -> None:
+        """Scale the lognormal so its 99.9th percentile spans the domain."""
         super().__init__(low, high)
         if sigma <= 0:
             raise ConfigurationError(f"sigma must be > 0, got {sigma}")
@@ -168,10 +180,12 @@ class LognormalDistribution(Distribution):
         self._scale = (self.high - self.low) / max(p999, 1e-12)
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` scaled lognormal keys, clipped to the domain."""
         raw = rng.lognormal(self.mu, self.sigma, n) * self._scale
         return self._clip(self.low + raw)
 
     def cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Scaled lognormal CDF (mass above the domain mapped to 1)."""
         from scipy.stats import lognorm
 
         xs = np.asarray(xs, dtype=np.float64)
@@ -181,6 +195,7 @@ class LognormalDistribution(Distribution):
         return np.clip(out, 0.0, 1.0)
 
     def describe(self) -> dict:
+        """JSON-friendly description including mu/sigma."""
         out = super().describe()
         out.update(mu=self.mu, sigma=self.sigma)
         return out
@@ -192,6 +207,7 @@ class MixtureDistribution(Distribution):
     def __init__(
         self, components: Sequence[Distribution], weights: Optional[Sequence[float]] = None
     ) -> None:
+        """Normalize weights over the components' union domain."""
         if not components:
             raise ConfigurationError("mixture needs at least one component")
         low = min(c.low for c in components)
@@ -208,6 +224,7 @@ class MixtureDistribution(Distribution):
         self.weights = w / w.sum()
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` keys: component choices, then per-component bulks."""
         choices = rng.choice(len(self.components), size=n, p=self.weights)
         out = np.empty(n, dtype=np.float64)
         for i, comp in enumerate(self.components):
@@ -218,6 +235,7 @@ class MixtureDistribution(Distribution):
         return out
 
     def cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Weighted sum of the component CDFs."""
         xs = np.asarray(xs, dtype=np.float64)
         out = np.zeros_like(xs, dtype=np.float64)
         for w, comp in zip(self.weights, self.components):
@@ -225,6 +243,7 @@ class MixtureDistribution(Distribution):
         return out
 
     def describe(self) -> dict:
+        """JSON-friendly description including components and weights."""
         out = super().describe()
         out.update(
             weights=self.weights.tolist(),
@@ -251,6 +270,7 @@ class HotspotDistribution(Distribution):
         hot_width: float,
         hot_fraction: float = 0.9,
     ) -> None:
+        """Validate and store the hot-range placement and mass."""
         super().__init__(low, high)
         if not 0.0 <= hot_fraction <= 1.0:
             raise ConfigurationError(f"hot_fraction must be in [0,1], got {hot_fraction}")
@@ -266,6 +286,7 @@ class HotspotDistribution(Distribution):
         return start, end
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` keys: hot-range hits plus uniform background."""
         start, end = self._hot_bounds()
         hot = rng.uniform(0.0, 1.0, n) < self.hot_fraction
         out = rng.uniform(self.low, self.high, n)
@@ -275,6 +296,7 @@ class HotspotDistribution(Distribution):
         return out
 
     def cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Mixture CDF of the hot range and the uniform background."""
         xs = np.asarray(xs, dtype=np.float64)
         start, end = self._hot_bounds()
         base = np.clip((xs - self.low) / (self.high - self.low), 0.0, 1.0)
@@ -282,6 +304,7 @@ class HotspotDistribution(Distribution):
         return (1.0 - self.hot_fraction) * base + self.hot_fraction * hot
 
     def describe(self) -> dict:
+        """JSON-friendly description including the hot-range parameters."""
         out = super().describe()
         out.update(
             hot_start=self.hot_start,
@@ -301,6 +324,7 @@ class PiecewiseDistribution(Distribution):
     """
 
     def __init__(self, low: float, high: float, weights: Sequence[float]) -> None:
+        """Normalize per-bucket weights and precompute their cumsum."""
         super().__init__(low, high)
         w = np.asarray(list(weights), dtype=np.float64)
         if w.size == 0 or (w < 0).any() or w.sum() <= 0:
@@ -309,11 +333,13 @@ class PiecewiseDistribution(Distribution):
         self._cum = np.concatenate([[0.0], np.cumsum(self.weights)])
 
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` keys: bucket choices, then uniform within buckets."""
         buckets = rng.choice(len(self.weights), size=n, p=self.weights)
         width = (self.high - self.low) / len(self.weights)
         return self.low + (buckets + rng.uniform(0.0, 1.0, n)) * width
 
     def cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Piecewise-linear CDF over the weight buckets."""
         xs = np.asarray(xs, dtype=np.float64)
         width = (self.high - self.low) / len(self.weights)
         pos = np.clip((xs - self.low) / width, 0.0, len(self.weights))
@@ -322,6 +348,7 @@ class PiecewiseDistribution(Distribution):
         return np.clip(self._cum[buckets] + frac * self.weights[buckets], 0.0, 1.0)
 
     def describe(self) -> dict:
+        """JSON-friendly description including the bucket weights."""
         out = super().describe()
         out.update(weights=self.weights.tolist())
         return out

@@ -6,6 +6,11 @@ t = 137.2s?". The catalog implements the transition types the paper calls
 out in §V-B — abrupt switches and slow (gradual) transitions — plus two
 continuous real-world patterns it motivates in §I/§III: rotating hotspots
 (diurnal access locality) and skew that grows over time.
+
+:class:`DriftFactor` adds the NeurBench-style *controllable intensity*
+axis: a single ``factor`` in [0, 1] deterministically interpolates the
+key stream between a base model (factor 0) and a target model (factor 1),
+with bit-identical delegation at the endpoints.
 """
 
 from __future__ import annotations
@@ -62,15 +67,19 @@ class NoDrift(DriftModel):
     """A fixed distribution — the traditional-benchmark baseline."""
 
     def __init__(self, distribution: Distribution) -> None:
+        """Pin ``distribution`` as the key distribution for all time."""
         self.distribution = distribution
 
     def at(self, t: float) -> Distribution:
+        """Return the fixed distribution regardless of ``t``."""
         return self.distribution
 
     def sample_at(self, rng: np.random.Generator, times: np.ndarray) -> np.ndarray:
+        """Bulk-sample the fixed distribution (one RNG call)."""
         return self.distribution.sample(rng, np.asarray(times).size)
 
     def describe(self) -> dict:
+        """JSON-friendly description including the pinned distribution."""
         return {"kind": "NoDrift", "distribution": self.distribution.describe()}
 
 
@@ -84,6 +93,7 @@ class AbruptDrift(DriftModel):
     def __init__(
         self, distributions: Sequence[Distribution], change_times: Sequence[float]
     ) -> None:
+        """Validate the distributions/change-times pairing and store it."""
         if len(distributions) != len(change_times) + 1:
             raise ConfigurationError(
                 "need exactly one more distribution than change times"
@@ -94,6 +104,7 @@ class AbruptDrift(DriftModel):
         self.change_times = [float(t) for t in change_times]
 
     def at(self, t: float) -> Distribution:
+        """The distribution whose change time most recently passed."""
         idx = 0
         for change in self.change_times:
             if t >= change:
@@ -103,6 +114,7 @@ class AbruptDrift(DriftModel):
         return self.distributions[idx]
 
     def sample_at(self, rng: np.random.Generator, times: np.ndarray) -> np.ndarray:
+        """Vectorized sampling: one bulk draw per run of equal epochs."""
         times = np.asarray(times, dtype=np.float64)
         idx = np.searchsorted(np.asarray(self.change_times), times, side="right")
         out = np.empty(times.size, dtype=np.float64)
@@ -114,6 +126,7 @@ class AbruptDrift(DriftModel):
         return out
 
     def describe(self) -> dict:
+        """JSON-friendly description of epochs and switch times."""
         return {
             "kind": "AbruptDrift",
             "change_times": self.change_times,
@@ -137,6 +150,7 @@ class GradualDrift(DriftModel):
         start: float,
         duration: float,
     ) -> None:
+        """Ramp from ``before`` to ``after`` over ``[start, start+duration]``."""
         if duration <= 0:
             raise ConfigurationError(f"duration must be > 0, got {duration}")
         self.before = before
@@ -153,6 +167,7 @@ class GradualDrift(DriftModel):
         return (t - self.start) / self.duration
 
     def at(self, t: float) -> Distribution:
+        """The ramp mixture at ``t`` (the endpoints return the originals)."""
         frac = self.mix_fraction(t)
         if frac <= 0.0:
             return self.before
@@ -180,6 +195,7 @@ class GradualDrift(DriftModel):
         return out
 
     def describe(self) -> dict:
+        """JSON-friendly description of the ramp and its endpoints."""
         return {
             "kind": "GradualDrift",
             "start": self.start,
@@ -205,6 +221,7 @@ class RotatingHotspotDrift(DriftModel):
         period: float,
         hot_fraction: float = 0.9,
     ) -> None:
+        """Sweep a ``hot_width`` hotspot around ``[low, high)`` per ``period``."""
         if period <= 0:
             raise ConfigurationError(f"period must be > 0, got {period}")
         self.low = float(low)
@@ -214,6 +231,7 @@ class RotatingHotspotDrift(DriftModel):
         self.hot_fraction = float(hot_fraction)
 
     def at(self, t: float) -> Distribution:
+        """The hotspot distribution at ``t``'s phase of the rotation."""
         phase = (t % self.period) / self.period
         hot_start = self.low + phase * (self.high - self.low)
         return HotspotDistribution(
@@ -247,6 +265,7 @@ class RotatingHotspotDrift(DriftModel):
         return out
 
     def describe(self) -> dict:
+        """JSON-friendly description of the rotation parameters."""
         return {
             "kind": "RotatingHotspotDrift",
             "low": self.low,
@@ -274,6 +293,7 @@ class GrowingSkewDrift(DriftModel):
         n_items: int = 10_000,
         permute_seed: int = 0,
     ) -> None:
+        """Ramp Zipf ``theta`` from ``theta_start`` to ``theta_end``."""
         if duration <= 0:
             raise ConfigurationError(f"duration must be > 0, got {duration}")
         self.low = float(low)
@@ -291,6 +311,7 @@ class GrowingSkewDrift(DriftModel):
         return self.theta_start + frac * (self.theta_end - self.theta_start)
 
     def at(self, t: float) -> Distribution:
+        """The Zipf distribution at ``t``'s (quantized) skew level."""
         # Quantize theta so repeated queries reuse Zipf tables.
         theta = round(self.theta_at(t), 2)
         if theta not in self._cache:
@@ -304,9 +325,86 @@ class GrowingSkewDrift(DriftModel):
         return self._cache[theta]
 
     def describe(self) -> dict:
+        """JSON-friendly description of the skew ramp."""
         return {
             "kind": "GrowingSkewDrift",
             "theta_start": self.theta_start,
             "theta_end": self.theta_end,
             "duration": self.duration,
+        }
+
+
+class DriftFactor(DriftModel):
+    """Controllable drift intensity between two drift models (NeurBench).
+
+    A single ``factor`` in [0, 1] deterministically interpolates the key
+    stream between ``base`` (factor 0) and ``target`` (factor 1): at
+    time ``t``, keys come from the mixture
+    ``(1 - factor) * base.at(t) + factor * target.at(t)``.
+
+    Because the mixture CDF is affine in ``factor``, the analytic
+    sup-CDF distance to either endpoint is *exactly linear*:
+    ``phi(blend(f), target) = (1 - f) * phi(base, target)`` — which is
+    what lets a drift-factor sweep chart Fig-1a-style curves against a
+    computed, monotone Φ instead of assumed point samples.
+
+    At the exact endpoints the model delegates *wholly* to base/target
+    — same RNG consumption, bit-identical streams — so a sweep pins its
+    ends to today's unblended scenarios.
+    """
+
+    def __init__(self, base: DriftModel, target: DriftModel, factor: float) -> None:
+        """Blend ``base`` toward ``target`` with intensity ``factor``."""
+        factor = float(factor)
+        if not 0.0 <= factor <= 1.0:
+            raise ConfigurationError(
+                f"drift factor must be in [0, 1], got {factor}"
+            )
+        self.base = base
+        self.target = target
+        self.factor = factor
+
+    def at(self, t: float) -> Distribution:
+        """The blended distribution at ``t`` (endpoints return originals)."""
+        if self.factor <= 0.0:
+            return self.base.at(t)
+        if self.factor >= 1.0:
+            return self.target.at(t)
+        return MixtureDistribution(
+            [self.base.at(t), self.target.at(t)],
+            [1.0 - self.factor, self.factor],
+        )
+
+    def sample_at(self, rng: np.random.Generator, times: np.ndarray) -> np.ndarray:
+        """Vectorized blend sampling: one Bernoulli mask, two bulk draws.
+
+        At the endpoints this delegates the *entire* call to the base or
+        target model so the RNG stream is bit-identical to running that
+        model alone. In between, each query picks the target component
+        with probability ``factor`` (mirroring
+        :meth:`GradualDrift.sample_at`'s draw order: mask first, then
+        base keys, then target keys).
+        """
+        if self.factor <= 0.0:
+            return self.base.sample_at(rng, times)
+        if self.factor >= 1.0:
+            return self.target.sample_at(rng, times)
+        times = np.asarray(times, dtype=np.float64)
+        n = times.size
+        take_target = rng.uniform(0.0, 1.0, n) < self.factor
+        out = np.empty(n, dtype=np.float64)
+        n_target = int(take_target.sum())
+        if n_target < n:
+            out[~take_target] = self.base.sample_at(rng, times[~take_target])
+        if n_target:
+            out[take_target] = self.target.sample_at(rng, times[take_target])
+        return out
+
+    def describe(self) -> dict:
+        """JSON-friendly description: factor plus both endpoint models."""
+        return {
+            "kind": "DriftFactor",
+            "factor": self.factor,
+            "base": self.base.describe(),
+            "target": self.target.describe(),
         }

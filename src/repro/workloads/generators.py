@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.workloads.distributions import Distribution
-from repro.workloads.drift import DriftModel, NoDrift
+from repro.workloads.drift import DriftFactor, DriftModel, NoDrift
 from repro.workloads.patterns import ArrivalProcess, ConstantArrivals
 
 
@@ -126,6 +126,7 @@ class OperationMix:
     """Proportions of each operation type, normalized to sum to 1."""
 
     def __init__(self, proportions: Dict[KVOperation, float]) -> None:
+        """Normalize and store per-operation proportions."""
         if not proportions:
             raise ConfigurationError("operation mix cannot be empty")
         total = sum(proportions.values())
@@ -183,6 +184,7 @@ class MixSchedule:
     """
 
     def __init__(self, segments: Sequence[Tuple[float, OperationMix]]) -> None:
+        """Store ``(start_time, mix)`` entries (start times must ascend)."""
         if not segments:
             raise ConfigurationError("mix schedule needs at least one entry")
         starts = [s for s, _ in segments]
@@ -190,6 +192,11 @@ class MixSchedule:
             raise ConfigurationError("mix schedule start times must ascend")
         self._segments = [(float(s), m) for s, m in segments]
         self._starts = np.asarray([s for s, _ in self._segments], dtype=np.float64)
+
+    @property
+    def segments(self) -> List[Tuple[float, OperationMix]]:
+        """The ``(start_time, mix)`` entries (a copy, in schedule order)."""
+        return list(self._segments)
 
     def at(self, t: float) -> OperationMix:
         """The operation mix in effect at time ``t``."""
@@ -294,6 +301,7 @@ class KVWorkload:
     def __init__(
         self, spec: WorkloadSpec, seed: int = 0, insert_key_counter: float = 0.0
     ) -> None:
+        """Bind the spec to a seeded private RNG and insert counter."""
         self.spec = spec
         self._seed = int(seed)
         self._rng = np.random.default_rng(seed)
@@ -421,4 +429,105 @@ def simple_spec(
         key_drift=NoDrift(distribution),
         arrivals=ConstantArrivals(rate),
         scan_length_mean=scan_length_mean,
+    )
+
+
+# -- drift-factor blending -----------------------------------------------------------
+#
+# The workload half of the NeurBench-style drift axis: a factor in [0, 1]
+# linearly interpolates operation mixes (and mix schedules) between a
+# base and a target. The endpoints return the *original objects* so the
+# RNG stream — and therefore the realized query columns — is
+# bit-identical to the unblended workload.
+
+
+def blend_mixes(
+    base: OperationMix, target: OperationMix, factor: float
+) -> OperationMix:
+    """Linearly interpolate two operation mixes.
+
+    The blended proportion of each operation is
+    ``(1 - factor) * base + factor * target``, iterated in
+    :data:`KV_OPERATIONS` order (zero entries dropped) so equal inputs
+    always produce the same internal operation order — the order feeds
+    :meth:`OperationMix.sample_array`'s RNG mapping. ``factor <= 0`` /
+    ``>= 1`` return ``base`` / ``target`` themselves (bit-identity).
+    """
+    factor = float(factor)
+    if not 0.0 <= factor <= 1.0:
+        raise ConfigurationError(f"blend factor must be in [0, 1], got {factor}")
+    if factor <= 0.0:
+        return base
+    if factor >= 1.0:
+        return target
+    base_props = base.proportions()
+    target_props = target.proportions()
+    blended: Dict[KVOperation, float] = {}
+    for op in KV_OPERATIONS:
+        share = (1.0 - factor) * base_props.get(op, 0.0) + factor * target_props.get(
+            op, 0.0
+        )
+        if share > 0.0:
+            blended[op] = share
+    return OperationMix(blended)
+
+
+def blend_schedules(
+    base: "WorkloadSpec", target: "WorkloadSpec", factor: float
+) -> Optional[MixSchedule]:
+    """Blend two specs' time-varying mixes into one schedule.
+
+    ``None`` when neither spec has a schedule (the static mixes blend
+    via :func:`blend_mixes` instead). Otherwise the blended schedule has
+    an entry at every start time either schedule uses (plus 0.0), each
+    blending the mixes active at that instant.
+    """
+    if base.mix_schedule is None and target.mix_schedule is None:
+        return None
+    starts = {0.0}
+    for spec in (base, target):
+        if spec.mix_schedule is not None:
+            starts.update(start for start, _ in spec.mix_schedule.segments)
+    return MixSchedule(
+        [
+            (start, blend_mixes(base.mix_at(start), target.mix_at(start), factor))
+            for start in sorted(starts)
+        ]
+    )
+
+
+def blend_specs(
+    base: WorkloadSpec,
+    target: WorkloadSpec,
+    factor: float,
+    name: Optional[str] = None,
+) -> WorkloadSpec:
+    """Interpolate two workload specs along the drift-factor axis.
+
+    Blends both axes the paper's Φ machinery measures: the key
+    distribution (via :class:`~repro.workloads.drift.DriftFactor` over
+    the two specs' drift models) and the operation mix / mix schedule
+    (via :func:`blend_mixes` / :func:`blend_schedules`), plus the scan
+    length. Arrivals come from ``base`` — offered load is a separate
+    axis, not part of drift intensity.
+
+    ``factor <= 0`` / ``>= 1`` return the ``base`` / ``target`` objects
+    themselves (``name`` is ignored there) so endpoint scenarios are
+    bit-identical to the unblended originals.
+    """
+    factor = float(factor)
+    if not 0.0 <= factor <= 1.0:
+        raise ConfigurationError(f"blend factor must be in [0, 1], got {factor}")
+    if factor <= 0.0:
+        return base
+    if factor >= 1.0:
+        return target
+    scan_mean = (1.0 - factor) * base.scan_length_mean + factor * target.scan_length_mean
+    return WorkloadSpec(
+        name=name or f"{base.name}~{target.name}@{factor:g}",
+        mix=blend_mixes(base.mix, target.mix, factor),
+        key_drift=DriftFactor(base.key_drift, target.key_drift, factor),
+        arrivals=base.arrivals,
+        scan_length_mean=int(round(scan_mean)),
+        mix_schedule=blend_schedules(base, target, factor),
     )

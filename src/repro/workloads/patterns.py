@@ -87,14 +87,17 @@ class ConstantArrivals(ArrivalProcess):
     """Fixed offered load."""
 
     def __init__(self, rate: float) -> None:
+        """Store the fixed rate (queries per virtual second)."""
         if rate < 0:
             raise ConfigurationError(f"rate must be >= 0, got {rate}")
         self._rate = float(rate)
 
     def rate(self, t: float) -> float:
+        """The fixed rate, independent of ``t``."""
         return self._rate
 
     def describe(self) -> dict:
+        """JSON-friendly description."""
         return {"kind": "ConstantArrivals", "rate": self._rate}
 
 
@@ -107,6 +110,7 @@ class DiurnalArrivals(ArrivalProcess):
 
     def __init__(self, base: float, amplitude: float = 0.5, period: float = 86_400.0,
                  phase: float = 0.0) -> None:
+        """Validate and store the sinusoid parameters."""
         if base < 0:
             raise ConfigurationError(f"base must be >= 0, got {base}")
         if not 0.0 <= amplitude <= 1.0:
@@ -119,10 +123,12 @@ class DiurnalArrivals(ArrivalProcess):
         self.phase = float(phase)
 
     def rate(self, t: float) -> float:
+        """Sinusoidal rate at ``t`` (clamped at zero)."""
         cycle = math.sin(2.0 * math.pi * (t / self.period) + self.phase)
         return max(0.0, self.base * (1.0 + self.amplitude * cycle))
 
     def describe(self) -> dict:
+        """JSON-friendly description."""
         return {
             "kind": "DiurnalArrivals",
             "base": self.base,
@@ -141,6 +147,7 @@ class BurstyArrivals(ArrivalProcess):
     def __init__(
         self, base: float, bursts: Sequence[Tuple[float, float, float]]
     ) -> None:
+        """Validate and store the base rate and burst windows."""
         if base < 0:
             raise ConfigurationError(f"base must be >= 0, got {base}")
         self.base = float(base)
@@ -152,6 +159,7 @@ class BurstyArrivals(ArrivalProcess):
                 )
 
     def rate(self, t: float) -> float:
+        """Base rate times every burst window covering ``t``."""
         rate = self.base
         for start, duration, mult in self.bursts:
             if start <= t < start + duration:
@@ -159,6 +167,7 @@ class BurstyArrivals(ArrivalProcess):
         return rate
 
     def describe(self) -> dict:
+        """JSON-friendly description."""
         return {"kind": "BurstyArrivals", "base": self.base, "bursts": self.bursts}
 
 
@@ -166,6 +175,7 @@ class RampArrivals(ArrivalProcess):
     """Linear ramp from ``rate_start`` to ``rate_end`` over ``duration``."""
 
     def __init__(self, rate_start: float, rate_end: float, duration: float) -> None:
+        """Validate and store the ramp endpoints and duration."""
         if min(rate_start, rate_end) < 0:
             raise ConfigurationError("rates must be >= 0")
         if duration <= 0:
@@ -175,10 +185,12 @@ class RampArrivals(ArrivalProcess):
         self.duration = float(duration)
 
     def rate(self, t: float) -> float:
+        """Linearly interpolated rate at ``t`` (flat past the ramp)."""
         frac = min(1.0, max(0.0, t / self.duration))
         return self.rate_start + frac * (self.rate_end - self.rate_start)
 
     def describe(self) -> dict:
+        """JSON-friendly description."""
         return {
             "kind": "RampArrivals",
             "rate_start": self.rate_start,
@@ -197,6 +209,7 @@ class CompositeArrivals(ArrivalProcess):
     """
 
     def __init__(self, segments: Sequence[Tuple[float, ArrivalProcess]]) -> None:
+        """Store ``(start_time, process)`` entries (starts must ascend)."""
         if not segments:
             raise ConfigurationError("need at least one segment")
         starts = [s for s, _ in segments]
@@ -205,6 +218,7 @@ class CompositeArrivals(ArrivalProcess):
         self.segments = [(float(s), p) for s, p in segments]
 
     def rate(self, t: float) -> float:
+        """The active sub-process's rate on its local clock."""
         active_start, active = self.segments[0]
         for start, process in self.segments:
             if t >= start:
@@ -214,6 +228,7 @@ class CompositeArrivals(ArrivalProcess):
         return active.rate(t - active_start)
 
     def describe(self) -> dict:
+        """JSON-friendly description."""
         return {
             "kind": "CompositeArrivals",
             "segments": [

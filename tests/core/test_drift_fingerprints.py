@@ -1,0 +1,125 @@
+"""Drift factor in fingerprints and cache keys — change iff it changes.
+
+The ``drift_factor`` field must enter scenario fingerprints (and hence
+matrix cache keys) so sweep cells never collide, while *omitting* the
+field keeps pre-PR fingerprints byte-identical — existing caches and
+manifests stay valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.driver import DriverConfig
+from repro.core.runner import JobRecord, MatrixJob, job_cache_key
+from repro.data.datasets import build_dataset
+from repro.scenarios import drift_axis, drift_axis_reference
+from repro.suts.kv_traditional import TraditionalKVStore
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("uniform", n=1000, seed=3)
+
+
+def _axis(dataset, factor):
+    return drift_axis(dataset, factor=factor, rate=100.0, segment_duration=1.0)
+
+
+def _cache_key(scenario) -> str:
+    job = MatrixJob(sut_factory=TraditionalKVStore, scenario=scenario)
+    return job_cache_key(job, DriverConfig(), TraditionalKVStore().describe())
+
+
+class TestFingerprint:
+    def test_same_factor_same_fingerprint(self, dataset):
+        assert (
+            _axis(dataset, 0.25).fingerprint()
+            == _axis(dataset, 0.25).fingerprint()
+        )
+
+    def test_different_factor_different_fingerprint(self, dataset):
+        prints = {
+            _axis(dataset, f).fingerprint() for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        }
+        assert len(prints) == 5
+
+    def test_factor_is_conditional_describe_key(self, dataset):
+        """Scenarios without the field describe exactly as before the
+        axis existed — no ``drift_factor`` key at all."""
+        reference = drift_axis_reference(
+            dataset, endpoint="base", rate=100.0, segment_duration=1.0
+        )
+        assert "drift_factor" not in reference.describe()
+        assert _axis(dataset, 0.0).describe()["drift_factor"] == 0.0
+
+    def test_factor_zero_differs_from_field_omitted(self, dataset):
+        """Setting the field — even to 0 — is a *new* fingerprint; the
+        blend at 0 is stream-identical but the axis cell is distinct."""
+        axis = _axis(dataset, 0.0)
+        reference = drift_axis_reference(
+            dataset, endpoint="base", rate=100.0, segment_duration=1.0
+        )
+        # Normalize the intentional name difference, then compare: the
+        # only remaining describe() delta is the drift_factor key.
+        a = axis.describe()
+        b = reference.describe()
+        a.pop("name"), b.pop("name")
+        factor = a.pop("drift_factor")
+        assert factor == 0.0
+        assert a == b
+
+    def test_clearing_factor_restores_pre_axis_fingerprint(self, dataset):
+        axis = _axis(dataset, 0.25)
+        cleared = replace(axis, drift_factor=None)
+        assert "drift_factor" not in cleared.describe()
+        assert cleared.fingerprint() != axis.fingerprint()
+
+
+class TestCacheKey:
+    def test_key_changes_iff_factor_changes(self, dataset):
+        key_a = _cache_key(_axis(dataset, 0.25))
+        key_b = _cache_key(_axis(dataset, 0.25))
+        key_c = _cache_key(_axis(dataset, 0.75))
+        assert key_a == key_b
+        assert key_a != key_c
+
+    def test_seed_override_still_varies_key(self, dataset):
+        scenario = _axis(dataset, 0.5)
+        job_a = MatrixJob(sut_factory=TraditionalKVStore, scenario=scenario)
+        job_b = MatrixJob(
+            sut_factory=TraditionalKVStore, scenario=scenario, seed=999
+        )
+        desc = TraditionalKVStore().describe()
+        assert job_cache_key(job_a, DriverConfig(), desc) != job_cache_key(
+            job_b, DriverConfig(), desc
+        )
+
+
+class TestJobRecordPhi:
+    def test_phi_round_trips_through_dict(self):
+        record = JobRecord(
+            label="btree-kv×drift-axis@0.5",
+            sut_name="btree-kv",
+            scenario_name="drift-axis@0.5",
+            seed=19,
+            cache_key="abc",
+            status="ok",
+            phi={"phi": 0.165, "phi_data": 0.224, "phi_workload": 0.106},
+        )
+        rebuilt = JobRecord.from_dict(record.to_dict())
+        assert rebuilt.phi == record.phi
+
+    def test_phi_defaults_to_none_for_old_manifests(self):
+        payload = JobRecord(
+            label="x",
+            sut_name="s",
+            scenario_name="c",
+            seed=1,
+            cache_key="k",
+            status="cached",
+        ).to_dict()
+        payload.pop("phi")
+        assert JobRecord.from_dict(payload).phi is None

@@ -1,0 +1,153 @@
+"""Golden regression for the drift-factor Φ sweep.
+
+A fixed-seed factor sweep over the canonical ``drift_axis`` scenario
+family produces, per factor, the analytic Φ (sup-CDF + op-mix distance,
+deterministic arithmetic) and the realized Φ (KS over a regenerated
+query stream, seeded) between the drifted segment and both endpoints.
+The payload is pinned *exactly* — floats compared with ``==`` — against
+a checked-in golden JSON, so any change to the blend arithmetic, the
+RNG consumption order in :meth:`KVWorkload.next_batch`, or the Φ
+estimators fails loudly.
+
+Regenerate after an *intentional* behavior change with::
+
+    UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/integration/test_golden_drift_phi.py
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data.datasets import build_dataset
+from repro.metrics.similarity import expected_spec_phi, realized_spec_phi
+from repro.scenarios import drift_axis, drift_axis_specs
+from repro.workloads.generators import blend_specs
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_drift_phi.json"
+
+#: The pinned sweep grid — matches the run-matrix smoke lane.
+FACTORS = (0.0, 0.25, 0.5, 0.75, 1.0)
+#: Probe-stream size for the realized estimator (small but stable).
+PROBE_N = 1024
+PROBE_SEED = 11
+
+
+def build_golden_payload() -> dict:
+    """Compute the pinned Φ table for the fixed-seed factor sweep."""
+    dataset = build_dataset("uniform", n=2000, seed=3)
+    base, target = drift_axis_specs(dataset, rate=200.0)
+    rows = []
+    for factor in FACTORS:
+        blended = blend_specs(base, target, factor)
+        scenario = drift_axis(
+            dataset, factor=factor, rate=200.0, segment_duration=2.0
+        )
+        rows.append(
+            {
+                "factor": factor,
+                "scenario": scenario.name,
+                "fingerprint": scenario.fingerprint(),
+                "expected_vs_target": expected_spec_phi(blended, target),
+                "realized_vs_base": realized_spec_phi(
+                    base, blended, n=PROBE_N, seed=PROBE_SEED
+                ),
+                "realized_vs_target": realized_spec_phi(
+                    blended, target, n=PROBE_N, seed=PROBE_SEED
+                ),
+            }
+        )
+    return {"factors": list(FACTORS), "sweep": rows}
+
+
+def _assert_payload_equal(golden, fresh, path="$"):
+    """Exact recursive equality; floats compared with ``==`` (no tolerance).
+
+    Duplicated from ``test_golden_run`` — ``tests/integration`` has no
+    package ``__init__``, so test modules cannot import each other.
+    """
+    assert type(golden) is type(fresh) or (
+        isinstance(golden, (int, float))
+        and isinstance(fresh, (int, float))
+        and not isinstance(golden, bool)
+        and not isinstance(fresh, bool)
+    ), f"{path}: type {type(golden).__name__} != {type(fresh).__name__}"
+    if isinstance(golden, dict):
+        assert sorted(golden) == sorted(fresh), f"{path}: keys differ"
+        for key in golden:
+            _assert_payload_equal(golden[key], fresh[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert len(golden) == len(fresh), f"{path}: length differs"
+        for i, (a, b) in enumerate(zip(golden, fresh)):
+            _assert_payload_equal(a, b, f"{path}[{i}]")
+    else:
+        assert golden == fresh, f"{path}: {golden!r} != {fresh!r}"
+
+
+@pytest.fixture(scope="module")
+def fresh_payload():
+    return build_golden_payload()
+
+
+class TestGoldenDriftPhi:
+    def test_matches_checked_in_golden(self, fresh_payload):
+        if os.environ.get("UPDATE_GOLDENS") == "1":
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            with open(GOLDEN_PATH, "w") as handle:
+                json.dump(fresh_payload, handle, indent=2, sort_keys=True)
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            f"golden file missing; regenerate with UPDATE_GOLDENS=1 "
+            f"({GOLDEN_PATH})"
+        )
+        with open(GOLDEN_PATH) as handle:
+            golden = json.load(handle)
+        _assert_payload_equal(golden, fresh_payload)
+
+    def test_payload_json_round_trip_is_exact(self, fresh_payload):
+        rebuilt = json.loads(json.dumps(fresh_payload))
+        _assert_payload_equal(fresh_payload, rebuilt)
+
+    def test_sweep_shape_and_invariants(self, fresh_payload):
+        rows = fresh_payload["sweep"]
+        assert [row["factor"] for row in rows] == list(FACTORS)
+        # Φ to the target shrinks, Φ from the base grows, endpoints pin
+        # to exactly zero (the blend *is* the endpoint spec there).
+        to_target = [row["realized_vs_target"]["phi"] for row in rows]
+        from_base = [row["realized_vs_base"]["phi"] for row in rows]
+        assert to_target[-1] == 0.0
+        assert from_base[0] == 0.0
+        assert all(b <= a + 0.02 for a, b in zip(to_target, to_target[1:]))
+        assert all(b >= a - 0.02 for a, b in zip(from_base, from_base[1:]))
+        # Fingerprints are distinct per factor — the axis enters the
+        # cache key.
+        fingerprints = {row["fingerprint"] for row in rows}
+        assert len(fingerprints) == len(FACTORS)
+
+
+class TestComparatorSensitivity:
+    """The exact comparator catches the smallest representable changes."""
+
+    def test_one_ulp_perturbation_fails(self, fresh_payload):
+        mutated = copy.deepcopy(fresh_payload)
+        cell = mutated["sweep"][2]["expected_vs_target"]
+        cell["phi"] = math.nextafter(cell["phi"], math.inf)
+        with pytest.raises(AssertionError):
+            _assert_payload_equal(fresh_payload, mutated)
+
+    def test_dropped_row_fails(self, fresh_payload):
+        mutated = copy.deepcopy(fresh_payload)
+        mutated["sweep"].pop()
+        with pytest.raises(AssertionError):
+            _assert_payload_equal(fresh_payload, mutated)
+
+    def test_fingerprint_change_fails(self, fresh_payload):
+        mutated = copy.deepcopy(fresh_payload)
+        mutated["sweep"][0]["fingerprint"] = "0" * 16
+        with pytest.raises(AssertionError):
+            _assert_payload_equal(fresh_payload, mutated)

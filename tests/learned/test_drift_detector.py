@@ -71,3 +71,28 @@ class TestValidation:
     def test_rejects_bad_threshold(self):
         with pytest.raises(ConfigurationError):
             DriftDetector(threshold=1.5)
+
+
+class TestDescribe:
+    def test_exposes_threshold_and_window(self):
+        det = DriftDetector(window=64, threshold=0.3)
+        desc = det.describe()
+        assert desc["kind"] == "DriftDetector"
+        assert desc["window"] == 64
+        assert desc["threshold"] == 0.3
+        assert desc["checks"] == 0
+        assert desc["drifts_detected"] == 0
+
+    def test_counters_track_live_state(self, rng):
+        det = DriftDetector(window=64, threshold=0.2)
+        for k in rng.uniform(0, 1, 200):
+            det.observe(float(k))
+        det.observe_many(rng.uniform(10, 11, 128))
+        desc = det.describe()
+        assert desc["checks"] == det.checks > 0
+        assert desc["drifts_detected"] == det.drifts_detected >= 1
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        json.dumps(DriftDetector().describe())

@@ -1,0 +1,73 @@
+"""Drift-axis metric curves: specialization and adaptability vs Φ."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benchmark import Benchmark
+from repro.data.datasets import build_dataset
+from repro.errors import ConfigurationError
+from repro.metrics.adaptability import adaptability_vs_drift
+from repro.metrics.specialization import drift_specialization_curve
+from repro.scenarios import abrupt_shift, drift_axis
+from repro.suts.kv_traditional import TraditionalKVStore
+
+
+@pytest.fixture(scope="module")
+def sweep_runs():
+    dataset = build_dataset("uniform", n=1000, seed=3)
+    bench = Benchmark()
+    runs = []
+    for factor in (0.75, 0.25):  # deliberately out of order
+        scenario = drift_axis(
+            dataset, factor=factor, rate=150.0, segment_duration=2.0,
+            train_budget=1.0,
+        )
+        runs.append((scenario, bench.run(TraditionalKVStore(), scenario)))
+    return runs
+
+
+class TestSpecializationCurve:
+    def test_rows_sorted_and_shaped(self, sweep_runs):
+        rows = drift_specialization_curve(sweep_runs, interval=0.5)
+        assert [r["drift_factor"] for r in rows] == [0.25, 0.75]
+        for row in rows:
+            assert {"phi", "phi_data", "phi_workload", "mean_latency"} <= set(row)
+            assert any(k.startswith("tp_") for k in row)
+            assert row["mean_latency"] > 0.0
+
+    def test_phi_grows_with_factor(self, sweep_runs):
+        rows = drift_specialization_curve(sweep_runs, interval=0.5)
+        assert rows[0]["phi"] < rows[1]["phi"]
+
+    def test_rejects_missing_drift_factor(self, sweep_runs):
+        dataset = build_dataset("uniform", n=500, seed=1)
+        scenario = abrupt_shift(dataset, rate=50.0, segment_duration=1.0)
+        _, result = sweep_runs[0]
+        with pytest.raises(ConfigurationError):
+            drift_specialization_curve([(scenario, result)])
+
+    def test_rejects_unknown_segment(self, sweep_runs):
+        with pytest.raises(ConfigurationError):
+            drift_specialization_curve(sweep_runs, segment_label="nope")
+
+    def test_rejects_bad_interval(self, sweep_runs):
+        with pytest.raises(ConfigurationError):
+            drift_specialization_curve(sweep_runs, interval=0.0)
+
+
+class TestAdaptabilityVsDrift:
+    def test_rows_sorted_and_shaped(self, sweep_runs):
+        rows = adaptability_vs_drift(sweep_runs, resolution=0.5)
+        assert [r["drift_factor"] for r in rows] == [0.25, 0.75]
+        for row in rows:
+            assert {
+                "phi", "area_vs_ideal", "recovery_seconds", "throughput_cv",
+            } <= set(row)
+
+    def test_rejects_missing_drift_factor(self, sweep_runs):
+        dataset = build_dataset("uniform", n=500, seed=1)
+        scenario = abrupt_shift(dataset, rate=50.0, segment_duration=1.0)
+        _, result = sweep_runs[0]
+        with pytest.raises(ConfigurationError):
+            adaptability_vs_drift([(scenario, result)])

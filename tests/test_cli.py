@@ -128,6 +128,61 @@ class TestRunMatrix:
     def test_unknown_sut(self, capsys):
         assert main(["run-matrix", "--sut", "no-such"] + self.SMALL) == 2
 
+    def test_drift_factor_parser_default(self):
+        assert build_parser().parse_args(["run-matrix"]).drift_factors is None
+
+    def test_drift_factor_sweep_stamps_phi(self, tmp_path, capsys):
+        path = str(tmp_path / "manifest.json")
+        argv = [
+            "run-matrix", "--sut", "btree-kv",
+            "--drift-factors", "0.0", "0.5", "1.0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", path,
+        ] + self.SMALL
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # One base scenario plus one drift-axis cell per factor.
+        for label in ("drift-axis@0", "drift-axis@0.5", "drift-axis@1"):
+            assert label in out
+        assert "phi=" in out
+        manifest = RunManifest.load(path)
+        assert len(manifest.jobs) == 4
+        axis = {
+            j.scenario_name: j.phi for j in manifest.jobs
+            if j.scenario_name.startswith("drift-axis")
+        }
+        assert set(axis) == {"drift-axis@0", "drift-axis@0.5", "drift-axis@1"}
+        for phi in axis.values():
+            assert {"phi", "phi_data", "phi_workload"} <= set(phi)
+        # Φ between first and last segment shrinks as the blend
+        # approaches the base workload.
+        assert axis["drift-axis@0"]["phi"] < axis["drift-axis@1"]["phi"]
+
+    def test_drift_factor_phi_survives_cache_hits(self, tmp_path, capsys):
+        path = str(tmp_path / "manifest.json")
+        argv = [
+            "run-matrix", "--sut", "btree-kv", "--drift-factors", "0.5",
+            "--cache-dir", str(tmp_path / "cache"), "--manifest", path,
+        ] + self.SMALL
+        assert main(argv) == 0
+        first = {
+            j.scenario_name: j.phi for j in RunManifest.load(path).jobs
+        }
+        capsys.readouterr()
+        assert main(argv) == 0  # warm pass: all cached
+        assert "cached" in capsys.readouterr().out
+        second = {
+            j.scenario_name: j.phi for j in RunManifest.load(path).jobs
+        }
+        assert first == second
+
+    def test_drift_factor_out_of_range(self, capsys):
+        argv = [
+            "run-matrix", "--sut", "btree-kv", "--drift-factors", "1.5",
+        ] + self.SMALL
+        assert main(argv) == 2
+        assert "must be in [0, 1]" in capsys.readouterr().err
+
 
 class TestTraceCommand:
     SMALL = [

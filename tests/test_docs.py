@@ -106,7 +106,7 @@ class TestDocsLinks:
 
 
 class TestDocstringGate:
-    def test_core_faults_and_metrics_fully_documented(self):
+    def test_gated_packages_fully_documented(self):
         """The gate CI enforces passes: 100% public-symbol coverage."""
         proc = subprocess.run(
             [
@@ -115,6 +115,7 @@ class TestDocstringGate:
                 os.path.join(REPO_ROOT, "src", "repro", "core"),
                 os.path.join(REPO_ROOT, "src", "repro", "faults"),
                 os.path.join(REPO_ROOT, "src", "repro", "metrics"),
+                os.path.join(REPO_ROOT, "src", "repro", "workloads"),
             ],
             capture_output=True,
             text=True,

@@ -186,3 +186,46 @@ class TestScenarioRoundTrip:
             payload, data_injections={"w": np.asarray([1.0, 2.0])}
         )
         assert clone.segments[0].data_injection is not None
+
+
+class TestDriftFactorRoundTrip:
+    def _model(self, factor=0.25):
+        from repro.workloads.drift import DriftFactor
+
+        return DriftFactor(
+            NoDrift(UniformDistribution(0, 1)),
+            GradualDrift(UniformDistribution(0, 1), UniformDistribution(5, 6),
+                         start=0.0, duration=4.0),
+            factor,
+        )
+
+    def test_round_trip_preserves_structure_and_factor(self):
+        model = self._model(0.25)
+        clone = drift_from_dict(json.loads(json.dumps(model.describe())))
+        assert clone.factor == 0.25
+        assert clone.describe() == model.describe()
+
+    def test_round_trip_samples_identically(self, rng):
+        model = self._model(0.4)
+        clone = drift_from_dict(json.loads(json.dumps(model.describe())))
+        times = np.linspace(0.0, 4.0, 200)
+        a = model.sample_at(np.random.default_rng(9), times)
+        b = clone.sample_at(np.random.default_rng(9), times)
+        assert np.array_equal(a, b)
+
+    def test_scenario_with_drift_factor_round_trips(self, tiny_dataset):
+        from repro.scenarios import drift_axis
+
+        scenario = drift_axis(tiny_dataset, factor=0.25, rate=20.0,
+                              segment_duration=2.0)
+        payload = json.loads(json.dumps(scenario_to_dict(scenario)))
+        clone = scenario_from_dict(payload, initial_keys=tiny_dataset.keys)
+        assert clone.drift_factor == 0.25
+        assert clone.fingerprint() == scenario.fingerprint()
+
+    def test_scenario_without_field_stays_unset(self, tiny_dataset):
+        scenario = abrupt_shift(tiny_dataset, rate=20.0, segment_duration=3.0)
+        payload = json.loads(json.dumps(scenario_to_dict(scenario)))
+        assert "drift_factor" not in payload
+        clone = scenario_from_dict(payload, initial_keys=tiny_dataset.keys)
+        assert clone.drift_factor is None
