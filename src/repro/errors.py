@@ -16,6 +16,18 @@ class ConfigurationError(ReproError):
     """An object was configured with invalid or inconsistent parameters."""
 
 
+class TraceFormatError(ConfigurationError):
+    """An on-disk query trace violated the versioned trace format.
+
+    Raised by :func:`repro.workloads.trace.load_trace` (and the
+    :class:`~repro.workloads.trace.QueryTrace` validator) for malformed
+    files: missing or unknown columns, unknown operations, non-monotone
+    or non-finite values, or a format version newer than this build.
+    Subclasses :class:`ConfigurationError` so existing callers that
+    catch configuration problems keep working.
+    """
+
+
 class KeyNotFoundError(ReproError, KeyError):
     """A point lookup targeted a key that is not present in the index."""
 

@@ -174,7 +174,24 @@ def mix_from_dict(payload: Dict[str, float]) -> OperationMix:
 
 
 def spec_from_dict(payload: Dict[str, Any]) -> WorkloadSpec:
-    """Rebuild a workload spec from its ``describe()`` payload."""
+    """Rebuild a workload spec from its ``describe()`` payload.
+
+    Trace-backed replay specs cannot round-trip through JSON: their
+    payload summarizes the trace (content hash, op histogram) but does
+    not embed the rows. Rebuilding one raises a
+    :class:`~repro.errors.ConfigurationError` pointing back at the
+    trace file — reload it with
+    :func:`repro.workloads.trace.load_trace` and
+    :func:`repro.workloads.trace.trace_spec` instead.
+    """
+    if "trace" in payload:
+        content = payload["trace"].get("content_hash", "?")[:16]
+        raise ConfigurationError(
+            f"workload spec {payload.get('name')!r} replays a recorded "
+            f"trace (content {content}…); trace rows are not embedded in "
+            "JSON — reload the trace file with repro.workloads.trace."
+            "load_trace and rebuild the spec with trace_spec"
+        )
     schedule = None
     if "mix_schedule" in payload:
         schedule = MixSchedule(

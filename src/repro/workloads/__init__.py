@@ -55,6 +55,19 @@ from repro.workloads.quality import (
     score_dataset,
     score_workload,
 )
+from repro.workloads.trace import (
+    TRACE_FORMAT_VERSION,
+    QueryTrace,
+    RoundTripReport,
+    TraceArrivalProcess,
+    TraceWorkload,
+    TraceWorkloadSpec,
+    fit_trace_workload,
+    load_trace,
+    round_trip,
+    save_trace,
+    trace_spec,
+)
 from repro.workloads.ycsb import ycsb_workload
 
 __all__ = [
@@ -89,4 +102,15 @@ __all__ = [
     "score_workload",
     "DatasetQualityReport",
     "WorkloadQualityReport",
+    "TRACE_FORMAT_VERSION",
+    "QueryTrace",
+    "TraceArrivalProcess",
+    "TraceWorkload",
+    "TraceWorkloadSpec",
+    "RoundTripReport",
+    "load_trace",
+    "save_trace",
+    "trace_spec",
+    "fit_trace_workload",
+    "round_trip",
 ]

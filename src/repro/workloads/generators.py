@@ -286,6 +286,18 @@ class WorkloadSpec:
             out["mix_schedule"] = self.mix_schedule.describe()
         return out
 
+    def build_workload(self, seed: int = 0) -> "KVWorkload":
+        """Construct the executable workload for this spec.
+
+        The driver's single workload-construction point: subclasses
+        substitute their own executable (e.g.
+        :class:`repro.workloads.trace.TraceWorkloadSpec` returns a
+        replaying :class:`~repro.workloads.trace.TraceWorkload`). The
+        base implementation builds a :class:`KVWorkload` exactly as the
+        driver always did, so existing specs keep bit-identical streams.
+        """
+        return KVWorkload(self, seed=seed)
+
 
 class KVWorkload:
     """Executable key-value workload: samples concrete queries over time.

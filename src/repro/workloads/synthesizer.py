@@ -65,6 +65,10 @@ def fit_distribution(
     arr = np.asarray(list(sample), dtype=np.float64)
     if arr.size < 2:
         raise ConfigurationError("need at least 2 points to fit a distribution")
+    if not np.isfinite(arr).all():
+        raise ConfigurationError(
+            "cannot fit a distribution to non-finite values (NaN/inf in sample)"
+        )
     lo, hi = float(arr.min()), float(arr.max())
     if hi <= lo:
         hi = lo + 1.0
@@ -131,31 +135,54 @@ def fit_workload(
     read_fraction: float = 1.0,
     buckets: int = 256,
     rate_window: float = 10.0,
+    mix: Optional[OperationMix] = None,
+    scan_length_mean: int = 0,
 ) -> Tuple[WorkloadSpec, SynthesisReport]:
     """Fit a complete synthetic workload to an observed trace.
 
     Args:
         name: Name for the synthesized workload.
-        keys: Observed access keys.
+        keys: Observed access keys (at least two rows).
         timestamps: Observed arrival times (optional; defaults to a
             constant rate matching the trace volume over 60s).
-        read_fraction: Observed read share of the trace.
+        read_fraction: Observed read share of the trace (ignored when
+            ``mix`` is given).
         buckets: Key-histogram resolution.
         rate_window: Arrival-rate estimation window in seconds.
+        mix: Observed operation mix (e.g. a replayed trace's empirical
+            op histogram); ``None`` falls back to a read/update mix at
+            ``read_fraction``.
+        scan_length_mean: Observed mean scan length for the fitted spec.
 
     Returns:
         (fitted spec, fidelity report for the key distribution).
+
+    Raises:
+        ConfigurationError: Empty or single-row traces (a distribution
+            cannot be fitted to fewer than two observations), or
+            non-finite keys.
     """
-    dist = fit_distribution(keys, buckets=buckets)
-    report = evaluate_fit(keys, dist, buckets=buckets)
+    key_arr = np.asarray(list(keys), dtype=np.float64)
+    if key_arr.size == 0:
+        raise ConfigurationError(
+            "cannot fit a workload to an empty trace (no keys observed)"
+        )
+    if key_arr.size == 1:
+        raise ConfigurationError(
+            "cannot fit a workload to a single-row trace; "
+            "need at least 2 observations"
+        )
+    dist = fit_distribution(key_arr, buckets=buckets)
+    report = evaluate_fit(key_arr, dist, buckets=buckets)
     if timestamps is not None:
         arrivals = fit_arrivals(timestamps, window=rate_window)
     else:
-        arrivals = ConstantArrivals(len(list(keys)) / 60.0)
+        arrivals = ConstantArrivals(key_arr.size / 60.0)
     spec = WorkloadSpec(
         name=name,
-        mix=OperationMix.read_write(read_fraction),
+        mix=mix if mix is not None else OperationMix.read_write(read_fraction),
         key_drift=NoDrift(dist),
         arrivals=arrivals,
+        scan_length_mean=int(scan_length_mean),
     )
     return spec, report

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -259,3 +262,73 @@ class TestScenarioFiles:
         ]) == 0
         out = capsys.readouterr().out
         assert "loaded scenario" in out and "fingerprint" in out
+
+
+class TestReplayCommand:
+    FIXTURE = str(Path(__file__).parent / "fixtures" / "trace_small.csv")
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["replay", self.FIXTURE])
+        assert args.sut == ["btree-kv"]
+        assert args.dilate == 1.0
+        assert not args.fit
+        assert args.export_spec is None
+
+    def test_replay_basic(self, capsys):
+        assert main(["replay", self.FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "640 queries" in out
+        assert "btree-kv" in out
+        assert "mean throughput" in out
+
+    def test_replay_with_fit_and_export(self, tmp_path, capsys):
+        spec_path = tmp_path / "fitted.json"
+        code = main([
+            "replay", self.FIXTURE, "--fit",
+            "--export-spec", str(spec_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "synthesizer round trip" in out
+        assert "stream KS (keys)" in out
+        payload = json.loads(spec_path.read_text())
+        assert payload["name"] == "trace_small-fit"
+        assert "trace" not in payload  # fitted spec is fully parametric
+
+    def test_replay_truncation_and_dilation(self, capsys):
+        code = main([
+            "replay", self.FIXTURE, "--max-queries", "100",
+            "--dilate", "2.0",
+        ])
+        assert code == 0
+        assert "replaying 100 queries" in capsys.readouterr().out
+
+    def test_replay_missing_file(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nope.csv")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_replay_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("timestamp,op,key\n1.0,read,1.0\n0.5,read,2.0\n")
+        assert main(["replay", str(bad)]) == 2
+        assert "non-decreasing" in capsys.readouterr().err
+
+    def test_replay_unknown_sut(self, capsys):
+        assert main(["replay", self.FIXTURE, "--sut", "no-such"]) == 2
+
+    def test_run_matrix_trace_cell(self, tmp_path, capsys):
+        code = main([
+            "run-matrix", "--sut", "btree-kv",
+            "--trace", self.FIXTURE, "--no-cache",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "btree-kv×replay:trace_small" in out
+        assert "1 executed" in out
+
+    def test_run_matrix_trace_parser_defaults(self):
+        args = build_parser().parse_args(["run-matrix"])
+        assert args.trace is None
+        assert args.trace_dilate == 1.0
+        assert args.scenario is None

@@ -104,6 +104,22 @@ class TestDocsLinks:
         with open(example) as handle:
             assert "chaos-tutorial.md" in handle.read()
 
+    def test_trace_replay_page_cross_links(self):
+        """The trace-replay page, example, and fixture stay in sync."""
+        with open(os.path.join(DOCS_DIR, "trace-replay.md")) as handle:
+            page = handle.read()
+        assert "examples/trace_round_trip.py" in page
+        assert "tests/fixtures/trace_small.csv" in page
+        assert "benchmarks/bench_trace_replay.py" in page
+        example = os.path.join(REPO_ROOT, "examples", "trace_round_trip.py")
+        with open(example) as handle:
+            assert "trace-replay.md" in handle.read()
+        fixture = os.path.join(
+            REPO_ROOT, "tests", "fixtures", "trace_small.csv"
+        )
+        with open(fixture) as handle:
+            assert handle.readline().strip() == "# repro-trace v1"
+
 
 class TestDocstringGate:
     def test_gated_packages_fully_documented(self):

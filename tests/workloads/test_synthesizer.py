@@ -77,3 +77,29 @@ class TestFitWorkload:
         keys = rng.uniform(0, 1, 600)
         spec, _ = fit_workload("synth", keys)
         assert spec.arrivals.rate(0.0) == pytest.approx(10.0)
+
+
+class TestFitWorkloadEdgeCases:
+    def test_empty_trace_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="empty trace"):
+            fit_workload("synth", [])
+
+    def test_single_row_trace_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="single-row trace"):
+            fit_workload("synth", [42.0])
+
+    def test_non_finite_keys_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            fit_workload("synth", [1.0, np.nan, 3.0])
+
+    def test_explicit_mix_passthrough(self, rng):
+        from repro.workloads.generators import KVOperation, OperationMix
+
+        mix = OperationMix(
+            {KVOperation.READ: 0.7, KVOperation.SCAN: 0.3}
+        )
+        spec, _ = fit_workload(
+            "synth", rng.uniform(0, 100, 500), mix=mix, scan_length_mean=12
+        )
+        assert spec.mix.proportions() == mix.proportions()
+        assert spec.scan_length_mean == 12
